@@ -1,0 +1,116 @@
+"""Ablation on the filtering unit's parameters.
+
+The filter takes the ``r`` highest-weight query segments and keeps the
+``k`` nearest database segments of each (within a weight-dependent
+threshold).  This bench sweeps r and k on the image benchmark and
+reports candidate-set size, recall of the gold-standard neighbors into
+the candidate set, and end-to-end average precision — the trade-off a
+system builder tunes with the performance evaluation tool (section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FilterParams, SearchMethod, SimilaritySearchEngine, SketchParams
+from repro.core.filtering import sketch_filter
+from repro.evaltool import evaluate_engine
+
+from bench_common import write_result
+
+
+@pytest.fixture(scope="module")
+def image_engine(image_quality_bench):
+    from repro.datatypes.image import make_image_plugin
+
+    plugin = make_image_plugin()
+    engine = SimilaritySearchEngine(plugin, SketchParams(96, plugin.meta, seed=0))
+    for obj in image_quality_bench.dataset:
+        engine.insert(obj)
+    return engine
+
+
+def _candidate_stats(engine, bench, params):
+    """Average candidate-set size and gold-standard recall into it."""
+    sizes, recalls = [], []
+    for sim_set in bench.suite.sets:
+        query = engine.get_object(sim_set.query_id)
+        candidates = sketch_filter(
+            query,
+            engine.sketcher.sketch_many(query.features),
+            engine._store,
+            params,
+            n_bits=engine.sketcher.n_bits,
+        )
+        sizes.append(len(candidates))
+        targets = set(sim_set.members) - {sim_set.query_id}
+        recalls.append(len(candidates & targets) / len(targets))
+    return float(np.mean(sizes)), float(np.mean(recalls))
+
+
+def test_ablation_filter_r_and_k(image_engine, image_quality_bench, benchmark):
+    bench = image_quality_bench
+    total = len(bench.dataset)
+    lines = [
+        "# filter parameter sweep (image benchmark, 96-bit sketches)",
+        f"{'r':>3} {'k':>5} {'cand set':>9} {'frac':>6} {'recall':>7} {'avg prec':>9}",
+    ]
+    recall_by_k = {}
+    for r in (1, 2, 4, 8):
+        for k in (8, 32, 128):
+            params = FilterParams(
+                num_query_segments=r, candidates_per_segment=k,
+                threshold_fraction=0.5,
+            )
+            avg_size, recall = _candidate_stats(image_engine, bench, params)
+            image_engine.filter_params = params
+            ap = evaluate_engine(
+                image_engine, bench.suite, SearchMethod.FILTERING
+            ).quality.average_precision
+            lines.append(
+                f"{r:>3} {k:>5} {avg_size:>9.1f} {avg_size / total:>6.2f} "
+                f"{recall:>7.3f} {ap:>9.3f}"
+            )
+            recall_by_k.setdefault(r, {})[k] = recall
+    write_result("ablation_filter_params", lines)
+
+    # More candidates per segment => recall never decreases.
+    for r, by_k in recall_by_k.items():
+        assert by_k[8] <= by_k[32] + 1e-9
+        assert by_k[32] <= by_k[128] + 1e-9
+
+    params = FilterParams(num_query_segments=4, candidates_per_segment=32)
+    query = image_engine.get_object(bench.suite.sets[0].query_id)
+    sketches = image_engine.sketcher.sketch_many(query.features)
+    benchmark(
+        sketch_filter, query, sketches, image_engine._store, params,
+        image_engine.sketcher.n_bits,
+    )
+
+
+def test_ablation_threshold_fraction(image_engine, image_quality_bench, benchmark):
+    """The weight-dependent distance threshold trades candidate-set size
+    against recall; disabling it (None) is the pure k-NN criterion."""
+    bench = image_quality_bench
+    total = len(bench.dataset)
+    lines = [
+        "# threshold_fraction sweep (r=4, k=32)",
+        f"{'threshold':>10} {'cand set':>9} {'recall':>7}",
+    ]
+    sizes = {}
+    # The k-NN criterion already keeps only very close sketches, so the
+    # threshold binds at small fractions of the sketch width.
+    for fraction in (0.02, 0.05, 0.1, 0.3, None):
+        params = FilterParams(
+            num_query_segments=4, candidates_per_segment=32,
+            threshold_fraction=fraction,
+        )
+        avg_size, recall = _candidate_stats(image_engine, bench, params)
+        sizes[fraction] = avg_size
+        label = "none" if fraction is None else f"{fraction:.2f}"
+        lines.append(f"{label:>10} {avg_size:>9.1f} {recall:>7.3f}")
+    write_result("ablation_filter_threshold", lines)
+    # Tighter thresholds cut the candidate set.
+    assert sizes[0.02] <= sizes[0.1] <= sizes[None]
+    benchmark(lambda: None)

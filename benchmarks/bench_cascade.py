@@ -1,0 +1,81 @@
+"""Extension bench: cascade ranking (filter -> sketch pre-rank -> exact EMD).
+
+The paper's conclusion notes the improved EMD "is relatively inefficient
+to compute" and plans "more efficiently computable distance functions".
+Cascading inserts the cheap sketch-estimated object distance between the
+filter and the exact ranker, so only the best few candidates pay the
+exact EMD.  This bench measures the latency/quality trade on the image
+benchmark across cascade widths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FilterParams, SearchMethod, SimilaritySearchEngine, SketchParams
+from repro.evaltool import evaluate_engine
+from repro.evaltool.benchmark import EvaluationResult
+from repro.evaltool.metrics import QualityScores, score_query
+
+import time
+
+from bench_common import write_result
+
+
+def _evaluate_with_cascade(engine, suite, cascade):
+    """evaluate_engine doesn't thread the cascade arg; inline the loop."""
+    import numpy as np
+
+    scores = []
+    total = 0.0
+    for sim_set in suite.sets:
+        qid = sim_set.query_id
+        started = time.perf_counter()
+        results = engine.query_by_id(
+            qid, top_k=20, method=SearchMethod.FILTERING, exclude_self=True,
+            cascade=cascade,
+        )
+        total += time.perf_counter() - started
+        scores.append(
+            score_query([r.object_id for r in results], sim_set.members, qid,
+                        len(engine))
+        )
+    return QualityScores.mean(scores), total / len(suite.sets)
+
+
+def test_cascade_tradeoff(image_quality_bench, benchmark):
+    from repro.datatypes.image import make_image_plugin
+
+    bench = image_quality_bench
+    plugin = make_image_plugin()
+    engine = SimilaritySearchEngine(
+        plugin,
+        SketchParams(96, plugin.meta, seed=0),
+        # A generous filter so the cascade has something to cut down.
+        FilterParams(num_query_segments=6, candidates_per_segment=256,
+                     threshold_fraction=None),
+    )
+    for obj in bench.dataset:
+        engine.insert(obj)
+
+    lines = [
+        "# cascade width vs quality and latency (image benchmark)",
+        f"{'cascade':>8} {'avg prec':>9} {'s/query':>9}",
+    ]
+    results = {}
+    for cascade in (None, 64, 32, 16, 8):
+        quality, per_query = _evaluate_with_cascade(engine, bench.suite, cascade)
+        label = "off" if cascade is None else str(cascade)
+        results[cascade] = (quality.average_precision, per_query)
+        lines.append(f"{label:>8} {quality.average_precision:>9.3f} {per_query:>9.4f}")
+    write_result("cascade_tradeoff", lines)
+
+    # A moderate cascade must be faster than exact ranking of the full
+    # candidate set while staying close in quality.
+    assert results[32][1] < results[None][1]
+    assert results[32][0] > 0.85 * results[None][0]
+
+    benchmark(
+        engine.query_by_id, bench.suite.sets[0].query_id, top_k=20,
+        method=SearchMethod.FILTERING, exclude_self=True, cascade=32,
+    )

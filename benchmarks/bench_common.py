@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness (imported by bench modules)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("FERRET_BENCH_SCALE", "default")
+
+
+def scaled(default: int, full: int) -> int:
+    """Pick a dataset size: scaled-down default vs paper-sized full run."""
+    return full if SCALE == "full" else default
+
+
+def write_result(name: str, lines) -> None:
+    """Persist a table/series under benchmarks/results/<name>.txt and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(str(line) for line in lines) + "\n"
+    path.write_text(text, encoding="utf-8")
+    print()
+    print(text)
+
+
+def build_engine(plugin, n_bits, filter_params=None, seed=0):
+    from repro.core import FilterParams, SimilaritySearchEngine, SketchParams
+
+    return SimilaritySearchEngine(
+        plugin,
+        SketchParams(n_bits, plugin.meta, seed=seed),
+        filter_params
+        or FilterParams(num_query_segments=4, candidates_per_segment=64),
+    )

@@ -1,0 +1,122 @@
+"""Figure 7 — average precision vs sketch size.
+
+Regenerates the paper's Figure 7: for each data type, sweep the sketch
+size (bits per feature vector) and measure average precision with
+sketch-based brute-force search (filtering off, as in the paper), with
+the original-feature-vector precision as the horizontal reference line.
+
+Expected shape: a steep rise up to a *low knee*, a plateau within a few
+percent of the original-vector line past a *high knee* (paper's knees:
+64/88 bits image, 250/600 audio, 200/600 shape).  Each panel's series
+plus the detected knees are written to benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.core import SearchMethod, meta_from_dataset
+from repro.evaltool import evaluate_engine
+
+from bench_common import build_engine, write_result
+
+IMAGE_BITS = [16, 32, 48, 64, 88, 96, 128, 192, 256]
+AUDIO_BITS = [50, 100, 250, 400, 600, 900, 1200]
+SHAPE_BITS = [50, 100, 200, 400, 600, 800, 1200]
+
+
+def _sweep(plugin, dataset, suite, bit_sizes) -> Tuple[List[Tuple[int, float]], float]:
+    """Returns ([(bits, avg_precision)], original_vector_precision)."""
+    engine = build_engine(plugin, n_bits=max(bit_sizes))
+    for obj in dataset:
+        engine.insert(obj)
+    original = evaluate_engine(
+        engine, suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+    ).quality.average_precision
+
+    series = []
+    for bits in bit_sizes:
+        engine = build_engine(plugin, n_bits=bits)
+        for obj in dataset:
+            engine.insert(obj)
+        ap = evaluate_engine(
+            engine, suite, SearchMethod.BRUTE_FORCE_SKETCH
+        ).quality.average_precision
+        series.append((bits, ap))
+    return series, original
+
+
+def _knees(series, original):
+    """Low knee: first size within 85% of the plateau; high knee: first
+    size within 97% of the plateau (plateau = max measured precision)."""
+    plateau = max(ap for _bits, ap in series)
+    low = next(bits for bits, ap in series if ap >= 0.85 * plateau)
+    high = next(bits for bits, ap in series if ap >= 0.97 * plateau)
+    return low, high
+
+
+def _report(name, series, original):
+    lines = [f"# Figure 7 panel: {name}", f"{'bits':>6} {'avg precision':>14}"]
+    for bits, ap in series:
+        lines.append(f"{bits:>6} {ap:>14.3f}")
+    low, high = _knees(series, original)
+    lines.append(f"original feature vectors: {original:.3f}")
+    lines.append(f"low knee ~{low} bits, high knee ~{high} bits")
+    write_result(f"fig7_{name}", lines)
+    return low, high
+
+
+def test_fig7_image(image_quality_bench, benchmark):
+    from repro.datatypes.image import make_image_plugin
+
+    bench = image_quality_bench
+    plugin = make_image_plugin()
+    series, original = _sweep(plugin, bench.dataset, bench.suite, IMAGE_BITS)
+    low, high = _report("image", series, original)
+
+    # Shape of the curve: monotone-ish rise, plateau near the original line.
+    assert series[0][1] < series[-1][1]
+    assert series[-1][1] > 0.8 * original
+    assert low <= high <= 256
+
+    engine = build_engine(plugin, n_bits=96)
+    for obj in bench.dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id, top_k=20,
+              method=SearchMethod.BRUTE_FORCE_SKETCH, exclude_self=True)
+
+
+def test_fig7_audio(audio_quality_bench, benchmark):
+    from repro.datatypes.audio import make_audio_plugin
+
+    bench = audio_quality_bench
+    plugin = make_audio_plugin(meta_from_dataset(bench.dataset))
+    series, original = _sweep(plugin, bench.dataset, bench.suite, AUDIO_BITS)
+    low, high = _report("audio", series, original)
+    assert series[0][1] < series[-1][1]
+    assert series[-1][1] > 0.9 * original  # paper: 600 bits within ~4%
+
+    engine = build_engine(plugin, n_bits=600)
+    for obj in bench.dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id, top_k=20,
+              method=SearchMethod.BRUTE_FORCE_SKETCH, exclude_self=True)
+
+
+def test_fig7_shape(shape_quality_bench, benchmark):
+    from repro.datatypes.shape import make_shape_plugin
+
+    bench = shape_quality_bench
+    plugin = make_shape_plugin(meta_from_dataset(bench.dataset))
+    series, original = _sweep(plugin, bench.dataset, bench.suite, SHAPE_BITS)
+    low, high = _report("shape", series, original)
+    assert series[0][1] < series[-1][1]
+    assert series[-1][1] > 0.9 * original  # paper: 800 bits within ~3%
+
+    engine = build_engine(plugin, n_bits=800)
+    for obj in bench.dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id, top_k=20,
+              method=SearchMethod.BRUTE_FORCE_SKETCH, exclude_self=True)

@@ -1,0 +1,169 @@
+"""Figure 8 — query performance of the three search methods vs dataset size.
+
+Regenerates the paper's Figure 8: for each data type, sweep the dataset
+size and measure per-query time for BruteForceOriginal, BruteForceSketch
+and Filtering.
+
+Expected shapes (section 6.3.3):
+- BruteForceOriginal grows linearly and is the slowest for multi-segment
+  data (EMD per object dominates).
+- BruteForceSketch also grows linearly; the gap over BruteForceOriginal
+  tracks the compression ratio — small for images (5:1, "almost no
+  performance improvement"), large for shapes (22:1, ~4x in the paper).
+- Filtering is fastest: it scans compact sketches and ranks only a small
+  candidate set.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FilterParams, SearchMethod, meta_from_dataset
+from repro.datatypes.bulk import (
+    bulk_audio_dataset,
+    bulk_image_dataset,
+    bulk_shape_dataset,
+)
+
+from bench_common import build_engine, scaled, write_result
+
+_METHODS = [
+    SearchMethod.BRUTE_FORCE_ORIGINAL,
+    SearchMethod.BRUTE_FORCE_SKETCH,
+    SearchMethod.FILTERING,
+]
+
+
+def _panel(name, plugin_factory, dataset_factory, sizes, n_bits, num_queries=3):
+    """Measure all methods at each size; returns {method: [times]}."""
+    lines = [
+        f"# Figure 8 panel: {name} ({n_bits}-bit sketches)",
+        f"{'objects':>8} " + " ".join(f"{m.value:>22}" for m in _METHODS),
+    ]
+    times = {m: [] for m in _METHODS}
+    full = dataset_factory(max(sizes))
+    plugin = plugin_factory(full)
+    for size in sizes:
+        engine = build_engine(
+            plugin, n_bits=n_bits,
+            filter_params=FilterParams(candidates_per_segment=32),
+        )
+        for oid in sorted(full.objects)[:size]:
+            engine.insert(full[oid])
+        rng = np.random.default_rng(0)
+        query_ids = rng.choice(size, num_queries, replace=False)
+        row = [f"{size:>8}"]
+        for method in _METHODS:
+            started = time.perf_counter()
+            for qid in query_ids:
+                engine.query_by_id(int(qid), top_k=20, method=method,
+                                   exclude_self=True)
+            per_query = (time.perf_counter() - started) / num_queries
+            times[method].append(per_query)
+            row.append(f"{per_query:>22.4f}")
+        lines.append(" ".join(row))
+    write_result(f"fig8_{name}", lines)
+    return times
+
+
+def _assert_figure8_shapes(times, sizes, multi_segment):
+    brute = times[SearchMethod.BRUTE_FORCE_ORIGINAL]
+    filt = times[SearchMethod.FILTERING]
+    # Brute force grows with dataset size (roughly linear).
+    assert brute[-1] > brute[0]
+    growth = brute[-1] / max(brute[0], 1e-9)
+    size_growth = sizes[-1] / sizes[0]
+    assert growth > 0.3 * size_growth
+    # Filtering is fastest at the largest size.
+    assert filt[-1] < brute[-1]
+
+
+@pytest.fixture(scope="module")
+def _clean_ids():
+    # Bulk datasets assign ids 0..n-1; re-slicing keeps prefixes valid.
+    return None
+
+
+def test_fig8_image(benchmark):
+    from repro.datatypes.image import make_image_plugin
+
+    sizes = [scaled(s, f) for s, f in ((250, 2000), (500, 8000), (1000, 30000), (2000, 100000))]
+    times = _panel(
+        "image",
+        lambda ds: make_image_plugin(),
+        lambda n: bulk_image_dataset(n, seed=4),
+        sizes,
+        n_bits=96,
+    )
+    _assert_figure8_shapes(times, sizes, multi_segment=True)
+
+    # The 5:1 image ratio gives little sketch-vs-original speedup (the
+    # paper's first observation) — both are within a small factor.
+    sketch = times[SearchMethod.BRUTE_FORCE_SKETCH][-1]
+    brute = times[SearchMethod.BRUTE_FORCE_ORIGINAL][-1]
+    assert sketch < 3 * brute
+
+    dataset = bulk_image_dataset(sizes[0], seed=4)
+    from repro.datatypes.image import make_image_plugin as mk
+
+    engine = build_engine(mk(), n_bits=96)
+    for obj in dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, 0, top_k=20, method=SearchMethod.FILTERING,
+              exclude_self=True)
+
+
+def test_fig8_audio(benchmark):
+    from repro.datatypes.audio import make_audio_plugin
+
+    sizes = [scaled(s, f) for s, f in ((250, 1000), (500, 2500), (1000, 6300))]
+    times = _panel(
+        "audio",
+        lambda ds: make_audio_plugin(meta_from_dataset(ds)),
+        lambda n: bulk_audio_dataset(n, seed=5),
+        sizes,
+        n_bits=600,
+    )
+    _assert_figure8_shapes(times, sizes, multi_segment=True)
+
+    dataset = bulk_audio_dataset(sizes[0], seed=5)
+    from repro.datatypes.audio import make_audio_plugin as mk
+
+    engine = build_engine(mk(meta_from_dataset(dataset)), n_bits=600)
+    for obj in dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, 0, top_k=20, method=SearchMethod.FILTERING,
+              exclude_self=True)
+
+
+def test_fig8_shape(benchmark):
+    from repro.datatypes.shape import make_shape_plugin
+
+    sizes = [scaled(s, f) for s, f in ((1000, 5000), (2500, 10000), (5000, 20000), (10000, 40000))]
+    times = _panel(
+        "shape",
+        lambda ds: make_shape_plugin(meta_from_dataset(ds)),
+        lambda n: bulk_shape_dataset(n, seed=6),
+        sizes,
+        n_bits=800,
+        num_queries=5,
+    )
+    _assert_figure8_shapes(times, sizes, multi_segment=False)
+
+    # The 22:1 shape ratio makes sketch scans clearly faster than
+    # full-vector brute force (the paper measured ~4x).
+    sketch = times[SearchMethod.BRUTE_FORCE_SKETCH][-1]
+    brute = times[SearchMethod.BRUTE_FORCE_ORIGINAL][-1]
+    assert sketch < brute
+
+    dataset = bulk_shape_dataset(sizes[0], seed=6)
+    from repro.datatypes.shape import make_shape_plugin as mk
+
+    engine = build_engine(mk(meta_from_dataset(dataset)), n_bits=800)
+    for obj in dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, 0, top_k=20, method=SearchMethod.FILTERING,
+              exclude_self=True)

@@ -1,0 +1,160 @@
+"""Extension bench: LSH indexing vs the paper's filtering approach.
+
+Related work (section 7) contrasts Ferret's filtering with the
+LSH *indexing* approach and the conclusion names better indexing
+structures as future work.  This bench runs both on the image quality
+benchmark: candidate-set sizes, gold-standard recall into the candidate
+set, end-to-end average precision and per-query latency, across LSH
+table counts.
+
+Expected trade-off: LSH probes buckets instead of scanning all sketches,
+so its candidate generation is cheaper at scale, but recall depends on
+collision luck — filtering's exhaustive scan keeps recall higher at the
+same candidate budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FilterParams,
+    LSHParams,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.evaltool import evaluate_engine
+
+from bench_common import write_result
+
+
+def _engine(plugin, lsh_params):
+    return SimilaritySearchEngine(
+        plugin,
+        SketchParams(96, plugin.meta, seed=0),
+        FilterParams(num_query_segments=4, candidates_per_segment=32),
+        lsh_params=lsh_params,
+    )
+
+
+def test_lsh_vs_filtering(image_quality_bench, benchmark):
+    from repro.datatypes.image import make_image_plugin
+
+    bench = image_quality_bench
+    plugin = make_image_plugin()
+    lines = [
+        "# LSH indexing vs filtering (image benchmark, 96-bit sketches)",
+        f"{'method':>22} {'avg prec':>9} {'s/query':>9} {'avg cands':>10}",
+    ]
+
+    def avg_candidates(engine):
+        sizes = []
+        for sim_set in bench.suite.sets:
+            query = engine.get_object(sim_set.query_id)
+            sketches = engine.sketcher.sketch_many(query.features)
+            sizes.append(len(engine.lsh_index.candidates(sketches)))
+        return float(np.mean(sizes))
+
+    results = {}
+    # Wider keys => sparser buckets => fewer candidates but lower recall;
+    # more tables buy recall back.  b must be sized against the typical
+    # near-pair Hamming distance (tens of bits out of 96 here).
+    configs = [
+        ("filtering", None, SearchMethod.FILTERING),
+        ("lsh L=8 b=16", LSHParams(8, 16, seed=3), SearchMethod.LSH),
+        ("lsh L=8 b=24", LSHParams(8, 24, seed=3), SearchMethod.LSH),
+        ("lsh L=24 b=24", LSHParams(24, 24, seed=3), SearchMethod.LSH),
+        ("lsh L=8 b=32", LSHParams(8, 32, seed=3), SearchMethod.LSH),
+    ]
+    for label, lsh_params, method in configs:
+        engine = _engine(plugin, lsh_params)
+        for obj in bench.dataset:
+            engine.insert(obj)
+        evaluation = evaluate_engine(engine, bench.suite, method)
+        cands = avg_candidates(engine) if lsh_params is not None else float("nan")
+        results[label] = (evaluation, cands)
+        lines.append(
+            f"{label:>22} {evaluation.quality.average_precision:>9.3f} "
+            f"{evaluation.avg_query_seconds:>9.4f} {cands:>10.1f}"
+        )
+    write_result("lsh_vs_filtering", lines)
+
+    # Wider keys shrink the candidate set.
+    assert results["lsh L=8 b=32"][1] <= results["lsh L=8 b=16"][1]
+    # More tables at the same key width buy quality back.
+    assert (
+        results["lsh L=24 b=24"][0].quality.average_precision
+        >= results["lsh L=8 b=24"][0].quality.average_precision - 0.05
+    )
+
+    engine = _engine(plugin, LSHParams(8, 12, seed=3))
+    for obj in bench.dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id, top_k=20,
+              method=SearchMethod.LSH, exclude_self=True)
+
+
+def test_lsh_single_segment_shape(shape_quality_bench, benchmark):
+    """Single-segment data is LSH's natural habitat: one sketch per
+    object, no bucket-union blowup from shared common segments."""
+    from repro.core import meta_from_dataset
+    from repro.datatypes.shape import make_shape_plugin
+
+    bench = shape_quality_bench
+    meta = meta_from_dataset(bench.dataset)
+    plugin = make_shape_plugin(meta)
+    lines = [
+        "# LSH vs filtering on single-segment shapes (800-bit sketches)",
+        f"{'method':>22} {'avg prec':>9} {'avg cands':>10}",
+    ]
+
+    total = len(bench.dataset)
+    results = {}
+    configs = [
+        ("filtering", None, SearchMethod.FILTERING),
+        ("lsh L=8 b=32", LSHParams(8, 32, seed=5), SearchMethod.LSH),
+        ("lsh L=8 b=64", LSHParams(8, 64, seed=5), SearchMethod.LSH),
+        ("lsh L=32 b=64", LSHParams(32, 64, seed=5), SearchMethod.LSH),
+    ]
+    for label, lsh_params, method in configs:
+        engine = SimilaritySearchEngine(
+            plugin, SketchParams(800, plugin.meta, seed=0),
+            FilterParams(num_query_segments=1, candidates_per_segment=32),
+            lsh_params=lsh_params,
+        )
+        for obj in bench.dataset:
+            engine.insert(obj)
+        evaluation = evaluate_engine(engine, bench.suite, method)
+        if lsh_params is not None:
+            sizes = [
+                len(engine.lsh_index.candidates(
+                    engine.sketcher.sketch_many(
+                        engine.get_object(s.query_id).features
+                    )
+                ))
+                for s in bench.suite.sets
+            ]
+            cands = float(np.mean(sizes))
+        else:
+            cands = float("nan")
+        results[label] = (evaluation.quality.average_precision, cands)
+        lines.append(f"{label:>22} {results[label][0]:>9.3f} {cands:>10.1f}")
+    write_result("lsh_vs_filtering_shape", lines)
+
+    # The sparse regime: wide keys prune most of the dataset ...
+    assert results["lsh L=8 b=64"][1] < total
+    # ... and extra tables recover quality.
+    assert results["lsh L=32 b=64"][0] >= results["lsh L=8 b=64"][0] - 0.05
+
+    engine = SimilaritySearchEngine(
+        plugin, SketchParams(800, plugin.meta, seed=0),
+        lsh_params=LSHParams(8, 64, seed=5),
+    )
+    for obj in bench.dataset:
+        engine.insert(obj)
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id, top_k=20,
+              method=SearchMethod.LSH, exclude_self=True)

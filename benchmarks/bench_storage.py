@@ -1,0 +1,117 @@
+"""Microbenchmarks for the storage substrate (the Berkeley DB substitute).
+
+Not a paper table — the paper leans on Berkeley DB for transactional
+metadata (section 4.1.3) and these benches quantify what our embedded
+store delivers: transactional put throughput under the relaxed (batch)
+fsync policy the paper describes, keyed reads through the B-tree, range
+scans, and metadata-manager object round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ObjectSignature
+from repro.metadata import MetadataManager
+from repro.storage import KVStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = KVStore(str(tmp_path / "bench"), sync_policy="batch",
+                auto_checkpoint_ops=0)
+    yield s
+    s.close()
+
+
+def test_bench_kv_put(store, benchmark):
+    counter = iter(range(10_000_000))
+
+    def put():
+        i = next(counter)
+        store.put("t", f"{i:012d}".encode(), b"v" * 100)
+
+    benchmark(put)
+
+
+def test_bench_kv_get(store, benchmark):
+    for i in range(2000):
+        store.put("t", f"{i:06d}".encode(), b"v" * 100)
+    rng = np.random.default_rng(0)
+    keys = [f"{int(i):06d}".encode() for i in rng.integers(0, 2000, 256)]
+    key_iter = iter(keys * 10_000)
+
+    benchmark(lambda: store.get("t", next(key_iter)))
+
+
+def test_bench_kv_scan(store, benchmark):
+    for i in range(2000):
+        store.put("t", f"{i:06d}".encode(), b"v" * 50)
+
+    def scan():
+        assert len(store.items("t", start=b"000500", end=b"001500")) == 1000
+
+    benchmark(scan)
+
+
+def test_bench_txn_commit(store, benchmark):
+    counter = iter(range(10_000_000))
+
+    def commit_batch():
+        base = next(counter) * 10
+        with store.begin() as txn:
+            for j in range(10):
+                txn.put("t", f"{base + j:012d}".encode(), b"v" * 64)
+
+    benchmark(commit_batch)
+
+
+def test_bench_checkpoint(tmp_path, benchmark):
+    s = KVStore(str(tmp_path / "ckpt"), auto_checkpoint_ops=0)
+    for i in range(500):
+        s.put("t", f"{i:06d}".encode(), b"v" * 200)
+    counter = iter(range(10_000_000))
+
+    def touch_and_checkpoint():
+        s.put("t", f"x{next(counter)}".encode(), b"y")
+        s.checkpoint()
+
+    benchmark(touch_and_checkpoint)
+    s.close()
+
+
+def test_bench_metadata_put_object(tmp_path, benchmark):
+    manager = MetadataManager(str(tmp_path / "meta"), auto_checkpoint_ops=0)
+    rng = np.random.default_rng(1)
+    signature = ObjectSignature(rng.random((10, 14)), rng.random(10) + 0.1)
+    sketches = rng.integers(0, 2**63, size=(10, 2), dtype=np.uint64)
+    counter = iter(range(10_000_000))
+
+    benchmark(
+        lambda: manager.put_object(
+            next(counter), signature, sketches, {"name": "bench"}
+        )
+    )
+    manager.close()
+
+
+def test_bench_sketch_scan(benchmark):
+    """The filtering inner loop: Hamming scan over a big sketch matrix."""
+    from repro.core.bitvector import hamming_to_many
+
+    rng = np.random.default_rng(2)
+    database = rng.integers(0, 2**63, size=(100_000, 2), dtype=np.uint64)
+    query = database[0]
+
+    benchmark(hamming_to_many, query, database)
+
+
+def test_bench_emd(benchmark):
+    """One exact EMD between two 10-segment objects (the ranking cost)."""
+    from repro.core import emd
+
+    rng = np.random.default_rng(3)
+    a = ObjectSignature(rng.random((10, 14)), rng.random(10) + 0.1)
+    b = ObjectSignature(rng.random((11, 14)), rng.random(11) + 0.1)
+    benchmark(emd, a, b)

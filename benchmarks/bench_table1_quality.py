@@ -1,0 +1,167 @@
+"""Table 1 — search-quality benchmark suite.
+
+Regenerates the paper's Table 1: average precision, first tier, second
+tier, feature-vector bits, sketch bits and the size ratio for the VARY
+image benchmark (Ferret vs the SIMPLIcity-style baseline), the TIMIT
+audio benchmark, and the PSB shape benchmark (Ferret vs the SHD l2
+baseline).  Sketch sizes are the paper's: 96 / 600 / 800 bits.
+
+Expected shape (paper): Ferret beats SIMPLIcity on images; Ferret's
+sketched shape search matches the full-precision SHD baseline while
+storing ~22x less metadata.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchMethod, meta_from_dataset
+from repro.evaltool import evaluate_engine
+from repro.evaltool.metrics import QualityScores, score_query
+from repro.evaltool.stats import bootstrap_ci
+
+from bench_common import build_engine, write_result
+
+_HEADER = (
+    f"{'benchmark':>14} {'method':>22} {'avg prec':>9} {'1st tier':>9} "
+    f"{'2nd tier':>9} {'feat bits':>10} {'sketch bits':>12} {'ratio':>7}"
+)
+
+
+def _row(bench_name, method, quality, feat_bits, sketch_bits):
+    ratio = f"{feat_bits / sketch_bits:.1f}:1" if sketch_bits else "n/a"
+    return (
+        f"{bench_name:>14} {method:>22} {quality.average_precision:>9.3f} "
+        f"{quality.first_tier:>9.3f} {quality.second_tier:>9.3f} "
+        f"{feat_bits:>10} {str(sketch_bits) if sketch_bits else 'n/a':>12} {ratio:>7}"
+    )
+
+
+def _baseline_quality(suite, query_fn, dataset_size):
+    scores = []
+    for sim_set in suite.sets:
+        qid = sim_set.query_id
+        result_ids = query_fn(qid)
+        scores.append(score_query(result_ids, sim_set.members, qid, dataset_size))
+    return QualityScores.mean(scores)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    """Accumulates rows across the three data-type tests; the assembled
+    table is written at module teardown (so it emits under
+    ``--benchmark-only`` too, where a plain report test would be
+    skipped)."""
+    rows = [_HEADER]
+    yield rows
+    if len(rows) > 1:
+        write_result("table1_quality", rows)
+
+
+def test_table1_image(image_quality_bench, table1_rows, benchmark):
+    from repro.datatypes.image import SimplicityBaseline, make_image_plugin
+
+    bench = image_quality_bench
+    plugin = make_image_plugin()
+    engine = build_engine(plugin, n_bits=96)
+    baseline = SimplicityBaseline()
+    for obj in bench.dataset:
+        engine.insert(obj)
+        baseline.insert(obj.object_id, bench.images[obj.object_id])
+
+    ferret = evaluate_engine(engine, bench.suite, SearchMethod.FILTERING)
+    stats = engine.stats()
+    ap_ci = bootstrap_ci([s.average_precision for s in ferret.per_query])
+    table1_rows.append(
+        _row("VARY image", "Ferret", ferret.quality,
+             stats.feature_bits_per_vector, stats.sketch_bits_per_vector)
+        + f"   AP CI {ap_ci}"
+    )
+
+    simplicity = _baseline_quality(
+        bench.suite,
+        lambda qid: [
+            r.object_id
+            for r in baseline.query(bench.images[qid], top_k=40, exclude_id=qid)
+        ],
+        len(bench.dataset),
+    )
+    table1_rows.append(
+        _row("VARY image", "SIMPLIcity", simplicity, baseline.feature_bits, 0)
+    )
+
+    # Paper's shape: region-based Ferret beats the global baseline.
+    assert ferret.quality.average_precision > simplicity.average_precision
+    # Table 1's image ratio: 448 feature bits vs 96 sketch bits = 4.7:1.
+    assert stats.feature_bits_per_vector == 448
+    assert stats.compression_ratio == pytest.approx(4.67, rel=0.01)
+
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id,
+              top_k=20, method=SearchMethod.FILTERING, exclude_self=True)
+
+
+def test_table1_audio(audio_quality_bench, table1_rows, benchmark):
+    from repro.datatypes.audio import make_audio_plugin
+
+    bench = audio_quality_bench
+    meta = meta_from_dataset(bench.dataset)
+    plugin = make_audio_plugin(meta)
+    engine = build_engine(plugin, n_bits=600)
+    for obj in bench.dataset:
+        engine.insert(obj)
+
+    ferret = evaluate_engine(engine, bench.suite, SearchMethod.FILTERING)
+    stats = engine.stats()
+    table1_rows.append(
+        _row("TIMIT audio", "Ferret", ferret.quality,
+             stats.feature_bits_per_vector, stats.sketch_bits_per_vector)
+    )
+    # Table 1: 6,144 feature bits (192 x 32), 600-bit sketch, 10.2:1.
+    assert stats.feature_bits_per_vector == 6_144
+    assert stats.compression_ratio == pytest.approx(10.24, rel=0.01)
+    # Audio search should be high quality (paper: 0.72 avg precision).
+    assert ferret.quality.average_precision > 0.6
+
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id,
+              top_k=20, method=SearchMethod.FILTERING, exclude_self=True)
+
+
+def test_table1_shape(shape_quality_bench, table1_rows, benchmark):
+    from repro.datatypes.shape import ShdL2Baseline, make_shape_plugin
+
+    bench = shape_quality_bench
+    meta = meta_from_dataset(bench.dataset)
+    plugin = make_shape_plugin(meta)
+    engine = build_engine(plugin, n_bits=800)
+    baseline = ShdL2Baseline()
+    for obj in bench.dataset:
+        engine.insert(obj)
+        baseline.insert(obj.object_id, obj.features[0])
+
+    ferret = evaluate_engine(engine, bench.suite, SearchMethod.BRUTE_FORCE_SKETCH)
+    stats = engine.stats()
+    table1_rows.append(
+        _row("PSB 3D shape", "Ferret", ferret.quality,
+             stats.feature_bits_per_vector, stats.sketch_bits_per_vector)
+    )
+
+    shd = _baseline_quality(
+        bench.suite,
+        lambda qid: [
+            r.object_id
+            for r in baseline.query(bench.dataset[qid].features[0], top_k=40,
+                                    exclude_id=qid)
+        ],
+        len(bench.dataset),
+    )
+    table1_rows.append(_row("PSB 3D shape", "SHD", shd, baseline.feature_bits, 0))
+
+    # Paper's shape: sketched Ferret ~ SHD full precision (within a few %),
+    # while storing ~22x less metadata.
+    assert ferret.quality.average_precision > 0.85 * shd.average_precision
+    assert stats.compression_ratio == pytest.approx(21.76, rel=0.01)
+
+    benchmark(engine.query_by_id, bench.suite.sets[0].query_id,
+              top_k=20, method=SearchMethod.BRUTE_FORCE_SKETCH, exclude_self=True)
+
+

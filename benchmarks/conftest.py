@@ -1,0 +1,48 @@
+"""Benchmark fixtures: session-cached synthetic quality benchmarks.
+
+Dataset sizes are scaled down from the paper's (the substrate is a
+pure-Python simulator); set ``FERRET_BENCH_SCALE=full`` for runs closer
+to the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_common import scaled
+
+
+@pytest.fixture(scope="session")
+def image_quality_bench():
+    from repro.datatypes.image import generate_image_benchmark
+
+    return generate_image_benchmark(
+        num_sets=scaled(12, 32),
+        set_size=5,
+        num_distractors=scaled(150, 500),
+        image_size=48,
+        seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def audio_quality_bench():
+    from repro.datatypes.audio import generate_audio_benchmark
+
+    return generate_audio_benchmark(
+        num_sentences=scaled(25, 100), speakers_per_sentence=7, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def shape_quality_bench():
+    from repro.datatypes.shape import generate_shape_benchmark
+
+    return generate_shape_benchmark(
+        instances_per_class=scaled(6, 10), num_samples=5000, seed=101
+    )

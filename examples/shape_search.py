@@ -1,0 +1,94 @@
+"""3D shape similarity search with spherical-harmonic descriptors.
+
+Reproduces the paper's PSB workflow (section 5.3): generate polygonal
+models, voxelize on a 64^3 grid, decompose into 32 spherical shells,
+compute the rotation-invariant 544-dim SHD, and search with l1 +
+sketches — comparing against the l2 full-descriptor baseline and
+verifying rotation invariance explicitly.
+
+Run:  python examples/shape_search.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+    meta_from_dataset,
+)
+from repro.datatypes.shape import (
+    SHAPE_CLASSES,
+    ShdL2Baseline,
+    descriptor_from_mesh,
+    generate_shape_benchmark,
+    make_instance,
+    make_shape_plugin,
+    random_rotation,
+)
+from repro.evaltool import evaluate_engine
+from repro.evaltool.metrics import QualityScores, score_query
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    # --- rotation invariance spot check ---------------------------------
+    mesh = make_instance(SHAPE_CLASSES[13], rng, rotate=False)  # rocket
+    d1 = descriptor_from_mesh(mesh, rng=np.random.default_rng(0))
+    rot = random_rotation(rng)
+    d2 = descriptor_from_mesh((mesh[0] @ rot.T, mesh[1]), rng=np.random.default_rng(1))
+    rel = np.abs(d1 - d2).sum() / np.abs(d1).sum()
+    print(f"SHD rotation invariance: relative l1 change {rel:.1%} under a random rotation")
+
+    # --- PSB-style benchmark --------------------------------------------
+    print("\ngenerating synthetic PSB-style benchmark "
+          f"({len(SHAPE_CLASSES)} classes) ...")
+    bench = generate_shape_benchmark(instances_per_class=6, seed=13)
+    print(f"  {len(bench.dataset)} models, 544-dim descriptors")
+
+    meta = meta_from_dataset(bench.dataset)
+    plugin = make_shape_plugin(meta)
+    engine = SimilaritySearchEngine(
+        plugin, SketchParams(800, meta, seed=0)  # Table 1's 800-bit sketches
+    )
+    baseline = ShdL2Baseline()
+    for obj in bench.dataset:
+        engine.insert(obj)
+        baseline.insert(obj.object_id, obj.features[0])
+
+    print(f"\n{'method':>24} {'avg prec':>9} {'1st tier':>9} {'2nd tier':>9} {'s/query':>9}")
+    for method in (SearchMethod.BRUTE_FORCE_ORIGINAL,
+                   SearchMethod.BRUTE_FORCE_SKETCH, SearchMethod.FILTERING):
+        result = evaluate_engine(engine, bench.suite, method)
+        row = result.row()
+        print(
+            f"{method.value:>24} {row['average_precision']:>9} "
+            f"{row['first_tier']:>9} {row['second_tier']:>9} "
+            f"{row['avg_query_seconds']:>9}"
+        )
+
+    scores = []
+    for sim_set in bench.suite.sets:
+        qid = sim_set.query_id
+        results = baseline.query(bench.dataset[qid].features[0], top_k=30, exclude_id=qid)
+        scores.append(
+            score_query([r.object_id for r in results], sim_set.members, qid,
+                        len(bench.dataset))
+        )
+    quality = QualityScores.mean(scores)
+    print(
+        f"{'shd-l2-baseline':>24} {quality.average_precision:>9.3f} "
+        f"{quality.first_tier:>9.3f} {quality.second_tier:>9.3f}"
+    )
+
+    stats = engine.stats()
+    print(
+        f"\nmetadata: {stats.feature_bits_per_vector} feature bits vs "
+        f"{stats.sketch_bits_per_vector} sketch bits per model "
+        f"({stats.compression_ratio:.1f}:1 — the paper's 22:1 claim)"
+    )
+
+
+if __name__ == "__main__":
+    main()

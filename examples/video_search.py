@@ -1,0 +1,85 @@
+"""Video similarity search — shots as segments (future-work data type).
+
+Builds video on top of the toolkit's image substrate: a video is a
+sequence of shots, hard cuts are detected from inter-frame differences,
+each shot contributes a keyframe+motion descriptor, and EMD across shots
+retrieves re-edits of the same footage even when shots were reordered or
+trimmed.
+
+Run:  python examples/video_search.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+    meta_from_dataset,
+)
+from repro.datatypes.video import (
+    VideoSpec,
+    detect_shots,
+    generate_video_benchmark,
+    make_video_plugin,
+    random_video,
+    render_video,
+    signature_from_video,
+)
+from repro.evaltool import evaluate_engine
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+
+    # --- shot detection demo ---------------------------------------------
+    video = random_video(rng, num_shots=5)
+    frames, true_spans = render_video(video, 32, 32, rng)
+    detected = detect_shots(frames)
+    print(
+        f"shot detection: {frames.shape[0]} frames, "
+        f"{len(true_spans)} shots cut, {len(detected)} detected"
+    )
+
+    # --- retrieval benchmark ----------------------------------------------
+    print("\ngenerating synthetic video benchmark ...")
+    bench = generate_video_benchmark(
+        num_videos=10, renditions_per_video=4, num_distractors=30, seed=19
+    )
+    print(
+        f"  {len(bench.dataset)} clips, "
+        f"{bench.dataset.avg_segments:.1f} shots/clip"
+    )
+
+    meta = meta_from_dataset(bench.dataset)
+    plugin = make_video_plugin(meta)
+    engine = SimilaritySearchEngine(plugin, SketchParams(128, meta, seed=0))
+    for obj in bench.dataset:
+        engine.insert(obj)
+
+    print(f"\n{'method':>24} {'avg prec':>9} {'1st tier':>9} {'2nd tier':>9} {'s/query':>9}")
+    for method in (SearchMethod.BRUTE_FORCE_ORIGINAL,
+                   SearchMethod.BRUTE_FORCE_SKETCH, SearchMethod.FILTERING):
+        result = evaluate_engine(engine, bench.suite, method)
+        row = result.row()
+        print(
+            f"{method.value:>24} {row['average_precision']:>9} "
+            f"{row['first_tier']:>9} {row['second_tier']:>9} "
+            f"{row['avg_query_seconds']:>9}"
+        )
+
+    # --- shot-order invariance --------------------------------------------
+    original = bench.videos[0]
+    reversed_cut = VideoSpec(tuple(reversed(original.shots)))
+    frames_rev, _ = render_video(reversed_cut, 32, 32, rng)
+    query = signature_from_video(frames_rev)
+    results = engine.query(query, top_k=4, method=SearchMethod.BRUTE_FORCE_ORIGINAL)
+    recovered = {r.object_id for r in results} & set(range(4))
+    print(
+        f"\nreverse-cut query recovered {len(recovered)}/4 renditions of the "
+        "original footage (EMD ignores shot order)"
+    )
+
+
+if __name__ == "__main__":
+    main()

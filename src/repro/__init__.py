@@ -1,0 +1,51 @@
+"""repro — reproduction of the Ferret content-based similarity search toolkit.
+
+Ferret (Lv, Josephson, Wang, Charikar, Li; EuroSys 2006) is a toolkit for
+building content-based similarity search systems for feature-rich data.
+This package reimplements the whole system in Python:
+
+- :mod:`repro.core` — sketches, EMD, two-phase filter/rank search engine.
+- :mod:`repro.storage` — transactional embedded key-value store (the
+  Berkeley DB substrate: B-tree, WAL, checkpoints, crash recovery).
+- :mod:`repro.metadata` — metadata management on top of the store.
+- :mod:`repro.attrsearch` — attribute/keyword search.
+- :mod:`repro.server` — command-line query protocol server/client.
+- :mod:`repro.acquisition` — directory-scan data acquisition.
+- :mod:`repro.web` — web interface.
+- :mod:`repro.evaltool` — performance evaluation tool and quality metrics.
+- :mod:`repro.datatypes` — plug-ins for image, audio, 3D shape and
+  genomic microarray data, with synthetic benchmark generators.
+"""
+
+from .core import (
+    DataTypePlugin,
+    EMDDistance,
+    EMDParams,
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SearchMethod,
+    SearchResult,
+    SimilaritySearchEngine,
+    SketchConstructor,
+    SketchParams,
+    emd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataTypePlugin",
+    "EMDDistance",
+    "EMDParams",
+    "FeatureMeta",
+    "FilterParams",
+    "ObjectSignature",
+    "SearchMethod",
+    "SearchResult",
+    "SimilaritySearchEngine",
+    "SketchConstructor",
+    "SketchParams",
+    "emd",
+    "__version__",
+]

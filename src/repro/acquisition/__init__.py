@@ -1,0 +1,5 @@
+"""Data acquisition: directory-scan importer (section 4.3)."""
+
+from .scanner import DirectoryScanner, ScanReport
+
+__all__ = ["DirectoryScanner", "ScanReport"]

@@ -1,0 +1,145 @@
+"""Data acquisition: periodic directory scanning (section 4.3).
+
+"The default data acquisition method is via periodical scan of a
+designated directory in the file system.  Each newly added file in that
+directory will be imported into the system."  The scanner tracks which
+files it has already imported (via the metadata manager's file mapping
+when persistence is enabled, in memory otherwise), skips files that are
+still being written (size must be stable between scans), and reports
+per-scan statistics.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..core.engine import SimilaritySearchEngine
+
+__all__ = ["ScanReport", "DirectoryScanner"]
+
+
+@dataclass
+class ScanReport:
+    """Outcome of one scan pass."""
+
+    imported: List[str] = field(default_factory=list)
+    skipped_unstable: List[str] = field(default_factory=list)
+    failed: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_imported(self) -> int:
+        return len(self.imported)
+
+
+class DirectoryScanner:
+    """Imports new files from a directory into an engine.
+
+    Parameters
+    ----------
+    engine:
+        Target engine; files are ingested via its plug-in.
+    directory:
+        The watched directory (scanned non-recursively by default).
+    extensions:
+        Allowed file suffixes (e.g. ``(".npy",)``); ``None`` = all files.
+    attribute_fn:
+        Optional callable mapping a path to ingestion attributes (e.g.
+        deriving keywords from the filename).
+    recursive:
+        Walk subdirectories too.
+    """
+
+    def __init__(
+        self,
+        engine: SimilaritySearchEngine,
+        directory: str,
+        extensions: Optional[Sequence[str]] = None,
+        attribute_fn: Optional[Callable[[str], Dict[str, str]]] = None,
+        recursive: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.directory = directory
+        self.extensions = tuple(extensions) if extensions else None
+        self.attribute_fn = attribute_fn
+        self.recursive = recursive
+        self.imported: Set[str] = set()
+        self._sizes: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.on_import: Optional[Callable[[str, int], None]] = None
+        # Resume from persisted file mapping if the engine is durable.
+        if engine.metadata is not None:
+            for path, _object_id in engine.metadata.files():
+                self.imported.add(path)
+
+    def _candidates(self) -> List[str]:
+        paths: List[str] = []
+        if self.recursive:
+            for root, _dirs, files in os.walk(self.directory):
+                paths.extend(os.path.join(root, f) for f in files)
+        else:
+            try:
+                entries = os.listdir(self.directory)
+            except FileNotFoundError:
+                return []
+            paths = [
+                os.path.join(self.directory, f)
+                for f in entries
+                if os.path.isfile(os.path.join(self.directory, f))
+            ]
+        if self.extensions is not None:
+            paths = [p for p in paths if p.endswith(self.extensions)]
+        return sorted(paths)
+
+    def scan_once(self) -> ScanReport:
+        """One scan pass: import every new, size-stable file."""
+        report = ScanReport()
+        for path in self._candidates():
+            if path in self.imported:
+                continue
+            try:
+                size = os.path.getsize(path)
+            except OSError as exc:
+                report.failed[path] = str(exc)
+                continue
+            if self._sizes.get(path) != size:
+                # First sighting (or still growing): wait one more pass.
+                self._sizes[path] = size
+                report.skipped_unstable.append(path)
+                continue
+            attrs = self.attribute_fn(path) if self.attribute_fn else {}
+            try:
+                object_id = self.engine.insert_file(path, attributes=attrs)
+            except Exception as exc:
+                report.failed[path] = f"{type(exc).__name__}: {exc}"
+                continue
+            self.imported.add(path)
+            self._sizes.pop(path, None)
+            report.imported.append(path)
+            if self.on_import is not None:
+                self.on_import(path, object_id)
+        return report
+
+    # -- background polling ----------------------------------------------
+    def start(self, interval: float = 2.0) -> None:
+        """Poll the directory on a daemon thread every ``interval`` seconds."""
+        if self._thread is not None:
+            raise RuntimeError("scanner already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.scan_once()
+
+        self._thread = threading.Thread(target=loop, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=10.0)
+            self._thread = None

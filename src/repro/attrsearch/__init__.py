@@ -1,0 +1,29 @@
+"""Attribute-based (keyword) search used to bootstrap or refine
+similarity queries (section 4.1.2)."""
+
+from .analyzer import analyze_attributes, tokenize
+from .index import InvertedIndex, MemoryIndex, PersistentIndex
+from .numeric import (
+    MemoryNumericIndex,
+    PersistentNumericIndex,
+    decode_sortable_float,
+    encode_sortable_float,
+    parse_number,
+)
+from .query import AttributeSearcher, QueryError, parse_query
+
+__all__ = [
+    "AttributeSearcher",
+    "InvertedIndex",
+    "MemoryIndex",
+    "MemoryNumericIndex",
+    "PersistentNumericIndex",
+    "decode_sortable_float",
+    "encode_sortable_float",
+    "parse_number",
+    "PersistentIndex",
+    "QueryError",
+    "analyze_attributes",
+    "parse_query",
+    "tokenize",
+]

@@ -1,0 +1,38 @@
+"""Text analysis for keyword attribute search: tokenize and normalize."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["tokenize", "analyze_attributes"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+# Tiny stopword list: enough to keep the index from drowning in glue
+# words, small enough not to surprise users searching for real terms.
+_STOPWORDS = frozenset(
+    "a an and are as at be by for from in is it of on or the to with".split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens with stopwords removed."""
+    return [
+        tok for tok in _TOKEN_RE.findall(text.lower()) if tok not in _STOPWORDS
+    ]
+
+
+def analyze_attributes(attributes: Dict[str, str]) -> Set[str]:
+    """All index terms of one object's attribute map.
+
+    Both bare value tokens (``dog``) and field-qualified terms
+    (``category:dog``) are indexed, so queries can match either way.
+    """
+    terms: Set[str] = set()
+    for field, value in attributes.items():
+        field_l = field.lower()
+        for token in tokenize(value):
+            terms.add(token)
+            terms.add(f"{field_l}:{token}")
+    return terms

@@ -1,0 +1,123 @@
+"""Persistent inverted keyword index with numeric range support (section 4.1.2).
+
+Postings are stored one key per (term, object) pair in a dedicated table
+of the transactional store::
+
+    key = <term bytes> 0x00 <object id, 8 bytes big-endian>
+
+so the postings of a term are exactly a B-tree prefix scan — incremental
+insertion and deletion are single-key operations, and no posting list
+ever needs rewriting.  An in-memory variant backs tests and ephemeral
+engines.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, Optional, Set
+
+from ..storage.kvstore import KVStore
+from .analyzer import analyze_attributes
+from .numeric import MemoryNumericIndex, PersistentNumericIndex
+
+__all__ = ["InvertedIndex", "MemoryIndex", "PersistentIndex"]
+
+_TABLE = "keyword_index"
+_SEP = b"\x00"
+
+
+class InvertedIndex:
+    """Interface: map terms (and numeric ranges) to sets of object ids."""
+
+    def add(self, object_id: int, attributes: Dict[str, str]) -> None:
+        raise NotImplementedError
+
+    def remove(self, object_id: int, attributes: Dict[str, str]) -> None:
+        raise NotImplementedError
+
+    def lookup(self, term: str) -> Set[int]:
+        raise NotImplementedError
+
+    def range_lookup(self, field: str, low: float, high: float,
+                     include_low: bool = True, include_high: bool = True) -> Set[int]:
+        """Objects whose numeric attribute ``field`` lies in the range."""
+        raise NotImplementedError
+
+    def all_ids(self) -> Set[int]:
+        raise NotImplementedError
+
+
+class MemoryIndex(InvertedIndex):
+    """Dictionary-backed index for ephemeral engines and tests."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Set[int]] = {}
+        self._ids: Set[int] = set()
+        self._numeric = MemoryNumericIndex()
+
+    def add(self, object_id: int, attributes: Dict[str, str]) -> None:
+        self._ids.add(object_id)
+        for term in analyze_attributes(attributes):
+            self._postings.setdefault(term, set()).add(object_id)
+        self._numeric.add(object_id, attributes)
+
+    def remove(self, object_id: int, attributes: Dict[str, str]) -> None:
+        self._ids.discard(object_id)
+        for term in analyze_attributes(attributes):
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.discard(object_id)
+                if not postings:
+                    del self._postings[term]
+        self._numeric.remove(object_id, attributes)
+
+    def lookup(self, term: str) -> Set[int]:
+        return set(self._postings.get(term.lower(), set()))
+
+    def range_lookup(self, field, low, high, include_low=True, include_high=True):
+        return self._numeric.range_lookup(field, low, high, include_low, include_high)
+
+    def all_ids(self) -> Set[int]:
+        return set(self._ids)
+
+
+class PersistentIndex(InvertedIndex):
+    """Store-backed index; postings live in the ``keyword_index`` table."""
+
+    def __init__(self, store: KVStore) -> None:
+        self.store = store
+        self._numeric = PersistentNumericIndex(store)
+
+    @staticmethod
+    def _posting_key(term: str, object_id: int) -> bytes:
+        return term.encode("utf-8") + _SEP + struct.pack(">Q", object_id)
+
+    def add(self, object_id: int, attributes: Dict[str, str]) -> None:
+        with self.store.begin() as txn:
+            txn.put(_TABLE, self._posting_key("\x01all", object_id), b"")
+            for term in analyze_attributes(attributes):
+                txn.put(_TABLE, self._posting_key(term, object_id), b"")
+        self._numeric.add(object_id, attributes)
+
+    def remove(self, object_id: int, attributes: Dict[str, str]) -> None:
+        with self.store.begin() as txn:
+            txn.delete(_TABLE, self._posting_key("\x01all", object_id))
+            for term in analyze_attributes(attributes):
+                txn.delete(_TABLE, self._posting_key(term, object_id))
+        self._numeric.remove(object_id, attributes)
+
+    def _scan(self, term: str) -> Set[int]:
+        prefix = term.encode("utf-8") + _SEP
+        out: Set[int] = set()
+        for key, _value in self.store.items(_TABLE, prefix=prefix):
+            out.add(struct.unpack(">Q", key[len(prefix) :])[0])
+        return out
+
+    def lookup(self, term: str) -> Set[int]:
+        return self._scan(term.lower())
+
+    def range_lookup(self, field, low, high, include_low=True, include_high=True):
+        return self._numeric.range_lookup(field, low, high, include_low, include_high)
+
+    def all_ids(self) -> Set[int]:
+        return self._scan("\x01all")

@@ -1,0 +1,166 @@
+"""Numeric attribute indexing for range queries.
+
+Section 4.1.2's attributes "may take several forms: generic attributes
+such as creation time, automatically collected annotations such as GPS
+coordinates" — which calls for range predicates, not just keyword
+matches.  Attribute values that parse as numbers are indexed here, and
+the query language grows comparison terms (``field>5``, ``field<=2.5``,
+``field:1..10``).
+
+The persistent index stores one key per (field, value, object) with the
+value packed through an *order-preserving float encoding*, so a numeric
+range is exactly a B-tree key range scan.  The encoding is the classic
+IEEE-754 trick: big-endian raw bits, with the sign bit flipped for
+non-negative values and all bits inverted for negatives, which makes
+``a < b  <=>  encode(a) < encode(b)`` bytewise for every finite float.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import struct
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "encode_sortable_float",
+    "decode_sortable_float",
+    "parse_number",
+    "MemoryNumericIndex",
+    "PersistentNumericIndex",
+]
+
+
+def encode_sortable_float(value: float) -> bytes:
+    """Pack a finite float so bytewise order equals numeric order."""
+    if math.isnan(value):
+        raise ValueError("cannot index NaN attribute values")
+    (bits,) = struct.unpack(">Q", struct.pack(">d", value))
+    if bits & (1 << 63):  # negative: invert everything
+        bits ^= 0xFFFFFFFFFFFFFFFF
+    else:  # non-negative: flip the sign bit
+        bits ^= 1 << 63
+    return struct.pack(">Q", bits)
+
+
+def decode_sortable_float(encoded: bytes) -> float:
+    (bits,) = struct.unpack(">Q", encoded)
+    if bits & (1 << 63):
+        bits ^= 1 << 63
+    else:
+        bits ^= 0xFFFFFFFFFFFFFFFF
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def parse_number(text: str) -> Optional[float]:
+    """Float value of an attribute string, or None if it isn't numeric."""
+    try:
+        value = float(text.strip())
+    except (ValueError, AttributeError):
+        return None
+    return value if math.isfinite(value) else None
+
+
+class MemoryNumericIndex:
+    """Per-field sorted (value, object_id) lists with bisect range scans."""
+
+    def __init__(self) -> None:
+        self._fields: Dict[str, List[Tuple[float, int]]] = {}
+
+    def add(self, object_id: int, attributes: Dict[str, str]) -> None:
+        for field, raw in attributes.items():
+            value = parse_number(raw)
+            if value is None:
+                continue
+            entries = self._fields.setdefault(field.lower(), [])
+            bisect.insort(entries, (value, object_id))
+
+    def remove(self, object_id: int, attributes: Dict[str, str]) -> None:
+        for field, raw in attributes.items():
+            value = parse_number(raw)
+            if value is None:
+                continue
+            entries = self._fields.get(field.lower())
+            if entries is None:
+                continue
+            idx = bisect.bisect_left(entries, (value, object_id))
+            if idx < len(entries) and entries[idx] == (value, object_id):
+                entries.pop(idx)
+
+    def range_lookup(
+        self,
+        field: str,
+        low: float = -math.inf,
+        high: float = math.inf,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[int]:
+        entries = self._fields.get(field.lower(), [])
+        lo_key = (low, -1) if include_low else (low, float("inf"))
+        start = bisect.bisect_left(entries, lo_key)
+        out: Set[int] = set()
+        for value, object_id in entries[start:]:
+            if value > high or (value == high and not include_high):
+                break
+            if value == low and not include_low:
+                continue
+            out.add(object_id)
+        return out
+
+
+class PersistentNumericIndex:
+    """Store-backed numeric index: one key per (field, value, object)."""
+
+    _TABLE = "numeric_index"
+    _SEP = b"\x00"
+
+    def __init__(self, store: "object") -> None:
+        self.store = store
+
+    def _key(self, field: str, value: float, object_id: int) -> bytes:
+        return (
+            field.lower().encode("utf-8")
+            + self._SEP
+            + encode_sortable_float(value)
+            + struct.pack(">Q", object_id)
+        )
+
+    def add(self, object_id: int, attributes: Dict[str, str]) -> None:
+        with self.store.begin() as txn:
+            for field, raw in attributes.items():
+                value = parse_number(raw)
+                if value is not None:
+                    txn.put(self._TABLE, self._key(field, value, object_id), b"")
+
+    def remove(self, object_id: int, attributes: Dict[str, str]) -> None:
+        with self.store.begin() as txn:
+            for field, raw in attributes.items():
+                value = parse_number(raw)
+                if value is not None:
+                    txn.delete(self._TABLE, self._key(field, value, object_id))
+
+    def range_lookup(
+        self,
+        field: str,
+        low: float = -math.inf,
+        high: float = math.inf,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[int]:
+        prefix = field.lower().encode("utf-8") + self._SEP
+        start = prefix + encode_sortable_float(low)
+        # end bound: one past the encoded high value's object-id space
+        end = prefix + encode_sortable_float(high) + b"\xff" * 9
+        out: Set[int] = set()
+        for key, _value in self.store.items(self._TABLE, start=start, end=end):
+            encoded = key[len(prefix) : len(prefix) + 8]
+            value = decode_sortable_float(encoded)
+            if value < low or value > high:
+                continue
+            if value == low and not include_low:
+                continue
+            if value == high and not include_high:
+                continue
+            (object_id,) = struct.unpack(">Q", key[len(prefix) + 8 :])
+            out.add(object_id)
+        return out

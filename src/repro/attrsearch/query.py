@@ -1,0 +1,231 @@
+"""Boolean attribute query language with numeric range terms.
+
+Grammar (case-insensitive keywords, implicit AND between terms)::
+
+    query  := or_expr
+    or     := and_expr ("OR" and_expr)*
+    and    := unary (("AND")? unary)*
+    unary  := "NOT" unary | "(" query ")" | TERM
+    TERM   := keyword | field:keyword
+            | field>num | field>=num | field<num | field<=num
+            | field=num | field:lo..hi
+
+Examples: ``dog``, ``dog AND corel``, ``category:animal NOT cat``,
+``(sunset OR beach) collection:corel``, ``year>=2004 size<100``,
+``latitude:40.1..40.9`` — the numeric forms cover section 4.1.2's
+"generic attributes such as creation time [and] GPS coordinates".
+
+NOT is evaluated against the index's full id universe, so a bare
+``NOT x`` is legal (everything except x).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Optional, Set
+
+from .index import InvertedIndex
+from .numeric import parse_number
+
+__all__ = ["QueryError", "parse_query", "AttributeSearcher"]
+
+
+class QueryError(ValueError):
+    """Malformed attribute query."""
+
+
+_TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
+
+
+class _Node:
+    def evaluate(self, index: InvertedIndex) -> Set[int]:
+        raise NotImplementedError
+
+
+_COMPARE_RE = re.compile(r"^([^<>=:]+)(<=|>=|<|>|=)(.+)$")
+_RANGE_RE = re.compile(r"^([^<>=:]+):(-?[0-9.eE+-]+)\.\.(-?[0-9.eE+-]+)$")
+
+
+class _Range(_Node):
+    """Numeric comparison/range over one attribute field."""
+
+    def __init__(self, field: str, low: float, high: float,
+                 include_low: bool = True, include_high: bool = True) -> None:
+        self.field = field.lower()
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def evaluate(self, index: InvertedIndex) -> Set[int]:
+        return index.range_lookup(
+            self.field, self.low, self.high, self.include_low, self.include_high
+        )
+
+    def __repr__(self) -> str:
+        lo = "[" if self.include_low else "("
+        hi = "]" if self.include_high else ")"
+        return f"Range({self.field} in {lo}{self.low}, {self.high}{hi})"
+
+
+def _parse_term(token: str) -> _Node:
+    """A leaf term: keyword, field:keyword, comparison or numeric range."""
+    range_match = _RANGE_RE.match(token)
+    if range_match:
+        field, lo_s, hi_s = range_match.groups()
+        lo, hi = parse_number(lo_s), parse_number(hi_s)
+        if lo is None or hi is None:
+            raise QueryError(f"bad numeric range {token!r}")
+        if lo > hi:
+            raise QueryError(f"empty range {token!r} (low > high)")
+        return _Range(field, lo, hi)
+    compare_match = _COMPARE_RE.match(token)
+    if compare_match:
+        field, op, value_s = compare_match.groups()
+        value = parse_number(value_s)
+        if value is None:
+            raise QueryError(f"comparison needs a numeric value: {token!r}")
+        if op == ">":
+            return _Range(field, value, math.inf, include_low=False)
+        if op == ">=":
+            return _Range(field, value, math.inf)
+        if op == "<":
+            return _Range(field, -math.inf, value, include_high=False)
+        if op == "<=":
+            return _Range(field, -math.inf, value)
+        return _Range(field, value, value)  # "="
+    return _Term(token)
+
+
+class _Term(_Node):
+    def __init__(self, term: str) -> None:
+        self.term = term.lower()
+
+    def evaluate(self, index: InvertedIndex) -> Set[int]:
+        return index.lookup(self.term)
+
+    def __repr__(self) -> str:
+        return f"Term({self.term})"
+
+
+class _And(_Node):
+    def __init__(self, parts: List[_Node]) -> None:
+        self.parts = parts
+
+    def evaluate(self, index: InvertedIndex) -> Set[int]:
+        result: Optional[Set[int]] = None
+        for part in self.parts:
+            ids = part.evaluate(index)
+            result = ids if result is None else (result & ids)
+            if not result:
+                return set()
+        return result or set()
+
+    def __repr__(self) -> str:
+        return f"And({self.parts})"
+
+
+class _Or(_Node):
+    def __init__(self, parts: List[_Node]) -> None:
+        self.parts = parts
+
+    def evaluate(self, index: InvertedIndex) -> Set[int]:
+        result: Set[int] = set()
+        for part in self.parts:
+            result |= part.evaluate(index)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Or({self.parts})"
+
+
+class _Not(_Node):
+    def __init__(self, part: _Node) -> None:
+        self.part = part
+
+    def evaluate(self, index: InvertedIndex) -> Set[int]:
+        return index.all_ids() - self.part.evaluate(index)
+
+    def __repr__(self) -> str:
+        return f"Not({self.part})"
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def parse(self) -> _Node:
+        node = self.parse_or()
+        if self.peek() is not None:
+            raise QueryError(f"unexpected token {self.peek()!r}")
+        return node
+
+    def parse_or(self) -> _Node:
+        parts = [self.parse_and()]
+        while self.peek() is not None and self.peek().upper() == "OR":
+            self.next()
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else _Or(parts)
+
+    def parse_and(self) -> _Node:
+        parts = [self.parse_unary()]
+        while True:
+            token = self.peek()
+            if token is None or token == ")" or token.upper() == "OR":
+                break
+            if token.upper() == "AND":
+                self.next()
+                token = self.peek()
+                if token is None or token == ")":
+                    raise QueryError("AND missing right operand")
+            parts.append(self.parse_unary())
+        return parts[0] if len(parts) == 1 else _And(parts)
+
+    def parse_unary(self) -> _Node:
+        token = self.next()
+        if token.upper() == "NOT":
+            return _Not(self.parse_unary())
+        if token == "(":
+            node = self.parse_or()
+            if self.next() != ")":
+                raise QueryError("missing closing parenthesis")
+            return node
+        if token == ")":
+            raise QueryError("unexpected ')'")
+        if token.upper() in ("AND", "OR"):
+            raise QueryError(f"operator {token!r} missing left operand")
+        return _parse_term(token)
+
+
+def parse_query(text: str) -> _Node:
+    tokens = _TOKEN_RE.findall(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens).parse()
+
+
+class AttributeSearcher:
+    """Attribute-based search engine over an inverted index.
+
+    Composes with similarity search the way the paper describes: the
+    matched ids become the ``restrict_to`` argument of
+    :meth:`repro.core.engine.SimilaritySearchEngine.query`.
+    """
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+
+    def search(self, query_text: str) -> Set[int]:
+        return parse_query(query_text).evaluate(self.index)

@@ -1,0 +1,81 @@
+"""Core similarity search engine — the paper's primary contribution.
+
+Public surface: object representation (:class:`ObjectSignature`), sketch
+construction (:class:`SketchConstructor`), distances (including EMD),
+the two-phase filter/rank pipeline, and the engine that composes them.
+"""
+
+from .bitvector import hamming_distance, hamming_to_many, pack_bits, unpack_bits
+from .distance import (
+    chi_square_distance,
+    cosine_distance,
+    get_distance,
+    histogram_intersection_distance,
+    l1_distance,
+    l2_distance,
+    lp_distance,
+    pearson_distance,
+    register_distance,
+    spearman_distance,
+    weighted_l1_distance,
+)
+from .emd import EMDDistance, EMDParams, emd
+from .engine import EngineStats, SearchMethod, SimilaritySearchEngine
+from .filtering import FilterParams, SegmentStore, sketch_filter
+from .lshindex import LSHIndex, LSHParams
+from .plugin import DataTypePlugin, get_plugin, list_plugins, register_plugin
+from .ranking import SearchResult, rank_candidates
+from .sketch import SketchConstructor, SketchParams, estimate_l1_from_hamming
+from .transport import TransportResult, solve_transport
+from .types import (
+    Dataset,
+    FeatureMeta,
+    ObjectSignature,
+    meta_from_dataset,
+    normalize_weights,
+)
+
+__all__ = [
+    "Dataset",
+    "DataTypePlugin",
+    "EMDDistance",
+    "EMDParams",
+    "EngineStats",
+    "FeatureMeta",
+    "FilterParams",
+    "LSHIndex",
+    "LSHParams",
+    "ObjectSignature",
+    "SearchMethod",
+    "SearchResult",
+    "SegmentStore",
+    "SimilaritySearchEngine",
+    "SketchConstructor",
+    "SketchParams",
+    "TransportResult",
+    "chi_square_distance",
+    "cosine_distance",
+    "histogram_intersection_distance",
+    "emd",
+    "estimate_l1_from_hamming",
+    "get_distance",
+    "get_plugin",
+    "hamming_distance",
+    "hamming_to_many",
+    "l1_distance",
+    "l2_distance",
+    "list_plugins",
+    "lp_distance",
+    "meta_from_dataset",
+    "normalize_weights",
+    "pack_bits",
+    "pearson_distance",
+    "rank_candidates",
+    "register_distance",
+    "register_plugin",
+    "sketch_filter",
+    "solve_transport",
+    "spearman_distance",
+    "unpack_bits",
+    "weighted_l1_distance",
+]

@@ -1,0 +1,103 @@
+"""Packed bit vectors and fast Hamming distance.
+
+Sketches in Ferret are bit vectors compared with Hamming distance "easily
+computed by XOR operations" (section 4.1.1).  We pack bits into
+``uint64`` words and count differing bits with a vectorized popcount so
+that streaming over an entire sketch database (the filtering step) is a
+handful of numpy operations rather than a Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "hamming_distance",
+    "hamming_to_many",
+    "popcount64",
+]
+
+_WORD_BITS = 64
+
+# 16-bit popcount lookup table: popcount of a uint64 = sum of popcounts of
+# its four 16-bit halves.  256 KiB would be needed for 16-bit keys as
+# uint8 -> we use a 65536-entry uint8 table (64 KiB), built once at import.
+_POPCOUNT16 = np.array(
+    [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
+)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array (any shape)."""
+    w = np.ascontiguousarray(words, dtype=np.uint64)
+    # View each uint64 as four uint16 halves and sum table lookups.
+    halves = w.view(np.uint16).reshape(w.shape + (4,))
+    return _POPCOUNT16[halves].sum(axis=-1, dtype=np.uint32)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_bits,)`` or ``(rows, n_bits)`` 0/1 array into uint64 words.
+
+    The last word is zero-padded, so two packings of equal-length bit
+    strings are always comparable word-by-word.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim == 1:
+        return _pack_rows(arr[None, :])[0]
+    if arr.ndim == 2:
+        return _pack_rows(arr)
+    raise ValueError("bits must be 1-D or 2-D")
+
+
+def _pack_rows(rows: np.ndarray) -> np.ndarray:
+    n_rows, n_bits = rows.shape
+    n_words = (n_bits + _WORD_BITS - 1) // _WORD_BITS
+    padded = np.zeros((n_rows, n_words * _WORD_BITS), dtype=np.uint8)
+    padded[:, :n_bits] = rows.astype(np.uint8) & 1
+    # np.packbits is big-endian within bytes; consistency is all we need.
+    packed_bytes = np.packbits(padded, axis=1)
+    return packed_bytes.view(np.uint64).reshape(n_rows, n_words)
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a 0/1 ``uint8`` array."""
+    arr = np.asarray(words, dtype=np.uint64)
+    single = arr.ndim == 1
+    if single:
+        arr = arr[None, :]
+    as_bytes = np.ascontiguousarray(arr).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1)[:, :n_bits]
+    return bits[0] if single else bits
+
+
+def hamming_distance(
+    a: Union[np.ndarray, "np.uint64"], b: Union[np.ndarray, "np.uint64"]
+) -> int:
+    """Hamming distance between two packed bit vectors of equal word length."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(popcount64(np.bitwise_xor(a, b)).sum())
+
+
+def hamming_to_many(query: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """Hamming distances from one packed sketch to every row of ``database``.
+
+    ``query`` is ``(n_words,)``; ``database`` is ``(n_rows, n_words)``.
+    Returns a ``(n_rows,)`` ``uint32`` array.  This is the inner loop of
+    the filtering unit: stream through all sketches with XOR + popcount.
+    """
+    query = np.asarray(query, dtype=np.uint64)
+    database = np.atleast_2d(np.asarray(database, dtype=np.uint64))
+    if database.shape[1] != query.shape[0]:
+        raise ValueError(
+            f"word-length mismatch: query {query.shape[0]} vs "
+            f"database {database.shape[1]}"
+        )
+    xored = np.bitwise_xor(database, query[None, :])
+    return popcount64(xored).sum(axis=1, dtype=np.uint32)

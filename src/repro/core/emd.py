@@ -1,0 +1,122 @@
+"""Earth Mover's Distance — the toolkit's default object distance function.
+
+Section 4.2.2: given objects ``X`` (m segments) and ``Y`` (n segments)
+with normalized weights, ``EMD(X, Y) = min sum f_ij d(X_i, Y_j)`` subject
+to the transportation constraints.  Because weights are normalized to sum
+to one, the problem is balanced and the EMD equals the total flow cost.
+
+The paper's image system uses an *improved* EMD from Lv/Charikar/Li
+(CIKM'04): segment distances are thresholded before the EMD computation
+(limiting the influence of outlier segments), and segment weights may be
+transformed by a square-root function before normalization.  Both appear
+here as :class:`EMDParams` knobs so downstream users can ablate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .distance import l1_to_many
+from .transport import solve_transport
+from .types import ObjectSignature, normalize_weights
+
+__all__ = ["EMDParams", "emd", "pairwise_segment_distances", "EMDDistance"]
+
+GroundDistanceMatrix = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def pairwise_segment_distances(
+    features_a: np.ndarray,
+    features_b: np.ndarray,
+    ground: Optional[GroundDistanceMatrix] = None,
+) -> np.ndarray:
+    """``(m, n)`` matrix of ground distances between two segment sets.
+
+    ``ground`` maps ``(query_matrix, db_matrix) -> distance matrix``; the
+    default is l1, matching the paper's image and audio systems.
+    """
+    a = np.atleast_2d(np.asarray(features_a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(features_b, dtype=np.float64))
+    if ground is not None:
+        out = np.asarray(ground(a, b), dtype=np.float64)
+        if out.shape != (a.shape[0], b.shape[0]):
+            raise ValueError(
+                f"ground distance returned {out.shape}, expected "
+                f"{(a.shape[0], b.shape[0])}"
+            )
+        return out
+    return np.stack([l1_to_many(row, b) for row in a])
+
+
+@dataclass(frozen=True)
+class EMDParams:
+    """Configuration of the (improved) EMD object distance.
+
+    Parameters
+    ----------
+    threshold:
+        If set, segment distances are clipped at this value before the
+        flow computation ("thresholded EMD", section 5.1).  ``None``
+        disables thresholding (plain EMD).
+    weight_transform:
+        Optional transform applied to raw segment weights before
+        re-normalization; the CIKM'04 improvement uses ``sqrt``.
+    ground:
+        Ground (segment) distance as a matrix function; default l1.
+    """
+
+    threshold: Optional[float] = None
+    weight_transform: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    ground: Optional[GroundDistanceMatrix] = None
+
+    def effective_weights(self, weights: np.ndarray) -> np.ndarray:
+        if self.weight_transform is None:
+            return np.asarray(weights, dtype=np.float64)
+        return normalize_weights(self.weight_transform(np.asarray(weights)))
+
+
+def emd(
+    obj_a: ObjectSignature,
+    obj_b: ObjectSignature,
+    params: Optional[EMDParams] = None,
+) -> float:
+    """Earth Mover's Distance between two objects.
+
+    Returns 0.0 when either object carries no mass.  The result is exact
+    (transportation simplex), not an approximation.
+    """
+    params = params or EMDParams()
+    costs = pairwise_segment_distances(
+        obj_a.features, obj_b.features, params.ground
+    )
+    if params.threshold is not None:
+        if params.threshold <= 0:
+            raise ValueError("EMD threshold must be positive")
+        costs = np.minimum(costs, params.threshold)
+    supply = params.effective_weights(obj_a.weights)
+    demand = params.effective_weights(obj_b.weights)
+    result = solve_transport(supply, demand, costs)
+    return result.cost
+
+
+class EMDDistance:
+    """Callable object distance ``(ObjectSignature, ObjectSignature) -> float``.
+
+    This is the shape the ranking unit expects for ``obj_distance`` and
+    the default the engine installs when the plug-in supplies none.
+    """
+
+    def __init__(self, params: Optional[EMDParams] = None) -> None:
+        self.params = params or EMDParams()
+
+    def __call__(self, obj_a: ObjectSignature, obj_b: ObjectSignature) -> float:
+        return emd(obj_a, obj_b, self.params)
+
+    def __repr__(self) -> str:
+        return (
+            f"EMDDistance(threshold={self.params.threshold}, "
+            f"sqrt_weights={self.params.weight_transform is not None})"
+        )

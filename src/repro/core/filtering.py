@@ -1,0 +1,268 @@
+"""Filtering unit — first phase of the two-step similarity search.
+
+Section 4.1.1: given a query object ``Q``, select the ``r`` segments of
+``Q`` with the highest weights.  A database segment ``T_j`` matches a
+high-weight query segment ``Q_i`` if it is among the ``k`` nearest
+segments to ``Q_i`` *and* its distance is within a threshold that is a
+decreasing function of ``w(Q_i)``.  Objects owning at least one matching
+segment form the candidate set handed to the ranking unit.
+
+The scan streams over all segment sketches with Hamming distance (the
+default), or — when ``use_sketches`` is off — over the raw feature
+vectors with the plug-in segment distance.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .bitvector import hamming_to_many
+from .types import ObjectSignature
+
+__all__ = ["FilterParams", "SegmentStore", "sketch_filter"]
+
+
+def default_threshold_fn(weight: float) -> float:
+    """Default multiplier for the per-segment distance threshold.
+
+    Decreasing in the segment weight, per the paper: heavier (more
+    important) query segments must match more tightly.  Returns a factor
+    in ``(0.5, 1.0]`` applied to the base threshold.
+    """
+    return 1.0 - 0.5 * min(max(weight, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class FilterParams:
+    """Tuning knobs of the filtering unit.
+
+    Parameters
+    ----------
+    num_query_segments:
+        ``r`` — how many of the highest-weight query segments to scan for.
+    candidates_per_segment:
+        ``k`` — how many nearest database segments each query segment may
+        contribute.
+    threshold_fraction:
+        Base distance threshold as a fraction of the maximum possible
+        distance (sketch bits for Hamming scans).  ``None`` disables the
+        threshold, keeping the pure k-NN criterion.
+    threshold_fn:
+        Weight-dependent multiplier on the base threshold; must be
+        decreasing in the weight.
+    """
+
+    num_query_segments: int = 4
+    candidates_per_segment: int = 64
+    threshold_fraction: Optional[float] = 0.5
+    threshold_fn: Callable[[float], float] = default_threshold_fn
+
+    def __post_init__(self) -> None:
+        if self.num_query_segments <= 0:
+            raise ValueError("num_query_segments (r) must be positive")
+        if self.candidates_per_segment <= 0:
+            raise ValueError("candidates_per_segment (k) must be positive")
+        if self.threshold_fraction is not None and not (
+            0.0 < self.threshold_fraction <= 1.0
+        ):
+            raise ValueError("threshold_fraction must be in (0, 1]")
+
+
+class SegmentStore:
+    """Flat, scan-friendly store of every segment in the system.
+
+    Keeps parallel arrays: packed sketch words, optional raw feature
+    vectors, and the owning object id of each segment.  Appends buffer in
+    Python lists and consolidate lazily so bulk inserts stay cheap while
+    scans run over contiguous numpy arrays.
+    """
+
+    def __init__(self, n_words: int, dim: int, keep_features: bool = True) -> None:
+        self.n_words = n_words
+        self.dim = dim
+        self.keep_features = keep_features
+        self._sketches = np.empty((0, n_words), dtype=np.uint64)
+        self._features = np.empty((0, dim), dtype=np.float64)
+        self._owners = np.empty(0, dtype=np.int64)
+        self._pending_sketches: List[np.ndarray] = []
+        self._pending_features: List[np.ndarray] = []
+        self._pending_owners: List[np.ndarray] = []
+        self._dead = 0
+        # The engine runs as one concurrent program (section 3): server
+        # threads scan while acquisition threads append, so buffer
+        # mutation and consolidation are serialized here.
+        self._lock = threading.RLock()
+
+    def add_object(
+        self,
+        object_id: int,
+        sketches: np.ndarray,
+        features: Optional[np.ndarray] = None,
+    ) -> None:
+        sketches = np.atleast_2d(np.asarray(sketches, dtype=np.uint64))
+        if sketches.shape[1] != self.n_words:
+            raise ValueError(
+                f"expected {self.n_words}-word sketches, got {sketches.shape[1]}"
+            )
+        count = sketches.shape[0]
+        if self.keep_features:
+            if features is None:
+                raise ValueError("store keeps features but none were given")
+            feats = np.atleast_2d(np.asarray(features, dtype=np.float64))
+            if feats.shape != (count, self.dim):
+                raise ValueError(
+                    f"features must be ({count}, {self.dim}), got {feats.shape}"
+                )
+        with self._lock:
+            self._pending_sketches.append(sketches)
+            self._pending_owners.append(np.full(count, object_id, dtype=np.int64))
+            if self.keep_features:
+                self._pending_features.append(feats)
+
+    def _consolidate(self) -> None:
+        with self._lock:
+            if not self._pending_sketches:
+                return
+            self._sketches = np.concatenate(
+                [self._sketches] + self._pending_sketches, axis=0
+            )
+            self._owners = np.concatenate([self._owners] + self._pending_owners)
+            self._pending_sketches.clear()
+            self._pending_owners.clear()
+            if self.keep_features:
+                self._features = np.concatenate(
+                    [self._features] + self._pending_features, axis=0
+                )
+                self._pending_features.clear()
+
+    @property
+    def sketches(self) -> np.ndarray:
+        self._consolidate()
+        return self._sketches
+
+    @property
+    def features(self) -> np.ndarray:
+        if not self.keep_features:
+            raise RuntimeError("this store was built without raw features")
+        self._consolidate()
+        return self._features
+
+    @property
+    def owners(self) -> np.ndarray:
+        self._consolidate()
+        return self._owners
+
+    def snapshot(self, with_features: bool = False):
+        """Atomically consistent ``(owners, sketches[, features])`` views.
+
+        Reading the properties separately races with concurrent inserts
+        (consolidation can grow one array between the two reads); scans
+        must take both from one locked snapshot.
+        """
+        with self._lock:
+            self._consolidate()
+            if with_features:
+                if not self.keep_features:
+                    raise RuntimeError("this store was built without raw features")
+                return self._owners, self._sketches, self._features
+            return self._owners, self._sketches
+
+    def remove_object(self, object_id: int) -> int:
+        """Drop an object's segments; returns how many were removed.
+
+        Rows are tombstoned (owner set to -1) so removal is O(n) without
+        rebuilding; the store compacts itself once a quarter of its rows
+        are dead.  Scans skip tombstoned rows via the owner check.
+        """
+        with self._lock:
+            self._consolidate()
+            mask = self._owners == object_id
+            removed = int(mask.sum())
+            if removed:
+                self._owners[mask] = -1
+                self._dead += removed
+                if self._dead * 4 >= self._owners.shape[0]:
+                    self.compact()
+            return removed
+
+    def compact(self) -> None:
+        """Physically drop tombstoned rows."""
+        with self._lock:
+            self._consolidate()
+            alive = self._owners >= 0
+            self._sketches = self._sketches[alive]
+            self._owners = self._owners[alive]
+            if self.keep_features:
+                self._features = self._features[alive]
+            self._dead = 0
+
+    def __len__(self) -> int:
+        self._consolidate()
+        return self._sketches.shape[0] - self._dead
+
+    @property
+    def sketch_bytes(self) -> int:
+        """Total bytes of packed sketch storage (the paper's metadata claim)."""
+        return len(self) * self.n_words * 8
+
+
+def sketch_filter(
+    query: ObjectSignature,
+    query_sketches: np.ndarray,
+    store: SegmentStore,
+    params: FilterParams,
+    n_bits: int,
+    use_sketches: bool = True,
+    seg_distance_to_many: Optional[
+        Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ] = None,
+    max_feature_distance: Optional[float] = None,
+) -> Set[int]:
+    """Run the filtering phase; returns the candidate set of object ids.
+
+    ``query_sketches`` is the packed ``(k, n_words)`` sketch matrix of the
+    query's segments (same row order as ``query.features``).  When
+    ``use_sketches`` is false, ``seg_distance_to_many`` must map a query
+    vector and the store's feature matrix to a distance array, and
+    ``max_feature_distance`` bounds the threshold scale.
+    """
+    if use_sketches:
+        owners, sketch_matrix = store.snapshot()
+    else:
+        owners, sketch_matrix, feature_matrix = store.snapshot(with_features=True)
+    total = owners.shape[0]  # physical rows incl. tombstones (skipped below)
+    if total == 0:
+        return set()
+    candidates: Set[int] = set()
+    top = query.top_segments(params.num_query_segments)
+    k = min(params.candidates_per_segment, total)
+
+    for seg_idx in top:
+        weight = float(query.weights[seg_idx])
+        if use_sketches:
+            dists = hamming_to_many(query_sketches[seg_idx], sketch_matrix)
+            max_scale = float(n_bits)
+        else:
+            if seg_distance_to_many is None:
+                raise ValueError(
+                    "direct filtering needs seg_distance_to_many"
+                )
+            dists = seg_distance_to_many(query.features[seg_idx], feature_matrix)
+            max_scale = (
+                max_feature_distance
+                if max_feature_distance is not None
+                else float(dists.max(initial=1.0)) or 1.0
+            )
+        nearest = np.argpartition(dists, k - 1)[:k] if k < total else np.arange(total)
+        if params.threshold_fraction is not None:
+            threshold = (
+                params.threshold_fraction * max_scale * params.threshold_fn(weight)
+            )
+            nearest = nearest[dists[nearest] <= threshold]
+        hit_owners = owners[nearest]
+        candidates.update(int(o) for o in np.unique(hit_owners) if o >= 0)
+    return candidates

@@ -1,0 +1,118 @@
+"""Bit-sampling LSH index over sketches — the paper's future-work item.
+
+The paper contrasts its *filtering* approach (linear scan over compact
+sketches) with the *indexing* approach of locality-sensitive hashing
+(Indyk-Motwani) and names "improved indexing data structures for
+similarity search" as future work.  This module provides that index:
+classic bit-sampling LSH for Hamming space, layered on the existing
+sketches (whose Hamming distance already estimates the weighted l1
+distance, so the composition is an l1 LSH).
+
+Each of ``num_tables`` hash tables samples ``bits_per_key`` random bit
+positions of the N-bit sketch; a segment lands in the bucket keyed by
+those bits.  Near sketches (small Hamming distance) collide in at least
+one table with high probability; far ones rarely do.  Query cost is
+O(num_tables x bucket sizes) instead of a full scan — sublinear when
+buckets stay small, at the price of missing neighbors whose sampled
+bits all differ (the recall/speed trade the paper alludes to).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from .bitvector import unpack_bits
+
+__all__ = ["LSHParams", "LSHIndex"]
+
+
+class LSHParams:
+    """Configuration: number of tables and sampled bits per table key."""
+
+    __slots__ = ("num_tables", "bits_per_key", "seed")
+
+    def __init__(self, num_tables: int = 8, bits_per_key: int = 16, seed: int = 0) -> None:
+        if num_tables <= 0 or bits_per_key <= 0:
+            raise ValueError("num_tables and bits_per_key must be positive")
+        self.num_tables = num_tables
+        self.bits_per_key = bits_per_key
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        return (
+            f"LSHParams(num_tables={self.num_tables}, "
+            f"bits_per_key={self.bits_per_key}, seed={self.seed})"
+        )
+
+
+class LSHIndex:
+    """Maps segment sketches to owning object ids via LSH buckets."""
+
+    def __init__(self, n_bits: int, params: LSHParams = None) -> None:
+        self.n_bits = n_bits
+        self.params = params or LSHParams()
+        if self.params.bits_per_key > n_bits:
+            raise ValueError("bits_per_key cannot exceed the sketch size")
+        rng = np.random.default_rng(self.params.seed)
+        self._positions = [
+            rng.choice(n_bits, size=self.params.bits_per_key, replace=False)
+            for _ in range(self.params.num_tables)
+        ]
+        self._tables: List[Dict[bytes, Set[int]]] = [
+            {} for _ in range(self.params.num_tables)
+        ]
+        self._num_segments = 0
+
+    def _keys(self, packed_sketch: np.ndarray) -> List[bytes]:
+        bits = unpack_bits(packed_sketch, self.n_bits)
+        return [np.packbits(bits[pos]).tobytes() for pos in self._positions]
+
+    def add(self, object_id: int, sketches: np.ndarray) -> None:
+        """Index every segment sketch of one object."""
+        sketches = np.atleast_2d(np.asarray(sketches, dtype=np.uint64))
+        for row in sketches:
+            for table, key in zip(self._tables, self._keys(row)):
+                table.setdefault(key, set()).add(object_id)
+            self._num_segments += 1
+
+    def remove(self, object_id: int, sketches: np.ndarray) -> None:
+        """Remove an object's segment sketches from every bucket."""
+        sketches = np.atleast_2d(np.asarray(sketches, dtype=np.uint64))
+        for row in sketches:
+            for table, key in zip(self._tables, self._keys(row)):
+                bucket = table.get(key)
+                if bucket is not None:
+                    bucket.discard(object_id)
+                    if not bucket:
+                        del table[key]
+            self._num_segments -= 1
+
+    def candidates(self, query_sketches: np.ndarray) -> Set[int]:
+        """Union of bucket hits across all tables and query segments."""
+        query_sketches = np.atleast_2d(np.asarray(query_sketches, dtype=np.uint64))
+        out: Set[int] = set()
+        for row in query_sketches:
+            for table, key in zip(self._tables, self._keys(row)):
+                bucket = table.get(key)
+                if bucket:
+                    out |= bucket
+        return out
+
+    @property
+    def num_segments(self) -> int:
+        return self._num_segments
+
+    def bucket_stats(self) -> Tuple[float, int]:
+        """(mean bucket size, max bucket size) across all tables."""
+        sizes = [len(b) for table in self._tables for b in table.values()]
+        if not sizes:
+            return 0.0, 0
+        return float(np.mean(sizes)), max(sizes)
+
+    def expected_collision_probability(self, hamming: int) -> float:
+        """P[>=1 table collision] for a pair at the given sketch distance."""
+        p_bit = 1.0 - hamming / self.n_bits
+        p_table = p_bit ** self.params.bits_per_key
+        return 1.0 - (1.0 - p_table) ** self.params.num_tables

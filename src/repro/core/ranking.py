@@ -1,0 +1,60 @@
+"""Ranking unit — second phase of the two-step similarity search.
+
+The ranking component "computes the (more accurate) object distance
+between the query object and each object in the candidate set, thus
+refining the final answers to the query" (section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Mapping, Optional
+
+from .types import ObjectSignature
+
+__all__ = ["SearchResult", "rank_candidates"]
+
+
+@dataclass(frozen=True, order=True)
+class SearchResult:
+    """One ranked answer: object id and its distance to the query.
+
+    Ordering compares ``(distance, object_id)`` so sorted result lists
+    are deterministic under distance ties.
+    """
+
+    distance: float
+    object_id: int
+
+
+def rank_candidates(
+    query: ObjectSignature,
+    candidate_ids: Iterable[int],
+    objects: Mapping[int, ObjectSignature],
+    obj_distance: Callable[[ObjectSignature, ObjectSignature], float],
+    top_k: Optional[int] = None,
+    exclude_self: bool = False,
+) -> List[SearchResult]:
+    """Rank candidates by the object distance function, nearest first.
+
+    ``objects`` maps object id to signature (the metadata store view).
+    ``exclude_self`` drops a candidate whose id equals ``query.object_id``
+    — the usual convention when benchmarking with a query drawn from the
+    dataset itself.  Candidates that vanished from ``objects`` between
+    filtering and ranking (a concurrent removal) are silently skipped.
+    """
+    results: List[SearchResult] = []
+    for object_id in candidate_ids:
+        if exclude_self and object_id == query.object_id:
+            continue
+        try:
+            candidate = objects[object_id]
+        except KeyError:
+            continue
+        results.append(
+            SearchResult(float(obj_distance(query, candidate)), int(object_id))
+        )
+    results.sort()
+    if top_k is not None:
+        results = results[: max(0, top_k)]
+    return results

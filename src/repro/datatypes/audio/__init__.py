@@ -1,0 +1,52 @@
+"""Audio data type: formant speech synthesizer, RMS/zero-crossing
+utterance segmentation, from-scratch MFCC features, EMD plug-in
+(section 5.2)."""
+
+from .features import (
+    AUDIO_DIM,
+    NUM_COEFFS,
+    NUM_WINDOWS,
+    audio_feature_meta,
+    segment_feature,
+    signature_from_sentence,
+)
+from .mfcc import hz_to_mel, mel_filterbank, mel_to_hz, mfcc, mfcc_frames
+from .plugin import AudioBenchmark, generate_audio_benchmark, make_audio_plugin
+from .segmentation import frame_energy, segment_utterances, zero_crossings
+from .synthetic import (
+    SAMPLE_RATE,
+    Phone,
+    Sentence,
+    SpeakerProfile,
+    Word,
+    random_sentence,
+    random_speaker,
+    synthesize_sentence,
+)
+
+__all__ = [
+    "AUDIO_DIM",
+    "AudioBenchmark",
+    "NUM_COEFFS",
+    "NUM_WINDOWS",
+    "Phone",
+    "SAMPLE_RATE",
+    "Sentence",
+    "SpeakerProfile",
+    "Word",
+    "audio_feature_meta",
+    "frame_energy",
+    "generate_audio_benchmark",
+    "hz_to_mel",
+    "make_audio_plugin",
+    "mel_filterbank",
+    "mel_to_hz",
+    "mfcc",
+    "mfcc_frames",
+    "random_sentence",
+    "random_speaker",
+    "segment_feature",
+    "segment_utterances",
+    "signature_from_sentence",
+    "synthesize_sentence",
+]

@@ -1,0 +1,75 @@
+"""Audio segment features: 192-dim MFCC descriptors (section 5.2).
+
+Each word segment yields 32 analysis windows (512-sample frames at a
+variable stride) x 6 MFCCs = a 192-dimensional feature vector.  Segment
+weights are proportional to segment length, normalized per sentence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ...core.types import FeatureMeta, ObjectSignature, normalize_weights
+from .mfcc import mfcc
+from .synthetic import SAMPLE_RATE
+
+__all__ = ["AUDIO_DIM", "NUM_WINDOWS", "NUM_COEFFS", "audio_feature_meta", "signature_from_sentence"]
+
+NUM_WINDOWS = 32
+NUM_COEFFS = 6
+AUDIO_DIM = NUM_WINDOWS * NUM_COEFFS
+
+# Log-mel cepstra of signals in [-1, 1] stay well inside these bounds;
+# derived empirically over the synthesizer's output and fixed here so
+# every engine instance sketches in the same space.
+_MFCC_MIN = np.array([-8.0, -8.0, -8.0, -8.0, -8.0, -8.0])
+_MFCC_MAX = np.array([7.0, 6.0, 7.0, 6.0, 6.0, 7.0])
+
+
+def audio_feature_meta() -> FeatureMeta:
+    """Bounds of the 192-dim audio feature space (per-window MFCC tiling)."""
+    return FeatureMeta(
+        AUDIO_DIM,
+        np.tile(_MFCC_MIN, NUM_WINDOWS),
+        np.tile(_MFCC_MAX, NUM_WINDOWS),
+    )
+
+
+def segment_feature(signal: np.ndarray, sample_rate: int = SAMPLE_RATE) -> np.ndarray:
+    """One word segment -> flattened (windows x coeffs) feature vector."""
+    coeffs = mfcc(
+        signal, sample_rate, num_windows=NUM_WINDOWS, num_coeffs=NUM_COEFFS
+    )
+    meta_min = np.tile(_MFCC_MIN, NUM_WINDOWS)
+    meta_max = np.tile(_MFCC_MAX, NUM_WINDOWS)
+    return np.clip(coeffs.ravel(), meta_min, meta_max)
+
+
+def signature_from_sentence(
+    signal: np.ndarray,
+    word_boundaries: Sequence[Tuple[int, int]],
+    sample_rate: int = SAMPLE_RATE,
+    object_id: int = None,
+) -> ObjectSignature:
+    """Build a sentence's ObjectSignature from its word segments.
+
+    Weights are proportional to segment length (the paper's choice),
+    normalized to sum to one.
+    """
+    if not word_boundaries:
+        raise ValueError("sentence has no word segments")
+    features: List[np.ndarray] = []
+    lengths: List[int] = []
+    for start, end in word_boundaries:
+        if end <= start:
+            raise ValueError(f"empty word boundary ({start}, {end})")
+        features.append(segment_feature(signal[start:end], sample_rate))
+        lengths.append(end - start)
+    return ObjectSignature(
+        np.stack(features),
+        normalize_weights(np.asarray(lengths, dtype=np.float64)),
+        object_id=object_id,
+        normalize=False,
+    )

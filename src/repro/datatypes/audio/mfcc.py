@@ -1,0 +1,95 @@
+"""Mel-frequency cepstral coefficients, from scratch (Marsyas substitute).
+
+Pipeline per analysis window: Hamming window → magnitude FFT → mel
+filterbank energies → log → DCT-II; the first few cepstral coefficients
+summarize the spectral envelope.  Only numpy is used so the whole
+feature path is self-contained and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["hz_to_mel", "mel_to_hz", "mel_filterbank", "mfcc_frames", "mfcc"]
+
+
+def hz_to_mel(hz: np.ndarray) -> np.ndarray:
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray) -> np.ndarray:
+    return 700.0 * (np.power(10.0, np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int, fft_size: int, sample_rate: int, fmin: float = 50.0, fmax: Optional[float] = None
+) -> np.ndarray:
+    """Triangular mel filterbank: ``(num_filters, fft_size // 2 + 1)``."""
+    fmax = fmax or sample_rate / 2.0
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), num_filters + 2)
+    hz_points = mel_to_hz(mel_points)
+    bins = np.floor((fft_size + 1) * hz_points / sample_rate).astype(int)
+    bins = np.clip(bins, 0, fft_size // 2)
+    bank = np.zeros((num_filters, fft_size // 2 + 1))
+    for m in range(1, num_filters + 1):
+        left, center, right = bins[m - 1], bins[m], bins[m + 1]
+        if center == left:
+            center = left + 1
+        if right <= center:
+            right = center + 1
+        bank[m - 1, left:center] = (np.arange(left, center) - left) / (center - left)
+        bank[m - 1, center : right + 1] = np.clip(
+            (right - np.arange(center, right + 1)) / (right - center), 0.0, 1.0
+        )
+    return bank
+
+
+def _dct_matrix(num_coeffs: int, num_inputs: int) -> np.ndarray:
+    """Orthonormal DCT-II basis: ``(num_coeffs, num_inputs)``."""
+    n = np.arange(num_inputs)
+    basis = np.cos(np.pi * np.outer(np.arange(num_coeffs), (2 * n + 1)) / (2 * num_inputs))
+    basis[0] *= 1.0 / np.sqrt(2.0)
+    return basis * np.sqrt(2.0 / num_inputs)
+
+
+def mfcc_frames(
+    frames: np.ndarray,
+    sample_rate: int,
+    num_coeffs: int = 6,
+    num_filters: int = 26,
+) -> np.ndarray:
+    """MFCCs of pre-cut frames: ``(n_frames, frame_len) -> (n_frames, num_coeffs)``."""
+    frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+    n_frames, frame_len = frames.shape
+    window = np.hamming(frame_len)
+    spectrum = np.abs(np.fft.rfft(frames * window, axis=1))
+    bank = mel_filterbank(num_filters, frame_len, sample_rate)
+    energies = spectrum.dot(bank.T)
+    log_energies = np.log(energies + 1e-10)
+    return log_energies.dot(_dct_matrix(num_coeffs, num_filters).T)
+
+
+def mfcc(
+    signal: np.ndarray,
+    sample_rate: int,
+    frame_len: int = 512,
+    num_windows: int = 32,
+    num_coeffs: int = 6,
+    num_filters: int = 26,
+) -> np.ndarray:
+    """Fixed-count MFCC analysis of one segment (section 5.2).
+
+    The paper slides a 512-sample window with *variable stride* so every
+    segment yields exactly ``num_windows`` frames regardless of length.
+    Short segments are zero-padded to one frame.  Returns
+    ``(num_windows, num_coeffs)``.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if len(signal) < frame_len:
+        signal = np.pad(signal, (0, frame_len - len(signal)))
+    max_start = len(signal) - frame_len
+    starts = np.linspace(0, max_start, num_windows).astype(int)
+    frames = np.stack([signal[s : s + frame_len] for s in starts])
+    return mfcc_frames(frames, sample_rate, num_coeffs, num_filters)

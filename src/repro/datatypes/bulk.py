@@ -1,0 +1,104 @@
+"""Bulk feature-space dataset generators for the speed benchmarks.
+
+The paper's search-*speed* suite uses large collections (600k crawled
+images, 40k shape models) whose only relevant property for timing is
+their metadata: how many objects, how many segments per object, and the
+feature dimensionality.  These generators synthesize signature
+populations with the right statistics directly in feature space —
+clustered around prototypes drawn from the real extractors' output
+distribution — so Table 2 and Figure 8 can sweep dataset sizes without
+rendering half a million scenes.
+
+Quality benchmarks never use these; they run the real pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.types import Dataset, FeatureMeta, ObjectSignature, normalize_weights
+
+__all__ = [
+    "clustered_dataset",
+    "bulk_image_dataset",
+    "bulk_audio_dataset",
+    "bulk_shape_dataset",
+]
+
+
+def clustered_dataset(
+    count: int,
+    meta: FeatureMeta,
+    avg_segments: float,
+    num_prototypes: int = 128,
+    spread: float = 0.08,
+    seed: int = 0,
+) -> Dataset:
+    """Signatures with Poisson segment counts, clustered around random
+    prototypes inside ``meta``'s bounds."""
+    rng = np.random.default_rng(seed)
+    span = meta.ranges
+    prototypes = meta.min_values + rng.random((num_prototypes, meta.dim)) * span
+    dataset = Dataset()
+    for _ in range(count):
+        if avg_segments <= 1.0:
+            k = 1
+        else:
+            k = max(1, int(rng.poisson(avg_segments)))
+        chosen = rng.integers(0, num_prototypes, size=k)
+        feats = prototypes[chosen] + rng.normal(0.0, spread, (k, meta.dim)) * span
+        feats = np.clip(feats, meta.min_values, meta.max_values)
+        weights = normalize_weights(rng.gamma(2.0, 1.0, size=k))
+        dataset.add(ObjectSignature(feats, weights, normalize=False))
+    return dataset
+
+
+def bulk_image_dataset(count: int, seed: int = 0) -> Dataset:
+    """Mixed-image-dataset substitute: 14-dim, 10.8 segments/object."""
+    from .image import image_feature_meta
+
+    return clustered_dataset(
+        count, image_feature_meta(), avg_segments=10.8, seed=seed
+    )
+
+
+def bulk_audio_dataset(count: int, seed: int = 0) -> Dataset:
+    """TIMIT-scale substitute: 192-dim MFCC space, 8.6 words/utterance
+    (the paper's Table 2 reports 8.6 average segments)."""
+    from .audio import audio_feature_meta
+
+    return clustered_dataset(
+        count, audio_feature_meta(), avg_segments=8.6, spread=0.05, seed=seed
+    )
+
+
+def bulk_shape_dataset(count: int, seed: int = 0) -> Dataset:
+    """Mixed-shape-dataset substitute: one 544-dim descriptor per model.
+
+    Prototypes are *real* SHD descriptors (one per parametric shape
+    class) so the population has the true descriptor value distribution;
+    instances jitter around them.
+    """
+    from .shape import SHAPE_CLASSES, descriptor_from_mesh, make_instance
+
+    rng = np.random.default_rng(seed)
+    prototypes = np.stack(
+        [
+            descriptor_from_mesh(
+                make_instance(cls, rng), num_samples=3000,
+                rng=np.random.default_rng(i),
+            )
+            for i, cls in enumerate(SHAPE_CLASSES)
+        ]
+    )
+    scale = prototypes.std()
+    dataset = Dataset()
+    for _ in range(count):
+        proto = prototypes[rng.integers(0, len(prototypes))]
+        descriptor = np.maximum(
+            proto + rng.normal(0.0, 0.15 * scale, proto.shape), 0.0
+        )
+        dataset.add(ObjectSignature(descriptor[None, :], [1.0]))
+    return dataset

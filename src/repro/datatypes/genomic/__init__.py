@@ -1,0 +1,21 @@
+"""Genomic microarray data type: synthetic co-regulated expression
+matrices and Pearson/Spearman/l1 plug-ins (section 5.4)."""
+
+from .plugin import (
+    GENOMIC_DISTANCES,
+    GenomicBenchmark,
+    dataset_from_expression,
+    generate_genomic_benchmark,
+    make_genomic_plugin,
+)
+from .synthetic import ExpressionData, generate_expression_matrix
+
+__all__ = [
+    "ExpressionData",
+    "GENOMIC_DISTANCES",
+    "GenomicBenchmark",
+    "dataset_from_expression",
+    "generate_expression_matrix",
+    "generate_genomic_benchmark",
+    "make_genomic_plugin",
+]

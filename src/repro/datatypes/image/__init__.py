@@ -1,0 +1,43 @@
+"""Image data type: synthetic scenes, region segmentation, 14-dim
+color-moment/bounding-box features, thresholded-EMD plug-in, and the
+SIMPLIcity-style global baseline (section 5.1)."""
+
+from .dataset import ImageBenchmark, generate_bulk_signatures, generate_image_benchmark
+from .features import (
+    IMAGE_DIM,
+    extract_features,
+    image_feature_meta,
+    signature_from_image,
+)
+from .plugin import DEFAULT_EMD_THRESHOLD, make_image_plugin
+from .segmentation import quantize_colors, segment_image
+from .simplicity import GLOBAL_DIM, SimplicityBaseline, global_features
+from .synthetic import (
+    RegionSpec,
+    SceneSpec,
+    perturb_scene,
+    random_scene,
+    render_scene,
+)
+
+__all__ = [
+    "DEFAULT_EMD_THRESHOLD",
+    "GLOBAL_DIM",
+    "IMAGE_DIM",
+    "ImageBenchmark",
+    "RegionSpec",
+    "SceneSpec",
+    "SimplicityBaseline",
+    "extract_features",
+    "generate_bulk_signatures",
+    "generate_image_benchmark",
+    "global_features",
+    "image_feature_meta",
+    "make_image_plugin",
+    "perturb_scene",
+    "quantize_colors",
+    "random_scene",
+    "render_scene",
+    "segment_image",
+    "signature_from_image",
+]

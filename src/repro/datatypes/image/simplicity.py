@@ -1,0 +1,83 @@
+"""Global-feature CBIR baseline standing in for SIMPLIcity (Table 1).
+
+SIMPLIcity is the domain-specific comparator in the paper's image row.
+Its defining contrast with Ferret's approach is *global vs regional*
+description, so the baseline here indexes whole-image features: the 9
+global color moments plus per-cell mean colors of a coarse 2x2 layout
+grid (21 dimensions total), ranked by l1 distance.  Region-based search
+beating this baseline is the qualitative claim Table 1 makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...core.ranking import SearchResult
+from .features import _color_moments
+
+__all__ = ["GLOBAL_DIM", "global_features", "SimplicityBaseline"]
+
+GLOBAL_DIM = 21
+
+
+def global_features(image: np.ndarray) -> np.ndarray:
+    """21-dim global descriptor: color moments + 2x2 layout means."""
+    pixels = image.reshape(-1, 3)
+    moments = _color_moments(pixels)
+    height, width = image.shape[:2]
+    hy, hx = height // 2, width // 2
+    cells = [
+        image[:hy, :hx],
+        image[:hy, hx:],
+        image[hy:, :hx],
+        image[hy:, hx:],
+    ]
+    layout = np.concatenate([cell.reshape(-1, 3).mean(axis=0) for cell in cells])
+    return np.concatenate([moments, layout])
+
+
+class SimplicityBaseline:
+    """Brute-force l1 search over global image descriptors."""
+
+    def __init__(self) -> None:
+        self._ids: List[int] = []
+        self._features: List[np.ndarray] = []
+        self._matrix: np.ndarray = np.empty((0, GLOBAL_DIM))
+        self._stale = False
+
+    def insert(self, object_id: int, image: np.ndarray) -> None:
+        self._ids.append(object_id)
+        self._features.append(global_features(image))
+        self._stale = True
+
+    def _ensure_matrix(self) -> None:
+        if self._stale:
+            self._matrix = np.stack(self._features)
+            self._stale = False
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def feature_bits(self) -> int:
+        """Metadata size per image, as Table 1 counts it (32-bit floats)."""
+        return GLOBAL_DIM * 32
+
+    def query(
+        self, image: np.ndarray, top_k: int = 10, exclude_id: int = None
+    ) -> List[SearchResult]:
+        self._ensure_matrix()
+        q = global_features(image)
+        dists = np.abs(self._matrix - q).sum(axis=1)
+        order = np.argsort(dists, kind="stable")
+        results: List[SearchResult] = []
+        for idx in order:
+            object_id = self._ids[idx]
+            if exclude_id is not None and object_id == exclude_id:
+                continue
+            results.append(SearchResult(float(dists[idx]), object_id))
+            if len(results) >= top_k:
+                break
+        return results

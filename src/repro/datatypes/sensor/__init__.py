@@ -1,0 +1,43 @@
+"""Sensor data type (toolkit extension, the paper's future work):
+synthetic multi-channel activity recordings, energy change-point
+segmentation, 24-dim statistical episode features, l1 + EMD plug-in."""
+
+from .features import (
+    SENSOR_DIM,
+    episode_feature,
+    segment_episodes,
+    sensor_feature_meta,
+    signature_from_recording,
+)
+from .plugin import SensorBenchmark, generate_sensor_benchmark, make_sensor_plugin
+from .synthetic import (
+    NUM_CHANNELS,
+    SENSOR_RATE,
+    ActivityPattern,
+    RecordingSpec,
+    SubjectProfile,
+    random_activity,
+    random_recording,
+    random_subject,
+    synthesize_recording,
+)
+
+__all__ = [
+    "ActivityPattern",
+    "NUM_CHANNELS",
+    "RecordingSpec",
+    "SENSOR_DIM",
+    "SENSOR_RATE",
+    "SensorBenchmark",
+    "SubjectProfile",
+    "episode_feature",
+    "generate_sensor_benchmark",
+    "make_sensor_plugin",
+    "random_activity",
+    "random_recording",
+    "random_subject",
+    "segment_episodes",
+    "sensor_feature_meta",
+    "signature_from_recording",
+    "synthesize_recording",
+]

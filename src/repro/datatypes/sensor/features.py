@@ -1,0 +1,145 @@
+"""Sensor segmentation and feature extraction.
+
+Segmentation: activity episodes are separated by low-energy idle gaps,
+so the same sliding-energy change detection used for audio utterances
+applies — a windowed RMS threshold with a minimum-gap rule.
+
+Features: each episode yields a per-channel statistical descriptor —
+mean, standard deviation, RMS, mean absolute delta (jerk), dominant
+frequency and its power, plus low/high band energies — 8 features x 3
+channels = a 24-dimensional vector.  Weights are proportional to episode
+length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.types import FeatureMeta, ObjectSignature, normalize_weights
+from .synthetic import NUM_CHANNELS, SENSOR_RATE
+
+__all__ = [
+    "SENSOR_DIM",
+    "sensor_feature_meta",
+    "segment_episodes",
+    "episode_feature",
+    "signature_from_recording",
+]
+
+_FEATURES_PER_CHANNEL = 8
+SENSOR_DIM = NUM_CHANNELS * _FEATURES_PER_CHANNEL
+
+# mean, std, rms, jerk, dom freq (Hz), dom power, low band, high band
+_CH_MIN = np.array([-3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+_CH_MAX = np.array([3.0, 3.0, 3.0, 2.0, 20.0, 3.0, 3.0, 3.0])
+
+
+def sensor_feature_meta() -> FeatureMeta:
+    return FeatureMeta(
+        SENSOR_DIM, np.tile(_CH_MIN, NUM_CHANNELS), np.tile(_CH_MAX, NUM_CHANNELS)
+    )
+
+
+def segment_episodes(
+    signal: np.ndarray,
+    sample_rate: int = SENSOR_RATE,
+    window_ms: float = 100.0,
+    quiet_windows: int = 5,
+    energy_threshold: Optional[float] = None,
+) -> List[Tuple[int, int]]:
+    """Split a multi-channel recording into activity episodes.
+
+    A window is idle when its cross-channel RMS falls below the
+    threshold (default: 15% of the recording's mean window RMS);
+    ``quiet_windows`` consecutive idle windows end an episode.
+    """
+    signal = np.atleast_2d(np.asarray(signal, dtype=np.float64))
+    window = max(1, int(sample_rate * window_ms / 1000.0))
+    n_frames = signal.shape[0] // window
+    if n_frames == 0:
+        return []
+    frames = signal[: n_frames * window].reshape(n_frames, window, -1)
+    energy = np.sqrt((frames**2).mean(axis=(1, 2)))
+    if energy_threshold is None:
+        energy_threshold = max(0.15 * float(energy.mean()), 1e-6)
+    idle = energy <= energy_threshold
+
+    spans: List[Tuple[int, int]] = []
+    in_episode = False
+    start = 0
+    quiet_run = 0
+    for i, is_idle in enumerate(idle):
+        if not in_episode:
+            if not is_idle:
+                in_episode = True
+                start = i
+                quiet_run = 0
+        else:
+            if is_idle:
+                quiet_run += 1
+                if quiet_run >= quiet_windows:
+                    spans.append((start * window, (i - quiet_run + 1) * window))
+                    in_episode = False
+            else:
+                quiet_run = 0
+    if in_episode:
+        spans.append((start * window, (len(idle) - quiet_run) * window))
+    return spans
+
+
+def episode_feature(
+    episode: np.ndarray, sample_rate: int = SENSOR_RATE
+) -> np.ndarray:
+    """24-dim statistical descriptor of one ``(n, channels)`` episode."""
+    episode = np.atleast_2d(np.asarray(episode, dtype=np.float64))
+    n = episode.shape[0]
+    features: List[float] = []
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    for c in range(episode.shape[1]):
+        x = episode[:, c]
+        spectrum = np.abs(np.fft.rfft(x - x.mean())) / max(n, 1)
+        if len(spectrum) > 1:
+            dominant = 1 + int(np.argmax(spectrum[1:]))
+            dom_freq = float(freqs[dominant])
+            dom_power = float(spectrum[dominant])
+        else:
+            dom_freq, dom_power = 0.0, 0.0
+        low_band = float(spectrum[(freqs >= 0.3) & (freqs < 3.0)].sum())
+        high_band = float(spectrum[(freqs >= 3.0) & (freqs < 15.0)].sum())
+        features.extend([
+            float(x.mean()),
+            float(x.std()),
+            float(np.sqrt((x**2).mean())),
+            float(np.abs(np.diff(x)).mean()) if n > 1 else 0.0,
+            dom_freq,
+            dom_power,
+            low_band,
+            high_band,
+        ])
+    meta = sensor_feature_meta()
+    return np.clip(np.asarray(features), meta.min_values, meta.max_values)
+
+
+def signature_from_recording(
+    signal: np.ndarray,
+    spans: Optional[Sequence[Tuple[int, int]]] = None,
+    sample_rate: int = SENSOR_RATE,
+    object_id: Optional[int] = None,
+) -> ObjectSignature:
+    """Segment (unless spans are given) and extract a recording.
+
+    Weights are proportional to episode length, as in the audio system.
+    """
+    if spans is None:
+        spans = segment_episodes(signal, sample_rate)
+    if not spans:
+        raise ValueError("recording contains no activity episodes")
+    features = np.stack(
+        [episode_feature(signal[s:e], sample_rate) for s, e in spans]
+    )
+    lengths = np.asarray([e - s for s, e in spans], dtype=np.float64)
+    return ObjectSignature(
+        features, normalize_weights(lengths), object_id=object_id, normalize=False
+    )

@@ -1,0 +1,129 @@
+"""Synthetic multi-channel sensor traces — the paper's future-work data type.
+
+The conclusion names "video and other sensor data" as the next data
+types for the toolkit.  This module generates accelerometer-style
+recordings: a library of *activities* (walking, idling, shaking, ...)
+each defined by per-channel oscillation patterns; a *recording* is a
+sequence of activity episodes separated by idle gaps; a *subject*
+perturbs amplitudes, rates and noise floors.  Recordings of the same
+activity sequence by different subjects form the ground-truth similarity
+sets, mirroring the structure of the paper's other benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SENSOR_RATE",
+    "NUM_CHANNELS",
+    "ActivityPattern",
+    "RecordingSpec",
+    "SubjectProfile",
+    "random_activity",
+    "random_recording",
+    "random_subject",
+    "synthesize_recording",
+]
+
+SENSOR_RATE = 100  # Hz, typical for wearable accelerometers
+NUM_CHANNELS = 3
+
+
+@dataclass(frozen=True)
+class ActivityPattern:
+    """One activity: per-channel oscillation frequency/amplitude plus a
+    noise level (impacts, tremor)."""
+
+    frequencies: Tuple[float, ...]  # Hz per channel
+    amplitudes: Tuple[float, ...]
+    noise: float
+    duration: float  # seconds
+
+
+@dataclass(frozen=True)
+class RecordingSpec:
+    """A sequence of activity episodes with idle gaps between them."""
+
+    activities: Tuple[ActivityPattern, ...]
+    gap: float = 0.8  # idle seconds between episodes
+
+
+@dataclass(frozen=True)
+class SubjectProfile:
+    """Per-subject rendering parameters (body mechanics + sensor)."""
+
+    amplitude_scale: float
+    rate_scale: float
+    noise_floor: float
+
+
+def random_activity(rng: np.random.Generator) -> ActivityPattern:
+    return ActivityPattern(
+        frequencies=tuple(float(rng.uniform(0.5, 8.0)) for _ in range(NUM_CHANNELS)),
+        amplitudes=tuple(float(rng.uniform(0.2, 2.0)) for _ in range(NUM_CHANNELS)),
+        noise=float(rng.uniform(0.02, 0.25)),
+        duration=float(rng.uniform(1.5, 4.0)),
+    )
+
+
+def random_recording(
+    rng: np.random.Generator, num_activities: Optional[int] = None
+) -> RecordingSpec:
+    if num_activities is None:
+        num_activities = int(rng.integers(3, 7))
+    return RecordingSpec(
+        tuple(random_activity(rng) for _ in range(num_activities))
+    )
+
+
+def random_subject(rng: np.random.Generator) -> SubjectProfile:
+    return SubjectProfile(
+        amplitude_scale=float(rng.uniform(0.8, 1.25)),
+        rate_scale=float(rng.uniform(0.9, 1.12)),
+        noise_floor=float(rng.uniform(0.005, 0.03)),
+    )
+
+
+def synthesize_recording(
+    spec: RecordingSpec,
+    subject: SubjectProfile,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Render a recording; returns ``(signal (n, channels), episode spans)``.
+
+    Episode spans are ``(start_sample, end_sample)`` per activity — the
+    ground-truth segmentation used to validate the change-point
+    segmenter.
+    """
+    rng = rng or np.random.default_rng(0)
+    gap_len = max(1, int(spec.gap * SENSOR_RATE))
+    pieces: List[np.ndarray] = []
+    spans: List[Tuple[int, int]] = []
+    cursor = 0
+    for idx, activity in enumerate(spec.activities):
+        if idx > 0:
+            gap = rng.normal(0.0, subject.noise_floor, (gap_len, NUM_CHANNELS))
+            pieces.append(gap)
+            cursor += gap_len
+        n = max(8, int(activity.duration / subject.rate_scale * SENSOR_RATE))
+        t = np.arange(n) / SENSOR_RATE
+        channels = []
+        for c in range(NUM_CHANNELS):
+            freq = activity.frequencies[c] * subject.rate_scale
+            amp = activity.amplitudes[c] * subject.amplitude_scale
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            wave = amp * np.sin(2.0 * np.pi * freq * t + phase)
+            wave += 0.3 * amp * np.sin(2.0 * np.pi * 2 * freq * t + phase * 1.7)
+            wave += rng.normal(0.0, activity.noise, n)
+            channels.append(wave)
+        episode = np.stack(channels, axis=1)
+        pieces.append(episode)
+        spans.append((cursor, cursor + n))
+        cursor += n
+    signal = np.concatenate(pieces, axis=0)
+    signal += rng.normal(0.0, subject.noise_floor, signal.shape)
+    return signal, spans

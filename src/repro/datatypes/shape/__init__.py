@@ -1,0 +1,66 @@
+"""3D shape data type: parametric mesh generator, voxelization,
+rotation-invariant spherical-harmonic descriptor (SHD), l1 plug-in and
+l2 baseline (section 5.3)."""
+
+from .harmonics import MAX_ORDER, SHAPE_DIM, HarmonicBasis, shd_descriptor
+from .plugin import (
+    ShapeBenchmark,
+    ShdL2Baseline,
+    descriptor_from_mesh,
+    generate_shape_benchmark,
+    make_shape_plugin,
+    shape_feature_meta,
+    signature_from_mesh,
+)
+from .synthetic import (
+    SHAPE_CLASSES,
+    Mesh,
+    ShapeClass,
+    box,
+    cone,
+    cylinder,
+    ellipsoid,
+    make_instance,
+    merge,
+    random_rotation,
+    torus,
+)
+from .voxelize import (
+    GRID_SIZE,
+    NUM_SHELLS,
+    normalize_points,
+    sample_surface,
+    shell_decomposition,
+    voxelize,
+)
+
+__all__ = [
+    "GRID_SIZE",
+    "HarmonicBasis",
+    "MAX_ORDER",
+    "Mesh",
+    "NUM_SHELLS",
+    "SHAPE_CLASSES",
+    "SHAPE_DIM",
+    "ShapeBenchmark",
+    "ShapeClass",
+    "ShdL2Baseline",
+    "box",
+    "cone",
+    "cylinder",
+    "descriptor_from_mesh",
+    "ellipsoid",
+    "generate_shape_benchmark",
+    "make_instance",
+    "make_shape_plugin",
+    "merge",
+    "normalize_points",
+    "random_rotation",
+    "sample_surface",
+    "shape_feature_meta",
+    "shd_descriptor",
+    "shell_decomposition",
+    "signature_from_mesh",
+    "torus",
+    "voxelize",
+]

@@ -1,0 +1,339 @@
+"""Synthetic 3D shape workload — the Princeton Shape Benchmark substitute.
+
+PSB's test set groups 907 polygonal models into 92 classes.  We generate
+parametric mesh families: each *class* is a generator (primitive or
+composite) with characteristic proportions; each *instance* jitters the
+parameters and applies a random rigid rotation.  Because the descriptor
+pipeline (voxelize → spherical shells → harmonic energies) is rotation
+invariant, random rotation genuinely exercises the property the real
+benchmark tests.
+
+Meshes are triangle soups: ``(vertices (n,3), faces (m,3) int)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = ["Mesh", "ShapeClass", "SHAPE_CLASSES", "make_instance", "random_rotation"]
+
+Mesh = Tuple[np.ndarray, np.ndarray]
+
+
+def _grid_surface(fn: Callable[[np.ndarray, np.ndarray], np.ndarray], nu: int, nv: int) -> Mesh:
+    """Triangulate a parametric surface fn(u, v) -> (.., 3) over a grid."""
+    u = np.linspace(0.0, 1.0, nu)
+    v = np.linspace(0.0, 1.0, nv)
+    uu, vv = np.meshgrid(u, v, indexing="ij")
+    vertices = fn(uu, vv).reshape(-1, 3)
+    faces: List[Tuple[int, int, int]] = []
+    for i in range(nu - 1):
+        for j in range(nv - 1):
+            a = i * nv + j
+            b = a + 1
+            c = a + nv
+            d = c + 1
+            faces.append((a, b, c))
+            faces.append((b, d, c))
+    return vertices, np.asarray(faces, dtype=np.int64)
+
+
+def box(sx: float, sy: float, sz: float, center=(0.0, 0.0, 0.0)) -> Mesh:
+    """Axis-aligned box of half-extents (sx, sy, sz)."""
+    cx, cy, cz = center
+    corners = np.array(
+        [
+            [x, y, z]
+            for x in (-sx, sx)
+            for y in (-sy, sy)
+            for z in (-sz, sz)
+        ]
+    ) + np.array(center)
+    quads = [
+        (0, 1, 3, 2), (4, 6, 7, 5), (0, 4, 5, 1),
+        (2, 3, 7, 6), (0, 2, 6, 4), (1, 5, 7, 3),
+    ]
+    faces = []
+    for a, b, c, d in quads:
+        faces.append((a, b, c))
+        faces.append((a, c, d))
+    return corners, np.asarray(faces, dtype=np.int64)
+
+
+def ellipsoid(rx: float, ry: float, rz: float, center=(0.0, 0.0, 0.0), n: int = 16) -> Mesh:
+    def fn(u, v):
+        theta = u * np.pi
+        phi = v * 2 * np.pi
+        return np.stack(
+            [
+                rx * np.sin(theta) * np.cos(phi) + center[0],
+                ry * np.sin(theta) * np.sin(phi) + center[1],
+                rz * np.cos(theta) + center[2],
+            ],
+            axis=-1,
+        )
+    return _grid_surface(fn, n, n)
+
+
+def cylinder(radius: float, height: float, center=(0.0, 0.0, 0.0), n: int = 16) -> Mesh:
+    def fn(u, v):
+        phi = v * 2 * np.pi
+        return np.stack(
+            [
+                radius * np.cos(phi) + center[0],
+                radius * np.sin(phi) + center[1],
+                (u - 0.5) * height + center[2],
+            ],
+            axis=-1,
+        )
+    return _grid_surface(fn, n, n)
+
+
+def torus(major: float, minor: float, center=(0.0, 0.0, 0.0), n: int = 16) -> Mesh:
+    def fn(u, v):
+        theta = u * 2 * np.pi
+        phi = v * 2 * np.pi
+        rad = major + minor * np.cos(phi)
+        return np.stack(
+            [
+                rad * np.cos(theta) + center[0],
+                rad * np.sin(theta) + center[1],
+                minor * np.sin(phi) + center[2],
+            ],
+            axis=-1,
+        )
+    return _grid_surface(fn, n, n)
+
+
+def cone(radius: float, height: float, center=(0.0, 0.0, 0.0), n: int = 16) -> Mesh:
+    def fn(u, v):
+        phi = v * 2 * np.pi
+        r = radius * (1.0 - u)
+        return np.stack(
+            [
+                r * np.cos(phi) + center[0],
+                r * np.sin(phi) + center[1],
+                (u - 0.5) * height + center[2],
+            ],
+            axis=-1,
+        )
+    return _grid_surface(fn, n, n)
+
+
+def merge(*meshes: Mesh) -> Mesh:
+    vertices_list: List[np.ndarray] = []
+    faces_list: List[np.ndarray] = []
+    offset = 0
+    for vertices, faces in meshes:
+        vertices_list.append(vertices)
+        faces_list.append(faces + offset)
+        offset += len(vertices)
+    return np.concatenate(vertices_list), np.concatenate(faces_list)
+
+
+@dataclass(frozen=True)
+class ShapeClass:
+    """A parametric family of similar shapes."""
+
+    name: str
+    generator: Callable[[np.random.Generator], Mesh]
+
+
+def _jit(rng: np.random.Generator, value: float, rel: float = 0.12) -> float:
+    return value * float(np.exp(rng.normal(0.0, rel)))
+
+
+def _table(rng: np.random.Generator) -> Mesh:
+    top = box(_jit(rng, 1.0), _jit(rng, 0.7), _jit(rng, 0.08), (0, 0, 0.5))
+    legs = [
+        box(0.06, 0.06, _jit(rng, 0.5), (sx * 0.85, sy * 0.55, 0.0))
+        for sx in (-1, 1)
+        for sy in (-1, 1)
+    ]
+    return merge(top, *legs)
+
+
+def _dumbbell(rng: np.random.Generator) -> Mesh:
+    r = _jit(rng, 0.35)
+    bar = cylinder(_jit(rng, 0.12), _jit(rng, 1.6))
+    a = ellipsoid(r, r, r, (0, 0, 0.9))
+    b = ellipsoid(r, r, r, (0, 0, -0.9))
+    return merge(bar, a, b)
+
+
+def _rocket(rng: np.random.Generator) -> Mesh:
+    body = cylinder(_jit(rng, 0.3), _jit(rng, 1.4), (0, 0, 0))
+    nose = cone(_jit(rng, 0.3), _jit(rng, 0.6), (0, 0, 1.0))
+    fins = [
+        box(_jit(rng, 0.5), 0.04, _jit(rng, 0.3), (sx * 0.4, 0, -0.7))
+        for sx in (-1, 1)
+    ]
+    return merge(body, nose, *fins)
+
+
+def _snowman(rng: np.random.Generator) -> Mesh:
+    r1, r2, r3 = _jit(rng, 0.6), _jit(rng, 0.45), _jit(rng, 0.3)
+    return merge(
+        ellipsoid(r1, r1, r1, (0, 0, -0.6)),
+        ellipsoid(r2, r2, r2, (0, 0, 0.25)),
+        ellipsoid(r3, r3, r3, (0, 0, 0.9)),
+    )
+
+
+def _cross(rng: np.random.Generator) -> Mesh:
+    arm = _jit(rng, 1.0)
+    thickness = _jit(rng, 0.15)
+    return merge(
+        box(arm, thickness, thickness),
+        box(thickness, arm, thickness),
+        box(thickness, thickness, arm),
+    )
+
+
+def _l_bracket(rng: np.random.Generator) -> Mesh:
+    long_arm = _jit(rng, 1.0)
+    short_arm = _jit(rng, 0.6)
+    thickness = _jit(rng, 0.18)
+    return merge(
+        box(thickness, thickness, long_arm, (0, 0, 0)),
+        box(short_arm, thickness, thickness, (short_arm, 0, -long_arm)),
+    )
+
+
+def _mug(rng: np.random.Generator) -> Mesh:
+    body_r = _jit(rng, 0.55)
+    height = _jit(rng, 1.1)
+    handle = torus(_jit(rng, 0.35), 0.08, (body_r + 0.25, 0, 0))
+    # stand the handle upright beside the body
+    vertices, faces = handle
+    rot = np.array([[1.0, 0, 0], [0, 0, -1.0], [0, 1.0, 0]])
+    handle = (vertices @ rot.T, faces)
+    return merge(cylinder(body_r, height), handle)
+
+
+def _barbell_rings(rng: np.random.Generator) -> Mesh:
+    bar = cylinder(_jit(rng, 0.1), _jit(rng, 1.8))
+    ring_a = torus(_jit(rng, 0.4), 0.1, (0, 0, 0.8))
+    ring_b = torus(_jit(rng, 0.4), 0.1, (0, 0, -0.8))
+    return merge(bar, ring_a, ring_b)
+
+
+def _pyramid(rng: np.random.Generator) -> Mesh:
+    return cone(_jit(rng, 1.0), _jit(rng, 1.2), n=5)
+
+
+def _hourglass(rng: np.random.Generator) -> Mesh:
+    r = _jit(rng, 0.7)
+    h = _jit(rng, 0.9)
+    top = cone(r, h, (0, 0, h / 2))
+    bottom = (cone(r, h, (0, 0, -h / 2))[0] * np.array([1, 1, -1.0]),
+              cone(r, h)[1])
+    return merge(top, bottom)
+
+
+def _stool(rng: np.random.Generator) -> Mesh:
+    seat = cylinder(_jit(rng, 0.7), 0.12, (0, 0, 0.5))
+    legs = [
+        cylinder(0.07, _jit(rng, 1.0), (0.45 * np.cos(a), 0.45 * np.sin(a), 0.0))
+        for a in (0.5, 2.6, 4.7)
+    ]
+    return merge(seat, *legs)
+
+
+def _saturn(rng: np.random.Generator) -> Mesh:
+    r = _jit(rng, 0.55)
+    return merge(
+        ellipsoid(r, r, r),
+        torus(_jit(rng, 0.95), 0.07),
+    )
+
+
+def _plus_plate(rng: np.random.Generator) -> Mesh:
+    arm = _jit(rng, 1.0)
+    width = _jit(rng, 0.3)
+    return merge(
+        box(arm, width, 0.1),
+        box(width, arm, 0.1),
+    )
+
+
+def _capsule(rng: np.random.Generator) -> Mesh:
+    r = _jit(rng, 0.35)
+    h = _jit(rng, 1.2)
+    return merge(
+        cylinder(r, h),
+        ellipsoid(r, r, r, (0, 0, h / 2)),
+        ellipsoid(r, r, r, (0, 0, -h / 2)),
+    )
+
+
+def _goblet(rng: np.random.Generator) -> Mesh:
+    bowl = cone(_jit(rng, 0.7), _jit(rng, 0.7), (0, 0, 0.6))
+    stem = cylinder(0.08, _jit(rng, 0.8), (0, 0, -0.1))
+    base = cylinder(_jit(rng, 0.45), 0.1, (0, 0, -0.6))
+    return merge(bowl, stem, base)
+
+
+def _frame(rng: np.random.Generator) -> Mesh:
+    outer = _jit(rng, 1.0)
+    bar = _jit(rng, 0.12)
+    return merge(
+        box(outer, bar, bar, (0, outer, 0)),
+        box(outer, bar, bar, (0, -outer, 0)),
+        box(bar, outer, bar, (outer, 0, 0)),
+        box(bar, outer, bar, (-outer, 0, 0)),
+    )
+
+
+SHAPE_CLASSES: List[ShapeClass] = [
+    ShapeClass("sphere", lambda rng: ellipsoid(_jit(rng, 1.0), _jit(rng, 1.0), _jit(rng, 1.0))),
+    ShapeClass("flat_ellipsoid", lambda rng: ellipsoid(_jit(rng, 1.0), _jit(rng, 0.8), _jit(rng, 0.25))),
+    ShapeClass("cigar", lambda rng: ellipsoid(_jit(rng, 0.25), _jit(rng, 0.25), _jit(rng, 1.2))),
+    ShapeClass("cube", lambda rng: box(_jit(rng, 0.8), _jit(rng, 0.8), _jit(rng, 0.8))),
+    ShapeClass("slab", lambda rng: box(_jit(rng, 1.0), _jit(rng, 0.7), _jit(rng, 0.12))),
+    ShapeClass("beam", lambda rng: box(_jit(rng, 0.15), _jit(rng, 0.15), _jit(rng, 1.2))),
+    ShapeClass("cylinder", lambda rng: cylinder(_jit(rng, 0.5), _jit(rng, 1.6))),
+    ShapeClass("disk", lambda rng: cylinder(_jit(rng, 1.0), _jit(rng, 0.15))),
+    ShapeClass("torus", lambda rng: torus(_jit(rng, 0.9), _jit(rng, 0.25))),
+    ShapeClass("thin_torus", lambda rng: torus(_jit(rng, 1.0), _jit(rng, 0.1))),
+    ShapeClass("cone", lambda rng: cone(_jit(rng, 0.8), _jit(rng, 1.5))),
+    ShapeClass("table", _table),
+    ShapeClass("dumbbell", _dumbbell),
+    ShapeClass("rocket", _rocket),
+    ShapeClass("snowman", _snowman),
+    ShapeClass("cross", _cross),
+    ShapeClass("l_bracket", _l_bracket),
+    ShapeClass("mug", _mug),
+    ShapeClass("barbell_rings", _barbell_rings),
+    ShapeClass("pyramid", _pyramid),
+    ShapeClass("hourglass", _hourglass),
+    ShapeClass("stool", _stool),
+    ShapeClass("saturn", _saturn),
+    ShapeClass("plus_plate", _plus_plate),
+    ShapeClass("capsule", _capsule),
+    ShapeClass("goblet", _goblet),
+    ShapeClass("frame", _frame),
+]
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniform random rotation matrix (QR of a Gaussian matrix)."""
+    m = rng.normal(size=(3, 3))
+    q, r = np.linalg.qr(m)
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def make_instance(
+    shape_class: ShapeClass, rng: np.random.Generator, rotate: bool = True
+) -> Mesh:
+    """One jittered, randomly rotated instance of a shape class."""
+    vertices, faces = shape_class.generator(rng)
+    if rotate:
+        vertices = vertices.dot(random_rotation(rng).T)
+    return vertices, faces

@@ -1,0 +1,107 @@
+"""Mesh normalization and voxelization (section 5.3 segmentation step).
+
+"Each model is first normalized, then placed on a 64x64x64 axial grid.
+32 spheres of different diameters are used to decompose the model" —
+this module samples the polygonal surface (area-weighted), normalizes
+translation and scale, rasterizes onto the grid, and bins occupied
+voxels into 32 concentric spherical shells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GRID_SIZE",
+    "NUM_SHELLS",
+    "sample_surface",
+    "normalize_points",
+    "voxelize",
+    "shell_decomposition",
+]
+
+GRID_SIZE = 64
+NUM_SHELLS = 32
+
+
+def sample_surface(
+    vertices: np.ndarray,
+    faces: np.ndarray,
+    num_samples: int = 8000,
+    rng: np.random.Generator = None,
+) -> np.ndarray:
+    """Area-weighted point samples of a triangle mesh's surface."""
+    rng = rng or np.random.default_rng(0)
+    v0 = vertices[faces[:, 0]]
+    v1 = vertices[faces[:, 1]]
+    v2 = vertices[faces[:, 2]]
+    areas = 0.5 * np.linalg.norm(np.cross(v1 - v0, v2 - v0), axis=1)
+    total = areas.sum()
+    if total <= 0:
+        raise ValueError("mesh has zero surface area")
+    probs = areas / total
+    chosen = rng.choice(len(faces), size=num_samples, p=probs)
+    # Uniform barycentric sampling.
+    r1 = np.sqrt(rng.random(num_samples))
+    r2 = rng.random(num_samples)
+    a = 1.0 - r1
+    b = r1 * (1.0 - r2)
+    c = r1 * r2
+    return (
+        a[:, None] * v0[chosen] + b[:, None] * v1[chosen] + c[:, None] * v2[chosen]
+    )
+
+
+def normalize_points(points: np.ndarray) -> np.ndarray:
+    """Center at the center of mass, scale mean radius to 0.5.
+
+    This is the SHD normalization: translation by the centroid and
+    isotropic scaling so the average distance from the center is half
+    the unit radius, leaving headroom for the shape's extremities within
+    the unit ball.
+    """
+    centered = points - points.mean(axis=0)
+    mean_radius = np.linalg.norm(centered, axis=1).mean()
+    if mean_radius <= 0:
+        raise ValueError("degenerate point cloud")
+    return centered * (0.5 / mean_radius)
+
+
+def voxelize(points: np.ndarray, grid_size: int = GRID_SIZE) -> np.ndarray:
+    """Rasterize normalized points (unit ball) onto a cubic boolean grid."""
+    # Map [-1, 1] to [0, grid_size).
+    scaled = np.clip((points + 1.0) * 0.5 * grid_size, 0, grid_size - 1e-9)
+    idx = scaled.astype(np.int64)
+    grid = np.zeros((grid_size,) * 3, dtype=bool)
+    grid[idx[:, 0], idx[:, 1], idx[:, 2]] = True
+    return grid
+
+
+def shell_decomposition(
+    grid: np.ndarray, num_shells: int = NUM_SHELLS
+) -> List[np.ndarray]:
+    """Group occupied voxel centers by concentric spherical shell.
+
+    Returns one ``(n_i, 3)`` array of unit direction vectors per shell
+    (empty arrays for unoccupied shells); shell ``s`` covers radii in
+    ``[s, s+1) * (grid/2) / num_shells`` voxel units from the center.
+    """
+    grid_size = grid.shape[0]
+    occupied = np.argwhere(grid).astype(np.float64) + 0.5
+    center = grid_size / 2.0
+    rel = occupied - center
+    radii = np.linalg.norm(rel, axis=1)
+    max_radius = grid_size / 2.0
+    shell_idx = np.clip(
+        (radii / max_radius * num_shells).astype(int), 0, num_shells - 1
+    )
+    shells: List[np.ndarray] = []
+    for s in range(num_shells):
+        mask = shell_idx == s
+        pts = rel[mask]
+        norms = radii[mask]
+        safe = norms > 1e-9
+        shells.append(pts[safe] / norms[safe, None])
+    return shells

@@ -1,0 +1,39 @@
+"""Video data type (toolkit extension, the paper's future work): shot
+sequences over the synthetic image substrate, frame-difference shot
+detection, 24-dim keyframe+motion shot features, l1 + EMD plug-in."""
+
+from .features import (
+    VIDEO_DIM,
+    detect_shots,
+    frame_differences,
+    shot_feature,
+    signature_from_video,
+    video_feature_meta,
+)
+from .plugin import VideoBenchmark, generate_video_benchmark, make_video_plugin
+from .synthetic import (
+    FRAME_RATE,
+    ShotSpec,
+    VideoSpec,
+    perturb_video,
+    random_video,
+    render_video,
+)
+
+__all__ = [
+    "FRAME_RATE",
+    "ShotSpec",
+    "VIDEO_DIM",
+    "VideoBenchmark",
+    "VideoSpec",
+    "detect_shots",
+    "frame_differences",
+    "generate_video_benchmark",
+    "make_video_plugin",
+    "perturb_video",
+    "random_video",
+    "render_video",
+    "shot_feature",
+    "signature_from_video",
+    "video_feature_meta",
+]

@@ -1,0 +1,114 @@
+"""Shot detection and per-shot feature extraction for video.
+
+Segmentation: hard cuts produce large frame-to-frame differences, so the
+shot detector thresholds the mean absolute inter-frame difference (a
+classic shot-boundary heuristic); within-shot motion stays well below a
+cut's discontinuity.
+
+Features: each shot is summarized by the global color description of
+its middle (key) frame — the 21-dim global-feature descriptor shared
+with the image baseline — plus 3 motion statistics (mean inter-frame
+difference, its variability, and the shot's cut sharpness), giving a
+24-dim shot vector.  Shot weights are proportional to shot length, and
+EMD across shots matches videos whose shots were reordered or trimmed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.types import FeatureMeta, ObjectSignature, normalize_weights
+from ..image.simplicity import GLOBAL_DIM, global_features
+
+__all__ = [
+    "VIDEO_DIM",
+    "video_feature_meta",
+    "frame_differences",
+    "detect_shots",
+    "shot_feature",
+    "signature_from_video",
+]
+
+VIDEO_DIM = GLOBAL_DIM + 3
+
+_MOTION_MIN = np.array([0.0, 0.0, 0.0])
+_MOTION_MAX = np.array([0.5, 0.5, 1.0])
+# Global color moments: means [0,1], stds [0,0.5], skew [-2,2], layout [0,1].
+_GLOBAL_MIN = np.concatenate([np.zeros(3), np.zeros(3), -2 * np.ones(3), np.zeros(12)])
+_GLOBAL_MAX = np.concatenate([np.ones(3), 0.5 * np.ones(3), 2 * np.ones(3), np.ones(12)])
+
+
+def video_feature_meta() -> FeatureMeta:
+    return FeatureMeta(
+        VIDEO_DIM,
+        np.concatenate([_GLOBAL_MIN, _MOTION_MIN]),
+        np.concatenate([_GLOBAL_MAX, _MOTION_MAX]),
+    )
+
+
+def frame_differences(frames: np.ndarray) -> np.ndarray:
+    """Mean absolute difference between consecutive frames: ``(T-1,)``."""
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.shape[0] < 2:
+        return np.zeros(0)
+    return np.abs(np.diff(frames, axis=0)).mean(axis=(1, 2, 3))
+
+
+def detect_shots(
+    frames: np.ndarray, cut_factor: float = 3.0, min_shot_frames: int = 2
+) -> List[Tuple[int, int]]:
+    """Detect hard cuts; returns ``(start, end)`` frame spans per shot.
+
+    A boundary is declared where the inter-frame difference exceeds
+    ``cut_factor`` times the median difference (motion sets the noise
+    floor, cuts tower above it).
+    """
+    total = np.asarray(frames).shape[0]
+    diffs = frame_differences(frames)
+    if len(diffs) == 0:
+        return [(0, total)] if total else []
+    floor = max(float(np.median(diffs)), 1e-9)
+    cut_positions = [i + 1 for i, d in enumerate(diffs) if d > cut_factor * floor]
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for cut in cut_positions:
+        if cut - start >= min_shot_frames:
+            spans.append((start, cut))
+            start = cut
+    if total - start >= 1:
+        spans.append((start, total))
+    return spans
+
+
+def shot_feature(shot_frames: np.ndarray) -> np.ndarray:
+    """24-dim descriptor of one shot: keyframe globals + motion stats."""
+    shot_frames = np.asarray(shot_frames, dtype=np.float64)
+    keyframe = shot_frames[len(shot_frames) // 2]
+    color = global_features(keyframe)
+    diffs = frame_differences(shot_frames)
+    if len(diffs):
+        motion = np.array([float(diffs.mean()), float(diffs.std()),
+                           float(diffs.max())])
+    else:
+        motion = np.zeros(3)
+    meta = video_feature_meta()
+    return np.clip(np.concatenate([color, motion]), meta.min_values, meta.max_values)
+
+
+def signature_from_video(
+    frames: np.ndarray,
+    spans: Optional[Sequence[Tuple[int, int]]] = None,
+    object_id: Optional[int] = None,
+) -> ObjectSignature:
+    """Detect shots (unless spans are given) and extract a video."""
+    if spans is None:
+        spans = detect_shots(frames)
+    if not spans:
+        raise ValueError("video contains no shots")
+    features = np.stack([shot_feature(frames[s:e]) for s, e in spans])
+    lengths = np.asarray([e - s for s, e in spans], dtype=np.float64)
+    return ObjectSignature(
+        features, normalize_weights(lengths), object_id=object_id, normalize=False
+    )

@@ -1,0 +1,133 @@
+"""Synthetic video workload — the other future-work data type.
+
+The paper's conclusion plans to extend the toolkit to video.  We build
+video compositionally on the image substrate: a *shot* is one synthetic
+scene whose regions move along linear trajectories for a number of
+frames; a *video* is a sequence of shots (hard cuts between different
+scenes).  A re-rendering of the same shot sequence — perturbed scenes,
+different motion speeds, new noise — models the same footage cut by a
+different editor or recorded by a different camera, giving ground-truth
+similarity sets with the usual noisy-but-similar structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..image.synthetic import SceneSpec, perturb_scene, random_scene, render_scene
+
+__all__ = [
+    "FRAME_RATE",
+    "ShotSpec",
+    "VideoSpec",
+    "random_video",
+    "perturb_video",
+    "render_video",
+]
+
+FRAME_RATE = 10  # frames per second of synthetic footage
+
+
+@dataclass(frozen=True)
+class ShotSpec:
+    """One shot: a scene, per-region velocities, and a duration."""
+
+    scene: SceneSpec
+    velocities: Tuple[Tuple[float, float], ...]  # (dy, dx) per region, frac/s
+    duration: float  # seconds
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    shots: Tuple[ShotSpec, ...]
+
+
+def _random_velocities(
+    rng: np.random.Generator, count: int
+) -> Tuple[Tuple[float, float], ...]:
+    return tuple(
+        (float(rng.normal(0.0, 0.05)), float(rng.normal(0.0, 0.05)))
+        for _ in range(count)
+    )
+
+
+def random_shot(rng: np.random.Generator) -> ShotSpec:
+    scene = random_scene(rng)
+    return ShotSpec(
+        scene=scene,
+        velocities=_random_velocities(rng, len(scene.regions)),
+        duration=float(rng.uniform(0.8, 2.5)),
+    )
+
+
+def random_video(rng: np.random.Generator, num_shots: Optional[int] = None) -> VideoSpec:
+    if num_shots is None:
+        num_shots = int(rng.integers(3, 7))
+    return VideoSpec(tuple(random_shot(rng) for _ in range(num_shots)))
+
+
+def perturb_video(
+    video: VideoSpec, rng: np.random.Generator, strength: float = 1.0
+) -> VideoSpec:
+    """Same footage, different rendering: scenes perturbed, motion and
+    cut timing jittered, occasionally a shot dropped."""
+    shots: List[ShotSpec] = []
+    for shot in video.shots:
+        if rng.random() < 0.05 * strength and len(video.shots) > 2:
+            continue  # shot cut in the other edit
+        scene = perturb_scene(shot.scene, rng, strength=0.6 * strength)
+        velocities = tuple(
+            (
+                vy * float(np.exp(rng.normal(0.0, 0.2 * strength))),
+                vx * float(np.exp(rng.normal(0.0, 0.2 * strength))),
+            )
+            for vy, vx in shot.velocities[: len(scene.regions)]
+        )
+        # perturb_scene may drop regions; pad velocities if it added none
+        while len(velocities) < len(scene.regions):
+            velocities = velocities + ((0.0, 0.0),)
+        shots.append(
+            ShotSpec(
+                scene=scene,
+                velocities=velocities,
+                duration=float(
+                    np.clip(shot.duration * np.exp(rng.normal(0.0, 0.15 * strength)),
+                            0.4, 4.0)
+                ),
+            )
+        )
+    return VideoSpec(tuple(shots))
+
+
+def _advance(scene: SceneSpec, velocities, dt: float) -> SceneSpec:
+    regions = []
+    for region, (vy, vx) in zip(scene.regions, velocities):
+        cy = float(np.clip(region.center[0] + vy * dt, 0.05, 0.95))
+        cx = float(np.clip(region.center[1] + vx * dt, 0.05, 0.95))
+        regions.append(replace(region, center=(cy, cx)))
+    return replace(scene, regions=tuple(regions))
+
+
+def render_video(
+    video: VideoSpec,
+    height: int = 32,
+    width: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Rasterize a video; returns ``(frames (T,H,W,3), shot spans)``."""
+    rng = rng or np.random.default_rng(0)
+    frames: List[np.ndarray] = []
+    spans: List[Tuple[int, int]] = []
+    cursor = 0
+    for shot in video.shots:
+        n_frames = max(2, int(shot.duration * FRAME_RATE))
+        scene = shot.scene
+        for t in range(n_frames):
+            frames.append(render_scene(scene, height, width, rng))
+            scene = _advance(scene, shot.velocities, 1.0 / FRAME_RATE)
+        spans.append((cursor, cursor + n_frames))
+        cursor += n_frames
+    return np.stack(frames), spans

@@ -1,0 +1,44 @@
+"""Performance evaluation tool: quality metrics and batch query driver
+(sections 4.3 and 6.2)."""
+
+from .benchmark import (
+    BenchmarkSuite,
+    EvaluationResult,
+    SimilaritySet,
+    evaluate_engine,
+    load_benchmark,
+    save_benchmark,
+)
+from .metrics import (
+    QualityScores,
+    average_precision,
+    first_tier,
+    score_query,
+    second_tier,
+)
+from .stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    latency_percentiles,
+    paired_difference,
+    quality_summary,
+)
+
+__all__ = [
+    "BenchmarkSuite",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "latency_percentiles",
+    "paired_difference",
+    "quality_summary",
+    "EvaluationResult",
+    "QualityScores",
+    "SimilaritySet",
+    "average_precision",
+    "evaluate_engine",
+    "first_tier",
+    "load_benchmark",
+    "save_benchmark",
+    "score_query",
+    "second_tier",
+]

@@ -1,0 +1,215 @@
+"""Performance evaluation tool (section 4.3).
+
+Drives batch queries against an engine from a benchmark file describing
+ground-truth similarity sets, and reports the paper's quality metrics
+plus timing.  The benchmark file format is line-oriented::
+
+    # comment
+    set <name> <id> <id> <id> ...
+
+Each ``set`` line is one similarity set of object ids.  By convention
+(section 6.3.1) the first id of each set is used as the query object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from ..core.engine import SearchMethod, SimilaritySearchEngine
+from .metrics import QualityScores, score_query
+
+__all__ = [
+    "SimilaritySet",
+    "BenchmarkSuite",
+    "EvaluationResult",
+    "evaluate_engine",
+    "load_benchmark",
+    "save_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class SimilaritySet:
+    """One gold-standard set of mutually similar object ids."""
+
+    name: str
+    members: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError(f"similarity set {self.name!r} needs >= 2 members")
+
+    @property
+    def query_id(self) -> int:
+        return self.members[0]
+
+
+@dataclass
+class BenchmarkSuite:
+    """A named collection of similarity sets."""
+
+    name: str
+    sets: List[SimilaritySet] = field(default_factory=list)
+
+    def add(self, name: str, members: Sequence[int]) -> None:
+        self.sets.append(SimilaritySet(name, tuple(int(m) for m in members)))
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+
+def load_benchmark(path: str, name: Optional[str] = None) -> BenchmarkSuite:
+    """Parse a benchmark file (see module docstring for the format)."""
+    suite = BenchmarkSuite(name or path)
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] != "set" or len(parts) < 4:
+                raise ValueError(f"{path}:{lineno}: malformed line {line!r}")
+            suite.add(parts[1], [int(p) for p in parts[2:]])
+    return suite
+
+
+def save_benchmark(suite: BenchmarkSuite, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# benchmark suite: {suite.name}\n")
+        for sim_set in suite.sets:
+            ids = " ".join(str(m) for m in sim_set.members)
+            fh.write(f"set {sim_set.name} {ids}\n")
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated quality + timing over a whole suite."""
+
+    suite_name: str
+    method: SearchMethod
+    quality: QualityScores
+    per_query: List[QualityScores]
+    avg_query_seconds: float
+    num_queries: int
+    per_set: Dict[str, QualityScores] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float]:
+        """Table-1-shaped summary row."""
+        return {
+            "average_precision": round(self.quality.average_precision, 3),
+            "first_tier": round(self.quality.first_tier, 3),
+            "second_tier": round(self.quality.second_tier, 3),
+            "avg_query_seconds": round(self.avg_query_seconds, 5),
+        }
+
+    def worst_sets(self, count: int = 5) -> List[Tuple[str, QualityScores]]:
+        """The lowest-precision similarity sets — where to look when a
+        configuration underperforms."""
+        ranked = sorted(
+            self.per_set.items(), key=lambda kv: kv[1].average_precision
+        )
+        return ranked[: max(0, count)]
+
+    def report(self) -> str:
+        """Human-readable multi-line report with a per-set breakdown."""
+        lines = [
+            f"suite={self.suite_name} method={self.method.value} "
+            f"queries={self.num_queries}",
+            f"  avg precision {self.quality.average_precision:.3f}  "
+            f"1st tier {self.quality.first_tier:.3f}  "
+            f"2nd tier {self.quality.second_tier:.3f}  "
+            f"{self.avg_query_seconds:.4f}s/query",
+        ]
+        for name, scores in sorted(self.per_set.items()):
+            lines.append(
+                f"    {name:<20} AP {scores.average_precision:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_engine(
+    engine: SimilaritySearchEngine,
+    suite: BenchmarkSuite,
+    method: SearchMethod = SearchMethod.FILTERING,
+    top_k: Optional[int] = None,
+    queries_per_set: int = 1,
+) -> EvaluationResult:
+    """Run the suite's queries and score them.
+
+    ``queries_per_set`` > 1 uses additional members of each set as extra
+    queries (the paper uses the first member only; more queries tighten
+    the estimate on synthetic data).  ``top_k`` defaults to enough
+    results to score second-tier for the largest set.
+    """
+    dataset_size = len(engine)
+    per_query: List[QualityScores] = []
+    per_set: Dict[str, QualityScores] = {}
+    total_time = 0.0
+    num_queries = 0
+    for sim_set in suite.sets:
+        set_scores: List[QualityScores] = []
+        k_needed = top_k or max(20, 2 * (len(sim_set.members) - 1) + 5)
+        for query_id in sim_set.members[:queries_per_set]:
+            if query_id not in engine:
+                raise KeyError(
+                    f"benchmark references unknown object {query_id}"
+                )
+            started = time.perf_counter()
+            results = engine.query_by_id(
+                query_id, top_k=k_needed, method=method, exclude_self=True
+            )
+            total_time += time.perf_counter() - started
+            result_ids = [r.object_id for r in results]
+            scores = score_query(result_ids, sim_set.members, query_id, dataset_size)
+            per_query.append(scores)
+            set_scores.append(scores)
+            num_queries += 1
+        per_set[sim_set.name] = QualityScores.mean(set_scores)
+    return EvaluationResult(
+        suite_name=suite.name,
+        method=method,
+        quality=QualityScores.mean(per_query),
+        per_query=per_query,
+        avg_query_seconds=total_time / max(1, num_queries),
+        num_queries=num_queries,
+        per_set=per_set,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: evaluate a registered data type's demo engine on a benchmark
+    file.  Mostly useful for the synthetic examples; library users call
+    :func:`evaluate_engine` directly."""
+    parser = argparse.ArgumentParser(description="Ferret performance evaluation tool")
+    parser.add_argument("benchmark", help="benchmark file (set <name> <ids...>)")
+    parser.add_argument(
+        "--method",
+        default="filtering",
+        choices=[m.value for m in SearchMethod],
+    )
+    parser.add_argument("--datatype", default="image")
+    parser.add_argument("--size", type=int, default=200, help="dataset size")
+    parser.add_argument("--report", action="store_true",
+                        help="print the per-set breakdown")
+    args = parser.parse_args(argv)
+
+    from ..datatypes import build_demo_engine
+
+    engine, _extra = build_demo_engine(args.datatype, size=args.size)
+    suite = load_benchmark(args.benchmark)
+    result = evaluate_engine(engine, suite, SearchMethod.parse(args.method))
+    if args.report:
+        print(result.report())
+    else:
+        print(f"suite={result.suite_name} method={result.method.value}")
+        for key, value in result.row().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

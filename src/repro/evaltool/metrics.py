@@ -1,0 +1,109 @@
+"""Search-quality metrics from section 6.2: first-tier, second-tier and
+average precision.
+
+All three are computed for a query ``q`` drawn from a "gold standard"
+similarity set ``Q``; the remaining ``|Q| - 1`` members are the targets
+the search should retrieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+__all__ = ["QualityScores", "first_tier", "second_tier", "average_precision", "score_query"]
+
+
+@dataclass(frozen=True)
+class QualityScores:
+    """The triple the paper's Table 1 reports per benchmark."""
+
+    average_precision: float
+    first_tier: float
+    second_tier: float
+
+    def __add__(self, other: "QualityScores") -> "QualityScores":
+        return QualityScores(
+            self.average_precision + other.average_precision,
+            self.first_tier + other.first_tier,
+            self.second_tier + other.second_tier,
+        )
+
+    def scale(self, factor: float) -> "QualityScores":
+        return QualityScores(
+            self.average_precision * factor,
+            self.first_tier * factor,
+            self.second_tier * factor,
+        )
+
+    @staticmethod
+    def mean(scores: Sequence["QualityScores"]) -> "QualityScores":
+        if not scores:
+            return QualityScores(0.0, 0.0, 0.0)
+        total = QualityScores(0.0, 0.0, 0.0)
+        for s in scores:
+            total = total + s
+        return total.scale(1.0 / len(scores))
+
+
+def _targets(similarity_set: Iterable[int], query_id: int) -> Set[int]:
+    targets = set(similarity_set) - {query_id}
+    if not targets:
+        raise ValueError("similarity set must contain members besides the query")
+    return targets
+
+
+def first_tier(results: Sequence[int], similarity_set: Iterable[int], query_id: int) -> float:
+    """Fraction of the similarity set found in the top ``k = |Q| - 1``."""
+    targets = _targets(similarity_set, query_id)
+    k = len(targets)
+    top = set(results[:k])
+    return len(top & targets) / k
+
+
+def second_tier(results: Sequence[int], similarity_set: Iterable[int], query_id: int) -> float:
+    """Like first-tier with ``k = 2 (|Q| - 1)``; ideal is still 1.0."""
+    targets = _targets(similarity_set, query_id)
+    k = len(targets)
+    top = set(results[: 2 * k])
+    return len(top & targets) / k
+
+
+def average_precision(
+    results: Sequence[int],
+    similarity_set: Iterable[int],
+    query_id: int,
+    dataset_size: int,
+) -> float:
+    """The paper's average precision.
+
+    With ``rank_i`` the rank (1-based) of the i-th retrieved member of
+    ``Q`` (in retrieval order), average precision is
+    ``(1/k) * sum_i i / rank_i``.  Members absent from ``results`` get
+    the default rank ``dataset_size``.
+    """
+    targets = _targets(similarity_set, query_id)
+    k = len(targets)
+    ranks: List[int] = []
+    for position, object_id in enumerate(results, start=1):
+        if object_id in targets:
+            ranks.append(position)
+            if len(ranks) == k:
+                break
+    while len(ranks) < k:
+        ranks.append(max(dataset_size, len(results) + 1))
+    return sum((i + 1) / rank for i, rank in enumerate(ranks)) / k
+
+
+def score_query(
+    results: Sequence[int],
+    similarity_set: Iterable[int],
+    query_id: int,
+    dataset_size: int,
+) -> QualityScores:
+    """All three metrics for one query."""
+    return QualityScores(
+        average_precision(results, similarity_set, query_id, dataset_size),
+        first_tier(results, similarity_set, query_id),
+        second_tier(results, similarity_set, query_id),
+    )

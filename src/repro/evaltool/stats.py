@@ -1,0 +1,119 @@
+"""Statistics helpers for the performance evaluation tool.
+
+The paper's tool reports "statistics like average precision and time
+spent for the query"; real tuning sessions also need uncertainty (is a
+parameter change signal or noise?) and latency tails.  This module adds
+bootstrap confidence intervals over per-query scores, paired comparisons
+between two configurations, and latency percentile summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import QualityScores
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "quality_summary",
+    "paired_difference",
+    "latency_percentiles",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a bootstrap interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}] ({pct}%)"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval for the mean."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(num_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        mean=float(arr.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def quality_summary(
+    per_query: Sequence[QualityScores], confidence: float = 0.95, seed: int = 0
+) -> Dict[str, ConfidenceInterval]:
+    """Bootstrap CIs for all three quality metrics of one evaluation."""
+    if not per_query:
+        raise ValueError("no per-query scores")
+    return {
+        "average_precision": bootstrap_ci(
+            [s.average_precision for s in per_query], confidence, seed=seed
+        ),
+        "first_tier": bootstrap_ci(
+            [s.first_tier for s in per_query], confidence, seed=seed
+        ),
+        "second_tier": bootstrap_ci(
+            [s.second_tier for s in per_query], confidence, seed=seed
+        ),
+    }
+
+
+def paired_difference(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI of the per-query difference ``a - b``.
+
+    The two sequences must come from the same query set in the same
+    order (the paired design removes cross-query variance, which usually
+    dwarfs the configuration effect being measured).  A CI excluding 0
+    means the difference is statistically meaningful at that level.
+    """
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired comparison needs equal-length score lists")
+    return bootstrap_ci(a - b, confidence, seed=seed)
+
+
+def latency_percentiles(
+    seconds: Sequence[float],
+    percentiles: Tuple[float, ...] = (50.0, 90.0, 99.0),
+) -> Dict[str, float]:
+    """p50/p90/p99-style latency summary of per-query timings."""
+    arr = np.asarray(seconds, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no latency samples")
+    out = {"mean": float(arr.mean()), "max": float(arr.max())}
+    for p in percentiles:
+        out[f"p{p:g}"] = float(np.percentile(arr, p))
+    return out

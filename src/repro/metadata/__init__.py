@@ -1,0 +1,29 @@
+"""Metadata management: transactional storage of feature vectors,
+sketches, attributes and the object-to-file mapping (section 4.1.3)."""
+
+from .manager import MetadataManager
+from .outofcore import OutOfCoreSearcher, OutOfCoreSketchStore
+from .serialization import (
+    decode_attributes,
+    decode_object,
+    decode_sketches,
+    encode_attributes,
+    encode_object,
+    encode_sketches,
+    object_key,
+    parse_object_key,
+)
+
+__all__ = [
+    "MetadataManager",
+    "OutOfCoreSearcher",
+    "OutOfCoreSketchStore",
+    "decode_attributes",
+    "decode_object",
+    "decode_sketches",
+    "encode_attributes",
+    "encode_object",
+    "encode_sketches",
+    "object_key",
+    "parse_object_key",
+]

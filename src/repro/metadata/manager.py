@@ -1,0 +1,166 @@
+"""Metadata management (section 4.1.3).
+
+Keeps feature vectors, sketches, attributes and the object↔file mapping
+in separate tables of the transactional store.  "All the updates to the
+metadata associated with the same object are protected by database
+transactions" — :meth:`MetadataManager.put_object` writes every table in
+one transaction, so a crash can never leave an object half-ingested.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..core.types import ObjectSignature
+from ..storage.kvstore import KVStore
+from .serialization import (
+    decode_attributes,
+    decode_object,
+    decode_sketches,
+    encode_attributes,
+    encode_object,
+    encode_sketches,
+    object_key,
+    parse_object_key,
+)
+
+__all__ = ["MetadataManager"]
+
+_T_OBJECTS = "objects"
+_T_SKETCHES = "sketches"
+_T_ATTRIBUTES = "attributes"
+_T_FILES = "files"
+_T_SYSTEM = "system"
+
+
+class MetadataManager:
+    """Transaction-protected metadata storage for one search system.
+
+    Can wrap an externally managed :class:`KVStore` (``store=``) or open
+    its own in ``directory``.  Implements the persistence interface the
+    engine expects (``put_object`` / ``iter_objects``) plus keyed access
+    used by the attribute search tool and the servers.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        store: Optional[KVStore] = None,
+        **store_kwargs,
+    ) -> None:
+        if (directory is None) == (store is None):
+            raise ValueError("pass exactly one of directory or store")
+        self._owns_store = store is None
+        self.store = store or KVStore(directory, **store_kwargs)
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+    def put_object(
+        self,
+        object_id: int,
+        signature: ObjectSignature,
+        sketches: np.ndarray,
+        attributes: Optional[Dict[str, str]] = None,
+        filename: Optional[str] = None,
+    ) -> None:
+        """Write all metadata of one object atomically."""
+        key = object_key(object_id)
+        with self.store.begin() as txn:
+            txn.put(_T_OBJECTS, key, encode_object(signature))
+            txn.put(_T_SKETCHES, key, encode_sketches(sketches))
+            if attributes:
+                txn.put(_T_ATTRIBUTES, key, encode_attributes(attributes))
+            if filename:
+                txn.put(_T_FILES, filename.encode("utf-8"), key)
+
+    def delete_object(self, object_id: int) -> None:
+        key = object_key(object_id)
+        with self.store.begin() as txn:
+            txn.delete(_T_OBJECTS, key)
+            txn.delete(_T_SKETCHES, key)
+            txn.delete(_T_ATTRIBUTES, key)
+
+    def get_object(self, object_id: int) -> Optional[ObjectSignature]:
+        raw = self.store.get(_T_OBJECTS, object_key(object_id))
+        if raw is None:
+            return None
+        return decode_object(raw, object_id)
+
+    def get_sketches(self, object_id: int) -> Optional[np.ndarray]:
+        raw = self.store.get(_T_SKETCHES, object_key(object_id))
+        return None if raw is None else decode_sketches(raw)
+
+    def get_attributes(self, object_id: int) -> Dict[str, str]:
+        raw = self.store.get(_T_ATTRIBUTES, object_key(object_id))
+        return {} if raw is None else decode_attributes(raw)
+
+    def set_attributes(self, object_id: int, attributes: Dict[str, str]) -> None:
+        self.store.put(
+            _T_ATTRIBUTES, object_key(object_id), encode_attributes(attributes)
+        )
+
+    # ------------------------------------------------------------------
+    # File mapping
+    # ------------------------------------------------------------------
+    def file_for(self, filename: str) -> Optional[int]:
+        raw = self.store.get(_T_FILES, filename.encode("utf-8"))
+        return None if raw is None else parse_object_key(raw)
+
+    def files(self) -> Iterator[Tuple[str, int]]:
+        for path_b, key in self.store.items(_T_FILES):
+            yield path_b.decode("utf-8"), parse_object_key(key)
+
+    # ------------------------------------------------------------------
+    # Iteration / counters
+    # ------------------------------------------------------------------
+    def iter_objects(
+        self,
+    ) -> Iterator[Tuple[int, ObjectSignature, np.ndarray, Dict[str, str]]]:
+        """Yield ``(object_id, signature, sketches, attributes)`` for all
+        objects, in object-id order.  This is the engine's reload path."""
+        for key, raw in self.store.items(_T_OBJECTS):
+            object_id = parse_object_key(key)
+            sk_raw = self.store.get(_T_SKETCHES, key)
+            at_raw = self.store.get(_T_ATTRIBUTES, key)
+            yield (
+                object_id,
+                decode_object(raw, object_id),
+                decode_sketches(sk_raw) if sk_raw is not None else np.empty((0, 0), np.uint64),
+                decode_attributes(at_raw) if at_raw is not None else {},
+            )
+
+    def iter_attributes(self) -> Iterator[Tuple[int, Dict[str, str]]]:
+        for key, raw in self.store.items(_T_ATTRIBUTES):
+            yield parse_object_key(key), decode_attributes(raw)
+
+    def num_objects(self) -> int:
+        return self.store.count(_T_OBJECTS)
+
+    def next_object_id(self) -> int:
+        """Allocate a monotonically increasing object id (durable counter)."""
+        raw = self.store.get(_T_SYSTEM, b"next_object_id")
+        next_id = int.from_bytes(raw, "little") if raw else 0
+        self.store.put(
+            _T_SYSTEM, b"next_object_id", (next_id + 1).to_bytes(8, "little")
+        )
+        return next_id
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        self.store.checkpoint()
+
+    def close(self) -> None:
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "MetadataManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

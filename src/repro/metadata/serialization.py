@@ -1,0 +1,105 @@
+"""Binary codecs for metadata values.
+
+Feature vectors are stored as float32 (the paper sizes feature vectors at
+32 bits per dimension), weights as float64, sketches as their packed
+uint64 words.  All encodings are little-endian, length-prefixed, and
+versioned with a leading format byte so the layout can evolve.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.types import ObjectSignature
+
+__all__ = [
+    "encode_object",
+    "decode_object",
+    "encode_sketches",
+    "decode_sketches",
+    "encode_attributes",
+    "decode_attributes",
+    "object_key",
+    "parse_object_key",
+]
+
+_OBJECT_V1 = 1
+_SKETCH_V1 = 1
+_ATTRS_V1 = 1
+
+
+def object_key(object_id: int) -> bytes:
+    """Big-endian fixed-width key so B-tree order equals numeric order."""
+    return struct.pack(">Q", object_id)
+
+
+def parse_object_key(key: bytes) -> int:
+    return struct.unpack(">Q", key)[0]
+
+
+def encode_object(signature: ObjectSignature) -> bytes:
+    k, dim = signature.features.shape
+    header = struct.pack("<BII", _OBJECT_V1, k, dim)
+    feats = signature.features.astype("<f4").tobytes()
+    weights = signature.weights.astype("<f8").tobytes()
+    return header + weights + feats
+
+
+def decode_object(raw: bytes, object_id: int = None) -> ObjectSignature:
+    version, k, dim = struct.unpack_from("<BII", raw)
+    if version != _OBJECT_V1:
+        raise ValueError(f"unsupported object encoding version {version}")
+    offset = 9
+    weights = np.frombuffer(raw, dtype="<f8", count=k, offset=offset)
+    offset += 8 * k
+    feats = np.frombuffer(raw, dtype="<f4", count=k * dim, offset=offset)
+    return ObjectSignature(
+        feats.astype(np.float64).reshape(k, dim),
+        weights.copy(),
+        object_id=object_id,
+        normalize=False,
+    )
+
+
+def encode_sketches(sketches: np.ndarray) -> bytes:
+    arr = np.atleast_2d(np.asarray(sketches, dtype="<u8"))
+    header = struct.pack("<BII", _SKETCH_V1, arr.shape[0], arr.shape[1])
+    return header + arr.tobytes()
+
+
+def decode_sketches(raw: bytes) -> np.ndarray:
+    version, rows, words = struct.unpack_from("<BII", raw)
+    if version != _SKETCH_V1:
+        raise ValueError(f"unsupported sketch encoding version {version}")
+    flat = np.frombuffer(raw, dtype="<u8", count=rows * words, offset=9)
+    return flat.astype(np.uint64).reshape(rows, words)
+
+
+def encode_attributes(attributes: Dict[str, str]) -> bytes:
+    parts = [struct.pack("<BI", _ATTRS_V1, len(attributes))]
+    for key in sorted(attributes):
+        kb = key.encode("utf-8")
+        vb = attributes[key].encode("utf-8")
+        parts.append(struct.pack("<HI", len(kb), len(vb)))
+        parts.append(kb)
+        parts.append(vb)
+    return b"".join(parts)
+
+
+def decode_attributes(raw: bytes) -> Dict[str, str]:
+    version, count = struct.unpack_from("<BI", raw)
+    if version != _ATTRS_V1:
+        raise ValueError(f"unsupported attribute encoding version {version}")
+    offset = 5
+    out: Dict[str, str] = {}
+    for _ in range(count):
+        klen, vlen = struct.unpack_from("<HI", raw, offset)
+        offset += 6
+        key = raw[offset : offset + klen].decode("utf-8")
+        offset += klen
+        out[key] = raw[offset : offset + vlen].decode("utf-8")
+        offset += vlen
+    return out

@@ -1,0 +1,30 @@
+"""Command-line query interface: line protocol, command processor, TCP
+server and client (section 4.1.4)."""
+
+from .client import ClientError, FerretClient
+from .commands import CommandProcessor
+from .protocol import (
+    Command,
+    ProtocolError,
+    format_error,
+    format_ok,
+    parse_command,
+    quote,
+)
+from .server import FerretServer, serve_background
+from .shell import run_shell
+
+__all__ = [
+    "ClientError",
+    "Command",
+    "CommandProcessor",
+    "FerretClient",
+    "FerretServer",
+    "ProtocolError",
+    "format_error",
+    "format_ok",
+    "parse_command",
+    "quote",
+    "run_shell",
+    "serve_background",
+]

@@ -1,0 +1,118 @@
+"""Client library for the command-line query protocol."""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Tuple
+
+from .protocol import quote
+
+__all__ = ["ClientError", "FerretClient"]
+
+
+class ClientError(RuntimeError):
+    """Server returned an ERR response or the connection broke."""
+
+
+class FerretClient:
+    """Blocking client over one TCP connection.
+
+    Usable as a context manager.  All methods raise :class:`ClientError`
+    on an ``ERR`` response.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    # -- raw protocol ----------------------------------------------------
+    def send(self, line: str) -> List[str]:
+        """Send one command line; returns the response data lines."""
+        self._sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+        header = self._reader.readline()
+        if not header:
+            raise ClientError("connection closed by server")
+        header = header.rstrip("\n")
+        if header.startswith("ERR"):
+            raise ClientError(header[4:] or "unknown server error")
+        if not header.startswith("OK "):
+            raise ClientError(f"malformed response header {header!r}")
+        count = int(header[3:])
+        return [self._reader.readline().rstrip("\n") for _ in range(count)]
+
+    # -- typed helpers -----------------------------------------------------
+    def ping(self) -> bool:
+        return self.send("ping") == ["pong"]
+
+    def count(self) -> int:
+        return int(self.send("count")[0])
+
+    def stat(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for line in self.send("stat"):
+            key, _, value = line.partition(" ")
+            out[key] = value
+        return out
+
+    def query(
+        self,
+        object_id: int,
+        top: int = 10,
+        method: str = "filtering",
+        attr: Optional[str] = None,
+        include_self: bool = False,
+    ) -> List[Tuple[int, float]]:
+        parts = [f"query {object_id} top={top} method={method}"]
+        if attr:
+            parts.append(f"attr={quote(attr)}")
+        if include_self:
+            parts.append("self=yes")
+        lines = self.send(" ".join(parts))
+        results = []
+        for line in lines:
+            oid, _, dist = line.partition(" ")
+            results.append((int(oid), float(dist)))
+        return results
+
+    def attrquery(self, expression: str) -> List[int]:
+        return [int(line) for line in self.send(f"attrquery {quote(expression)}")]
+
+    def query_file(
+        self,
+        path: str,
+        top: int = 10,
+        method: str = "filtering",
+        attr: Optional[str] = None,
+    ) -> List[Tuple[int, float]]:
+        """Similarity search seeded by a file on the server's filesystem."""
+        parts = [f"queryfile {quote(path)} top={top} method={method}"]
+        if attr:
+            parts.append(f"attr={quote(attr)}")
+        results = []
+        for line in self.send(" ".join(parts)):
+            oid, _, dist = line.partition(" ")
+            results.append((int(oid), float(dist)))
+        return results
+
+    def insert_file(self, path: str, attributes: Optional[Dict[str, str]] = None) -> int:
+        parts = [f"insertfile {quote(path)}"]
+        for key, value in (attributes or {}).items():
+            parts.append(f"attr.{key}={quote(value)}")
+        return int(self.send(" ".join(parts))[0])
+
+    def set_param(self, name: str, value: str) -> None:
+        self.send(f"setparam {name} {value}")
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(b"quit\n")
+        except OSError:
+            pass
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "FerretClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

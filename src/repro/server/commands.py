@@ -1,0 +1,218 @@
+"""Command handlers for the query interface.
+
+Supported commands (section 4.1.4's "various parameters including the
+number of results to return, filter parameters, and attributes"):
+
+- ``ping`` — liveness check.
+- ``count`` — number of indexed objects.
+- ``stat`` — engine storage statistics.
+- ``query <object_id> [top=10] [method=filtering] [attr=<expr>]
+  [weights=w1,w2,...]`` — similarity search seeded by an indexed object;
+  ``attr=`` restricts the search to attribute-query matches first, and
+  ``weights=`` overrides the seed's segment weights (the paper's
+  "adjusted weights for feature vectors" query parameter — e.g. to
+  emphasize one image region).
+- ``attrquery <expr>`` — attribute-only search; returns object ids.
+- ``insertfile <path> [attr.key=value ...]`` — ingest a file through the
+  plug-in's segmentation/extraction module.
+- ``queryfile <path> [top=10] [method=filtering] [attr=<expr>]`` —
+  similarity search seeded by an external file (extracted through the
+  plug-in, not inserted).
+- ``attrs <object_id>`` — dump an object's attributes.
+- ``setparam <name> <value>`` — adjust filter parameters live
+  (``num_query_segments``, ``candidates_per_segment``,
+  ``threshold_fraction``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..attrsearch.index import InvertedIndex, MemoryIndex
+from ..attrsearch.query import AttributeSearcher, QueryError
+from ..core.engine import SearchMethod, SimilaritySearchEngine
+from ..core.filtering import FilterParams
+from .protocol import Command, ProtocolError, quote
+
+__all__ = ["CommandProcessor"]
+
+
+class CommandProcessor:
+    """Stateful command dispatcher around one engine."""
+
+    def __init__(
+        self,
+        engine: SimilaritySearchEngine,
+        index: Optional[InvertedIndex] = None,
+        attributes: Optional[Dict[int, Dict[str, str]]] = None,
+    ) -> None:
+        self.engine = engine
+        self.index = index if index is not None else MemoryIndex()
+        self.searcher = AttributeSearcher(self.index)
+        self.attributes: Dict[int, Dict[str, str]] = dict(attributes or {})
+
+    # -- attribute bookkeeping ------------------------------------------
+    def register_attributes(self, object_id: int, attrs: Dict[str, str]) -> None:
+        if attrs:
+            self.attributes[object_id] = dict(attrs)
+            self.index.add(object_id, attrs)
+
+    # -- dispatch ---------------------------------------------------------
+    def execute(self, command: Command) -> List[str]:
+        """Run a command; returns response data lines or raises."""
+        handler = getattr(self, f"_cmd_{command.name}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown command {command.name!r}")
+        return handler(command)
+
+    # -- handlers ----------------------------------------------------------
+    def _cmd_ping(self, command: Command) -> List[str]:
+        return ["pong"]
+
+    def _cmd_count(self, command: Command) -> List[str]:
+        return [str(len(self.engine))]
+
+    def _cmd_stat(self, command: Command) -> List[str]:
+        stats = self.engine.stats()
+        return [
+            f"objects {stats.num_objects}",
+            f"segments {stats.num_segments}",
+            f"feature_bits_per_vector {stats.feature_bits_per_vector}",
+            f"sketch_bits_per_vector {stats.sketch_bits_per_vector}",
+            f"feature_bytes {stats.feature_bytes}",
+            f"sketch_bytes {stats.sketch_bytes}",
+            f"compression_ratio {stats.compression_ratio:.2f}",
+        ]
+
+    def _cmd_query(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError("usage: query <object_id> [top=] [method=] [attr=]")
+        try:
+            object_id = int(command.args[0])
+        except ValueError:
+            raise ProtocolError(f"bad object id {command.args[0]!r}") from None
+        if object_id not in self.engine:
+            raise ProtocolError(f"unknown object {object_id}")
+        top_k = int(command.get("top", "10"))
+        method = SearchMethod.parse(command.get("method", "filtering"))
+        restrict = None
+        attr_expr = command.get("attr")
+        if attr_expr:
+            try:
+                restrict = sorted(self.searcher.search(attr_expr))
+            except QueryError as exc:
+                raise ProtocolError(f"bad attribute query: {exc}") from exc
+        weights_arg = command.get("weights")
+        if weights_arg:
+            from ..core.types import ObjectSignature
+
+            try:
+                weights = [float(w) for w in weights_arg.split(",") if w != ""]
+            except ValueError:
+                raise ProtocolError(f"bad weights {weights_arg!r}") from None
+            seed = self.engine.get_object(object_id)
+            if len(weights) != seed.num_segments:
+                raise ProtocolError(
+                    f"object {object_id} has {seed.num_segments} segments, "
+                    f"got {len(weights)} weights"
+                )
+            try:
+                query = ObjectSignature(
+                    seed.features, weights, object_id=object_id
+                )
+            except ValueError as exc:
+                raise ProtocolError(f"bad weights: {exc}") from exc
+            results = self.engine.query(
+                query,
+                top_k=top_k,
+                method=method,
+                exclude_self=command.get("self", "no") != "yes",
+                restrict_to=restrict,
+            )
+        else:
+            results = self.engine.query_by_id(
+                object_id,
+                top_k=top_k,
+                method=method,
+                exclude_self=command.get("self", "no") != "yes",
+                restrict_to=restrict,
+            )
+        return [f"{r.object_id} {r.distance:.6f}" for r in results]
+
+    def _cmd_attrquery(self, command: Command) -> List[str]:
+        if not command.args:
+            raise ProtocolError("usage: attrquery <expression>")
+        expression = " ".join(command.args)
+        try:
+            ids = sorted(self.searcher.search(expression))
+        except QueryError as exc:
+            raise ProtocolError(f"bad attribute query: {exc}") from exc
+        return [str(i) for i in ids]
+
+    def _cmd_insertfile(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError("usage: insertfile <path> [attr.key=value ...]")
+        attrs = {
+            key[len("attr."):]: value
+            for key, value in command.kwargs
+            if key.startswith("attr.")
+        }
+        try:
+            object_id = self.engine.insert_file(command.args[0], attributes=attrs)
+        except (OSError, NotImplementedError, ValueError) as exc:
+            raise ProtocolError(f"insert failed: {exc}") from exc
+        self.register_attributes(object_id, attrs)
+        return [str(object_id)]
+
+    def _cmd_queryfile(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError("usage: queryfile <path> [top=] [method=] [attr=]")
+        top_k = int(command.get("top", "10"))
+        method = SearchMethod.parse(command.get("method", "filtering"))
+        restrict = None
+        attr_expr = command.get("attr")
+        if attr_expr:
+            try:
+                restrict = sorted(self.searcher.search(attr_expr))
+            except QueryError as exc:
+                raise ProtocolError(f"bad attribute query: {exc}") from exc
+        try:
+            results = self.engine.query_file(
+                command.args[0], top_k=top_k, method=method, restrict_to=restrict
+            )
+        except (OSError, NotImplementedError, ValueError) as exc:
+            raise ProtocolError(f"query failed: {exc}") from exc
+        return [f"{r.object_id} {r.distance:.6f}" for r in results]
+
+    def _cmd_attrs(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError("usage: attrs <object_id>")
+        object_id = int(command.args[0])
+        attrs = self.attributes.get(object_id, {})
+        return [f"{quote(k)}={quote(v)}" for k, v in sorted(attrs.items())]
+
+    def _cmd_setparam(self, command: Command) -> List[str]:
+        if len(command.args) != 2:
+            raise ProtocolError("usage: setparam <name> <value>")
+        name, raw = command.args
+        params = self.engine.filter_params
+        if name == "num_query_segments":
+            updated = FilterParams(
+                int(raw), params.candidates_per_segment,
+                params.threshold_fraction, params.threshold_fn,
+            )
+        elif name == "candidates_per_segment":
+            updated = FilterParams(
+                params.num_query_segments, int(raw),
+                params.threshold_fraction, params.threshold_fn,
+            )
+        elif name == "threshold_fraction":
+            value = None if raw.lower() == "none" else float(raw)
+            updated = FilterParams(
+                params.num_query_segments, params.candidates_per_segment,
+                value, params.threshold_fn,
+            )
+        else:
+            raise ProtocolError(f"unknown parameter {name!r}")
+        self.engine.filter_params = updated
+        return [f"{name}={raw}"]

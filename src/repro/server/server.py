@@ -1,0 +1,96 @@
+"""TCP server exposing the command-line query interface.
+
+"The core components and the data-type specific algorithm
+implementations are linked into a single, concurrent program, while the
+data acquisition and user interface modules interact with the search
+engine either through the function-call level API or remotely via a
+simple network protocol" (section 3).  This is that network endpoint: a
+threading TCP server speaking the line protocol of
+:mod:`repro.server.protocol`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socketserver
+import threading
+from typing import Optional, Sequence
+
+from .commands import CommandProcessor
+from .protocol import ProtocolError, format_error, format_ok, parse_command
+
+__all__ = ["FerretServer", "serve_background", "main"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        processor: CommandProcessor = self.server.processor  # type: ignore[attr-defined]
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            if line.lower() in ("quit", "exit"):
+                self.wfile.write(format_ok(["bye"]).encode("utf-8"))
+                return
+            try:
+                command = parse_command(line)
+                data = processor.execute(command)
+                response = format_ok(data)
+            except ProtocolError as exc:
+                response = format_error(str(exc))
+            except Exception as exc:  # surface engine errors to the client
+                response = format_error(f"{type(exc).__name__}: {exc}")
+            self.wfile.write(response.encode("utf-8"))
+
+
+class FerretServer(socketserver.ThreadingTCPServer):
+    """Threaded query server bound to ``(host, port)``.
+
+    ``port=0`` picks an ephemeral port; read ``server_address`` after
+    construction.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, processor: CommandProcessor, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _Handler)
+        self.processor = processor
+
+
+def serve_background(processor: CommandProcessor, host: str = "127.0.0.1", port: int = 0) -> FerretServer:
+    """Start a server on a daemon thread; returns the bound server."""
+    server = FerretServer(processor, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: serve a synthetic demo engine."""
+    parser = argparse.ArgumentParser(description="Ferret similarity search server")
+    parser.add_argument("--datatype", default="image")
+    parser.add_argument("--size", type=int, default=150)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878)
+    args = parser.parse_args(argv)
+
+    from ..datatypes import build_demo_engine
+
+    engine, _bench = build_demo_engine(args.datatype, size=args.size)
+    processor = CommandProcessor(engine)
+    server = FerretServer(processor, args.host, args.port)
+    host, port = server.server_address
+    print(f"ferret-server: {args.datatype} engine with {len(engine)} objects on {host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Interactive shell for the command-line query interface.
+
+"The command-line query interface allows users to use scripts to quickly
+experiment with different parameters without restarting the server"
+(section 4.1.4).  This is the human end of that workflow: a small REPL
+that forwards lines to a Ferret server (or an in-process processor) and
+pretty-prints responses.  It is also scriptable — pipe a command file to
+stdin, or call :func:`run_shell` with an input stream.
+
+Usage::
+
+    python -m repro.server.shell --host 127.0.0.1 --port 7878
+    echo "query 3 top=5" | python -m repro.server.shell --port 7878
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional, Sequence
+
+from .client import ClientError, FerretClient
+
+__all__ = ["run_shell", "main"]
+
+_HELP = """\
+commands are forwarded to the server verbatim; e.g.:
+  ping                             liveness check
+  count                            number of indexed objects
+  stat                             engine storage statistics
+  query <id> [top=] [method=] [attr=]   similarity search
+  attrquery <expression>           attribute search (AND/OR/NOT, field>num)
+  attrs <id>                       dump an object's attributes
+  setparam <name> <value>          tune filter parameters live
+  insertfile <path> [attr.k=v]     ingest a file
+shell-local: help, quit/exit"""
+
+
+def run_shell(
+    backend: "object",
+    stdin: IO[str],
+    stdout: IO[str],
+    prompt: str = "ferret> ",
+    interactive: bool = True,
+) -> int:
+    """Drive the REPL over ``backend`` (anything with ``send(line)``).
+
+    Returns the number of commands that produced an error — scripts can
+    use it as an exit code.
+    """
+    errors = 0
+    while True:
+        if interactive:
+            stdout.write(prompt)
+            stdout.flush()
+        line = stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower() in ("quit", "exit"):
+            break
+        if line.lower() == "help":
+            stdout.write(_HELP + "\n")
+            continue
+        try:
+            for row in backend.send(line):
+                stdout.write(row + "\n")
+        except ClientError as exc:
+            errors += 1
+            stdout.write(f"error: {exc}\n")
+        except (BrokenPipeError, ConnectionError) as exc:
+            stdout.write(f"connection lost: {exc}\n")
+            return errors + 1
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Ferret interactive shell")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878)
+    args = parser.parse_args(argv)
+    try:
+        client = FerretClient(args.host, args.port)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        errors = run_shell(
+            client, sys.stdin, sys.stdout, interactive=sys.stdin.isatty()
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the embedded storage engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "StorageError",
+    "CorruptionError",
+    "KeyTooLargeError",
+    "TransactionError",
+    "StoreClosedError",
+]
+
+
+class StorageError(Exception):
+    """Base class for all storage-engine failures."""
+
+
+class CorruptionError(StorageError):
+    """A page, WAL record, or meta block failed its checksum or framing."""
+
+
+class KeyTooLargeError(StorageError):
+    """A key exceeds the maximum size a B-tree node can host."""
+
+
+class TransactionError(StorageError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class StoreClosedError(StorageError):
+    """Operation attempted on a closed store."""

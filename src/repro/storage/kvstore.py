@@ -1,0 +1,284 @@
+"""Transactional embedded key-value store — the Berkeley DB substitute.
+
+A :class:`KVStore` is a directory holding one page file (``data.db``)
+and the current WAL segment.  It exposes named B-trees ("tables" in the
+paper's metadata manager), transactions protecting multi-tree updates,
+periodic checkpointing, and automatic crash recovery on open.
+
+Durability model (matching section 4.1.3): commits are logged to the WAL
+with a relaxed fsync policy; checkpoints make the B-trees durable via
+shadow paging and truncate the log.  After a crash the store recovers to
+a consistent state containing every checkpointed update plus all
+WAL-complete committed transactions.
+
+Concurrency: operations are serialized by a reentrant store lock.  The
+toolkit's workloads are read-heavy scans plus occasional ingest bursts,
+for which coarse locking is both correct and, in CPython, as fast as
+anything finer-grained.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .btree import BTree
+from .errors import StoreClosedError, StorageError
+from .pager import DEFAULT_PAGE_SIZE, Pager
+from .recovery import RecoveryReport, replay_segment
+from .transaction import TOMBSTONE, Transaction
+from .wal import REC_DELETE, REC_PUT, WalRecord, WriteAheadLog
+
+__all__ = ["KVStore"]
+
+_CATALOG = "__catalog__"
+
+
+class KVStore:
+    """Open (creating if necessary) the store in ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        Store location; created if missing.
+    page_size:
+        Page size for a newly created store (existing stores keep theirs).
+    sync_policy / sync_batch:
+        WAL fsync policy: ``"commit"`` (fsync every commit), ``"batch"``
+        (every ``sync_batch`` commits — the paper's relaxed mode), or
+        ``"none"``.
+    auto_checkpoint_ops:
+        Checkpoint automatically after this many committed operations;
+        ``0`` disables (checkpoint explicitly or on close).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        sync_policy: str = "batch",
+        sync_batch: int = 16,
+        auto_checkpoint_ops: int = 10000,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self._lock = threading.RLock()
+        self._closed = False
+        self._pager = Pager(os.path.join(directory, "data.db"), page_size)
+        self._epoch = self._pager.meta.checkpoint_id + 1
+        self._trees: Dict[str, BTree] = {}
+        self._catalog = self._open_tree_at(self._pager.meta.catalog_root)
+        self._load_catalog()
+        self._wal = WriteAheadLog(
+            directory, self._pager.meta.wal_seq, sync_policy, sync_batch
+        )
+        self.last_recovery: Optional[RecoveryReport] = None
+        self._next_txid = 1
+        self._ops_since_checkpoint = 0
+        self.auto_checkpoint_ops = auto_checkpoint_ops
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Setup / recovery
+    # ------------------------------------------------------------------
+    def _open_tree_at(self, root: int) -> BTree:
+        tree = BTree(self._pager, root)
+        tree.begin_epoch(self._epoch)
+        return tree
+
+    def _load_catalog(self) -> None:
+        for name_b, root_b in self._catalog.items():
+            root = int.from_bytes(root_b, "little", signed=True)
+            self._trees[name_b.decode("utf-8")] = self._open_tree_at(root)
+
+    def _recover(self) -> None:
+        path = self._wal.segment_path(self._pager.meta.wal_seq)
+        report = replay_segment(
+            path,
+            apply_put=lambda tree, k, v: self._tree(tree).put(k, v),
+            apply_delete=lambda tree, k: self._tree(tree).delete(k),
+        )
+        self.last_recovery = report
+        self._next_txid = report.max_txid + 1
+        if report.operations_applied:
+            # Make the recovered state durable immediately so a second
+            # crash cannot double the window of vulnerability.
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Tree access
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+
+    def _tree(self, name: str) -> BTree:
+        if name == _CATALOG:
+            raise StorageError("reserved tree name")
+        tree = self._trees.get(name)
+        if tree is None:
+            tree = self._open_tree_at(-1)
+            self._trees[name] = tree
+        return tree
+
+    def tree_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._trees)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, tree: str, key: bytes) -> Optional[bytes]:
+        with self._lock:
+            self._check_open()
+            return self._tree(tree).get(key)
+
+    def items(
+        self,
+        tree: str,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        prefix: Optional[bytes] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[bytes, bytes]]:
+        """Materialized ordered scan (a snapshot under the store lock).
+
+        ``limit`` bounds the number of returned pairs, enabling paged
+        scans over tables larger than memory (iteration stops as soon as
+        the bound is hit; it does not materialize the rest).
+        """
+        with self._lock:
+            self._check_open()
+            iterator = self._tree(tree).items(start=start, end=end, prefix=prefix)
+            if limit is None:
+                return list(iterator)
+            return list(itertools.islice(iterator, max(0, limit)))
+
+    def count(self, tree: str) -> int:
+        with self._lock:
+            self._check_open()
+            return len(self._tree(tree))
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        with self._lock:
+            self._check_open()
+            txn = Transaction(self, self._next_txid)
+            self._next_txid += 1
+            return txn
+
+    def put(self, tree: str, key: bytes, value: bytes) -> None:
+        """Autocommit single put."""
+        with self.begin() as txn:
+            txn.put(tree, key, value)
+
+    def delete(self, tree: str, key: bytes) -> None:
+        """Autocommit single delete."""
+        with self.begin() as txn:
+            txn.delete(tree, key)
+
+    def _commit_transaction(self, txn: Transaction) -> None:
+        with self._lock:
+            self._check_open()
+            records = []
+            for tree, key, value in txn.pending_writes():
+                if value is TOMBSTONE:
+                    records.append(WalRecord(REC_DELETE, txn.txid, tree, key))
+                else:
+                    records.append(
+                        WalRecord(REC_PUT, txn.txid, tree, key, value)  # type: ignore[arg-type]
+                    )
+            if not records:
+                return
+            # WAL first (write-ahead), then the in-memory trees.
+            self._wal.append_transaction(txn.txid, records)
+            for record in records:
+                target = self._tree(record.tree)
+                if record.rec_type == REC_PUT:
+                    target.put(record.key, record.value)
+                else:
+                    target.delete(record.key)
+            self._ops_since_checkpoint += len(records)
+            if (
+                self.auto_checkpoint_ops
+                and self._ops_since_checkpoint >= self.auto_checkpoint_ops
+            ):
+                self.checkpoint()
+
+    def drop_tree(self, tree: str) -> int:
+        """Delete every key of a tree; returns how many were removed.
+
+        Implemented as logged deletions (one transaction per batch), so
+        the drop is crash-safe like any other write: a crash mid-drop
+        recovers to a prefix of the batches.
+        """
+        removed = 0
+        with self._lock:
+            self._check_open()
+            while True:
+                batch = [k for k, _v in self.items(tree, limit=512)]
+                if not batch:
+                    break
+                with self.begin() as txn:
+                    for key in batch:
+                        txn.delete(tree, key)
+                removed += len(batch)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Flush all trees to the page file, flip meta, truncate the WAL."""
+        with self._lock:
+            self._check_open()
+            for name, tree in self._trees.items():
+                self._catalog.put(
+                    name.encode("utf-8"), tree.root.to_bytes(8, "little", signed=True)
+                )
+            new_seq = self._pager.meta.wal_seq + 1
+            self._pager.commit_checkpoint(self._catalog.root, new_seq)
+            self._wal.rotate(new_seq)
+            self._epoch = self._pager.meta.checkpoint_id + 1
+            self._catalog.begin_epoch(self._epoch)
+            for tree in self._trees.values():
+                tree.begin_epoch(self._epoch)
+            self._ops_since_checkpoint = 0
+
+    def close(self, checkpoint: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if checkpoint:
+                self.checkpoint()
+            self._wal.close()
+            self._pager.close()
+            self._closed = True
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_id(self) -> int:
+        return self._pager.meta.checkpoint_id
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "trees": len(self._trees),
+                "checkpoint_id": self._pager.meta.checkpoint_id,
+                "next_page_id": self._pager.meta.next_page_id,
+                "free_pages": len(self._pager.free_list),
+                "pending_free_pages": len(self._pager.pending_free),
+                "ops_since_checkpoint": self._ops_since_checkpoint,
+            }

@@ -1,0 +1,96 @@
+"""Transactions: buffered write sets with read-your-writes semantics.
+
+The store runs a no-steal / no-force protocol: a transaction's writes
+live in its private buffer until commit, at which point they are logged
+to the WAL and applied to the shared B-trees under the store's commit
+lock.  Aborting is therefore free (drop the buffer), and recovery never
+has to undo anything — only redo committed transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Optional, Tuple
+
+from .errors import TransactionError
+
+__all__ = ["TxnState", "Transaction", "TOMBSTONE"]
+
+# Sentinel distinguishing "deleted in this txn" from "not written".
+TOMBSTONE = object()
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """Handle returned by ``KVStore.begin()``.
+
+    Usable as a context manager: commits on clean exit, aborts if the
+    block raises.
+    """
+
+    def __init__(self, store: "object", txid: int) -> None:
+        self._store = store
+        self.txid = txid
+        self.state = TxnState.ACTIVE
+        # tree name -> key -> value bytes or TOMBSTONE
+        self._writes: Dict[str, Dict[bytes, object]] = {}
+
+    # -- buffered operations --------------------------------------------
+    def _check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(f"transaction {self.txid} is {self.state.value}")
+
+    def put(self, tree: str, key: bytes, value: bytes) -> None:
+        self._check_active()
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("keys and values must be bytes")
+        self._writes.setdefault(tree, {})[key] = value
+
+    def delete(self, tree: str, key: bytes) -> None:
+        self._check_active()
+        self._writes.setdefault(tree, {})[key] = TOMBSTONE
+
+    def get(self, tree: str, key: bytes) -> Optional[bytes]:
+        """Read-your-writes lookup: own buffer first, then committed state."""
+        self._check_active()
+        buffered = self._writes.get(tree, {})
+        if key in buffered:
+            value = buffered[key]
+            return None if value is TOMBSTONE else value  # type: ignore[return-value]
+        return self._store.get(tree, key)
+
+    def pending_writes(self) -> Iterator[Tuple[str, bytes, object]]:
+        """Yield ``(tree, key, value-or-TOMBSTONE)`` in deterministic order."""
+        for tree in sorted(self._writes):
+            for key in sorted(self._writes[tree]):
+                yield tree, key, self._writes[tree][key]
+
+    @property
+    def num_writes(self) -> int:
+        return sum(len(w) for w in self._writes.values())
+
+    # -- lifecycle -------------------------------------------------------
+    def commit(self) -> None:
+        self._check_active()
+        self._store._commit_transaction(self)
+        self.state = TxnState.COMMITTED
+
+    def abort(self) -> None:
+        self._check_active()
+        self._writes.clear()
+        self.state = TxnState.ABORTED
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()

@@ -1,0 +1,32 @@
+"""Customizable web interface over the command-line protocol (section 4.3)."""
+
+from .renderers import (
+    heatstrip_svg,
+    make_audio_renderer,
+    make_genomic_renderer,
+    make_image_renderer,
+    make_sensor_renderer,
+    make_video_renderer,
+    sparkline_svg,
+    swatch_svg,
+)
+from .views import ResultRenderer, render_home, render_page, render_results
+from .webserver import FerretWebServer, WebApp, serve_web_background
+
+__all__ = [
+    "FerretWebServer",
+    "heatstrip_svg",
+    "make_audio_renderer",
+    "make_genomic_renderer",
+    "make_image_renderer",
+    "make_sensor_renderer",
+    "make_video_renderer",
+    "sparkline_svg",
+    "swatch_svg",
+    "ResultRenderer",
+    "WebApp",
+    "render_home",
+    "render_page",
+    "render_results",
+    "serve_web_background",
+]

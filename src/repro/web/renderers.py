@@ -1,0 +1,142 @@
+"""Data-type specific result renderers for the web interface.
+
+The paper's web UIs show per-type previews: wave-form/MFCC curves for
+audio results (Figure 12), colored expression strips for genes
+(Figure 13), thumbnails for images (Figures 10-11).  These helpers
+produce small inline SVGs from the stored feature vectors — no image
+files needed — and plug into :class:`repro.web.views.ResultRenderer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.engine import SimilaritySearchEngine
+
+__all__ = [
+    "sparkline_svg",
+    "heatstrip_svg",
+    "swatch_svg",
+    "make_audio_renderer",
+    "make_genomic_renderer",
+    "make_image_renderer",
+    "make_sensor_renderer",
+    "make_video_renderer",
+]
+
+
+def sparkline_svg(
+    values: np.ndarray, width: int = 120, height: int = 28, color: str = "#2266aa"
+) -> str:
+    """A polyline sparkline of a 1-D series."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size < 2:
+        values = np.zeros(2)
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    xs = np.linspace(1, width - 1, len(values))
+    ys = height - 2 - (values - lo) / span * (height - 4)
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" stroke="{color}" '
+        'stroke-width="1.5"/></svg>'
+    )
+
+
+def heatstrip_svg(
+    values: np.ndarray, width: int = 160, height: int = 14
+) -> str:
+    """A red/green expression strip (negative = green, positive = red),
+    like the microarray visualizations of the paper's Figure 13."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return ""
+    scale = max(float(np.abs(values).max()), 1e-9)
+    cell_w = width / len(values)
+    cells = []
+    for i, v in enumerate(values):
+        intensity = int(200 * min(abs(v) / scale, 1.0)) + 30
+        color = (
+            f"rgb({intensity},20,20)" if v >= 0 else f"rgb(20,{intensity},20)"
+        )
+        cells.append(
+            f'<rect x="{i * cell_w:.1f}" y="0" width="{cell_w + 0.5:.1f}" '
+            f'height="{height}" fill="{color}"/>'
+        )
+    return f'<svg width="{width}" height="{height}">{"".join(cells)}</svg>'
+
+
+def swatch_svg(colors: np.ndarray, size: int = 18) -> str:
+    """Color swatches of an image's segment mean colors (a cheap
+    thumbnail substitute built from the 14-dim features)."""
+    cells = []
+    for i, rgb in enumerate(np.atleast_2d(colors)):
+        r, g, b = (int(255 * float(np.clip(c, 0, 1))) for c in rgb[:3])
+        cells.append(
+            f'<rect x="{i * size}" y="0" width="{size}" height="{size}" '
+            f'fill="rgb({r},{g},{b})"/>'
+        )
+    width = size * max(1, np.atleast_2d(colors).shape[0])
+    return f'<svg width="{width}" height="{size}">{"".join(cells)}</svg>'
+
+
+def make_audio_renderer(engine: SimilaritySearchEngine) -> Callable:
+    """Audio preview: the first MFCC coefficient across windows of the
+    highest-weight segment (the paper's Figure 12 plots MFCC curves)."""
+
+    def render(object_id: int, distance: float, attrs: Dict[str, str]) -> str:
+        obj = engine.get_object(object_id)
+        top = obj.top_segments(1)[0]
+        # features are (windows x coeffs) flattened; take coefficient 0
+        curve = obj.features[top].reshape(-1, 6)[:, 0]
+        return sparkline_svg(curve)
+
+    return render
+
+
+def make_genomic_renderer(engine: SimilaritySearchEngine) -> Callable:
+    """Gene preview: the expression profile as a red/green strip."""
+
+    def render(object_id: int, distance: float, attrs: Dict[str, str]) -> str:
+        obj = engine.get_object(object_id)
+        return heatstrip_svg(obj.features[0])
+
+    return render
+
+
+def make_sensor_renderer(engine: SimilaritySearchEngine) -> Callable:
+    """Sensor preview: sparkline of per-episode RMS energy (channel 0
+    feature index 2), heaviest episodes first."""
+
+    def render(object_id: int, distance: float, attrs: Dict[str, str]) -> str:
+        obj = engine.get_object(object_id)
+        order = obj.top_segments(obj.num_segments)
+        return sparkline_svg(obj.features[order, 2], color="#22772a")
+
+    return render
+
+
+def make_video_renderer(engine: SimilaritySearchEngine) -> Callable:
+    """Video preview: one keyframe mean-color swatch per shot, in shot
+    weight order (a storyboard strip)."""
+
+    def render(object_id: int, distance: float, attrs: Dict[str, str]) -> str:
+        obj = engine.get_object(object_id)
+        order = obj.top_segments(min(8, obj.num_segments))
+        return swatch_svg(obj.features[order, :3])
+
+    return render
+
+
+def make_image_renderer(engine: SimilaritySearchEngine) -> Callable:
+    """Image preview: per-segment mean-color swatches, heaviest first."""
+
+    def render(object_id: int, distance: float, attrs: Dict[str, str]) -> str:
+        obj = engine.get_object(object_id)
+        order = obj.top_segments(min(6, obj.num_segments))
+        return swatch_svg(obj.features[order, :3])
+
+    return render

@@ -1,0 +1,102 @@
+"""HTML rendering for the web interface.
+
+The paper's web UI shares "the majority of the code ... across different
+application types" with an isolated "application-specific presentation
+part".  Here the shared part is page layout + tables; the per-type part
+is a result-renderer callable that turns ``(object_id, distance,
+attributes)`` into an extra HTML cell (e.g. a waveform sketch or gene
+link).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ResultRenderer", "render_page", "render_results", "render_home"]
+
+ResultRenderer = Callable[[int, float, Dict[str, str]], str]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { border: 1px solid #bbb; padding: 4px 10px; text-align: left; }
+th { background: #eee; }
+form { margin: 0.6em 0; }
+input[type=text] { width: 24em; }
+.err { color: #a00; font-weight: bold; }
+"""
+
+
+def render_page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html><html><head>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_STYLE}</style>"
+        "</head><body>"
+        f"<h1>{html.escape(title)}</h1>{body}</body></html>"
+    )
+
+
+def render_home(
+    title: str, count: int, stats: Dict[str, str], message: str = ""
+) -> str:
+    stat_rows = "".join(
+        f"<tr><td>{html.escape(k)}</td><td>{html.escape(str(v))}</td></tr>"
+        for k, v in stats.items()
+    )
+    body = f"""
+{f'<p class="err">{html.escape(message)}</p>' if message else ''}
+<p>{count} objects indexed.</p>
+<h2>Similarity search</h2>
+<form action="/query" method="get">
+  Seed object id: <input type="text" name="id" size="8">
+  Results: <input type="text" name="top" value="10" size="4">
+  Method: <select name="method">
+    <option value="filtering">filtering</option>
+    <option value="brute_force_sketch">brute_force_sketch</option>
+    <option value="brute_force_original">brute_force_original</option>
+  </select>
+  Attribute filter: <input type="text" name="attr" size="24">
+  <input type="submit" value="Search">
+</form>
+<h2>Attribute search</h2>
+<form action="/attrquery" method="get">
+  Query: <input type="text" name="q">
+  <input type="submit" value="Search">
+</form>
+<h2>Engine statistics</h2>
+<table><tr><th>stat</th><th>value</th></tr>{stat_rows}</table>
+"""
+    return render_page(title, body)
+
+
+def render_results(
+    title: str,
+    query_description: str,
+    rows: List[Tuple[int, float, Dict[str, str]]],
+    renderer: Optional[ResultRenderer] = None,
+) -> str:
+    header = "<tr><th>rank</th><th>object</th><th>distance</th><th>attributes</th>"
+    if renderer is not None:
+        header += "<th>preview</th>"
+    header += "</tr>"
+    body_rows = []
+    for rank, (object_id, distance, attrs) in enumerate(rows, start=1):
+        attr_text = ", ".join(
+            f"{html.escape(k)}={html.escape(v)}" for k, v in sorted(attrs.items())
+        )
+        cells = (
+            f"<td>{rank}</td>"
+            f'<td><a href="/query?id={object_id}">{object_id}</a></td>'
+            f"<td>{distance:.4f}</td><td>{attr_text}</td>"
+        )
+        if renderer is not None:
+            cells += f"<td>{renderer(object_id, distance, attrs)}</td>"
+        body_rows.append(f"<tr>{cells}</tr>")
+    body = (
+        f"<p>{html.escape(query_description)}</p>"
+        f'<p><a href="/">back</a></p>'
+        f"<table>{header}{''.join(body_rows)}</table>"
+    )
+    return render_page(title, body)

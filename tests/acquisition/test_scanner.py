@@ -1,0 +1,147 @@
+"""Tests for the directory-scan data acquisition component."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.acquisition import DirectoryScanner
+
+
+def _make_engine():
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+
+    def extract(path):
+        return ObjectSignature(np.load(path), [1.0, 1.0])
+
+    plugin = DataTypePlugin("npy", meta, seg_extract=extract)
+    return SimilaritySearchEngine(plugin, SketchParams(64, meta, seed=0))
+
+
+def _write(directory, name, rng):
+    path = os.path.join(directory, name)
+    np.save(path, rng.random((2, 4)))
+    return path + ".npy" if not path.endswith(".npy") else path
+
+
+class TestScanOnce:
+    def test_two_pass_import(self, tmp_path):
+        """First pass records sizes, second pass imports stable files."""
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path), extensions=(".npy",))
+        rng = np.random.default_rng(0)
+        _write(str(tmp_path), "a", rng)
+        _write(str(tmp_path), "b", rng)
+        first = scanner.scan_once()
+        assert first.num_imported == 0
+        assert len(first.skipped_unstable) == 2
+        second = scanner.scan_once()
+        assert second.num_imported == 2
+        assert len(engine) == 2
+
+    def test_no_reimport(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path))
+        rng = np.random.default_rng(1)
+        _write(str(tmp_path), "a", rng)
+        scanner.scan_once()
+        scanner.scan_once()
+        third = scanner.scan_once()
+        assert third.num_imported == 0
+        assert len(engine) == 1
+
+    def test_growing_file_waits(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path))
+        rng = np.random.default_rng(2)
+        path = _write(str(tmp_path), "grow", rng)
+        scanner.scan_once()  # records size
+        with open(path, "ab") as fh:  # file grows between scans
+            fh.write(b"\0" * 10)
+        report = scanner.scan_once()
+        assert report.num_imported == 0  # size changed: still unstable
+
+    def test_extension_filter(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path), extensions=(".npy",))
+        with open(tmp_path / "readme.txt", "w") as fh:
+            fh.write("not data")
+        scanner.scan_once()
+        report = scanner.scan_once()
+        assert report.num_imported == 0
+
+    def test_failed_import_reported(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path))
+        bad = tmp_path / "bad.npy"
+        with open(bad, "wb") as fh:
+            fh.write(b"this is not a npy file")
+        scanner.scan_once()
+        report = scanner.scan_once()
+        assert str(bad) in report.failed
+        assert len(engine) == 0
+
+    def test_attribute_fn_applied(self, tmp_path):
+        engine = _make_engine()
+        seen = {}
+        scanner = DirectoryScanner(
+            engine, str(tmp_path),
+            attribute_fn=lambda p: {"file": os.path.basename(p)},
+        )
+        scanner.on_import = lambda path, oid: seen.update({path: oid})
+        rng = np.random.default_rng(3)
+        _write(str(tmp_path), "tagged", rng)
+        scanner.scan_once()
+        scanner.scan_once()
+        assert len(seen) == 1
+
+    def test_missing_directory_is_empty_scan(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path / "ghost"))
+        report = scanner.scan_once()
+        assert report.num_imported == 0
+
+    def test_recursive_scan(self, tmp_path):
+        engine = _make_engine()
+        sub = tmp_path / "nested"
+        sub.mkdir()
+        rng = np.random.default_rng(4)
+        _write(str(sub), "deep", rng)
+        flat = DirectoryScanner(engine, str(tmp_path))
+        flat.scan_once()
+        assert flat.scan_once().num_imported == 0
+        deep = DirectoryScanner(engine, str(tmp_path), recursive=True)
+        deep.scan_once()
+        assert deep.scan_once().num_imported == 1
+
+
+class TestBackgroundPolling:
+    def test_start_stop(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path))
+        rng = np.random.default_rng(5)
+        _write(str(tmp_path), "bg", rng)
+        scanner.start(interval=0.05)
+        deadline = time.time() + 5.0
+        while len(engine) < 1 and time.time() < deadline:
+            time.sleep(0.05)
+        scanner.stop()
+        assert len(engine) == 1
+
+    def test_double_start_rejected(self, tmp_path):
+        engine = _make_engine()
+        scanner = DirectoryScanner(engine, str(tmp_path))
+        scanner.start(interval=10)
+        try:
+            with pytest.raises(RuntimeError):
+                scanner.start(interval=10)
+        finally:
+            scanner.stop()

@@ -1,0 +1,147 @@
+"""Tests for attribute-based search: analyzer, indexes, query language."""
+
+import pytest
+
+from repro.attrsearch import (
+    AttributeSearcher,
+    MemoryIndex,
+    PersistentIndex,
+    QueryError,
+    analyze_attributes,
+    parse_query,
+    tokenize,
+)
+from repro.storage import KVStore
+
+
+class TestTokenize:
+    def test_lowercase_and_split(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_punctuation_split(self):
+        assert tokenize("dog.jpg,corel-2004") == ["dog", "jpg", "corel", "2004"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("a dog in the park") == ["dog", "park"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("the and of") == []
+
+
+class TestAnalyzeAttributes:
+    def test_bare_and_qualified_terms(self):
+        terms = analyze_attributes({"category": "Dog Park"})
+        assert "dog" in terms
+        assert "park" in terms
+        assert "category:dog" in terms
+        assert "category:park" in terms
+
+    def test_field_lowercased(self):
+        terms = analyze_attributes({"Category": "X"})
+        assert "category:x" in terms
+
+
+def _make_indexes(tmp_path):
+    store = KVStore(str(tmp_path / "idx"))
+    return [MemoryIndex(), PersistentIndex(store)], store
+
+
+class TestIndexes:
+    """Behavioral contract shared by both index implementations."""
+
+    def test_add_lookup_remove(self, tmp_path):
+        indexes, store = _make_indexes(tmp_path)
+        for index in indexes:
+            index.add(1, {"kind": "dog"})
+            index.add(2, {"kind": "cat"})
+            assert index.lookup("dog") == {1}
+            assert index.lookup("kind:cat") == {2}
+            assert index.all_ids() == {1, 2}
+            index.remove(1, {"kind": "dog"})
+            assert index.lookup("dog") == set()
+            assert index.all_ids() == {2}
+        store.close()
+
+    def test_lookup_case_insensitive(self, tmp_path):
+        indexes, store = _make_indexes(tmp_path)
+        for index in indexes:
+            index.add(1, {"kind": "Dog"})
+            assert index.lookup("DOG") == {1}
+        store.close()
+
+    def test_multiple_objects_per_term(self, tmp_path):
+        indexes, store = _make_indexes(tmp_path)
+        for index in indexes:
+            for oid in range(5):
+                index.add(oid, {"tag": "shared"})
+            assert index.lookup("shared") == set(range(5))
+        store.close()
+
+    def test_persistent_index_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "pidx")
+        store = KVStore(path)
+        index = PersistentIndex(store)
+        index.add(1, {"kind": "dog"})
+        store.close()
+        store = KVStore(path)
+        index = PersistentIndex(store)
+        assert index.lookup("dog") == {1}
+        assert index.all_ids() == {1}
+        store.close()
+
+
+class TestQueryParser:
+    def _index(self):
+        index = MemoryIndex()
+        index.add(1, {"kind": "dog", "collection": "corel"})
+        index.add(2, {"kind": "cat", "collection": "corel"})
+        index.add(3, {"kind": "dog", "collection": "web"})
+        index.add(4, {"kind": "sunset beach"})
+        return index
+
+    def search(self, expr):
+        return AttributeSearcher(self._index()).search(expr)
+
+    def test_single_term(self):
+        assert self.search("dog") == {1, 3}
+
+    def test_field_qualified(self):
+        assert self.search("collection:corel") == {1, 2}
+
+    def test_implicit_and(self):
+        assert self.search("dog corel") == {1}
+
+    def test_explicit_and(self):
+        assert self.search("dog AND corel") == {1}
+
+    def test_or(self):
+        assert self.search("cat OR sunset") == {2, 4}
+
+    def test_not(self):
+        assert self.search("NOT dog") == {2, 4}
+
+    def test_and_not(self):
+        assert self.search("corel NOT cat") == {1}
+
+    def test_parentheses(self):
+        assert self.search("(cat OR dog) AND corel") == {1, 2}
+
+    def test_nested_not(self):
+        assert self.search("NOT NOT dog") == {1, 3}
+
+    def test_no_match(self):
+        assert self.search("zebra") == set()
+
+    def test_case_insensitive_keywords(self):
+        assert self.search("cat or sunset") == {2, 4}
+        assert self.search("dog and corel") == {1}
+
+    @pytest.mark.parametrize("bad", ["", "AND dog", "dog AND", "(dog", "dog)", "()"])
+    def test_malformed_queries(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad) if bad else parse_query(bad)
+
+    def test_repr_smoke(self):
+        node = parse_query("(a OR b) AND NOT c")
+        assert "Or" in repr(node) and "Not" in repr(node)

@@ -1,0 +1,149 @@
+"""Tests for numeric attribute indexing and range queries."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attrsearch import AttributeSearcher, MemoryIndex, PersistentIndex, QueryError, parse_query
+from repro.attrsearch.numeric import (
+    MemoryNumericIndex,
+    PersistentNumericIndex,
+    decode_sortable_float,
+    encode_sortable_float,
+    parse_number,
+)
+from repro.storage import KVStore
+
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestSortableFloatEncoding:
+    def test_roundtrip(self):
+        for value in (0.0, -0.0, 1.5, -1.5, 1e300, -1e300, 1e-300, 42.0):
+            assert decode_sortable_float(encode_sortable_float(value)) == value
+
+    def test_order_preserving_known(self):
+        values = [-1e10, -3.5, -1.0, -1e-10, 0.0, 1e-10, 2.0, 7.25, 1e10]
+        encoded = [encode_sortable_float(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            encode_sortable_float(float("nan"))
+
+    @settings(max_examples=300)
+    @given(_finite, _finite)
+    def test_property_order_preserving(self, a, b):
+        ea, eb = encode_sortable_float(a), encode_sortable_float(b)
+        if a < b:
+            assert ea < eb
+        elif a > b:
+            assert ea > eb
+
+    @settings(max_examples=100)
+    @given(_finite)
+    def test_property_roundtrip(self, value):
+        assert decode_sortable_float(encode_sortable_float(value)) == value
+
+
+class TestParseNumber:
+    def test_accepts_numbers(self):
+        assert parse_number("42") == 42.0
+        assert parse_number("-3.5") == -3.5
+        assert parse_number(" 1e3 ") == 1000.0
+
+    def test_rejects_non_numbers(self):
+        assert parse_number("dog") is None
+        assert parse_number("") is None
+        assert parse_number("nan") is None
+        assert parse_number("inf") is None
+
+
+def _make_numeric_indexes(tmp_path):
+    store = KVStore(str(tmp_path / "nidx"))
+    return [MemoryNumericIndex(), PersistentNumericIndex(store)], store
+
+
+class TestNumericIndexes:
+    def test_range_lookup_both_backends(self, tmp_path):
+        indexes, store = _make_numeric_indexes(tmp_path)
+        for index in indexes:
+            for oid, year in ((1, "2003"), (2, "2005"), (3, "2007"), (4, "no")):
+                index.add(oid, {"year": year})
+            assert index.range_lookup("year", 2004, 2008) == {2, 3}
+            assert index.range_lookup("year", 2003, 2003) == {1}
+            assert index.range_lookup("year", 2003, 2005, include_low=False) == {2}
+            assert index.range_lookup("year", 2003, 2005, include_high=False) == {1}
+            assert index.range_lookup("year", -math.inf, math.inf) == {1, 2, 3}
+            assert index.range_lookup("other", 0, 10) == set()
+        store.close()
+
+    def test_remove_both_backends(self, tmp_path):
+        indexes, store = _make_numeric_indexes(tmp_path)
+        for index in indexes:
+            index.add(1, {"size": "10"})
+            index.add(2, {"size": "20"})
+            index.remove(1, {"size": "10"})
+            assert index.range_lookup("size", 0, 100) == {2}
+        store.close()
+
+    def test_negative_values(self, tmp_path):
+        indexes, store = _make_numeric_indexes(tmp_path)
+        for index in indexes:
+            for oid, temp in ((1, "-40"), (2, "-10.5"), (3, "0"), (4, "25")):
+                index.add(oid, {"temp": temp})
+            assert index.range_lookup("temp", -50, -5) == {1, 2}
+            assert index.range_lookup("temp", -10.5, 0) == {2, 3}
+        store.close()
+
+    def test_persistent_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "p")
+        store = KVStore(path)
+        PersistentNumericIndex(store).add(1, {"lat": "40.5"})
+        store.close()
+        store = KVStore(path)
+        assert PersistentNumericIndex(store).range_lookup("lat", 40, 41) == {1}
+        store.close()
+
+
+class TestRangeQueryLanguage:
+    def _searcher(self):
+        index = MemoryIndex()
+        index.add(1, {"name": "alpha", "year": "2003", "size": "12"})
+        index.add(2, {"name": "beta", "year": "2005", "size": "90"})
+        index.add(3, {"name": "gamma", "year": "2007", "size": "55"})
+        return AttributeSearcher(index)
+
+    def test_comparisons(self):
+        s = self._searcher()
+        assert s.search("year>2004") == {2, 3}
+        assert s.search("year>=2005") == {2, 3}
+        assert s.search("year<2005") == {1}
+        assert s.search("year<=2005") == {1, 2}
+        assert s.search("year=2007") == {3}
+
+    def test_dotdot_range(self):
+        s = self._searcher()
+        assert s.search("size:10..60") == {1, 3}
+
+    def test_combined_with_keywords(self):
+        s = self._searcher()
+        assert s.search("year>2003 AND NOT name:gamma") == {2}
+        assert s.search("name:alpha OR size>80") == {1, 2}
+
+    def test_bad_comparison_value(self):
+        with pytest.raises(QueryError):
+            parse_query("year>dog")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("size:9..3")
+
+    def test_range_repr(self):
+        node = parse_query("size:1..5")
+        assert "Range" in repr(node)
+
+    def test_keyword_colon_terms_still_work(self):
+        s = self._searcher()
+        assert s.search("name:beta") == {2}

@@ -1,0 +1,63 @@
+"""Shared fixtures: small cached benchmarks so expensive generation
+(rendering, synthesis, SH descriptors) happens once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureMeta, ObjectSignature
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def unit_meta():
+    """8-dim unit-cube feature space."""
+    return FeatureMeta(8, np.zeros(8), np.ones(8))
+
+
+def random_signature(rng, k, dim=8, object_id=None):
+    return ObjectSignature(
+        rng.random((k, dim)), rng.random(k) + 0.1, object_id=object_id
+    )
+
+
+@pytest.fixture(scope="session")
+def image_benchmark():
+    from repro.datatypes.image import generate_image_benchmark
+
+    return generate_image_benchmark(
+        num_sets=6, set_size=4, num_distractors=40, image_size=40, seed=99
+    )
+
+
+@pytest.fixture(scope="session")
+def audio_benchmark():
+    from repro.datatypes.audio import generate_audio_benchmark
+
+    return generate_audio_benchmark(
+        num_sentences=6, speakers_per_sentence=4, seed=99
+    )
+
+
+@pytest.fixture(scope="session")
+def shape_benchmark():
+    from repro.datatypes.shape import generate_shape_benchmark
+
+    return generate_shape_benchmark(
+        num_classes=8, instances_per_class=3, num_samples=3000, seed=99
+    )
+
+
+@pytest.fixture(scope="session")
+def genomic_benchmark():
+    from repro.datatypes.genomic import generate_genomic_benchmark
+
+    return generate_genomic_benchmark(
+        num_modules=8, genes_per_module=6, num_background=60,
+        num_experiments=40, seed=99,
+    )

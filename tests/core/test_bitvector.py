@@ -1,0 +1,114 @@
+"""Unit + property tests for packed bit vectors and Hamming distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitvector import (
+    hamming_distance,
+    hamming_to_many,
+    pack_bits,
+    popcount64,
+    unpack_bits,
+)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFF, 2**64 - 1], dtype=np.uint64)
+        assert popcount64(words).tolist() == [0, 1, 2, 8, 64]
+
+    def test_matches_python_bin(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**63, size=200, dtype=np.uint64)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount64(words).tolist() == expected
+
+    def test_2d_shape_preserved(self):
+        words = np.zeros((3, 4), dtype=np.uint64)
+        assert popcount64(words).shape == (3, 4)
+
+
+class TestPackUnpack:
+    def test_roundtrip_1d(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1])
+        packed = pack_bits(bits)
+        assert np.array_equal(unpack_bits(packed, 9), bits)
+
+    def test_roundtrip_2d(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(5, 100)).astype(np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (5, 2)
+        assert np.array_equal(unpack_bits(packed, 100), bits)
+
+    def test_word_boundary_sizes(self):
+        for n in (1, 63, 64, 65, 128, 129):
+            bits = np.ones(n, dtype=np.uint8)
+            packed = pack_bits(bits)
+            assert packed.shape == ((n + 63) // 64,)
+            assert np.array_equal(unpack_bits(packed, n), bits)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((2, 2, 2)))
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_property_roundtrip(self, bits):
+        arr = np.asarray(bits, dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(arr), len(bits)), arr)
+
+
+class TestHamming:
+    def test_identical_is_zero(self):
+        a = pack_bits(np.ones(70, dtype=np.uint8))
+        assert hamming_distance(a, a) == 0
+
+    def test_complement(self):
+        bits = np.zeros(100, dtype=np.uint8)
+        a = pack_bits(bits)
+        b = pack_bits(1 - bits)
+        assert hamming_distance(a, b) == 100
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 2, size=150).astype(np.uint8)
+        y = rng.integers(0, 2, size=150).astype(np.uint8)
+        assert hamming_distance(pack_bits(x), pack_bits(y)) == int((x != y).sum())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(2, np.uint64), np.zeros(3, np.uint64))
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(1, 200),
+        st.integers(0, 2**32),
+    )
+    def test_property_symmetry_and_triangle(self, n_bits, seed):
+        rng = np.random.default_rng(seed)
+        x, y, z = (rng.integers(0, 2, n_bits).astype(np.uint8) for _ in range(3))
+        px, py, pz = pack_bits(x), pack_bits(y), pack_bits(z)
+        dxy = hamming_distance(px, py)
+        assert dxy == hamming_distance(py, px)
+        assert dxy <= hamming_distance(px, pz) + hamming_distance(pz, py)
+
+
+class TestHammingToMany:
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=(20, 130)).astype(np.uint8)
+        packed = pack_bits(bits)
+        query = packed[0]
+        scan = hamming_to_many(query, packed)
+        expected = [hamming_distance(query, row) for row in packed]
+        assert scan.tolist() == expected
+
+    def test_word_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_to_many(np.zeros(1, np.uint64), np.zeros((3, 2), np.uint64))
+
+    def test_single_row(self):
+        row = pack_bits(np.ones(64, dtype=np.uint8))
+        assert hamming_to_many(row, row[None, :]).tolist() == [0]

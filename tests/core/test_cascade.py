@@ -1,0 +1,86 @@
+"""Tests for cascade ranking (sketch pre-rank before exact EMD)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+
+
+@pytest.fixture()
+def engine(unit_meta):
+    eng = SimilaritySearchEngine(
+        DataTypePlugin("t", unit_meta),
+        SketchParams(256, unit_meta, seed=1),
+        FilterParams(num_query_segments=3, candidates_per_segment=100,
+                     threshold_fraction=None),
+    )
+    rng = np.random.default_rng(0)
+    base = rng.random((3, 8))
+    eng.insert(ObjectSignature(base, [1, 1, 1]))
+    eng.insert(ObjectSignature(np.clip(base + 0.01, 0, 1), [1, 1, 1]))
+    for _ in range(60):
+        eng.insert(ObjectSignature(rng.random((3, 8)), [1, 1, 1]))
+    return eng
+
+
+class TestCascade:
+    def test_near_duplicate_survives_cascade(self, engine):
+        results = engine.query_by_id(
+            0, top_k=3, method=SearchMethod.FILTERING, exclude_self=True,
+            cascade=8,
+        )
+        assert results[0].object_id == 1
+
+    def test_cascade_distances_are_exact(self, engine):
+        """Final distances come from the exact object distance, not the
+        sketch estimate."""
+        cascade = engine.query_by_id(
+            0, top_k=5, method=SearchMethod.FILTERING, cascade=10
+        )
+        exact = {
+            r.object_id: r.distance
+            for r in engine.query_by_id(
+                0, top_k=62, method=SearchMethod.BRUTE_FORCE_ORIGINAL
+            )
+        }
+        for r in cascade:
+            assert r.distance == pytest.approx(exact[r.object_id], rel=1e-9)
+
+    def test_cascade_bounds_exact_rankings(self, engine):
+        """The exact ranker never sees more than `cascade` candidates."""
+        calls = []
+        original = engine.plugin.obj_distance
+
+        def counting(a, b):
+            calls.append(1)
+            return original(a, b)
+
+        engine.plugin.obj_distance = counting
+        try:
+            engine.query_by_id(0, top_k=3, method=SearchMethod.FILTERING,
+                               cascade=7, exclude_self=True)
+        finally:
+            engine.plugin.obj_distance = original
+        assert len(calls) <= 7
+
+    def test_no_cascade_when_candidates_small(self, engine):
+        # cascade larger than the candidate set: behaves like plain filtering
+        plain = engine.query_by_id(0, top_k=5, method=SearchMethod.FILTERING)
+        cascaded = engine.query_by_id(
+            0, top_k=5, method=SearchMethod.FILTERING, cascade=10_000
+        )
+        assert [r.object_id for r in plain] == [r.object_id for r in cascaded]
+
+    def test_cascade_only_affects_filtering(self, engine):
+        brute = engine.query_by_id(
+            0, top_k=5, method=SearchMethod.BRUTE_FORCE_ORIGINAL, cascade=3
+        )
+        assert len(brute) == 5  # parameter ignored for brute force

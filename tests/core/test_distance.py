@@ -1,0 +1,221 @@
+"""Unit + property tests for segment distance functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.distance import (
+    cosine_distance,
+    get_distance,
+    l1_distance,
+    l1_to_many,
+    l2_distance,
+    l2_to_many,
+    lp_distance,
+    pearson_distance,
+    register_distance,
+    spearman_distance,
+    weighted_l1_distance,
+    weighted_l1_to_many,
+)
+
+_vec = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=20
+)
+
+
+class TestLpNorms:
+    def test_l1_known(self):
+        assert l1_distance(np.array([1.0, 2.0]), np.array([4.0, 0.0])) == 5.0
+
+    def test_l2_known(self):
+        assert l2_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_linf(self):
+        assert lp_distance(np.array([1.0, 5.0]), np.array([2.0, 1.0]), np.inf) == 4.0
+
+    def test_p3(self):
+        d = lp_distance(np.zeros(2), np.array([1.0, 1.0]), 3)
+        assert d == pytest.approx(2 ** (1 / 3))
+
+    def test_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            lp_distance(np.zeros(2), np.ones(2), 0)
+
+    @given(st.tuples(_vec, _vec).filter(lambda t: len(t[0]) == len(t[1])))
+    def test_property_metric_axioms_l1(self, pair):
+        a, b = np.asarray(pair[0]), np.asarray(pair[1])
+        assert l1_distance(a, a) == 0.0
+        assert l1_distance(a, b) == pytest.approx(l1_distance(b, a))
+        assert l1_distance(a, b) >= 0.0
+
+    @given(st.tuples(_vec, _vec, _vec).filter(
+        lambda t: len(t[0]) == len(t[1]) == len(t[2])
+    ))
+    def test_property_triangle_l2(self, triple):
+        a, b, c = (np.asarray(v) for v in triple)
+        assert l2_distance(a, b) <= l2_distance(a, c) + l2_distance(c, b) + 1e-9
+
+    def test_l1_le_sqrt_d_times_l2(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.normal(size=8), rng.normal(size=8)
+            assert l1_distance(a, b) <= np.sqrt(8) * l2_distance(a, b) + 1e-12
+
+
+class TestWeightedL1:
+    def test_weights_scale_dimensions(self):
+        a, b = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert weighted_l1_distance(a, b, np.array([2.0, 3.0])) == 5.0
+
+    def test_zero_weight_ignores_dimension(self):
+        a, b = np.array([0.0, 0.0]), np.array([100.0, 1.0])
+        assert weighted_l1_distance(a, b, np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_l1_distance(np.zeros(2), np.zeros(2), np.ones(3))
+
+
+class TestCorrelationDistances:
+    def test_pearson_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a, b = rng.normal(size=20), rng.normal(size=20)
+            r, _ = scipy_stats.pearsonr(a, b)
+            assert pearson_distance(a, b) == pytest.approx(1 - r, abs=1e-10)
+
+    def test_spearman_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a, b = rng.normal(size=25), rng.normal(size=25)
+            rho, _ = scipy_stats.spearmanr(a, b)
+            assert spearman_distance(a, b) == pytest.approx(1 - rho, abs=1e-10)
+
+    def test_spearman_with_ties(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0, 3.0])
+        b = np.array([2.0, 1.0, 3.0, 5.0, 4.0])
+        rho, _ = scipy_stats.spearmanr(a, b)
+        assert spearman_distance(a, b) == pytest.approx(1 - rho, abs=1e-10)
+
+    def test_pearson_perfect_correlation(self):
+        a = np.arange(10, dtype=float)
+        assert pearson_distance(a, 3 * a + 1) == pytest.approx(0.0)
+        assert pearson_distance(a, -a) == pytest.approx(2.0)
+
+    def test_pearson_constant_vectors(self):
+        const = np.full(5, 2.0)
+        varying = np.arange(5, dtype=float)
+        assert pearson_distance(const, const) == 0.0
+        assert pearson_distance(const, varying) == 1.0
+
+    def test_spearman_monotone_invariance(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=30)
+        b = rng.normal(size=30)
+        d1 = spearman_distance(a, b)
+        d2 = spearman_distance(np.exp(a), b)  # monotone transform of a
+        assert d1 == pytest.approx(d2, abs=1e-10)
+
+
+class TestCosine:
+    def test_parallel_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert cosine_distance(a, 5 * a) == pytest.approx(0.0)
+
+    def test_orthogonal_is_one(self):
+        assert cosine_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_zero_vectors(self):
+        z = np.zeros(3)
+        assert cosine_distance(z, z) == 0.0
+        assert cosine_distance(z, np.ones(3)) == 1.0
+
+
+class TestVectorizedScans:
+    def test_l1_to_many_matches_loop(self):
+        rng = np.random.default_rng(4)
+        q = rng.normal(size=6)
+        m = rng.normal(size=(15, 6))
+        scan = l1_to_many(q, m)
+        assert np.allclose(scan, [l1_distance(q, row) for row in m])
+
+    def test_l2_to_many_matches_loop(self):
+        rng = np.random.default_rng(5)
+        q = rng.normal(size=6)
+        m = rng.normal(size=(15, 6))
+        assert np.allclose(l2_to_many(q, m), [l2_distance(q, row) for row in m])
+
+    def test_weighted_l1_to_many_matches_loop(self):
+        rng = np.random.default_rng(6)
+        q = rng.normal(size=6)
+        m = rng.normal(size=(15, 6))
+        w = rng.random(6)
+        assert np.allclose(
+            weighted_l1_to_many(q, m, w),
+            [weighted_l1_distance(q, row, w) for row in m],
+        )
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        for name in ("l1", "l2", "cosine", "pearson", "spearman"):
+            assert callable(get_distance(name))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_distance("no-such-distance")
+
+    def test_register_custom(self):
+        register_distance("test_custom", lambda a, b: 42.0)
+        assert get_distance("test_custom")(None, None) == 42.0
+
+    def test_register_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            register_distance("bad", "not-a-function")
+
+
+class TestHistogramDistances:
+    def test_chi2_identity_and_symmetry(self):
+        rng = np.random.default_rng(10)
+        a, b = rng.random(12), rng.random(12)
+        from repro.core.distance import chi_square_distance
+
+        assert chi_square_distance(a, a) == pytest.approx(0.0)
+        assert chi_square_distance(a, b) == pytest.approx(chi_square_distance(b, a))
+        assert chi_square_distance(a, b) >= 0.0
+
+    def test_chi2_zero_bins_ignored(self):
+        from repro.core.distance import chi_square_distance
+
+        a = np.array([0.0, 1.0, 0.0])
+        b = np.array([0.0, 3.0, 0.0])
+        assert chi_square_distance(a, b) == pytest.approx(0.5 * 4 / 4)
+
+    def test_chi2_rejects_negative(self):
+        from repro.core.distance import chi_square_distance
+
+        with pytest.raises(ValueError):
+            chi_square_distance(np.array([-1.0]), np.array([1.0]))
+
+    def test_histogram_intersection_bounds(self):
+        from repro.core.distance import histogram_intersection_distance
+
+        a = np.array([2.0, 2.0])
+        assert histogram_intersection_distance(a, a) == pytest.approx(0.0)
+        disjoint = histogram_intersection_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        )
+        assert disjoint == pytest.approx(1.0)
+
+    def test_histogram_intersection_empty(self):
+        from repro.core.distance import histogram_intersection_distance
+
+        z = np.zeros(4)
+        assert histogram_intersection_distance(z, z) == 0.0
+        assert histogram_intersection_distance(z, np.ones(4)) == pytest.approx(1.0)
+
+    def test_registered(self):
+        assert callable(get_distance("chi2"))
+        assert callable(get_distance("histogram_intersection"))

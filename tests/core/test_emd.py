@@ -1,0 +1,126 @@
+"""Tests for the Earth Mover's Distance object distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EMDDistance, EMDParams, ObjectSignature, emd
+from repro.core.emd import pairwise_segment_distances
+
+
+def _obj(rng, k, dim=5):
+    return ObjectSignature(rng.random((k, dim)), rng.random(k) + 0.1)
+
+
+class TestPairwiseDistances:
+    def test_default_is_l1(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[1.0, 0.0]])
+        costs = pairwise_segment_distances(a, b)
+        assert np.allclose(costs, [[1.0], [1.0]])
+
+    def test_custom_ground(self):
+        def ground(qs, db):
+            return np.zeros((qs.shape[0], db.shape[0]))
+
+        costs = pairwise_segment_distances(np.ones((2, 3)), np.ones((4, 3)), ground)
+        assert costs.shape == (2, 4)
+        assert np.all(costs == 0)
+
+    def test_bad_ground_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_segment_distances(
+                np.ones((2, 3)), np.ones((4, 3)), lambda q, d: np.zeros((1, 1))
+            )
+
+
+class TestEMD:
+    def test_self_distance_zero(self):
+        rng = np.random.default_rng(0)
+        obj = _obj(rng, 4)
+        assert emd(obj, obj) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = _obj(rng, 3), _obj(rng, 5)
+        assert emd(a, b) == pytest.approx(emd(b, a), rel=1e-9)
+
+    def test_single_segment_reduces_to_ground_distance(self):
+        a = ObjectSignature(np.array([[0.0, 0.0]]), [1.0])
+        b = ObjectSignature(np.array([[3.0, 4.0]]), [1.0])
+        assert emd(a, b) == pytest.approx(7.0)  # l1
+
+    def test_order_invariance(self):
+        """Same segments in a different order => distance 0 (the audio
+        use case: same words spoken in a different order)."""
+        rng = np.random.default_rng(2)
+        feats = rng.random((4, 6))
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        a = ObjectSignature(feats, weights, normalize=False)
+        perm = [2, 0, 3, 1]
+        b = ObjectSignature(feats[perm], weights[perm], normalize=False)
+        assert emd(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_translation_scales_distance(self):
+        rng = np.random.default_rng(3)
+        feats = rng.random((3, 4))
+        a = ObjectSignature(feats, np.ones(3))
+        b = ObjectSignature(feats + 1.0, np.ones(3))  # shift by 1 in 4 dims
+        assert emd(a, b) == pytest.approx(4.0, rel=1e-9)
+
+    def test_triangle_inequality(self):
+        # EMD with a metric ground distance is a metric on distributions.
+        rng = np.random.default_rng(4)
+        a, b, c = _obj(rng, 3), _obj(rng, 4), _obj(rng, 2)
+        assert emd(a, b) <= emd(a, c) + emd(c, b) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_nonnegative_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a = _obj(rng, int(rng.integers(1, 6)))
+        b = _obj(rng, int(rng.integers(1, 6)))
+        d = emd(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(emd(b, a), rel=1e-7, abs=1e-9)
+
+
+class TestThresholdedEMD:
+    def test_threshold_caps_cost(self):
+        a = ObjectSignature(np.array([[0.0]]), [1.0])
+        b = ObjectSignature(np.array([[100.0]]), [1.0])
+        assert emd(a, b) == pytest.approx(100.0)
+        assert emd(a, b, EMDParams(threshold=2.5)) == pytest.approx(2.5)
+
+    def test_threshold_never_increases(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            a, b = _obj(rng, 3), _obj(rng, 4)
+            plain = emd(a, b)
+            capped = emd(a, b, EMDParams(threshold=0.5))
+            assert capped <= plain + 1e-12
+
+    def test_invalid_threshold(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            emd(_obj(rng, 2), _obj(rng, 2), EMDParams(threshold=0.0))
+
+    def test_sqrt_weighting_changes_mass(self):
+        feats = np.array([[0.0], [10.0]])
+        a = ObjectSignature(feats, [0.9, 0.1], normalize=False)
+        target = ObjectSignature(np.array([[0.0]]), [1.0])
+        plain = emd(a, target)
+        sqrt = emd(a, target, EMDParams(weight_transform=np.sqrt))
+        # sqrt weighting boosts the small far-away segment's share.
+        assert sqrt > plain
+
+
+class TestEMDDistance:
+    def test_callable_interface(self):
+        rng = np.random.default_rng(7)
+        a, b = _obj(rng, 2), _obj(rng, 3)
+        dist = EMDDistance()
+        assert dist(a, b) == pytest.approx(emd(a, b))
+
+    def test_repr_mentions_threshold(self):
+        assert "threshold=1.5" in repr(EMDDistance(EMDParams(threshold=1.5)))

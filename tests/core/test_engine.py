@@ -1,0 +1,178 @@
+"""Tests for the core similarity search engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    FilterParams,
+    LSHParams,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+
+
+@pytest.fixture()
+def engine(unit_meta):
+    plugin = DataTypePlugin("test", unit_meta)
+    return SimilaritySearchEngine(
+        plugin,
+        SketchParams(256, unit_meta, seed=1),
+        FilterParams(num_query_segments=3, candidates_per_segment=20),
+        lsh_params=LSHParams(num_tables=8, bits_per_key=10, seed=2),
+    )
+
+
+def _fill(engine, count=40, segs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        engine.insert(ObjectSignature(rng.random((segs, 8)), rng.random(segs) + 0.1))
+    return rng
+
+
+class TestSearchMethod:
+    def test_parse_value(self):
+        assert SearchMethod.parse("filtering") is SearchMethod.FILTERING
+        assert SearchMethod.parse("BRUTE_FORCE_SKETCH") is SearchMethod.BRUTE_FORCE_SKETCH
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            SearchMethod.parse("nope")
+
+
+class TestInsert:
+    def test_sequential_ids(self, engine):
+        _fill(engine, 5)
+        assert sorted(engine.objects) == [0, 1, 2, 3, 4]
+
+    def test_explicit_id(self, engine):
+        oid = engine.insert(
+            ObjectSignature(np.random.rand(2, 8), [1, 1]), object_id=100
+        )
+        assert oid == 100
+        # next auto id continues past the explicit one
+        auto = engine.insert(ObjectSignature(np.random.rand(1, 8), [1.0]))
+        assert auto == 101
+
+    def test_duplicate_id_rejected(self, engine):
+        engine.insert(ObjectSignature(np.random.rand(1, 8), [1.0]), object_id=3)
+        with pytest.raises(KeyError):
+            engine.insert(ObjectSignature(np.random.rand(1, 8), [1.0]), object_id=3)
+
+    def test_mismatched_sketch_meta_rejected(self, unit_meta):
+        other = FeatureMeta(4, np.zeros(4), np.ones(4))
+        plugin = DataTypePlugin("test", unit_meta)
+        with pytest.raises(ValueError):
+            SimilaritySearchEngine(plugin, SketchParams(64, other))
+
+    def test_contains_and_len(self, engine):
+        _fill(engine, 7)
+        assert len(engine) == 7
+        assert 0 in engine
+        assert 7 not in engine
+
+
+class TestQuery:
+    def test_empty_engine_returns_empty(self, engine):
+        q = ObjectSignature(np.random.rand(1, 8), [1.0])
+        assert engine.query(q) == []
+
+    def test_self_query_ranks_first(self, engine):
+        _fill(engine)
+        for method in SearchMethod:
+            results = engine.query_by_id(5, top_k=3, method=method)
+            assert results[0].object_id == 5
+            assert results[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_exclude_self(self, engine):
+        _fill(engine)
+        results = engine.query_by_id(5, top_k=10, exclude_self=True)
+        assert all(r.object_id != 5 for r in results)
+
+    def test_invalid_top_k(self, engine):
+        _fill(engine, 3)
+        with pytest.raises(ValueError):
+            engine.query_by_id(0, top_k=0)
+
+    def test_methods_agree_on_duplicate(self, engine):
+        """An exact duplicate must rank top for all three methods."""
+        rng = _fill(engine)
+        original = engine.get_object(10)
+        dup_id = engine.insert(
+            ObjectSignature(original.features.copy(), original.weights.copy(),
+                            normalize=False)
+        )
+        for method in SearchMethod:
+            results = engine.query_by_id(10, top_k=2, method=method,
+                                         exclude_self=True)
+            assert results[0].object_id == dup_id
+
+    def test_restrict_to(self, engine):
+        _fill(engine)
+        allowed = [1, 2, 3]
+        results = engine.query_by_id(
+            1, top_k=10, method=SearchMethod.BRUTE_FORCE_ORIGINAL,
+            restrict_to=allowed,
+        )
+        assert {r.object_id for r in results} <= set(allowed)
+
+    def test_restrict_to_applies_to_filtering(self, engine):
+        _fill(engine)
+        results = engine.query_by_id(
+            1, top_k=10, method=SearchMethod.FILTERING, restrict_to=[2, 4],
+        )
+        assert {r.object_id for r in results} <= {2, 4}
+
+    def test_filtering_subset_of_brute_force_order(self, engine):
+        """Filtering results must rank consistently with brute force: any
+        object filtering returns gets the same distance brute force gives."""
+        _fill(engine, 60)
+        brute = {
+            r.object_id: r.distance
+            for r in engine.query_by_id(
+                0, top_k=60, method=SearchMethod.BRUTE_FORCE_ORIGINAL
+            )
+        }
+        filtered = engine.query_by_id(0, top_k=10, method=SearchMethod.FILTERING)
+        for r in filtered:
+            assert r.distance == pytest.approx(brute[r.object_id], rel=1e-9)
+
+    def test_single_segment_sketch_ranking(self, unit_meta):
+        """With one segment per object, BruteForceSketch = Hamming scan."""
+        plugin = DataTypePlugin("single", unit_meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(512, unit_meta, seed=3))
+        rng = np.random.default_rng(1)
+        base = rng.random(8)
+        engine.insert(ObjectSignature(base[None, :], [1.0]))  # 0
+        engine.insert(ObjectSignature((base + 0.02)[None, :], [1.0]))  # 1 near
+        engine.insert(ObjectSignature(rng.random((1, 8)), [1.0]))  # 2 far
+        results = engine.query_by_id(
+            0, top_k=2, method=SearchMethod.BRUTE_FORCE_SKETCH, exclude_self=True
+        )
+        assert results[0].object_id == 1
+
+
+class TestStats:
+    def test_counts(self, engine):
+        _fill(engine, 10, segs=4)
+        stats = engine.stats()
+        assert stats.num_objects == 10
+        assert stats.num_segments == 40
+        assert stats.avg_segments_per_object == pytest.approx(4.0)
+
+    def test_compression_ratio(self, engine):
+        _fill(engine, 2)
+        stats = engine.stats()
+        # 8 dims * 32 bits = 256 feature bits; sketch = 256 bits
+        assert stats.feature_bits_per_vector == 256
+        assert stats.sketch_bits_per_vector == 256
+        assert stats.compression_ratio == pytest.approx(1.0)
+
+    def test_bytes_accounting(self, engine):
+        _fill(engine, 5, segs=2)
+        stats = engine.stats()
+        assert stats.feature_bytes == 10 * 8 * 4
+        assert stats.sketch_bytes == 10 * 4 * 8  # 256 bits = 4 words

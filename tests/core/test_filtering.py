@@ -1,0 +1,195 @@
+"""Tests for the filtering unit and segment store."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SegmentStore,
+    SketchConstructor,
+    SketchParams,
+    sketch_filter,
+)
+from repro.core.distance import l1_to_many
+from repro.core.filtering import default_threshold_fn
+
+
+def _setup(num_objects=30, segs=3, dim=6, n_bits=256, seed=0):
+    meta = FeatureMeta(dim, np.zeros(dim), np.ones(dim))
+    sk = SketchConstructor(SketchParams(n_bits, meta, seed=seed))
+    store = SegmentStore(sk.n_words, dim)
+    rng = np.random.default_rng(seed)
+    objects = {}
+    for oid in range(num_objects):
+        feats = rng.random((segs, dim))
+        obj = ObjectSignature(feats, rng.random(segs) + 0.1, object_id=oid)
+        store.add_object(oid, sk.sketch_many(feats), feats)
+        objects[oid] = obj
+    return meta, sk, store, objects, rng
+
+
+class TestFilterParams:
+    def test_defaults_valid(self):
+        FilterParams()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_query_segments": 0},
+        {"candidates_per_segment": 0},
+        {"threshold_fraction": 0.0},
+        {"threshold_fraction": 1.5},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FilterParams(**kwargs)
+
+    def test_threshold_fn_decreasing(self):
+        assert default_threshold_fn(0.0) > default_threshold_fn(0.5) > default_threshold_fn(1.0)
+
+    def test_threshold_fn_clamps(self):
+        assert default_threshold_fn(-1.0) == default_threshold_fn(0.0)
+        assert default_threshold_fn(2.0) == default_threshold_fn(1.0)
+
+
+class TestSegmentStore:
+    def test_append_and_consolidate(self):
+        _meta, sk, store, _objs, _rng = _setup(num_objects=5)
+        assert len(store) == 15
+        assert store.sketches.shape == (15, sk.n_words)
+        assert store.features.shape == (15, 6)
+        assert set(store.owners.tolist()) == set(range(5))
+
+    def test_incremental_adds_after_scan(self):
+        meta, sk, store, _objs, rng = _setup(num_objects=3)
+        _ = store.sketches  # force consolidation
+        feats = rng.random((2, 6))
+        store.add_object(99, sk.sketch_many(feats), feats)
+        assert len(store) == 11
+        assert 99 in store.owners
+
+    def test_sketch_bytes(self):
+        _meta, sk, store, _objs, _rng = _setup(num_objects=4, n_bits=128)
+        assert store.sketch_bytes == len(store) * sk.n_words * 8
+
+    def test_wrong_word_count_rejected(self):
+        store = SegmentStore(n_words=2, dim=4)
+        with pytest.raises(ValueError):
+            store.add_object(0, np.zeros((1, 3), np.uint64), np.zeros((1, 4)))
+
+    def test_missing_features_rejected(self):
+        store = SegmentStore(n_words=1, dim=4)
+        with pytest.raises(ValueError):
+            store.add_object(0, np.zeros((1, 1), np.uint64))
+
+    def test_featureless_store(self):
+        store = SegmentStore(n_words=1, dim=4, keep_features=False)
+        store.add_object(0, np.zeros((2, 1), np.uint64))
+        assert len(store) == 2
+        with pytest.raises(RuntimeError):
+            _ = store.features
+
+
+class TestSketchFilter:
+    def test_empty_store(self):
+        meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+        sk = SketchConstructor(SketchParams(64, meta, seed=1))
+        store = SegmentStore(sk.n_words, 4)
+        q = ObjectSignature(np.ones((1, 4)) * 0.5, [1.0])
+        out = sketch_filter(q, sk.sketch_many(q.features), store, FilterParams(), 64)
+        assert out == set()
+
+    def test_exact_duplicate_always_retained(self):
+        _meta, sk, store, objects, _rng = _setup()
+        q = objects[7]
+        candidates = sketch_filter(
+            q, sk.sketch_many(q.features), store,
+            FilterParams(num_query_segments=3, candidates_per_segment=5),
+            sk.n_bits,
+        )
+        assert 7 in candidates
+
+    def test_candidate_set_smaller_than_universe(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=100)
+        q = objects[0]
+        candidates = sketch_filter(
+            q, sk.sketch_many(q.features), store,
+            FilterParams(num_query_segments=2, candidates_per_segment=10,
+                         threshold_fraction=0.3),
+            sk.n_bits,
+        )
+        assert 0 < len(candidates) < 100
+
+    def test_larger_k_grows_candidates(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=80)
+        q = objects[0]
+        sizes = []
+        for k in (5, 20, 60):
+            candidates = sketch_filter(
+                q, sk.sketch_many(q.features), store,
+                FilterParams(num_query_segments=2, candidates_per_segment=k,
+                             threshold_fraction=None),
+                sk.n_bits,
+            )
+            sizes.append(len(candidates))
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_tight_threshold_shrinks_candidates(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=80)
+        q = objects[0]
+        loose = sketch_filter(
+            q, sk.sketch_many(q.features), store,
+            FilterParams(candidates_per_segment=80, threshold_fraction=0.9),
+            sk.n_bits,
+        )
+        tight = sketch_filter(
+            q, sk.sketch_many(q.features), store,
+            FilterParams(candidates_per_segment=80, threshold_fraction=0.05),
+            sk.n_bits,
+        )
+        assert tight <= loose
+
+    def test_direct_feature_filtering(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=40)
+        q = objects[3]
+        candidates = sketch_filter(
+            q, sk.sketch_many(q.features), store,
+            FilterParams(num_query_segments=2, candidates_per_segment=8),
+            sk.n_bits,
+            use_sketches=False,
+            seg_distance_to_many=l1_to_many,
+            max_feature_distance=6.0,
+        )
+        assert 3 in candidates
+
+    def test_direct_mode_requires_distance_fn(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=5)
+        q = objects[0]
+        with pytest.raises(ValueError):
+            sketch_filter(
+                q, sk.sketch_many(q.features), store, FilterParams(),
+                sk.n_bits, use_sketches=False,
+            )
+
+    def test_filter_recall_on_near_duplicates(self):
+        """Near-duplicates of the query object should survive filtering."""
+        meta = FeatureMeta(6, np.zeros(6), np.ones(6))
+        sk = SketchConstructor(SketchParams(256, meta, seed=2))
+        store = SegmentStore(sk.n_words, 6)
+        rng = np.random.default_rng(3)
+        base = rng.random((3, 6))
+        # objects 0-4: perturbed copies of base; 5-49: random
+        for oid in range(50):
+            feats = (
+                np.clip(base + rng.normal(0, 0.02, base.shape), 0, 1)
+                if oid < 5
+                else rng.random((3, 6))
+            )
+            store.add_object(oid, sk.sketch_many(feats), feats)
+        q = ObjectSignature(base, np.ones(3))
+        candidates = sketch_filter(
+            q, sk.sketch_many(base), store,
+            FilterParams(num_query_segments=3, candidates_per_segment=10),
+            sk.n_bits,
+        )
+        assert {0, 1, 2, 3, 4} <= candidates

@@ -1,0 +1,136 @@
+"""Tests for the bit-sampling LSH index over sketches."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    LSHIndex,
+    LSHParams,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchConstructor,
+    SketchParams,
+)
+
+
+def _sketcher(n_bits=256, dim=8, seed=0):
+    meta = FeatureMeta(dim, np.zeros(dim), np.ones(dim))
+    return SketchConstructor(SketchParams(n_bits, meta, seed=seed))
+
+
+class TestParams:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LSHParams(num_tables=0)
+        with pytest.raises(ValueError):
+            LSHParams(bits_per_key=0)
+
+    def test_bits_per_key_bounded_by_sketch(self):
+        with pytest.raises(ValueError):
+            LSHIndex(n_bits=16, params=LSHParams(bits_per_key=32))
+
+    def test_repr(self):
+        assert "num_tables=4" in repr(LSHParams(num_tables=4))
+
+
+class TestIndexBehavior:
+    def test_identical_sketch_always_collides(self):
+        sk = _sketcher()
+        index = LSHIndex(sk.n_bits, LSHParams(num_tables=4, bits_per_key=12))
+        v = np.random.default_rng(0).random(8)
+        sketch = sk.sketch(v)[None, :]
+        index.add(7, sketch)
+        assert 7 in index.candidates(sketch)
+
+    def test_near_collides_far_usually_does_not(self):
+        rng = np.random.default_rng(1)
+        sk = _sketcher(n_bits=512)
+        index = LSHIndex(sk.n_bits, LSHParams(num_tables=10, bits_per_key=14))
+        base = rng.random(8)
+        near = np.clip(base + rng.normal(0, 0.01, 8), 0, 1)
+        index.add(1, sk.sketch(near)[None, :])
+        # add far objects
+        far_hits = 0
+        for oid in range(2, 40):
+            far = rng.random(8)
+            index.add(oid, sk.sketch(far)[None, :])
+        candidates = index.candidates(sk.sketch(base)[None, :])
+        assert 1 in candidates
+        assert len(candidates) < 20  # most far objects excluded
+
+    def test_multi_segment_union(self):
+        sk = _sketcher()
+        index = LSHIndex(sk.n_bits, LSHParams(num_tables=6, bits_per_key=10))
+        rng = np.random.default_rng(2)
+        seg_a, seg_b = rng.random(8), rng.random(8)
+        index.add(1, sk.sketch(seg_a)[None, :])
+        index.add(2, sk.sketch(seg_b)[None, :])
+        query = sk.sketch_many(np.stack([seg_a, seg_b]))
+        assert index.candidates(query) >= {1, 2}
+
+    def test_segment_count(self):
+        sk = _sketcher()
+        index = LSHIndex(sk.n_bits)
+        index.add(1, sk.sketch_many(np.random.rand(3, 8)))
+        assert index.num_segments == 3
+
+    def test_bucket_stats_empty(self):
+        index = LSHIndex(64)
+        assert index.bucket_stats() == (0.0, 0)
+
+    def test_collision_probability_monotone(self):
+        index = LSHIndex(256, LSHParams(num_tables=8, bits_per_key=16))
+        probs = [index.expected_collision_probability(h) for h in (0, 16, 64, 128)]
+        assert probs[0] == pytest.approx(1.0)
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestEngineIntegration:
+    def _engine(self, lsh=True):
+        meta = FeatureMeta(8, np.zeros(8), np.ones(8))
+        return SimilaritySearchEngine(
+            DataTypePlugin("t", meta),
+            SketchParams(256, meta, seed=1),
+            lsh_params=LSHParams(num_tables=10, bits_per_key=10) if lsh else None,
+        )
+
+    def test_lsh_query_finds_near_duplicates(self):
+        engine = self._engine()
+        rng = np.random.default_rng(3)
+        base = rng.random((3, 8))
+        engine.insert(ObjectSignature(base, [1, 1, 1]))
+        engine.insert(
+            ObjectSignature(np.clip(base + 0.005, 0, 1), [1, 1, 1])
+        )
+        for _ in range(80):
+            engine.insert(ObjectSignature(rng.random((3, 8)), [1, 1, 1]))
+        results = engine.query_by_id(0, top_k=3, method=SearchMethod.LSH,
+                                     exclude_self=True)
+        assert results[0].object_id == 1
+
+    def test_lsh_without_index_raises(self):
+        engine = self._engine(lsh=False)
+        engine.insert(ObjectSignature(np.random.rand(1, 8), [1.0]))
+        with pytest.raises(ValueError):
+            engine.query_by_id(0, method=SearchMethod.LSH)
+
+    def test_lsh_candidates_ranked_exactly(self):
+        """Whatever LSH returns must carry exact object distances."""
+        engine = self._engine()
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            engine.insert(ObjectSignature(rng.random((2, 8)), [1, 1]))
+        brute = {
+            r.object_id: r.distance
+            for r in engine.query_by_id(
+                0, top_k=50, method=SearchMethod.BRUTE_FORCE_ORIGINAL
+            )
+        }
+        for r in engine.query_by_id(0, top_k=10, method=SearchMethod.LSH):
+            assert r.distance == pytest.approx(brute[r.object_id], rel=1e-9)
+
+    def test_parse_lsh(self):
+        assert SearchMethod.parse("lsh") is SearchMethod.LSH

@@ -1,0 +1,70 @@
+"""Tests for the data-type plug-in interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    EMDDistance,
+    FeatureMeta,
+    ObjectSignature,
+    get_plugin,
+    list_plugins,
+    register_plugin,
+)
+
+
+@pytest.fixture()
+def meta():
+    return FeatureMeta(4, np.zeros(4), np.ones(4))
+
+
+class TestDataTypePlugin:
+    def test_default_obj_distance_is_emd(self, meta):
+        plugin = DataTypePlugin("p1", meta)
+        assert isinstance(plugin.obj_distance, EMDDistance)
+
+    def test_custom_obj_distance_kept(self, meta):
+        fn = lambda a, b: 0.0
+        plugin = DataTypePlugin("p2", meta, obj_distance=fn)
+        assert plugin.obj_distance is fn
+
+    def test_extract_without_module_raises(self, meta):
+        plugin = DataTypePlugin("p3", meta)
+        with pytest.raises(NotImplementedError):
+            plugin.extract("some-file")
+
+    def test_extract_checks_dimension(self, meta):
+        def bad_extract(filename):
+            return ObjectSignature(np.zeros((1, 7)), [1.0])
+
+        plugin = DataTypePlugin("p4", meta, seg_extract=bad_extract)
+        with pytest.raises(ValueError):
+            plugin.extract("x")
+
+    def test_extract_passes_through(self, meta):
+        def extract(filename):
+            return ObjectSignature(np.full((2, 4), 0.5), [1, 1])
+
+        plugin = DataTypePlugin("p5", meta, seg_extract=extract)
+        obj = plugin.extract("x")
+        assert obj.num_segments == 2
+
+
+class TestRegistry:
+    def test_register_and_get(self, meta):
+        plugin = DataTypePlugin("registry-test", meta)
+        register_plugin(plugin)
+        assert get_plugin("registry-test") is plugin
+        assert "registry-test" in list_plugins()
+
+    def test_duplicate_rejected(self, meta):
+        plugin = DataTypePlugin("registry-dup", meta)
+        register_plugin(plugin)
+        with pytest.raises(KeyError):
+            register_plugin(DataTypePlugin("registry-dup", meta))
+        register_plugin(DataTypePlugin("registry-dup", meta), replace=True)
+
+    def test_unknown_plugin(self):
+        with pytest.raises(KeyError):
+            get_plugin("definitely-not-registered")

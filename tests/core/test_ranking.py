@@ -1,0 +1,82 @@
+"""Tests for the ranking unit."""
+
+import numpy as np
+import pytest
+
+from repro.core import ObjectSignature, SearchResult, rank_candidates
+from repro.core.distance import l1_distance
+
+
+def _objects(rng, count, dim=4):
+    return {
+        i: ObjectSignature(rng.random((1, dim)), [1.0], object_id=i)
+        for i in range(count)
+    }
+
+
+def _dist(a, b):
+    return l1_distance(a.features[0], b.features[0])
+
+
+class TestSearchResult:
+    def test_ordering_by_distance(self):
+        assert SearchResult(1.0, 5) < SearchResult(2.0, 1)
+
+    def test_tie_broken_by_id(self):
+        assert SearchResult(1.0, 1) < SearchResult(1.0, 2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SearchResult(1.0, 1).distance = 2.0
+
+
+class TestRankCandidates:
+    def test_sorted_ascending(self):
+        rng = np.random.default_rng(0)
+        objects = _objects(rng, 20)
+        results = rank_candidates(objects[0], range(20), objects, _dist)
+        dists = [r.distance for r in results]
+        assert dists == sorted(dists)
+        assert results[0].object_id == 0  # self-distance 0 ranks first
+
+    def test_top_k_truncation(self):
+        rng = np.random.default_rng(1)
+        objects = _objects(rng, 20)
+        results = rank_candidates(objects[0], range(20), objects, _dist, top_k=5)
+        assert len(results) == 5
+
+    def test_exclude_self(self):
+        rng = np.random.default_rng(2)
+        objects = _objects(rng, 10)
+        results = rank_candidates(
+            objects[3], range(10), objects, _dist, exclude_self=True
+        )
+        assert all(r.object_id != 3 for r in results)
+        assert len(results) == 9
+
+    def test_subset_of_candidates(self):
+        rng = np.random.default_rng(3)
+        objects = _objects(rng, 10)
+        results = rank_candidates(objects[0], [2, 4, 6], objects, _dist)
+        assert {r.object_id for r in results} == {2, 4, 6}
+
+    def test_empty_candidates(self):
+        rng = np.random.default_rng(4)
+        objects = _objects(rng, 5)
+        assert rank_candidates(objects[0], [], objects, _dist) == []
+
+    def test_custom_distance_used(self):
+        rng = np.random.default_rng(5)
+        objects = _objects(rng, 5)
+        results = rank_candidates(
+            objects[0], range(5), objects, lambda a, b: float(b.object_id)
+        )
+        assert [r.object_id for r in results] == [0, 1, 2, 3, 4]
+
+    def test_deterministic_under_ties(self):
+        rng = np.random.default_rng(6)
+        objects = _objects(rng, 8)
+        constant = lambda a, b: 1.0
+        r1 = rank_candidates(objects[0], range(8), objects, constant)
+        r2 = rank_candidates(objects[0], reversed(range(8)), objects, constant)
+        assert [r.object_id for r in r1] == [r.object_id for r in r2]

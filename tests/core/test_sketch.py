@@ -1,0 +1,177 @@
+"""Tests for sketch construction (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FeatureMeta, SketchConstructor, SketchParams
+from repro.core.sketch import estimate_l1_from_hamming
+
+
+def _unit_meta(dim=8):
+    return FeatureMeta(dim, np.zeros(dim), np.ones(dim))
+
+
+class TestParams:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            SketchParams(0, _unit_meta())
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SketchParams(64, _unit_meta(), k_xor=0)
+
+    def test_zero_range_rejected(self):
+        meta = FeatureMeta(2, np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            SketchConstructor(SketchParams(8, meta))
+
+
+class TestAlgorithm1:
+    """Random (i, t) pair generation."""
+
+    def test_pairs_shape(self):
+        sk = SketchConstructor(SketchParams(100, _unit_meta(), k_xor=3, seed=1))
+        assert sk.rnd_i.shape == (100, 3)
+        assert sk.rnd_t.shape == (100, 3)
+
+    def test_thresholds_within_dimension_bounds(self):
+        meta = FeatureMeta(3, np.array([0.0, 10.0, -5.0]), np.array([1.0, 20.0, 5.0]))
+        sk = SketchConstructor(SketchParams(256, meta, seed=2))
+        lo = meta.min_values[sk.rnd_i]
+        hi = meta.max_values[sk.rnd_i]
+        assert np.all(sk.rnd_t >= lo)
+        assert np.all(sk.rnd_t <= hi)
+
+    def test_dimension_sampling_follows_weighted_ranges(self):
+        # dim 1 has 3x the range of dim 0 => sampled ~3x as often.
+        meta = FeatureMeta(2, np.zeros(2), np.array([1.0, 3.0]))
+        sk = SketchConstructor(SketchParams(4000, meta, seed=3))
+        counts = np.bincount(sk.rnd_i.ravel(), minlength=2)
+        assert counts[1] / counts[0] == pytest.approx(3.0, rel=0.15)
+
+    def test_explicit_weights_override(self):
+        meta = FeatureMeta(2, np.zeros(2), np.ones(2), weights=np.array([1.0, 9.0]))
+        sk = SketchConstructor(SketchParams(4000, meta, seed=4))
+        counts = np.bincount(sk.rnd_i.ravel(), minlength=2)
+        assert counts[1] / counts[0] == pytest.approx(9.0, rel=0.2)
+
+    def test_deterministic_given_seed(self):
+        a = SketchConstructor(SketchParams(64, _unit_meta(), seed=5))
+        b = SketchConstructor(SketchParams(64, _unit_meta(), seed=5))
+        assert np.array_equal(a.rnd_i, b.rnd_i)
+        assert np.array_equal(a.rnd_t, b.rnd_t)
+
+    def test_different_seeds_differ(self):
+        a = SketchConstructor(SketchParams(64, _unit_meta(), seed=6))
+        b = SketchConstructor(SketchParams(64, _unit_meta(), seed=7))
+        assert not np.array_equal(a.rnd_t, b.rnd_t)
+
+
+class TestAlgorithm2:
+    """Feature vector -> N-bit sketch conversion."""
+
+    def test_bit_semantics_k1(self):
+        sk = SketchConstructor(SketchParams(128, _unit_meta(), seed=8))
+        v = np.random.default_rng(0).random(8)
+        bits = sk.sketch_bits(v[None, :])[0]
+        expected = (v[sk.rnd_i[:, 0]] >= sk.rnd_t[:, 0]).astype(np.uint8)
+        assert np.array_equal(bits, expected)
+
+    def test_xor_folding_k3(self):
+        sk = SketchConstructor(SketchParams(64, _unit_meta(), k_xor=3, seed=9))
+        v = np.random.default_rng(1).random(8)
+        bits = sk.sketch_bits(v[None, :])[0]
+        raw = (v[sk.rnd_i] >= sk.rnd_t).astype(np.uint8)
+        expected = raw[:, 0] ^ raw[:, 1] ^ raw[:, 2]
+        assert np.array_equal(bits, expected)
+
+    def test_sketch_many_matches_single(self):
+        sk = SketchConstructor(SketchParams(96, _unit_meta(), seed=10))
+        rng = np.random.default_rng(2)
+        vectors = rng.random((5, 8))
+        packed = sk.sketch_many(vectors)
+        for i, v in enumerate(vectors):
+            assert np.array_equal(packed[i], sk.sketch(v))
+
+    def test_dim_mismatch_rejected(self):
+        sk = SketchConstructor(SketchParams(64, _unit_meta(8), seed=11))
+        with pytest.raises(ValueError):
+            sk.sketch(np.zeros(5))
+
+    def test_identical_vectors_zero_hamming(self):
+        sk = SketchConstructor(SketchParams(256, _unit_meta(), seed=12))
+        v = np.random.default_rng(3).random(8)
+        assert sk.hamming(sk.sketch(v), sk.sketch(v.copy())) == 0
+
+
+class TestDistanceEstimation:
+    """The core claim: expected Hamming distance tracks weighted l1."""
+
+    def test_hamming_proportional_to_l1_k1(self):
+        meta = _unit_meta(10)
+        sk = SketchConstructor(SketchParams(4096, meta, seed=13))
+        rng = np.random.default_rng(4)
+        for _ in range(8):
+            a, b = rng.random(10), rng.random(10)
+            l1 = np.abs(a - b).sum()
+            expected_frac = l1 / 10.0  # sum of ranges = 10
+            measured = sk.hamming(sk.sketch(a), sk.sketch(b)) / 4096
+            assert measured == pytest.approx(expected_frac, abs=0.035)
+
+    def test_monotonicity_in_distance(self):
+        """Nearer vector pairs get smaller sketch distances (on average)."""
+        meta = _unit_meta(6)
+        sk = SketchConstructor(SketchParams(2048, meta, seed=14))
+        base = np.full(6, 0.5)
+        rng = np.random.default_rng(5)
+        hammings = []
+        for scale in (0.05, 0.15, 0.3):
+            others = np.clip(base + rng.uniform(-scale, scale, (20, 6)), 0, 1)
+            packed = sk.sketch_many(others)
+            query = sk.sketch(base)
+            hammings.append(float(np.mean([sk.hamming(query, p) for p in packed])))
+        assert hammings[0] < hammings[1] < hammings[2]
+
+    def test_k_dampens_large_distances(self):
+        """XOR folding compresses the far range: ratio of far/near Hamming
+        shrinks as K grows."""
+        meta = _unit_meta(4)
+        near_a, near_b = np.zeros(4), np.full(4, 0.05)
+        far_a, far_b = np.zeros(4), np.full(4, 0.8)
+        ratios = []
+        for k in (1, 4):
+            sk = SketchConstructor(SketchParams(4096, meta, k_xor=k, seed=15))
+            near = sk.hamming(sk.sketch(near_a), sk.sketch(near_b))
+            far = sk.hamming(sk.sketch(far_a), sk.sketch(far_b))
+            ratios.append(far / max(near, 1))
+        assert ratios[1] < ratios[0]
+
+    def test_expected_collision_probability_formula(self):
+        sk = SketchConstructor(SketchParams(64, _unit_meta(4), k_xor=2, seed=16))
+        # p=0.25 per bit -> XOR of 2: 0.5*(1-(1-0.5)^2) = 0.375
+        assert sk.expected_collision_probability(1.0) == pytest.approx(0.375)
+
+    def test_estimate_l1_inverts_expectation(self):
+        meta = _unit_meta(10)
+        for k in (1, 2, 3):
+            sk = SketchConstructor(SketchParams(8192, meta, k_xor=k, seed=17))
+            rng = np.random.default_rng(6)
+            a, b = rng.random(10), rng.random(10)
+            l1 = np.abs(a - b).sum()
+            h = sk.hamming(sk.sketch(a), sk.sketch(b))
+            est = estimate_l1_from_hamming(h, sk)
+            assert est == pytest.approx(l1, rel=0.25)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_hamming_within_binomial_bounds(self, seed):
+        """Hamming ~ Binomial(N, p): check a 6-sigma envelope."""
+        meta = _unit_meta(8)
+        sk = SketchConstructor(SketchParams(2048, meta, seed=18))
+        rng = np.random.default_rng(seed)
+        a, b = rng.random(8), rng.random(8)
+        p = np.abs(a - b).sum() / 8.0
+        h = sk.hamming(sk.sketch(a), sk.sketch(b))
+        sigma = np.sqrt(2048 * p * (1 - p))
+        assert abs(h - 2048 * p) <= 6 * sigma + 8

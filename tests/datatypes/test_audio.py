@@ -1,0 +1,191 @@
+"""Tests for the audio data type: synthesis, MFCC, segmentation, plugin."""
+
+import numpy as np
+import pytest
+
+from repro.core import SearchMethod, SimilaritySearchEngine, SketchParams, meta_from_dataset
+from repro.datatypes.audio import (
+    AUDIO_DIM,
+    NUM_COEFFS,
+    NUM_WINDOWS,
+    SAMPLE_RATE,
+    audio_feature_meta,
+    frame_energy,
+    hz_to_mel,
+    make_audio_plugin,
+    mel_filterbank,
+    mel_to_hz,
+    mfcc,
+    random_sentence,
+    random_speaker,
+    segment_feature,
+    segment_utterances,
+    signature_from_sentence,
+    synthesize_sentence,
+    zero_crossings,
+)
+from repro.evaltool import evaluate_engine
+
+
+class TestSynthesis:
+    def test_boundaries_cover_words(self):
+        rng = np.random.default_rng(0)
+        sentence = random_sentence(rng, num_words=5)
+        signal, boundaries = synthesize_sentence(sentence, random_speaker(rng), rng)
+        assert len(boundaries) == 5
+        for (s0, e0), (s1, _e1) in zip(boundaries, boundaries[1:]):
+            assert s0 < e0 <= s1  # ordered, non-overlapping
+        assert boundaries[-1][1] == len(signal)
+
+    def test_speakers_differ(self):
+        rng = np.random.default_rng(1)
+        sentence = random_sentence(rng, num_words=3)
+        sig_a, _ = synthesize_sentence(sentence, random_speaker(rng), rng)
+        sig_b, _ = synthesize_sentence(sentence, random_speaker(rng), rng)
+        assert len(sig_a) != len(sig_b) or not np.allclose(sig_a, sig_b)
+
+    def test_rate_scales_duration(self):
+        rng = np.random.default_rng(2)
+        sentence = random_sentence(rng, num_words=4)
+        slow = random_speaker(rng)._replace if False else None
+        from repro.datatypes.audio.synthetic import SpeakerProfile
+
+        fast = SpeakerProfile(150.0, 1.0, 1.5, 0.8, 0.01)
+        slow = SpeakerProfile(150.0, 1.0, 0.7, 0.8, 0.01)
+        sig_fast, _ = synthesize_sentence(sentence, fast, np.random.default_rng(0))
+        sig_slow, _ = synthesize_sentence(sentence, slow, np.random.default_rng(0))
+        assert len(sig_slow) > len(sig_fast)
+
+
+class TestMFCC:
+    def test_mel_scale_roundtrip(self):
+        hz = np.array([100.0, 1000.0, 4000.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(hz)), hz)
+
+    def test_mel_scale_monotonic(self):
+        hz = np.linspace(10, 4000, 100)
+        mel = hz_to_mel(hz)
+        assert np.all(np.diff(mel) > 0)
+
+    def test_filterbank_shape_and_coverage(self):
+        bank = mel_filterbank(26, 512, SAMPLE_RATE)
+        assert bank.shape == (26, 257)
+        assert np.all(bank >= 0)
+        assert bank.sum(axis=1).min() > 0  # every filter is non-empty
+
+    def test_mfcc_output_shape(self):
+        rng = np.random.default_rng(3)
+        signal = rng.normal(size=4000)
+        coeffs = mfcc(signal, SAMPLE_RATE)
+        assert coeffs.shape == (NUM_WINDOWS, NUM_COEFFS)
+
+    def test_short_segment_padded(self):
+        coeffs = mfcc(np.ones(100), SAMPLE_RATE)
+        assert coeffs.shape == (NUM_WINDOWS, NUM_COEFFS)
+        assert np.all(np.isfinite(coeffs))
+
+    def test_distinguishes_frequencies(self):
+        t = np.arange(8000) / SAMPLE_RATE
+        low = np.sin(2 * np.pi * 300 * t)
+        high = np.sin(2 * np.pi * 2500 * t)
+        c_low, c_high = mfcc(low, SAMPLE_RATE), mfcc(high, SAMPLE_RATE)
+        c_low2 = mfcc(low * 0.9, SAMPLE_RATE)
+        d_same = np.abs(c_low - c_low2).mean()
+        d_diff = np.abs(c_low - c_high).mean()
+        assert d_diff > 3 * d_same
+
+
+class TestUtteranceSegmentation:
+    def test_detects_utterances_between_pauses(self):
+        rng = np.random.default_rng(4)
+        speaker = random_speaker(rng)
+        s1, _ = synthesize_sentence(random_sentence(rng, 4), speaker, rng)
+        s2, _ = synthesize_sentence(random_sentence(rng, 4), speaker, rng)
+        pause = np.zeros(int(0.4 * SAMPLE_RATE))
+        recording = np.concatenate([pause, s1, pause, s2, pause])
+        spans = segment_utterances(recording, SAMPLE_RATE)
+        assert len(spans) == 2
+
+    def test_silence_only(self):
+        spans = segment_utterances(np.zeros(SAMPLE_RATE), SAMPLE_RATE)
+        assert spans == []
+
+    def test_continuous_speech_single_span(self):
+        rng = np.random.default_rng(5)
+        s1, _ = synthesize_sentence(random_sentence(rng, 5), random_speaker(rng), rng)
+        spans = segment_utterances(s1, SAMPLE_RATE, silence_windows=30)
+        assert len(spans) == 1
+
+    def test_frame_helpers(self):
+        signal = np.concatenate([np.zeros(100), np.ones(100)])
+        energy = frame_energy(signal, 100)
+        assert energy[0] == pytest.approx(0.0)
+        assert energy[1] == pytest.approx(1.0)
+        t = np.arange(1000)
+        zc = zero_crossings(np.sin(2 * np.pi * t / 20), 200)
+        assert np.all(zc >= 15)  # ~20 crossings per 200-sample window
+
+    def test_empty_signal(self):
+        assert len(frame_energy(np.zeros(0), 10)) == 0
+        assert segment_utterances(np.zeros(5), SAMPLE_RATE) == []
+
+
+class TestSignature:
+    def test_dimensions(self):
+        rng = np.random.default_rng(6)
+        sentence = random_sentence(rng, 4)
+        signal, bounds = synthesize_sentence(sentence, random_speaker(rng), rng)
+        sig = signature_from_sentence(signal, bounds)
+        assert sig.features.shape == (4, AUDIO_DIM)
+        assert sig.weights.sum() == pytest.approx(1.0)
+
+    def test_weights_track_length(self):
+        rng = np.random.default_rng(7)
+        signal = rng.normal(size=3000)
+        sig = signature_from_sentence(signal, [(0, 1000), (1000, 3000)])
+        assert sig.weights[1] == pytest.approx(2 * sig.weights[0])
+
+    def test_empty_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            signature_from_sentence(np.zeros(100), [])
+
+    def test_degenerate_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            signature_from_sentence(np.zeros(100), [(50, 50)])
+
+    def test_features_within_static_bounds(self):
+        meta = audio_feature_meta()
+        rng = np.random.default_rng(8)
+        for _ in range(3):
+            sentence = random_sentence(rng, 3)
+            signal, bounds = synthesize_sentence(sentence, random_speaker(rng), rng)
+            sig = signature_from_sentence(signal, bounds)
+            assert np.all(sig.features >= meta.min_values - 1e-9)
+            assert np.all(sig.features <= meta.max_values + 1e-9)
+
+
+class TestEndToEndQuality:
+    def test_same_sentence_ranks_high(self, audio_benchmark):
+        meta = meta_from_dataset(audio_benchmark.dataset)
+        plugin = make_audio_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(600, meta, seed=0))
+        for obj in audio_benchmark.dataset:
+            engine.insert(obj)
+        result = evaluate_engine(
+            engine, audio_benchmark.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        )
+        assert result.quality.average_precision > 0.6
+
+    def test_sketch_close_to_original(self, audio_benchmark):
+        meta = meta_from_dataset(audio_benchmark.dataset)
+        plugin = make_audio_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(600, meta, seed=0))
+        for obj in audio_benchmark.dataset:
+            engine.insert(obj)
+        original = evaluate_engine(
+            engine, audio_benchmark.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        ).quality.average_precision
+        sketch = evaluate_engine(
+            engine, audio_benchmark.suite, SearchMethod.BRUTE_FORCE_SKETCH
+        ).quality.average_precision
+        assert sketch > 0.7 * original

@@ -1,0 +1,118 @@
+"""Tests for the genomic microarray data type."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+    meta_from_dataset,
+)
+from repro.datatypes.genomic import (
+    GENOMIC_DISTANCES,
+    dataset_from_expression,
+    generate_expression_matrix,
+    generate_genomic_benchmark,
+    make_genomic_plugin,
+)
+from repro.evaltool import evaluate_engine
+
+
+class TestExpressionGenerator:
+    def test_matrix_shape(self):
+        data = generate_expression_matrix(
+            num_modules=5, genes_per_module=4, num_background=10,
+            num_experiments=30, seed=0,
+        )
+        assert data.matrix.shape == (30, 30)
+        assert data.num_genes == 30
+        assert data.num_experiments == 30
+
+    def test_module_labels(self):
+        data = generate_expression_matrix(
+            num_modules=3, genes_per_module=4, num_background=5, seed=1
+        )
+        modules = data.modules()
+        assert len(modules) == 3
+        assert all(len(members) == 4 for members in modules.values())
+        assert (data.module_of == -1).sum() == 5
+
+    def test_module_genes_correlated(self):
+        data = generate_expression_matrix(
+            num_modules=4, genes_per_module=5, num_background=20,
+            noise=0.15, seed=2,
+        )
+        modules = data.modules()
+        within, across = [], []
+        for module, members in modules.items():
+            for i in members:
+                for j in members:
+                    if i < j:
+                        r = abs(np.corrcoef(data.matrix[i], data.matrix[j])[0, 1])
+                        within.append(r)
+        rng = np.random.default_rng(0)
+        flat = [g for members in modules.values() for g in members]
+        for _ in range(50):
+            i, j = rng.choice(flat, 2, replace=False)
+            if data.module_of[i] != data.module_of[j]:
+                across.append(abs(np.corrcoef(data.matrix[i], data.matrix[j])[0, 1]))
+        assert np.mean(within) > np.mean(across) + 0.2
+
+    def test_gene_names_unique(self):
+        data = generate_expression_matrix(seed=3)
+        assert len(set(data.gene_names)) == data.num_genes
+
+
+class TestPlugin:
+    def test_all_distances_available(self):
+        assert set(GENOMIC_DISTANCES) == {"pearson", "spearman", "l1"}
+        for name in GENOMIC_DISTANCES:
+            plugin = make_genomic_plugin(20, distance=name)
+            assert plugin.meta.dim == 20
+
+    def test_unknown_distance_rejected(self):
+        with pytest.raises(KeyError):
+            make_genomic_plugin(20, distance="euclid")
+
+    def test_dataset_from_expression_ids_are_rows(self):
+        data = generate_expression_matrix(
+            num_modules=2, genes_per_module=3, num_background=4, seed=4
+        )
+        ds = dataset_from_expression(data)
+        assert len(ds) == 10
+        assert np.allclose(ds[3].features[0], data.matrix[3])
+
+    @pytest.mark.parametrize("distance", ["pearson", "spearman", "l1"])
+    def test_quality_by_distance(self, genomic_benchmark, distance):
+        """All three distances find co-regulated genes on clean modules;
+        correlation distances are the domain standard and should do well."""
+        meta = meta_from_dataset(genomic_benchmark.dataset)
+        plugin = make_genomic_plugin(
+            genomic_benchmark.expression.num_experiments, distance=distance,
+            meta=meta,
+        )
+        engine = SimilaritySearchEngine(plugin, SketchParams(256, meta, seed=0))
+        for obj in genomic_benchmark.dataset:
+            engine.insert(obj)
+        result = evaluate_engine(
+            engine, genomic_benchmark.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        )
+        floor = 0.5 if distance == "l1" else 0.7
+        assert result.quality.average_precision > floor
+
+    def test_filtering_works_on_genomic(self, genomic_benchmark):
+        meta = meta_from_dataset(genomic_benchmark.dataset)
+        plugin = make_genomic_plugin(
+            genomic_benchmark.expression.num_experiments, distance="l1", meta=meta
+        )
+        engine = SimilaritySearchEngine(plugin, SketchParams(256, meta, seed=0))
+        for obj in genomic_benchmark.dataset:
+            engine.insert(obj)
+        filtered = evaluate_engine(
+            engine, genomic_benchmark.suite, SearchMethod.FILTERING
+        )
+        brute = evaluate_engine(
+            engine, genomic_benchmark.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        )
+        assert filtered.quality.average_precision > 0.7 * brute.quality.average_precision

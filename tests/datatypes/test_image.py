@@ -1,0 +1,200 @@
+"""Tests for the image data type: scenes, segmentation, features, plugin."""
+
+import numpy as np
+import pytest
+
+from repro.core import SearchMethod, SimilaritySearchEngine, SketchParams
+from repro.datatypes.image import (
+    IMAGE_DIM,
+    SimplicityBaseline,
+    extract_features,
+    generate_bulk_signatures,
+    generate_image_benchmark,
+    global_features,
+    image_feature_meta,
+    make_image_plugin,
+    perturb_scene,
+    quantize_colors,
+    random_scene,
+    render_scene,
+    segment_image,
+    signature_from_image,
+)
+from repro.evaltool import evaluate_engine
+
+
+class TestSyntheticScenes:
+    def test_render_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        image = render_scene(random_scene(rng), 32, 48, rng)
+        assert image.shape == (32, 48, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_deterministic_spec(self):
+        rng = np.random.default_rng(1)
+        scene = random_scene(rng)
+        img1 = render_scene(scene, 32, 32, np.random.default_rng(5))
+        img2 = render_scene(scene, 32, 32, np.random.default_rng(5))
+        assert np.array_equal(img1, img2)
+
+    def test_perturbation_changes_pixels_but_not_structure(self):
+        rng = np.random.default_rng(2)
+        scene = random_scene(rng)
+        variant = perturb_scene(scene, rng)
+        img_a = render_scene(scene, 32, 32, rng)
+        img_b = render_scene(variant, 32, 32, rng)
+        assert not np.array_equal(img_a, img_b)
+        # Structure preserved: most regions survive perturbation.
+        assert len(variant.regions) >= len(scene.regions) - 1
+
+    def test_num_regions_in_range(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            assert 2 <= len(random_scene(rng).regions) <= 6
+
+
+class TestSegmentation:
+    def test_label_map_shape_and_contiguity(self):
+        rng = np.random.default_rng(4)
+        image = render_scene(random_scene(rng), 40, 40, rng)
+        labels = segment_image(image)
+        assert labels.shape == (40, 40)
+        ids = np.unique(labels)
+        assert np.array_equal(ids, np.arange(len(ids)))
+
+    def test_max_segments_respected(self):
+        rng = np.random.default_rng(5)
+        image = render_scene(random_scene(rng, num_regions=6), 48, 48, rng)
+        labels = segment_image(image, max_segments=4)
+        assert len(np.unique(labels)) <= 4
+
+    def test_quantize_codes_bounded(self):
+        rng = np.random.default_rng(6)
+        image = rng.random((8, 8, 3))
+        codes = quantize_colors(image, levels=4)
+        assert codes.min() >= 0 and codes.max() < 64
+
+    def test_uniform_image_single_segment(self):
+        image = np.full((16, 16, 3), 0.5)
+        labels = segment_image(image)
+        assert len(np.unique(labels)) == 1
+
+    def test_two_halves_two_segments(self):
+        image = np.zeros((16, 16, 3))
+        image[:, 8:] = 0.9
+        labels = segment_image(image)
+        assert len(np.unique(labels)) == 2
+        assert len(np.unique(labels[:, :8])) == 1
+
+
+class TestFeatures:
+    def test_dimension_and_weights(self):
+        rng = np.random.default_rng(7)
+        image = render_scene(random_scene(rng), 40, 40, rng)
+        labels = segment_image(image)
+        feats, weights = extract_features(image, labels)
+        assert feats.shape[1] == IMAGE_DIM
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_weights_follow_sqrt_size(self):
+        image = np.zeros((16, 16, 3))
+        image[:, 12:] = 0.9  # 3:1 area split
+        labels = segment_image(image)
+        _feats, weights = extract_features(image, labels)
+        # sqrt(192):sqrt(64) = 1.732 ratio
+        assert max(weights) / min(weights) == pytest.approx(np.sqrt(3), rel=0.05)
+
+    def test_features_within_declared_bounds(self):
+        meta = image_feature_meta()
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            image = render_scene(random_scene(rng), 32, 32, rng)
+            sig = signature_from_image(image)
+            assert np.all(sig.features >= meta.min_values - 1e-9)
+            assert np.all(sig.features <= meta.max_values + 1e-9)
+
+    def test_centroid_feature_tracks_position(self):
+        image = np.zeros((20, 20, 3))
+        image[2:6, 2:6] = 0.9  # small bright box at top-left
+        labels = segment_image(image)
+        feats, _ = extract_features(image, labels)
+        small = feats[np.argmin([np.sum(labels == i) for i in range(feats.shape[0])])]
+        assert small[12] < 0.5 and small[13] < 0.5  # centroid y, x
+
+
+class TestPlugin:
+    def test_similar_images_closer_than_random(self):
+        rng = np.random.default_rng(9)
+        plugin = make_image_plugin()
+        scene = random_scene(rng)
+        a = signature_from_image(render_scene(scene, 40, 40, rng))
+        b = signature_from_image(render_scene(perturb_scene(scene, rng), 40, 40, rng))
+        c = signature_from_image(render_scene(random_scene(rng), 40, 40, rng))
+        assert plugin.obj_distance(a, b) < plugin.obj_distance(a, c)
+
+    def test_seg_extract_from_npy(self, tmp_path):
+        rng = np.random.default_rng(10)
+        image = render_scene(random_scene(rng), 32, 32, rng)
+        path = str(tmp_path / "img.npy")
+        np.save(path, image)
+        plugin = make_image_plugin()
+        obj = plugin.extract(path)
+        assert obj.dim == IMAGE_DIM
+
+    def test_quality_beats_simplicity_baseline(self, image_benchmark):
+        """Table 1's qualitative claim: region-based Ferret > global CBIR."""
+        from repro.evaltool.metrics import QualityScores, score_query
+
+        plugin = make_image_plugin()
+        engine = SimilaritySearchEngine(plugin, SketchParams(96, plugin.meta, seed=0))
+        baseline = SimplicityBaseline()
+        for obj in image_benchmark.dataset:
+            engine.insert(obj)
+            baseline.insert(obj.object_id, image_benchmark.images[obj.object_id])
+
+        ferret = evaluate_engine(
+            engine, image_benchmark.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        ).quality.average_precision
+
+        base_scores = []
+        for sim_set in image_benchmark.suite.sets:
+            qid = sim_set.query_id
+            results = baseline.query(
+                image_benchmark.images[qid], top_k=30, exclude_id=qid
+            )
+            base_scores.append(
+                score_query([r.object_id for r in results], sim_set.members,
+                            qid, len(image_benchmark.dataset))
+            )
+        base = QualityScores.mean(base_scores).average_precision
+        assert ferret > base
+
+
+class TestBulkSignatures:
+    def test_counts_and_segments(self):
+        ds = generate_bulk_signatures(200, avg_segments=10.8, seed=0)
+        assert len(ds) == 200
+        assert ds.avg_segments == pytest.approx(10.8, rel=0.15)
+
+    def test_features_in_bounds(self):
+        meta = image_feature_meta()
+        ds = generate_bulk_signatures(50, seed=1)
+        stacked = np.concatenate([o.features for o in ds])
+        assert np.all(stacked >= meta.min_values - 1e-9)
+        assert np.all(stacked <= meta.max_values + 1e-9)
+
+
+class TestSimplicityBaseline:
+    def test_global_features_dim(self):
+        image = np.random.default_rng(0).random((16, 16, 3))
+        assert global_features(image).shape == (21,)
+
+    def test_self_query_top(self):
+        rng = np.random.default_rng(11)
+        baseline = SimplicityBaseline()
+        images = [rng.random((16, 16, 3)) for _ in range(10)]
+        for i, img in enumerate(images):
+            baseline.insert(i, img)
+        results = baseline.query(images[4], top_k=1)
+        assert results[0].object_id == 4
+        assert results[0].distance == pytest.approx(0.0)

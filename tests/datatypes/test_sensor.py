@@ -1,0 +1,140 @@
+"""Tests for the sensor data type (toolkit extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SearchMethod, SimilaritySearchEngine, SketchParams, meta_from_dataset
+from repro.datatypes.sensor import (
+    NUM_CHANNELS,
+    SENSOR_DIM,
+    SENSOR_RATE,
+    episode_feature,
+    generate_sensor_benchmark,
+    make_sensor_plugin,
+    random_recording,
+    random_subject,
+    segment_episodes,
+    sensor_feature_meta,
+    signature_from_recording,
+    synthesize_recording,
+)
+from repro.evaltool import evaluate_engine
+
+
+@pytest.fixture(scope="module")
+def sensor_benchmark():
+    return generate_sensor_benchmark(
+        num_sequences=8, subjects_per_sequence=4, seed=11
+    )
+
+
+class TestSynthesis:
+    def test_signal_shape_and_spans(self):
+        rng = np.random.default_rng(0)
+        spec = random_recording(rng, num_activities=4)
+        signal, spans = synthesize_recording(spec, random_subject(rng), rng)
+        assert signal.shape[1] == NUM_CHANNELS
+        assert len(spans) == 4
+        for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert s0 < e0 <= s1
+
+    def test_subjects_differ(self):
+        rng = np.random.default_rng(1)
+        spec = random_recording(rng, num_activities=3)
+        a, _ = synthesize_recording(spec, random_subject(rng), rng)
+        b, _ = synthesize_recording(spec, random_subject(rng), rng)
+        assert a.shape != b.shape or not np.allclose(a, b)
+
+
+class TestSegmentation:
+    def test_recovers_episode_count(self):
+        rng = np.random.default_rng(2)
+        spec = random_recording(rng, num_activities=5)
+        signal, true_spans = synthesize_recording(spec, random_subject(rng), rng)
+        spans = segment_episodes(signal)
+        assert len(spans) == len(true_spans)
+
+    def test_silence_only(self):
+        assert segment_episodes(np.zeros((500, NUM_CHANNELS))) == []
+
+    def test_spans_cover_activity(self):
+        rng = np.random.default_rng(3)
+        spec = random_recording(rng, num_activities=3)
+        signal, true_spans = synthesize_recording(spec, random_subject(rng), rng)
+        detected = segment_episodes(signal)
+        # Each true episode midpoint falls inside some detected span.
+        for s, e in true_spans:
+            mid = (s + e) // 2
+            assert any(ds <= mid < de for ds, de in detected)
+
+
+class TestFeatures:
+    def test_dimension(self):
+        rng = np.random.default_rng(4)
+        episode = rng.normal(size=(300, NUM_CHANNELS))
+        assert episode_feature(episode).shape == (SENSOR_DIM,)
+
+    def test_dominant_frequency_detected(self):
+        t = np.arange(400) / SENSOR_RATE
+        episode = np.stack([np.sin(2 * np.pi * 5.0 * t)] * NUM_CHANNELS, axis=1)
+        features = episode_feature(episode)
+        # dominant-frequency slot of channel 0 is index 4
+        assert features[4] == pytest.approx(5.0, abs=0.5)
+
+    def test_within_declared_bounds(self):
+        meta = sensor_feature_meta()
+        rng = np.random.default_rng(5)
+        spec = random_recording(rng)
+        signal, _ = synthesize_recording(spec, random_subject(rng), rng)
+        sig = signature_from_recording(signal)
+        assert np.all(sig.features >= meta.min_values - 1e-9)
+        assert np.all(sig.features <= meta.max_values + 1e-9)
+
+    def test_weights_track_length(self):
+        rng = np.random.default_rng(6)
+        signal = rng.normal(size=(900, NUM_CHANNELS))
+        sig = signature_from_recording(signal, spans=[(0, 300), (300, 900)])
+        assert sig.weights[1] == pytest.approx(2 * sig.weights[0])
+
+    def test_empty_recording_rejected(self):
+        with pytest.raises(ValueError):
+            signature_from_recording(np.zeros((100, NUM_CHANNELS)))
+
+
+class TestRetrievalQuality:
+    def test_same_sequence_ranks_high(self, sensor_benchmark):
+        bench = sensor_benchmark
+        meta = meta_from_dataset(bench.dataset)
+        plugin = make_sensor_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(192, meta, seed=0))
+        for obj in bench.dataset:
+            engine.insert(obj)
+        result = evaluate_engine(
+            engine, bench.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        )
+        assert result.quality.average_precision > 0.6
+
+    def test_filtering_close_to_brute_force(self, sensor_benchmark):
+        bench = sensor_benchmark
+        meta = meta_from_dataset(bench.dataset)
+        plugin = make_sensor_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(192, meta, seed=0))
+        for obj in bench.dataset:
+            engine.insert(obj)
+        brute = evaluate_engine(
+            engine, bench.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        ).quality.average_precision
+        filtered = evaluate_engine(
+            engine, bench.suite, SearchMethod.FILTERING
+        ).quality.average_precision
+        assert filtered > 0.75 * brute
+
+    def test_plugin_extracts_npy(self, tmp_path):
+        rng = np.random.default_rng(7)
+        spec = random_recording(rng)
+        signal, _ = synthesize_recording(spec, random_subject(rng), rng)
+        path = str(tmp_path / "rec.npy")
+        np.save(path, signal)
+        plugin = make_sensor_plugin()
+        obj = plugin.extract(path)
+        assert obj.dim == SENSOR_DIM

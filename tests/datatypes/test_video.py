@@ -1,0 +1,155 @@
+"""Tests for the video data type (toolkit extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SearchMethod, SimilaritySearchEngine, SketchParams, meta_from_dataset
+from repro.datatypes.video import (
+    FRAME_RATE,
+    VIDEO_DIM,
+    detect_shots,
+    frame_differences,
+    generate_video_benchmark,
+    make_video_plugin,
+    perturb_video,
+    random_video,
+    render_video,
+    shot_feature,
+    signature_from_video,
+    video_feature_meta,
+)
+from repro.evaltool import evaluate_engine
+
+
+@pytest.fixture(scope="module")
+def video_benchmark():
+    return generate_video_benchmark(
+        num_videos=6, renditions_per_video=3, num_distractors=15, seed=7
+    )
+
+
+class TestSynthesis:
+    def test_render_shapes(self):
+        rng = np.random.default_rng(0)
+        video = random_video(rng, num_shots=3)
+        frames, spans = render_video(video, 24, 24, rng)
+        assert frames.ndim == 4 and frames.shape[1:] == (24, 24, 3)
+        assert len(spans) == 3
+        assert spans[-1][1] == frames.shape[0]
+
+    def test_duration_maps_to_frames(self):
+        rng = np.random.default_rng(1)
+        video = random_video(rng, num_shots=2)
+        frames, spans = render_video(video, 16, 16, rng)
+        for shot, (s, e) in zip(video.shots, spans):
+            assert e - s == max(2, int(shot.duration * FRAME_RATE))
+
+    def test_perturbation_keeps_most_shots(self):
+        rng = np.random.default_rng(2)
+        video = random_video(rng, num_shots=5)
+        variant = perturb_video(video, rng)
+        assert len(variant.shots) >= 4
+        # velocities stay aligned with the (possibly reduced) region count
+        for shot in variant.shots:
+            assert len(shot.velocities) == len(shot.scene.regions)
+
+
+class TestShotDetection:
+    def test_detects_exact_cut_count(self):
+        rng = np.random.default_rng(3)
+        for num_shots in (2, 4, 6):
+            video = random_video(rng, num_shots=num_shots)
+            frames, _ = render_video(video, 24, 24, rng)
+            assert len(detect_shots(frames)) == num_shots
+
+    def test_single_shot_video(self):
+        rng = np.random.default_rng(4)
+        video = random_video(rng, num_shots=1)
+        frames, _ = render_video(video, 24, 24, rng)
+        assert detect_shots(frames) == [(0, frames.shape[0])]
+
+    def test_empty_and_tiny_inputs(self):
+        assert detect_shots(np.zeros((0, 8, 8, 3))) == []
+        assert detect_shots(np.zeros((1, 8, 8, 3))) == [(0, 1)]
+        assert len(frame_differences(np.zeros((1, 8, 8, 3)))) == 0
+
+    def test_spans_partition_frames(self):
+        rng = np.random.default_rng(5)
+        video = random_video(rng, num_shots=4)
+        frames, _ = render_video(video, 24, 24, rng)
+        spans = detect_shots(frames)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == frames.shape[0]
+        for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 == s1
+
+
+class TestFeatures:
+    def test_dimension_and_bounds(self):
+        rng = np.random.default_rng(6)
+        video = random_video(rng, num_shots=2)
+        frames, _ = render_video(video, 24, 24, rng)
+        sig = signature_from_video(frames)
+        meta = video_feature_meta()
+        assert sig.features.shape[1] == VIDEO_DIM
+        assert np.all(sig.features >= meta.min_values - 1e-9)
+        assert np.all(sig.features <= meta.max_values + 1e-9)
+
+    def test_motion_features_reflect_movement(self):
+        static = np.broadcast_to(
+            np.random.default_rng(7).random((1, 16, 16, 3)), (10, 16, 16, 3)
+        ).copy()
+        moving = static.copy()
+        moving += np.random.default_rng(8).normal(0, 0.05, moving.shape)
+        f_static = shot_feature(static)
+        f_moving = shot_feature(np.clip(moving, 0, 1))
+        assert f_moving[21] > f_static[21]  # mean inter-frame difference
+
+    def test_weights_track_shot_length(self):
+        rng = np.random.default_rng(9)
+        frames = rng.random((30, 16, 16, 3))
+        sig = signature_from_video(frames, spans=[(0, 10), (10, 30)])
+        assert sig.weights[1] == pytest.approx(2 * sig.weights[0])
+
+    def test_no_shots_rejected(self):
+        with pytest.raises(ValueError):
+            signature_from_video(np.zeros((5, 8, 8, 3)), spans=[])
+
+
+class TestRetrieval:
+    def test_renditions_rank_high(self, video_benchmark):
+        bench = video_benchmark
+        meta = meta_from_dataset(bench.dataset)
+        plugin = make_video_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(128, meta, seed=0))
+        for obj in bench.dataset:
+            engine.insert(obj)
+        result = evaluate_engine(
+            engine, bench.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        )
+        assert result.quality.average_precision > 0.6
+
+    def test_shot_reordering_tolerated(self):
+        """EMD over shots: the same shots in a different cut order still
+        match (the video analogue of the audio word-order claim)."""
+        rng = np.random.default_rng(10)
+        video = random_video(rng, num_shots=4)
+        from repro.datatypes.video.synthetic import VideoSpec
+
+        reordered = VideoSpec(tuple(reversed(video.shots)))
+        frames_a, _ = render_video(video, 24, 24, np.random.default_rng(1))
+        frames_b, _ = render_video(reordered, 24, 24, np.random.default_rng(2))
+        other, _ = render_video(random_video(rng, num_shots=4), 24, 24, rng)
+        plugin = make_video_plugin()
+        sig_a = signature_from_video(frames_a)
+        sig_b = signature_from_video(frames_b)
+        sig_o = signature_from_video(other)
+        assert plugin.obj_distance(sig_a, sig_b) < plugin.obj_distance(sig_a, sig_o)
+
+    def test_plugin_extracts_npy(self, tmp_path):
+        rng = np.random.default_rng(11)
+        frames, _ = render_video(random_video(rng, 2), 24, 24, rng)
+        path = str(tmp_path / "clip.npy")
+        np.save(path, frames)
+        plugin = make_video_plugin()
+        assert plugin.extract(path).dim == VIDEO_DIM

@@ -1,0 +1,105 @@
+"""Tests for the performance evaluation tool's benchmark driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.evaltool import (
+    BenchmarkSuite,
+    SimilaritySet,
+    evaluate_engine,
+    load_benchmark,
+    save_benchmark,
+)
+
+
+class TestSimilaritySet:
+    def test_query_is_first_member(self):
+        s = SimilaritySet("s", (3, 1, 2))
+        assert s.query_id == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SimilaritySet("s", (1,))
+
+
+class TestBenchmarkFileFormat:
+    def test_roundtrip(self, tmp_path):
+        suite = BenchmarkSuite("demo")
+        suite.add("alpha", [1, 2, 3])
+        suite.add("beta", [4, 5])
+        path = str(tmp_path / "bench.txt")
+        save_benchmark(suite, path)
+        loaded = load_benchmark(path)
+        assert len(loaded) == 2
+        assert loaded.sets[0].members == (1, 2, 3)
+        assert loaded.sets[1].name == "beta"
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = str(tmp_path / "bench.txt")
+        path_content = "# comment\n\nset one 1 2 3\n"
+        with open(path, "w") as fh:
+            fh.write(path_content)
+        suite = load_benchmark(path)
+        assert len(suite) == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as fh:
+            fh.write("notaset 1 2 3\n")
+        with pytest.raises(ValueError):
+            load_benchmark(path)
+
+
+class TestEvaluateEngine:
+    def _engine_with_clusters(self):
+        """3 clusters of 4 near-identical objects + noise objects."""
+        meta = FeatureMeta(6, np.zeros(6), np.ones(6))
+        engine = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(256, meta, seed=0)
+        )
+        rng = np.random.default_rng(0)
+        suite = BenchmarkSuite("clusters")
+        for c in range(3):
+            center = rng.random((2, 6))
+            members = []
+            for _ in range(4):
+                feats = np.clip(center + rng.normal(0, 0.01, center.shape), 0, 1)
+                members.append(engine.insert(ObjectSignature(feats, [1, 1])))
+            suite.add(f"c{c}", members)
+        for _ in range(20):
+            engine.insert(ObjectSignature(rng.random((2, 6)), [1, 1]))
+        return engine, suite
+
+    def test_high_quality_on_separable_clusters(self):
+        engine, suite = self._engine_with_clusters()
+        result = evaluate_engine(engine, suite, SearchMethod.BRUTE_FORCE_ORIGINAL)
+        assert result.quality.average_precision > 0.9
+        assert result.num_queries == 3
+
+    def test_queries_per_set(self):
+        engine, suite = self._engine_with_clusters()
+        result = evaluate_engine(
+            engine, suite, SearchMethod.BRUTE_FORCE_ORIGINAL, queries_per_set=2
+        )
+        assert result.num_queries == 6
+
+    def test_unknown_object_raises(self):
+        engine, suite = self._engine_with_clusters()
+        suite.add("ghost", [900, 901])
+        with pytest.raises(KeyError):
+            evaluate_engine(engine, suite)
+
+    def test_row_shape(self):
+        engine, suite = self._engine_with_clusters()
+        row = evaluate_engine(engine, suite).row()
+        assert set(row) == {
+            "average_precision", "first_tier", "second_tier", "avg_query_seconds",
+        }

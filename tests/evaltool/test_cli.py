@@ -1,0 +1,47 @@
+"""Tests for the evaluation tool's CLI entry point."""
+
+import pytest
+
+from repro.evaltool.benchmark import main, save_benchmark, BenchmarkSuite
+
+
+class TestEvalCli:
+    def test_end_to_end_genomic(self, tmp_path, capsys):
+        """Drive the CLI against a demo engine with a matching benchmark."""
+        from repro.datatypes import build_demo_engine
+
+        # Build the same demo engine the CLI will construct to learn the
+        # gold-standard sets, then write them to a benchmark file.
+        _engine, bench = build_demo_engine("genomic", size=48, seed=42)
+        path = str(tmp_path / "bench.txt")
+        save_benchmark(bench.suite, path)
+
+        rc = main([path, "--datatype", "genomic", "--size", "48",
+                   "--method", "brute_force_original"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "average_precision" in out
+        assert "avg_query_seconds" in out
+
+    def test_method_choices_enforced(self, tmp_path):
+        suite = BenchmarkSuite("x")
+        suite.add("a", [0, 1])
+        path = str(tmp_path / "b.txt")
+        save_benchmark(suite, path)
+        with pytest.raises(SystemExit):
+            main([path, "--method", "warp-drive"])
+
+
+class TestReportFlag:
+    def test_report_prints_per_set_breakdown(self, tmp_path, capsys):
+        from repro.datatypes import build_demo_engine
+
+        _engine, bench = build_demo_engine("genomic", size=48, seed=42)
+        path = str(tmp_path / "bench.txt")
+        save_benchmark(bench.suite, path)
+        rc = main([path, "--datatype", "genomic", "--size", "48",
+                   "--method", "brute_force_original", "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg precision" in out
+        assert "module000" in out  # per-set rows present

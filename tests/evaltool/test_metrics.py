@@ -1,0 +1,90 @@
+"""Tests for search-quality metrics, including the paper's own examples."""
+
+import pytest
+
+from repro.evaltool import (
+    QualityScores,
+    average_precision,
+    first_tier,
+    score_query,
+    second_tier,
+)
+
+
+class TestPaperExamples:
+    """Section 6.2 walks through examples for each metric — verbatim checks."""
+
+    def test_first_tier_example(self):
+        # Q = {q1, q2, q3}, query q1, top-2 results are r1, q2 => 50%.
+        results = ["r1", "q2"]
+        assert first_tier(results, {"q1", "q2", "q3"}, "q1") == pytest.approx(0.5)
+
+    def test_second_tier_example(self):
+        # top-4 = r1, q2, q3, r4 => 100%.
+        results = ["r1", "q2", "q3", "r4"]
+        assert second_tier(results, {"q1", "q2", "q3"}, "q1") == pytest.approx(1.0)
+
+    def test_average_precision_example(self):
+        # results r1, q2, q3, r4 => 1/2 * (1/2 + 2/3) = 0.583...
+        results = ["r1", "q2", "q3", "r4"]
+        ap = average_precision(results, {"q1", "q2", "q3"}, "q1", dataset_size=100)
+        assert ap == pytest.approx(0.5 * (1 / 2 + 2 / 3))
+
+
+class TestFirstSecondTier:
+    def test_perfect_retrieval(self):
+        assert first_tier([2, 3], {1, 2, 3}, 1) == 1.0
+        assert second_tier([2, 3], {1, 2, 3}, 1) == 1.0
+
+    def test_total_miss(self):
+        assert first_tier([9, 8, 7, 6], {1, 2, 3}, 1) == 0.0
+
+    def test_second_tier_at_least_first_tier(self):
+        results = [9, 2, 3, 8]
+        st1 = first_tier(results, {1, 2, 3}, 1)
+        st2 = second_tier(results, {1, 2, 3}, 1)
+        assert st2 >= st1
+
+    def test_query_not_counted_as_target(self):
+        # query id present in results must not inflate the score
+        assert first_tier([1, 9], {1, 2, 3}, 1) == 0.0
+
+    def test_singleton_set_rejected(self):
+        with pytest.raises(ValueError):
+            first_tier([1], {5}, 5)
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        assert average_precision([2, 3, 4], {1, 2, 3, 4}, 1, 100) == pytest.approx(1.0)
+
+    def test_missing_target_gets_default_rank(self):
+        # one of two targets never retrieved -> rank = dataset_size
+        ap = average_precision([2], {1, 2, 3}, 1, dataset_size=1000)
+        assert ap == pytest.approx(0.5 * (1 / 1 + 2 / 1000))
+
+    def test_monotone_in_rank(self):
+        better = average_precision([2, 9, 3], {1, 2, 3}, 1, 100)
+        worse = average_precision([9, 2, 8, 7, 3], {1, 2, 3}, 1, 100)
+        assert better > worse
+
+    def test_bounded_01(self):
+        ap = average_precision([7, 8, 9], {1, 2, 3}, 1, 10)
+        assert 0.0 <= ap <= 1.0
+
+
+class TestQualityScores:
+    def test_mean(self):
+        scores = [QualityScores(1.0, 1.0, 1.0), QualityScores(0.0, 0.5, 0.0)]
+        mean = QualityScores.mean(scores)
+        assert mean.average_precision == pytest.approx(0.5)
+        assert mean.first_tier == pytest.approx(0.75)
+
+    def test_mean_empty(self):
+        assert QualityScores.mean([]) == QualityScores(0.0, 0.0, 0.0)
+
+    def test_score_query_bundles_all(self):
+        scores = score_query(["r1", "q2", "q3", "r4"], {"q1", "q2", "q3"}, "q1", 100)
+        assert scores.first_tier == pytest.approx(0.5)
+        assert scores.second_tier == pytest.approx(1.0)
+        assert scores.average_precision == pytest.approx(0.5 * (1 / 2 + 2 / 3))

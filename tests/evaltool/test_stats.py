@@ -1,0 +1,99 @@
+"""Tests for the evaluation statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaltool.metrics import QualityScores
+from repro.evaltool.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    latency_percentiles,
+    paired_difference,
+    quality_summary,
+)
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.6, 0.1, 50)
+        ci = bootstrap_ci(values)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.mean == pytest.approx(values.mean())
+
+    def test_constant_sample_degenerate_interval(self):
+        ci = bootstrap_ci([0.5] * 20)
+        assert ci.low == ci.high == ci.mean == 0.5
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 10), seed=1)
+        large = bootstrap_ci(rng.normal(0, 1, 1000), seed=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_contains_and_str(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.95)
+        assert 0.5 in ci
+        assert 0.7 not in ci
+        assert "95%" in str(ci)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=3, max_size=60))
+    def test_property_coverage_sanity(self, values):
+        ci = bootstrap_ci(values, seed=3)
+        assert ci.low <= ci.high
+        assert min(values) - 1e-9 <= ci.low
+        assert ci.high <= max(values) + 1e-9
+
+
+class TestQualitySummary:
+    def test_keys_and_consistency(self):
+        scores = [QualityScores(0.6, 0.5, 0.7), QualityScores(0.8, 0.7, 0.9)]
+        summary = quality_summary(scores)
+        assert set(summary) == {"average_precision", "first_tier", "second_tier"}
+        assert summary["average_precision"].mean == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quality_summary([])
+
+
+class TestPairedDifference:
+    def test_clear_improvement_excludes_zero(self):
+        rng = np.random.default_rng(2)
+        base = rng.uniform(0.4, 0.6, 40)
+        improved = base + 0.1 + rng.normal(0, 0.01, 40)
+        ci = paired_difference(improved, base)
+        assert ci.low > 0.0
+
+    def test_noise_includes_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0.4, 0.6, 40)
+        b = a + rng.normal(0, 0.05, 40)
+        ci = paired_difference(a, b)
+        assert 0.0 in ci
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_difference([1.0, 2.0], [1.0])
+
+
+class TestLatencyPercentiles:
+    def test_summary_keys(self):
+        out = latency_percentiles([0.1, 0.2, 0.3, 10.0])
+        assert set(out) == {"mean", "max", "p50", "p90", "p99"}
+        assert out["max"] == 10.0
+        assert out["p50"] <= out["p90"] <= out["p99"] <= out["max"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_percentiles([])

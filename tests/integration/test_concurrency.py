@@ -1,0 +1,141 @@
+"""Concurrency: the engine as "a single, concurrent program" (section 3).
+
+The server handles queries on multiple threads while data acquisition
+inserts in the background; these tests hammer that pattern.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import CommandProcessor, FerretClient, serve_background
+
+
+def _engine():
+    meta = FeatureMeta(6, np.zeros(6), np.ones(6))
+    return SimilaritySearchEngine(
+        DataTypePlugin("t", meta),
+        SketchParams(128, meta, seed=0),
+        FilterParams(num_query_segments=2, candidates_per_segment=16),
+    )
+
+
+class TestConcurrentEngine:
+    def test_queries_during_inserts(self):
+        engine = _engine()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            engine.insert(ObjectSignature(rng.random((2, 6)), [1, 1]))
+        errors = []
+        stop = threading.Event()
+
+        def inserter():
+            local = np.random.default_rng(1)
+            try:
+                for _ in range(150):
+                    engine.insert(ObjectSignature(local.random((2, 6)), [1, 1]))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def querier():
+            try:
+                while not stop.is_set():
+                    results = engine.query_by_id(
+                        3, top_k=5, method=SearchMethod.FILTERING
+                    )
+                    assert results and results[0].object_id == 3
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=inserter)] + [
+            threading.Thread(target=querier) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(engine) == 200
+
+    def test_concurrent_removals_and_queries(self):
+        engine = _engine()
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            engine.insert(ObjectSignature(rng.random((2, 6)), [1, 1]))
+        errors = []
+        stop = threading.Event()
+
+        def remover():
+            try:
+                for oid in range(100, 200):
+                    engine.remove(oid)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def querier():
+            try:
+                while not stop.is_set():
+                    engine.query_by_id(5, top_k=5, method=SearchMethod.FILTERING)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=remover)] + [
+            threading.Thread(target=querier) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(engine) == 100
+
+
+class TestConcurrentServer:
+    def test_parallel_clients_mixed_workload(self):
+        engine = _engine()
+        rng = np.random.default_rng(3)
+        proc = CommandProcessor(engine)
+        for i in range(30):
+            oid = engine.insert(ObjectSignature(rng.random((2, 6)), [1, 1]))
+            proc.register_attributes(oid, {"bucket": str(i % 3)})
+        server = serve_background(proc)
+        host, port = server.server_address
+        errors = []
+
+        def client_worker(worker):
+            try:
+                with FerretClient(host, port) as client:
+                    for i in range(20):
+                        if i % 3 == 0:
+                            client.query(worker % 30, top=5)
+                        elif i % 3 == 1:
+                            client.attrquery(f"bucket:{worker % 3}")
+                        else:
+                            assert client.count() >= 30
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client_worker, args=(w,)) for w in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        server.shutdown()
+        server.server_close()
+        assert not errors

@@ -1,0 +1,158 @@
+"""Integration: the full toolkit assembled the way a system builder would.
+
+Covers the paper's construction story (section 5): plug in a data type,
+ingest through data acquisition, persist through metadata management,
+search through the command protocol, bootstrap with attribute search.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.acquisition import DirectoryScanner
+from repro.attrsearch import PersistentIndex
+from repro.core import SearchMethod, SimilaritySearchEngine, SketchParams, meta_from_dataset
+from repro.datatypes import build_demo_engine
+from repro.datatypes.image import (
+    make_image_plugin,
+    random_scene,
+    render_scene,
+)
+from repro.metadata import MetadataManager
+from repro.server import CommandProcessor, FerretClient, serve_background
+from repro.evaltool import evaluate_engine
+
+
+class TestBuildDemoEngine:
+    @pytest.mark.parametrize("datatype", ["genomic", "shape"])
+    def test_engines_queryable(self, datatype):
+        engine, _bench = build_demo_engine(datatype, size=40)
+        assert len(engine) > 0
+        first = next(iter(engine.objects))
+        results = engine.query_by_id(first, top_k=3)
+        assert results[0].object_id == first
+
+    def test_unknown_datatype(self):
+        with pytest.raises(KeyError):
+            build_demo_engine("holograms")
+
+
+class TestFullImagePipeline:
+    def test_acquisition_to_search(self, tmp_path):
+        """Render scenes to files, scan them in, persist, search, restart."""
+        data_dir = tmp_path / "incoming"
+        data_dir.mkdir()
+        rng = np.random.default_rng(0)
+        scenes = [random_scene(rng) for _ in range(8)]
+        for i, scene in enumerate(scenes):
+            np.save(str(data_dir / f"scene{i}.npy"), render_scene(scene, 40, 40, rng))
+
+        plugin = make_image_plugin()
+        with MetadataManager(str(tmp_path / "meta")) as manager:
+            engine = SimilaritySearchEngine(
+                plugin, SketchParams(96, plugin.meta, seed=1), metadata=manager
+            )
+            scanner = DirectoryScanner(
+                engine, str(data_dir), extensions=(".npy",),
+                attribute_fn=lambda p: {"file": os.path.basename(p)},
+            )
+            scanner.scan_once()
+            report = scanner.scan_once()
+            assert report.num_imported == 8
+            results = engine.query_by_id(0, top_k=3)
+            assert results[0].object_id == 0
+
+        # Restart: reload from metadata, verify same search works.
+        with MetadataManager(str(tmp_path / "meta")) as manager:
+            engine2 = SimilaritySearchEngine(
+                plugin, SketchParams(96, plugin.meta, seed=1), metadata=manager
+            )
+            assert engine2.load() == 8
+            results = engine2.query_by_id(0, top_k=3)
+            assert results[0].object_id == 0
+
+    def test_scanner_resumes_from_file_mapping(self, tmp_path):
+        data_dir = tmp_path / "incoming"
+        data_dir.mkdir()
+        rng = np.random.default_rng(1)
+        np.save(str(data_dir / "a.npy"), render_scene(random_scene(rng), 32, 32, rng))
+        plugin = make_image_plugin()
+
+        with MetadataManager(str(tmp_path / "meta")) as manager:
+            engine = SimilaritySearchEngine(
+                plugin, SketchParams(64, plugin.meta, seed=1), metadata=manager
+            )
+            scanner = DirectoryScanner(engine, str(data_dir))
+            scanner.scan_once()
+            scanner.scan_once()
+            assert len(engine) == 1
+
+        with MetadataManager(str(tmp_path / "meta")) as manager:
+            engine2 = SimilaritySearchEngine(
+                plugin, SketchParams(64, plugin.meta, seed=1), metadata=manager
+            )
+            engine2.load()
+            scanner2 = DirectoryScanner(engine2, str(data_dir))
+            scanner2.scan_once()
+            report = scanner2.scan_once()
+            assert report.num_imported == 0  # mapping persisted: no re-import
+            assert len(engine2) == 1
+
+
+class TestAttributeBootstrappedSearch:
+    def test_attr_then_similarity_over_network(self, genomic_benchmark, tmp_path):
+        """The paper's flow: attribute query to find seeds, then
+        similarity search restricted to the attribute matches."""
+        from repro.datatypes.genomic import make_genomic_plugin
+        from repro.storage import KVStore
+
+        meta = meta_from_dataset(genomic_benchmark.dataset)
+        plugin = make_genomic_plugin(
+            genomic_benchmark.expression.num_experiments, meta=meta
+        )
+        engine = SimilaritySearchEngine(plugin, SketchParams(256, meta, seed=0))
+        store = KVStore(str(tmp_path / "idx"))
+        processor = CommandProcessor(engine, index=PersistentIndex(store))
+        for obj in genomic_benchmark.dataset:
+            engine.insert(obj)
+            gene = genomic_benchmark.expression.gene_names[obj.object_id]
+            module = genomic_benchmark.expression.module_of[obj.object_id]
+            processor.register_attributes(
+                obj.object_id,
+                {"gene": gene, "kind": "module" if module >= 0 else "background"},
+            )
+
+        server = serve_background(processor)
+        host, port = server.server_address
+        try:
+            with FerretClient(host, port) as client:
+                seeds = client.attrquery("kind:module")
+                assert seeds
+                results = client.query(seeds[0], top=5, attr="kind:module")
+                module_ids = set(client.attrquery("kind:module"))
+                assert all(oid in module_ids for oid, _dist in results)
+        finally:
+            server.shutdown()
+            server.server_close()
+        store.close()
+
+
+class TestCrossMethodConsistency:
+    def test_filtering_quality_close_to_brute_force(self, genomic_benchmark):
+        from repro.datatypes.genomic import make_genomic_plugin
+
+        meta = meta_from_dataset(genomic_benchmark.dataset)
+        plugin = make_genomic_plugin(
+            genomic_benchmark.expression.num_experiments, distance="l1", meta=meta
+        )
+        engine = SimilaritySearchEngine(plugin, SketchParams(512, meta, seed=0))
+        for obj in genomic_benchmark.dataset:
+            engine.insert(obj)
+        brute = evaluate_engine(
+            engine, genomic_benchmark.suite, SearchMethod.BRUTE_FORCE_ORIGINAL
+        ).quality.average_precision
+        filtered = evaluate_engine(
+            engine, genomic_benchmark.suite, SearchMethod.FILTERING
+        ).quality.average_precision
+        assert filtered >= 0.8 * brute

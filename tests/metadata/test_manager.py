@@ -1,0 +1,120 @@
+"""Tests for the metadata manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import ObjectSignature
+from repro.metadata import MetadataManager
+from repro.storage import KVStore
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    m = MetadataManager(str(tmp_path / "meta"))
+    yield m
+    m.close()
+
+
+def _obj(seed=0, k=3, dim=5):
+    rng = np.random.default_rng(seed)
+    return ObjectSignature(rng.random((k, dim)), rng.random(k) + 0.1)
+
+
+def _sketches(seed=0, k=3, words=2):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**63, size=(k, words), dtype=np.uint64)
+
+
+class TestLifecycle:
+    def test_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(ValueError):
+            MetadataManager()
+        with pytest.raises(ValueError):
+            MetadataManager(str(tmp_path / "x"), store=KVStore(str(tmp_path / "y")))
+
+    def test_wraps_external_store_without_closing(self, tmp_path):
+        store = KVStore(str(tmp_path / "shared"))
+        manager = MetadataManager(store=store)
+        manager.put_object(1, _obj(), _sketches())
+        manager.close()  # must NOT close the shared store
+        assert store.get("objects", b"\x00" * 7 + b"\x01") is not None
+        store.close()
+
+
+class TestObjectStorage:
+    def test_put_get_roundtrip(self, manager):
+        obj = _obj(1)
+        manager.put_object(5, obj, _sketches(1), {"name": "five"})
+        got = manager.get_object(5)
+        assert got.object_id == 5
+        assert np.allclose(got.features, obj.features, atol=1e-6)
+        assert np.array_equal(manager.get_sketches(5), _sketches(1))
+        assert manager.get_attributes(5) == {"name": "five"}
+
+    def test_get_missing(self, manager):
+        assert manager.get_object(99) is None
+        assert manager.get_sketches(99) is None
+        assert manager.get_attributes(99) == {}
+
+    def test_delete_object_clears_all_tables(self, manager):
+        manager.put_object(1, _obj(), _sketches(), {"a": "b"})
+        manager.delete_object(1)
+        assert manager.get_object(1) is None
+        assert manager.get_sketches(1) is None
+        assert manager.get_attributes(1) == {}
+
+    def test_iter_objects_in_id_order(self, manager):
+        for oid in (5, 1, 3):
+            manager.put_object(oid, _obj(oid), _sketches(oid), {"id": str(oid)})
+        ids = [oid for oid, _sig, _sk, _at in manager.iter_objects()]
+        assert ids == [1, 3, 5]
+
+    def test_iter_includes_attributes(self, manager):
+        manager.put_object(1, _obj(), _sketches(), {"k": "v"})
+        (_oid, _sig, _sk, attrs), = list(manager.iter_objects())
+        assert attrs == {"k": "v"}
+
+    def test_num_objects(self, manager):
+        for oid in range(7):
+            manager.put_object(oid, _obj(oid), _sketches(oid))
+        assert manager.num_objects() == 7
+
+    def test_set_attributes_after_insert(self, manager):
+        manager.put_object(1, _obj(), _sketches())
+        manager.set_attributes(1, {"late": "yes"})
+        assert manager.get_attributes(1) == {"late": "yes"}
+
+
+class TestFileMapping:
+    def test_file_roundtrip(self, manager):
+        manager.put_object(3, _obj(), _sketches(), filename="/data/x.npy")
+        assert manager.file_for("/data/x.npy") == 3
+        assert manager.file_for("/data/other.npy") is None
+        assert list(manager.files()) == [("/data/x.npy", 3)]
+
+
+class TestCounters:
+    def test_next_object_id_monotonic(self, manager):
+        ids = [manager.next_object_id() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_counter_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "m")
+        with MetadataManager(path) as m:
+            assert m.next_object_id() == 0
+            assert m.next_object_id() == 1
+        with MetadataManager(path) as m:
+            assert m.next_object_id() == 2
+
+
+class TestPersistence:
+    def test_objects_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "m")
+        obj = _obj(7, k=2, dim=4)
+        with MetadataManager(path) as m:
+            m.put_object(7, obj, _sketches(7, k=2), {"x": "y"}, filename="f.npy")
+        with MetadataManager(path) as m:
+            got = m.get_object(7)
+            assert np.allclose(got.features, obj.features, atol=1e-6)
+            assert m.get_attributes(7) == {"x": "y"}
+            assert m.file_for("f.npy") == 7

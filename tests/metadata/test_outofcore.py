@@ -1,0 +1,158 @@
+"""Tests for the out-of-core sketch store and searcher."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    EMDDistance,
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchConstructor,
+    SketchParams,
+)
+from repro.metadata import MetadataManager
+from repro.metadata.outofcore import OutOfCoreSketchStore, OutOfCoreSearcher
+
+
+@pytest.fixture()
+def setup(tmp_path):
+    meta = FeatureMeta(8, np.zeros(8), np.ones(8))
+    sketcher = SketchConstructor(SketchParams(256, meta, seed=1))
+    manager = MetadataManager(str(tmp_path / "ooc"))
+    store = OutOfCoreSketchStore(manager.store, sketcher.n_words, block_size=17)
+    searcher = OutOfCoreSearcher(
+        manager, store, sketcher, EMDDistance(),
+        FilterParams(num_query_segments=3, candidates_per_segment=15),
+    )
+    yield meta, sketcher, manager, store, searcher
+    manager.close()
+
+
+def _fill(searcher, count=60, seed=0):
+    rng = np.random.default_rng(seed)
+    signatures = []
+    for i in range(count):
+        sig = ObjectSignature(rng.random((3, 8)), rng.random(3) + 0.1)
+        searcher.insert(i, sig)
+        signatures.append(sig)
+    return signatures
+
+
+class TestSketchStore:
+    def test_segment_count(self, setup):
+        _meta, sketcher, _manager, store, searcher = setup
+        _fill(searcher, 10)
+        assert store.num_segments() == 30
+
+    def test_blocks_bounded_and_complete(self, setup):
+        _meta, _sketcher, _manager, store, searcher = setup
+        _fill(searcher, 20)  # 60 segments, block_size=17
+        total = 0
+        block_count = 0
+        for owners, matrix in store.iter_blocks():
+            assert len(owners) <= 17
+            assert matrix.shape == (len(owners), store.n_words)
+            total += len(owners)
+            block_count += 1
+        assert total == 60
+        assert block_count == 4  # 17+17+17+9
+
+    def test_blocks_in_owner_order(self, setup):
+        _meta, _sketcher, _manager, store, searcher = setup
+        _fill(searcher, 15)
+        seen = []
+        for owners, _matrix in store.iter_blocks():
+            seen.extend(owners.tolist())
+        assert seen == sorted(seen)
+
+    def test_wrong_width_rejected(self, setup):
+        _meta, _sketcher, _manager, store, _searcher = setup
+        with pytest.raises(ValueError):
+            store.add_object(0, np.zeros((1, store.n_words + 1), np.uint64))
+
+    def test_bad_block_size(self, setup):
+        _meta, _sketcher, manager, _store, _searcher = setup
+        with pytest.raises(ValueError):
+            OutOfCoreSketchStore(manager.store, 4, block_size=0)
+
+    def test_scan_nearest_matches_exhaustive(self, setup):
+        _meta, sketcher, _manager, store, searcher = setup
+        signatures = _fill(searcher, 30, seed=3)
+        query_sketch = sketcher.sketch(signatures[5].features[0])
+        nearest = store.scan_nearest(query_sketch, k=5)
+        assert len(nearest) == 5
+        # the query's own segment (distance 0) must be found
+        assert any(owner == 5 and dist == 0 for owner, dist in nearest)
+        # distances are the true minimum: no excluded segment is closer
+        max_kept = max(dist for _o, dist in nearest)
+        from repro.core.bitvector import hamming_to_many
+
+        all_dists = []
+        for owners, matrix in store.iter_blocks():
+            all_dists.extend(hamming_to_many(query_sketch, matrix).tolist())
+        assert sorted(all_dists)[4] >= max_kept or sorted(all_dists)[4] == max_kept
+
+    def test_scan_nearest_threshold(self, setup):
+        _meta, sketcher, _manager, store, searcher = setup
+        signatures = _fill(searcher, 20, seed=4)
+        query_sketch = sketcher.sketch(signatures[0].features[0])
+        tight = store.scan_nearest(query_sketch, k=50, threshold=10)
+        assert all(dist <= 10 for _o, dist in tight)
+
+
+class TestSearcherEquivalence:
+    def test_matches_in_memory_engine(self, setup):
+        """Out-of-core filtering must return the same ranked results as
+        the in-memory engine given the same parameters and sketches."""
+        meta, sketcher, manager, store, searcher = setup
+        rng = np.random.default_rng(7)
+        engine = SimilaritySearchEngine(
+            DataTypePlugin("t", meta),
+            SketchParams(256, meta, seed=1),
+            FilterParams(num_query_segments=3, candidates_per_segment=15),
+        )
+        for i in range(50):
+            sig = ObjectSignature(rng.random((3, 8)), rng.random(3) + 0.1)
+            searcher.insert(i, sig)
+            engine.insert(
+                ObjectSignature(sig.features.copy(), sig.weights.copy(),
+                                normalize=False)
+            )
+        query = manager.get_object(4)
+        ooc = searcher.query(query, top_k=8, exclude_self=True)
+        mem = engine.query_by_id(4, top_k=8, method=SearchMethod.FILTERING,
+                                 exclude_self=True)
+        assert [r.object_id for r in ooc] == [r.object_id for r in mem]
+        for a, b in zip(ooc, mem):
+            # metadata stores features as float32: small distance drift
+            assert a.distance == pytest.approx(b.distance, rel=1e-4, abs=1e-5)
+
+    def test_survives_reopen(self, tmp_path):
+        meta = FeatureMeta(8, np.zeros(8), np.ones(8))
+        sketcher = SketchConstructor(SketchParams(128, meta, seed=2))
+        path = str(tmp_path / "persist")
+        rng = np.random.default_rng(8)
+
+        with MetadataManager(path) as manager:
+            store = OutOfCoreSketchStore(manager.store, sketcher.n_words)
+            searcher = OutOfCoreSearcher(manager, store, sketcher, EMDDistance())
+            for i in range(25):
+                searcher.insert(i, ObjectSignature(rng.random((2, 8)), [1, 1]))
+            query = manager.get_object(3)
+            before = [r.object_id for r in searcher.query(query, top_k=5)]
+
+        with MetadataManager(path) as manager:
+            store = OutOfCoreSketchStore(manager.store, sketcher.n_words)
+            searcher = OutOfCoreSearcher(manager, store, sketcher, EMDDistance())
+            query = manager.get_object(3)
+            after = [r.object_id for r in searcher.query(query, top_k=5)]
+        assert before == after
+
+    def test_empty_store_query(self, setup):
+        _meta, _sketcher, _manager, _store, searcher = setup
+        query = ObjectSignature(np.random.rand(2, 8), [1, 1])
+        assert searcher.query(query) == []

@@ -1,0 +1,127 @@
+"""Tests for the command processor."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import CommandProcessor, ProtocolError, parse_command
+
+
+@pytest.fixture()
+def processor():
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta), SketchParams(128, meta, seed=0)
+    )
+    rng = np.random.default_rng(0)
+    proc = CommandProcessor(engine)
+    for i in range(20):
+        oid = engine.insert(ObjectSignature(rng.random((2, 4)), [1, 1]))
+        proc.register_attributes(oid, {"parity": "even" if i % 2 == 0 else "odd"})
+    return proc
+
+
+def run(proc, line):
+    return proc.execute(parse_command(line))
+
+
+class TestBasicCommands:
+    def test_ping(self, processor):
+        assert run(processor, "ping") == ["pong"]
+
+    def test_count(self, processor):
+        assert run(processor, "count") == ["20"]
+
+    def test_stat_contains_ratio(self, processor):
+        lines = run(processor, "stat")
+        assert any(line.startswith("compression_ratio") for line in lines)
+        assert any(line == "objects 20" for line in lines)
+
+    def test_unknown_command(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "frobnicate")
+
+
+class TestQueryCommand:
+    def test_basic_query(self, processor):
+        lines = run(processor, "query 0 top=5")
+        assert len(lines) <= 5
+        oid, dist = lines[0].split()
+        assert oid.isdigit()
+        float(dist)
+
+    def test_self_excluded_by_default(self, processor):
+        lines = run(processor, "query 3 top=20 method=brute_force_original")
+        assert all(line.split()[0] != "3" for line in lines)
+
+    def test_self_included_on_request(self, processor):
+        lines = run(processor, "query 3 top=20 self=yes method=brute_force_original")
+        assert lines[0].split()[0] == "3"
+
+    def test_method_selection(self, processor):
+        for method in ("filtering", "brute_force_sketch", "brute_force_original"):
+            assert run(processor, f"query 0 top=3 method={method}")
+
+    def test_attr_restriction(self, processor):
+        lines = run(processor, "query 0 top=20 attr=parity:even method=brute_force_original")
+        ids = [int(line.split()[0]) for line in lines]
+        assert all(i % 2 == 0 for i in ids)
+
+    def test_unknown_object(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "query 999")
+
+    def test_bad_object_id(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "query abc")
+
+    def test_missing_arg(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "query")
+
+    def test_bad_attr_expr(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, 'query 0 attr="(unbalanced"')
+
+
+class TestAttrCommands:
+    def test_attrquery(self, processor):
+        lines = run(processor, "attrquery parity:odd")
+        assert len(lines) == 10
+        assert all(int(line) % 2 == 1 for line in lines)
+
+    def test_attrquery_boolean(self, processor):
+        lines = run(processor, "attrquery parity:odd OR parity:even")
+        assert len(lines) == 20
+
+    def test_attrs_dump(self, processor):
+        lines = run(processor, "attrs 2")
+        assert lines == ["parity=even"]
+
+    def test_attrquery_empty_expr(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "attrquery")
+
+
+class TestSetParam:
+    def test_set_candidates(self, processor):
+        run(processor, "setparam candidates_per_segment 7")
+        assert processor.engine.filter_params.candidates_per_segment == 7
+
+    def test_set_threshold_none(self, processor):
+        run(processor, "setparam threshold_fraction none")
+        assert processor.engine.filter_params.threshold_fraction is None
+
+    def test_set_num_query_segments(self, processor):
+        run(processor, "setparam num_query_segments 2")
+        assert processor.engine.filter_params.num_query_segments == 2
+
+    def test_unknown_param(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "setparam nope 1")

@@ -1,0 +1,80 @@
+"""Tests for the line protocol codec."""
+
+import pytest
+
+from repro.server import (
+    ProtocolError,
+    format_error,
+    format_ok,
+    parse_command,
+    quote,
+)
+
+
+class TestParseCommand:
+    def test_bare_command(self):
+        cmd = parse_command("ping")
+        assert cmd.name == "ping"
+        assert cmd.args == []
+        assert cmd.kwargs == []
+
+    def test_positional_args(self):
+        cmd = parse_command("query 42 extra")
+        assert cmd.args == ["42", "extra"]
+
+    def test_keyword_args(self):
+        cmd = parse_command("query 5 top=20 method=filtering")
+        assert cmd.get("top") == "20"
+        assert cmd.get("method") == "filtering"
+        assert cmd.get("missing", "dflt") == "dflt"
+
+    def test_name_lowercased(self):
+        assert parse_command("QUERY 1").name == "query"
+
+    def test_quoted_values(self):
+        cmd = parse_command('insertfile "my file.npy" attr.note="two words"')
+        assert cmd.args == ["my file.npy"]
+        assert cmd.get("attr.note") == "two words"
+
+    def test_repeated_keys(self):
+        cmd = parse_command("insert attr.a=1 attr.a=2")
+        assert cmd.get_all("attr.a") == ["1", "2"]
+        assert cmd.get("attr.a") == "2"  # last wins
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("   ")
+
+    def test_unbalanced_quote_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command('query "unterminated')
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("query =value")
+
+
+class TestQuote:
+    def test_plain_passthrough(self):
+        assert quote("simple") == "simple"
+
+    def test_space_quoted(self):
+        assert quote("two words") == '"two words"'
+
+    def test_roundtrip_through_parser(self):
+        value = 'tricky "quoted" \\ value'
+        cmd = parse_command(f"cmd key={quote(value)}")
+        assert cmd.get("key") == value
+
+    def test_empty_value(self):
+        assert quote("") == '""'
+
+
+class TestResponses:
+    def test_format_ok(self):
+        assert format_ok(["a", "b"]) == "OK 2\na\nb\n"
+        assert format_ok([]) == "OK 0\n"
+
+    def test_format_error_single_line(self):
+        assert format_error("boom\nsecond line") == "ERR boom\n"
+        assert format_error("") == "ERR unknown error\n"

@@ -1,0 +1,82 @@
+"""Tests for file-seeded queries (engine.query_file + queryfile command)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import CommandProcessor, ProtocolError, parse_command
+
+
+@pytest.fixture()
+def setup(tmp_path):
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+
+    def extract(path):
+        return ObjectSignature(np.load(path), [1.0, 1.0])
+
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("npy", meta, seg_extract=extract),
+        SketchParams(128, meta, seed=0),
+    )
+    rng = np.random.default_rng(0)
+    proc = CommandProcessor(engine)
+    base = rng.random((2, 4))
+    engine.insert(ObjectSignature(base, [1, 1]))
+    proc.register_attributes(0, {"kind": "seedlike"})
+    for i in range(1, 15):
+        oid = engine.insert(ObjectSignature(rng.random((2, 4)), [1, 1]))
+        proc.register_attributes(oid, {"kind": "other"})
+    # A probe file nearly identical to object 0.
+    probe = str(tmp_path / "probe.npy")
+    np.save(probe, np.clip(base + 0.01, 0, 1))
+    return engine, proc, probe
+
+
+class TestEngineQueryFile:
+    def test_finds_near_duplicate(self, setup):
+        engine, _proc, probe = setup
+        results = engine.query_file(probe, top_k=3)
+        assert results[0].object_id == 0
+
+    def test_does_not_insert(self, setup):
+        engine, _proc, probe = setup
+        before = len(engine)
+        engine.query_file(probe, top_k=1)
+        assert len(engine) == before
+
+    def test_method_selection(self, setup):
+        engine, _proc, probe = setup
+        for method in (SearchMethod.BRUTE_FORCE_ORIGINAL, SearchMethod.FILTERING):
+            assert engine.query_file(probe, top_k=2, method=method)
+
+
+class TestQueryFileCommand:
+    def _run(self, proc, line):
+        return proc.execute(parse_command(line))
+
+    def test_basic(self, setup):
+        _engine, proc, probe = setup
+        lines = self._run(proc, f'queryfile "{probe}" top=3')
+        assert lines[0].split()[0] == "0"
+
+    def test_attr_restriction(self, setup):
+        _engine, proc, probe = setup
+        lines = self._run(proc, f'queryfile "{probe}" top=10 attr=kind:other')
+        assert all(line.split()[0] != "0" for line in lines)
+
+    def test_missing_file(self, setup):
+        _engine, proc, _probe = setup
+        with pytest.raises(ProtocolError):
+            self._run(proc, "queryfile /nonexistent/file.npy")
+
+    def test_usage_error(self, setup):
+        _engine, proc, _probe = setup
+        with pytest.raises(ProtocolError):
+            self._run(proc, "queryfile")

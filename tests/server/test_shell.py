@@ -1,0 +1,99 @@
+"""Tests for the interactive shell."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import CommandProcessor, FerretClient, serve_background
+from repro.server.shell import run_shell
+
+
+class _LocalBackend:
+    def __init__(self, processor):
+        self.processor = processor
+
+    def send(self, line):
+        from repro.server import parse_command
+
+        return self.processor.execute(parse_command(line))
+
+
+@pytest.fixture()
+def backend():
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta), SketchParams(64, meta, seed=0)
+    )
+    rng = np.random.default_rng(0)
+    proc = CommandProcessor(engine)
+    for i in range(10):
+        oid = engine.insert(ObjectSignature(rng.random((2, 4)), [1, 1]))
+        proc.register_attributes(oid, {"n": str(i)})
+    return _LocalBackend(proc)
+
+
+def _run(backend, script, interactive=False):
+    out = io.StringIO()
+    errors = run_shell(backend, io.StringIO(script), out, interactive=interactive)
+    return errors, out.getvalue()
+
+
+class TestRunShell:
+    def test_basic_session(self, backend):
+        errors, out = _run(backend, "ping\ncount\nquit\n")
+        assert errors == 0
+        assert "pong" in out
+        assert "10" in out
+
+    def test_query_output(self, backend):
+        errors, out = _run(backend, "query 0 top=3\n")
+        assert errors == 0
+        assert len([l for l in out.splitlines() if l]) == 3
+
+    def test_comments_and_blanks_skipped(self, backend):
+        errors, out = _run(backend, "# a comment\n\nping\n")
+        assert errors == 0
+        assert out.strip() == "pong"
+
+    def test_help_local(self, backend):
+        errors, out = _run(backend, "help\n")
+        assert errors == 0
+        assert "attrquery" in out
+
+    def test_numeric_attr_query_via_shell(self, backend):
+        errors, out = _run(backend, "attrquery n>=8\n")
+        assert errors == 0
+        assert out.split() == ["8", "9"]
+
+    def test_prompt_in_interactive_mode(self, backend):
+        _errors, out = _run(backend, "ping\n", interactive=True)
+        assert "ferret>" in out
+
+
+class TestShellOverNetwork:
+    def test_against_real_server(self, backend):
+        server = serve_background(backend.processor)
+        host, port = server.server_address
+        try:
+            with FerretClient(host, port) as client:
+                out = io.StringIO()
+                errors = run_shell(
+                    client,
+                    io.StringIO("count\nbogus command\nping\n"),
+                    out,
+                    interactive=False,
+                )
+            assert errors == 1  # the bogus command
+            assert "error:" in out.getvalue()
+            assert "pong" in out.getvalue()
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,95 @@
+"""Tests for the query command's adjusted-weights parameter (§4.1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import CommandProcessor, ProtocolError, parse_command
+
+
+@pytest.fixture()
+def processor():
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta), SketchParams(128, meta, seed=0)
+    )
+    rng = np.random.default_rng(0)
+    # Object 0: two very different segments.
+    seg_a = np.full(4, 0.1)
+    seg_b = np.full(4, 0.9)
+    engine.insert(ObjectSignature(np.stack([seg_a, seg_b]), [1, 1]))
+    # Object 1 matches segment A only; object 2 matches segment B only.
+    engine.insert(ObjectSignature(seg_a[None, :], [1.0]))
+    engine.insert(ObjectSignature(seg_b[None, :], [1.0]))
+    for _ in range(10):
+        engine.insert(ObjectSignature(rng.random((2, 4)), [1, 1]))
+    return CommandProcessor(engine)
+
+
+def _top(proc, line):
+    return int(proc.execute(parse_command(line))[0].split()[0])
+
+
+class TestAdjustedWeights:
+    def test_weights_steer_the_match(self, processor):
+        # Emphasizing segment A pulls object 1 to the top; B pulls 2.
+        top_a = _top(processor, "query 0 top=1 weights=0.95,0.05 method=brute_force_original")
+        top_b = _top(processor, "query 0 top=1 weights=0.05,0.95 method=brute_force_original")
+        assert top_a == 1
+        assert top_b == 2
+
+    def test_wrong_weight_count_rejected(self, processor):
+        with pytest.raises(ProtocolError):
+            processor.execute(parse_command("query 0 weights=1,2,3"))
+
+    def test_non_numeric_weights_rejected(self, processor):
+        with pytest.raises(ProtocolError):
+            processor.execute(parse_command("query 0 weights=a,b"))
+
+    def test_negative_weights_rejected(self, processor):
+        with pytest.raises(ProtocolError):
+            processor.execute(parse_command("query 0 weights=-1,2"))
+
+    def test_without_weights_unchanged(self, processor):
+        lines = processor.execute(parse_command("query 0 top=2 method=brute_force_original"))
+        assert len(lines) == 2
+
+
+class TestPerSetBreakdown:
+    def test_report_and_worst_sets(self):
+        from repro.evaltool import BenchmarkSuite, evaluate_engine
+        from repro.core import SearchMethod
+
+        meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+        engine = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(64, meta, seed=0)
+        )
+        rng = np.random.default_rng(1)
+        suite = BenchmarkSuite("breakdown")
+        # An easy set (near-duplicates) and a hard one (random members).
+        base = rng.random((1, 4))
+        easy = [engine.insert(ObjectSignature(base + rng.normal(0, 0.005, base.shape), [1.0]))
+                for _ in range(3)]
+        hard = [engine.insert(ObjectSignature(rng.random((1, 4)), [1.0]))
+                for _ in range(3)]
+        for _ in range(20):
+            engine.insert(ObjectSignature(rng.random((1, 4)), [1.0]))
+        suite.add("easy", easy)
+        suite.add("hard", hard)
+
+        result = evaluate_engine(engine, suite, SearchMethod.BRUTE_FORCE_ORIGINAL)
+        assert set(result.per_set) == {"easy", "hard"}
+        assert (
+            result.per_set["easy"].average_precision
+            > result.per_set["hard"].average_precision
+        )
+        worst = result.worst_sets(1)
+        assert worst[0][0] == "hard"
+        report = result.report()
+        assert "easy" in report and "hard" in report

@@ -1,0 +1,268 @@
+"""Tests for the copy-on-write B-tree."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.storage.btree import BTree, MAX_KEY_SIZE
+from repro.storage.errors import KeyTooLargeError
+from repro.storage.pager import Pager
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    pager = Pager(str(tmp_path / "data.db"))
+    t = BTree(pager)
+    t.begin_epoch(1)
+    yield t
+    pager.close()
+
+
+class TestBasicOps:
+    def test_get_missing(self, tree):
+        assert tree.get(b"nope") is None
+        assert b"nope" not in tree
+
+    def test_put_get(self, tree):
+        tree.put(b"key", b"value")
+        assert tree.get(b"key") == b"value"
+        assert b"key" in tree
+
+    def test_overwrite(self, tree):
+        tree.put(b"k", b"v1")
+        tree.put(b"k", b"v2")
+        assert tree.get(b"k") == b"v2"
+        assert len(tree) == 1
+
+    def test_delete(self, tree):
+        tree.put(b"k", b"v")
+        assert tree.delete(b"k") is True
+        assert tree.get(b"k") is None
+        assert tree.delete(b"k") is False
+
+    def test_delete_from_empty(self, tree):
+        assert tree.delete(b"x") is False
+
+    def test_empty_value(self, tree):
+        tree.put(b"k", b"")
+        assert tree.get(b"k") == b""
+
+    def test_type_checks(self, tree):
+        with pytest.raises(TypeError):
+            tree.put("str", b"v")
+        with pytest.raises(TypeError):
+            tree.put(b"k", "str")
+
+    def test_key_too_large(self, tree):
+        with pytest.raises(KeyTooLargeError):
+            tree.put(b"x" * (MAX_KEY_SIZE + 1), b"v")
+
+    def test_large_value_overflow_chain(self, tree):
+        value = bytes(range(256)) * 100  # 25.6 KB, spans several pages
+        tree.put(b"big", value)
+        assert tree.get(b"big") == value
+
+    def test_overwrite_large_with_small(self, tree):
+        tree.put(b"k", b"x" * 20000)
+        tree.put(b"k", b"small")
+        assert tree.get(b"k") == b"small"
+
+
+class TestManyKeys:
+    def test_thousand_sequential(self, tree):
+        for i in range(1000):
+            tree.put(f"{i:06d}".encode(), f"value-{i}".encode())
+        for i in range(0, 1000, 97):
+            assert tree.get(f"{i:06d}".encode()) == f"value-{i}".encode()
+        assert len(tree) == 1000
+
+    def test_thousand_random_order(self, tree):
+        keys = [f"{i:06d}".encode() for i in range(1000)]
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            tree.put(key, key[::-1])
+        assert len(tree) == 1000
+        got = [k for k, _ in tree.items()]
+        assert got == sorted(keys)
+
+    def test_iteration_sorted(self, tree):
+        rng = random.Random(1)
+        inserted = set()
+        for _ in range(500):
+            key = str(rng.randrange(10_000)).encode()
+            tree.put(key, b"v")
+            inserted.add(key)
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(inserted)
+
+    def test_delete_half(self, tree):
+        for i in range(600):
+            tree.put(f"{i:05d}".encode(), str(i).encode())
+        for i in range(0, 600, 2):
+            assert tree.delete(f"{i:05d}".encode())
+        assert len(tree) == 300
+        for i in range(600):
+            expected = None if i % 2 == 0 else str(i).encode()
+            assert tree.get(f"{i:05d}".encode()) == expected
+
+    def test_delete_all_returns_empty_root(self, tree):
+        for i in range(300):
+            tree.put(f"{i:05d}".encode(), b"v")
+        for i in range(300):
+            assert tree.delete(f"{i:05d}".encode())
+        assert tree.root == -1
+        assert list(tree.items()) == []
+        # Tree is reusable after total deletion.
+        tree.put(b"again", b"v")
+        assert tree.get(b"again") == b"v"
+
+
+class TestRangeScans:
+    def _fill(self, tree):
+        for i in range(100):
+            tree.put(f"k{i:04d}".encode(), str(i).encode())
+
+    def test_start_bound(self, tree):
+        self._fill(tree)
+        keys = [k for k, _ in tree.items(start=b"k0050")]
+        assert keys[0] == b"k0050"
+        assert len(keys) == 50
+
+    def test_end_bound_exclusive(self, tree):
+        self._fill(tree)
+        keys = [k for k, _ in tree.items(end=b"k0010")]
+        assert keys == [f"k{i:04d}".encode() for i in range(10)]
+
+    def test_start_end_window(self, tree):
+        self._fill(tree)
+        keys = [k for k, _ in tree.items(start=b"k0020", end=b"k0030")]
+        assert keys == [f"k{i:04d}".encode() for i in range(20, 30)]
+
+    def test_prefix_scan(self, tree):
+        tree.put(b"a:1", b"x")
+        tree.put(b"a:2", b"y")
+        tree.put(b"b:1", b"z")
+        keys = [k for k, _ in tree.items(prefix=b"a:")]
+        assert keys == [b"a:1", b"a:2"]
+
+    def test_prefix_with_0xff(self, tree):
+        tree.put(b"a\xff1", b"x")
+        tree.put(b"a\xff2", b"y")
+        tree.put(b"b", b"z")
+        keys = [k for k, _ in tree.items(prefix=b"a\xff")]
+        assert keys == [b"a\xff1", b"a\xff2"]
+
+
+class TestPersistence:
+    def test_reopen_from_root(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        pager = Pager(path)
+        tree = BTree(pager)
+        tree.begin_epoch(1)
+        for i in range(200):
+            tree.put(f"{i:04d}".encode(), str(i * i).encode())
+        pager.commit_checkpoint(catalog_root=tree.root, wal_seq=0)
+        root = tree.root
+        pager.close()
+
+        pager2 = Pager(path)
+        tree2 = BTree(pager2, root=pager2.meta.catalog_root)
+        tree2.begin_epoch(pager2.meta.checkpoint_id + 1)
+        assert pager2.meta.catalog_root == root
+        for i in range(0, 200, 13):
+            assert tree2.get(f"{i:04d}".encode()) == str(i * i).encode()
+        pager2.close()
+
+    def test_cow_preserves_old_checkpoint_until_commit(self, tmp_path):
+        """Updates in a new epoch must not disturb the pages reachable
+        from the durable root (crash = reopen sees old state)."""
+        path = str(tmp_path / "d.db")
+        pager = Pager(path)
+        tree = BTree(pager)
+        tree.begin_epoch(1)
+        for i in range(100):
+            tree.put(f"{i:04d}".encode(), b"old")
+        pager.commit_checkpoint(catalog_root=tree.root, wal_seq=0)
+        # New epoch: overwrite everything but do NOT checkpoint.
+        tree.begin_epoch(2)
+        for i in range(100):
+            tree.put(f"{i:04d}".encode(), b"new")
+        pager.flush_pages(set(pager.staged))  # even flushing data pages is safe
+        pager.close()
+
+        pager2 = Pager(path)
+        tree2 = BTree(pager2, root=pager2.meta.catalog_root)
+        for i in range(0, 100, 7):
+            assert tree2.get(f"{i:04d}".encode()) == b"old"
+        pager2.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(0, 120),
+            st.binary(min_size=0, max_size=400),
+        ),
+        max_size=250,
+    )
+)
+def test_property_btree_matches_dict(tmp_path_factory, ops):
+    """Random op sequences: the tree must behave exactly like a dict."""
+    tmp = tmp_path_factory.mktemp("btree-prop")
+    pager = Pager(str(tmp / "d.db"))
+    tree = BTree(pager)
+    tree.begin_epoch(1)
+    model = {}
+    for op, key_num, value in ops:
+        key = f"{key_num:05d}".encode()
+        if op == "put":
+            tree.put(key, value)
+            model[key] = value
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert dict(tree.items()) == model
+    assert [k for k, _ in tree.items()] == sorted(model)
+    pager.close()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.binary(min_size=1, max_size=40),
+            st.binary(min_size=0, max_size=600),
+        ),
+        max_size=150,
+    )
+)
+def test_property_btree_binary_keys(tmp_path_factory, ops):
+    """Raw binary keys (embedded NULs, 0xFF runs, non-UTF8): the tree
+    must still behave exactly like a dict with bytewise ordering."""
+    tmp = tmp_path_factory.mktemp("btree-bin")
+    pager = Pager(str(tmp / "d.db"))
+    tree = BTree(pager)
+    tree.begin_epoch(1)
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            tree.put(key, value)
+            model[key] = value
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert dict(tree.items()) == model
+    assert [k for k, _ in tree.items()] == sorted(model)
+    pager.close()

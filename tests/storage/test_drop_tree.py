@@ -1,0 +1,60 @@
+"""Tests for KVStore.drop_tree."""
+
+import pytest
+
+from repro.storage import KVStore
+
+
+class TestDropTree:
+    def test_drop_and_count(self, tmp_path):
+        with KVStore(str(tmp_path / "s")) as store:
+            for i in range(700):
+                store.put("t", f"{i:05d}".encode(), b"v")
+            store.put("keep", b"k", b"v")
+            assert store.drop_tree("t") == 700
+            assert store.count("t") == 0
+            assert store.get("keep", b"k") == b"v"
+
+    def test_drop_empty_tree(self, tmp_path):
+        with KVStore(str(tmp_path / "s")) as store:
+            assert store.drop_tree("never-written") == 0
+
+    def test_tree_reusable_after_drop(self, tmp_path):
+        with KVStore(str(tmp_path / "s")) as store:
+            store.put("t", b"a", b"1")
+            store.drop_tree("t")
+            store.put("t", b"b", b"2")
+            assert store.items("t") == [(b"b", b"2")]
+
+    def test_drop_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "s")
+        with KVStore(path) as store:
+            for i in range(100):
+                store.put("t", str(i).encode(), b"v")
+            store.drop_tree("t")
+        with KVStore(path) as store:
+            assert store.count("t") == 0
+
+    def test_drop_is_logged(self, tmp_path):
+        """A crash right after drop_tree (no checkpoint) must still show
+        the drop after recovery — deletions go through the WAL."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        path = str(tmp_path / "s")
+        code = textwrap.dedent(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r}, sync_policy="commit", auto_checkpoint_ops=0)
+            for i in range(50):
+                s.put("t", str(i).encode(), b"v")
+            s.checkpoint()
+            s.drop_tree("t")
+            os._exit(1)
+        """)
+        result = subprocess.run([sys.executable, "-c", code], capture_output=True)
+        assert result.returncode == 1, result.stderr
+        with KVStore(path) as store:
+            assert store.count("t") == 0

@@ -1,0 +1,164 @@
+"""Tests for the page file: meta blocks, CRC, shadow-paging allocation."""
+
+import os
+
+import pytest
+
+from repro.storage.errors import CorruptionError, StorageError
+from repro.storage.pager import DEFAULT_PAGE_SIZE, META_SIZE, Meta, Pager
+
+
+@pytest.fixture()
+def pager(tmp_path):
+    p = Pager(str(tmp_path / "data.db"))
+    yield p
+    p.close()
+
+
+class TestMeta:
+    def test_pack_unpack_roundtrip(self):
+        meta = Meta(checkpoint_id=7, next_page_id=42, catalog_root=3,
+                    freelist_root=-1, wal_seq=2)
+        assert Meta.unpack(meta.pack()) == meta
+
+    def test_corrupt_crc_rejected(self):
+        raw = bytearray(Meta().pack())
+        raw[4] ^= 0xFF
+        assert Meta.unpack(bytes(raw)) is None
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(Meta().pack())
+        raw[0:8] = b"NOTMAGIC"
+        assert Meta.unpack(bytes(raw)) is None
+
+    def test_short_block_rejected(self):
+        assert Meta.unpack(b"tiny") is None
+
+
+class TestPageIO:
+    def test_write_read_roundtrip(self, pager):
+        pid = pager.allocate()
+        pager.write_page(pid, b"hello world")
+        assert pager.read_page(pid) == b"hello world"
+
+    def test_read_after_flush_and_reopen(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        p = Pager(path)
+        pid = p.allocate()
+        p.write_page(pid, b"persisted")
+        p.commit_checkpoint(catalog_root=-1, wal_seq=0)
+        p.close()
+        p2 = Pager(path)
+        assert p2.read_page(pid) == b"persisted"
+        p2.close()
+
+    def test_oversized_payload_rejected(self, pager):
+        pid = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write_page(pid, b"x" * DEFAULT_PAGE_SIZE)
+
+    def test_corrupt_page_detected(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        p = Pager(path)
+        pid = p.allocate()
+        p.write_page(pid, b"data to corrupt")
+        p.commit_checkpoint(catalog_root=-1, wal_seq=0)
+        p.close()
+        # Flip a byte inside the page payload on disk.
+        with open(path, "r+b") as fh:
+            fh.seek(2 * META_SIZE + pid * DEFAULT_PAGE_SIZE + 12)
+            fh.write(b"\xff")
+        p2 = Pager(path)
+        with pytest.raises(CorruptionError):
+            p2.read_page(pid)
+        p2.close()
+
+
+class TestAllocation:
+    def test_monotonic_growth(self, pager):
+        ids = [pager.allocate() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_freed_pages_not_reused_same_epoch(self, pager):
+        pid = pager.allocate()
+        pager.write_page(pid, b"x")
+        pager.free(pid)
+        assert pager.allocate() != pid
+
+    def test_freed_pages_reused_after_checkpoint(self, pager):
+        pid = pager.allocate()
+        pager.write_page(pid, b"x")
+        pager.free(pid)
+        pager.commit_checkpoint(catalog_root=-1, wal_seq=0)
+        # Freed page is now on the reusable free list.
+        assert pid in pager.free_list
+
+    def test_freelist_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        p = Pager(path)
+        pids = [p.allocate() for _ in range(10)]
+        for pid in pids:
+            p.write_page(pid, b"x")
+        for pid in pids[:5]:
+            p.free(pid)
+        p.commit_checkpoint(catalog_root=-1, wal_seq=0)
+        p.close()
+        p2 = Pager(path)
+        assert set(pids[:5]) <= set(p2.free_list)
+        p2.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_id_increments(self, pager):
+        assert pager.meta.checkpoint_id == 0
+        pager.commit_checkpoint(-1, 1)
+        assert pager.meta.checkpoint_id == 1
+        pager.commit_checkpoint(-1, 2)
+        assert pager.meta.checkpoint_id == 2
+
+    def test_newest_valid_meta_wins(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        p = Pager(path)
+        p.commit_checkpoint(catalog_root=5, wal_seq=1)
+        p.commit_checkpoint(catalog_root=9, wal_seq=2)
+        p.close()
+        p2 = Pager(path)
+        assert p2.meta.catalog_root == 9
+        assert p2.meta.checkpoint_id == 2
+        p2.close()
+
+    def test_torn_meta_falls_back(self, tmp_path):
+        """Corrupting the newest meta block must fall back to the other."""
+        path = str(tmp_path / "d.db")
+        p = Pager(path)
+        p.commit_checkpoint(catalog_root=5, wal_seq=1)  # slot 1 (ckpt 1)
+        p.commit_checkpoint(catalog_root=9, wal_seq=2)  # slot 0 (ckpt 2)
+        p.close()
+        with open(path, "r+b") as fh:
+            fh.seek((2 % 2) * META_SIZE)  # slot 0 holds checkpoint 2
+            fh.write(b"\x00" * 16)
+        p2 = Pager(path)
+        assert p2.meta.checkpoint_id == 1
+        assert p2.meta.catalog_root == 5
+        p2.close()
+
+    def test_no_valid_meta_raises(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00" * (2 * META_SIZE))
+        with pytest.raises(CorruptionError):
+            Pager(path)
+
+    def test_large_freelist_chain(self, tmp_path):
+        """Free more ids than fit on one freelist page."""
+        path = str(tmp_path / "d.db")
+        p = Pager(path)
+        pids = [p.allocate() for _ in range(1200)]
+        for pid in pids:
+            p.write_page(pid, b"y")
+            p.free(pid)
+        p.commit_checkpoint(-1, 1)
+        p.close()
+        p2 = Pager(path)
+        assert set(pids) <= set(p2.free_list)
+        p2.close()

@@ -1,0 +1,192 @@
+"""Crash-recovery tests: killed processes, torn logs, replay idempotence."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.storage import KVStore, WriteAheadLog
+from repro.storage.recovery import replay_segment
+from repro.storage.wal import REC_BEGIN, REC_COMMIT, REC_DELETE, REC_PUT, WalRecord
+
+
+def _crash_process(code: str) -> None:
+    """Run python code in a child that os._exit(1)s at the end."""
+    result = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(code)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 1, result.stderr
+
+
+class TestReplaySegment:
+    def _write(self, tmp_path, records):
+        wal = WriteAheadLog(str(tmp_path), 0, sync_policy="none")
+        for rec in records:
+            wal.append(rec)
+        wal.close()
+        return wal.segment_path(0)
+
+    def _replay(self, path):
+        applied = []
+        report = replay_segment(
+            path,
+            apply_put=lambda t, k, v: applied.append(("put", t, k, v)),
+            apply_delete=lambda t, k: applied.append(("del", t, k)),
+        )
+        return report, applied
+
+    def test_committed_txn_replayed(self, tmp_path):
+        path = self._write(tmp_path, [
+            WalRecord(REC_BEGIN, 1),
+            WalRecord(REC_PUT, 1, "t", b"a", b"1"),
+            WalRecord(REC_DELETE, 1, "t", b"b"),
+            WalRecord(REC_COMMIT, 1),
+        ])
+        report, applied = self._replay(path)
+        assert report.transactions_replayed == 1
+        assert applied == [("put", "t", b"a", b"1"), ("del", "t", b"b")]
+
+    def test_uncommitted_txn_skipped(self, tmp_path):
+        path = self._write(tmp_path, [
+            WalRecord(REC_BEGIN, 1),
+            WalRecord(REC_PUT, 1, "t", b"a", b"1"),
+            # no COMMIT — crashed mid-transaction
+        ])
+        report, applied = self._replay(path)
+        assert report.transactions_replayed == 0
+        assert report.incomplete_transactions == 1
+        assert applied == []
+
+    def test_interleaved_transactions(self, tmp_path):
+        path = self._write(tmp_path, [
+            WalRecord(REC_BEGIN, 1),
+            WalRecord(REC_BEGIN, 2),
+            WalRecord(REC_PUT, 1, "t", b"a", b"one"),
+            WalRecord(REC_PUT, 2, "t", b"a", b"two"),
+            WalRecord(REC_COMMIT, 2),
+            WalRecord(REC_COMMIT, 1),
+        ])
+        _report, applied = self._replay(path)
+        # Commit order: txn 2 first, then txn 1 — txn 1's value wins.
+        assert applied == [("put", "t", b"a", b"two"), ("put", "t", b"a", b"one")]
+
+    def test_orphan_ops_without_begin_dropped(self, tmp_path):
+        path = self._write(tmp_path, [
+            WalRecord(REC_PUT, 5, "t", b"x", b"y"),
+            WalRecord(REC_COMMIT, 5),
+        ])
+        report, applied = self._replay(path)
+        assert applied == []
+        assert report.transactions_replayed == 0
+
+    def test_max_txid_tracked(self, tmp_path):
+        path = self._write(tmp_path, [
+            WalRecord(REC_BEGIN, 17),
+            WalRecord(REC_COMMIT, 17),
+        ])
+        report, _ = self._replay(path)
+        assert report.max_txid == 17
+
+
+class TestCrashedProcessRecovery:
+    def test_commits_after_checkpoint_survive_crash(self, tmp_path):
+        path = str(tmp_path / "crash1")
+        _crash_process(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r}, sync_policy="commit", auto_checkpoint_ops=0)
+            for i in range(40):
+                s.put("t", f"pre{{i:03d}}".encode(), b"x")
+            s.checkpoint()
+            for i in range(30):
+                s.put("t", f"post{{i:03d}}".encode(), b"y")
+            os._exit(1)
+        """)
+        with KVStore(path) as s:
+            assert s.count("t") == 70
+            assert s.last_recovery.transactions_replayed == 30
+            assert s.get("t", b"post029") == b"y"
+
+    def test_open_transaction_lost_on_crash(self, tmp_path):
+        path = str(tmp_path / "crash2")
+        _crash_process(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r}, sync_policy="commit", auto_checkpoint_ops=0)
+            s.put("t", b"committed", b"1")
+            txn = s.begin()
+            txn.put("t", b"uncommitted", b"2")
+            # crash before commit
+            os._exit(1)
+        """)
+        with KVStore(path) as s:
+            assert s.get("t", b"committed") == b"1"
+            assert s.get("t", b"uncommitted") is None
+
+    def test_double_crash_recovery_idempotent(self, tmp_path):
+        """Crash, recover, crash again immediately: state converges."""
+        path = str(tmp_path / "crash3")
+        _crash_process(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r}, sync_policy="commit", auto_checkpoint_ops=0)
+            for i in range(20):
+                s.put("t", f"k{{i:02d}}".encode(), str(i).encode())
+            os._exit(1)
+        """)
+        # First recovery (also crashes right after opening).
+        _crash_process(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r})
+            assert s.count("t") == 20
+            os._exit(1)
+        """)
+        with KVStore(path) as s:
+            assert s.count("t") == 20
+            assert dict(s.items("t")) == {
+                f"k{i:02d}".encode(): str(i).encode() for i in range(20)
+            }
+
+    def test_crash_with_deletes_and_overwrites(self, tmp_path):
+        path = str(tmp_path / "crash4")
+        _crash_process(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r}, sync_policy="commit", auto_checkpoint_ops=0)
+            for i in range(10):
+                s.put("t", f"k{{i}}".encode(), b"v1")
+            s.checkpoint()
+            s.delete("t", b"k0")
+            s.put("t", b"k1", b"v2")
+            with s.begin() as txn:
+                txn.delete("t", b"k2")
+                txn.put("t", b"k3", b"v3")
+            os._exit(1)
+        """)
+        with KVStore(path) as s:
+            assert s.get("t", b"k0") is None
+            assert s.get("t", b"k1") == b"v2"
+            assert s.get("t", b"k2") is None
+            assert s.get("t", b"k3") == b"v3"
+            assert s.get("t", b"k4") == b"v1"
+
+    def test_recovery_checkpoint_truncates_wal(self, tmp_path):
+        """After recovery the store checkpoints, so a reopen replays nothing."""
+        path = str(tmp_path / "crash5")
+        _crash_process(f"""
+            import os
+            from repro.storage import KVStore
+            s = KVStore({path!r}, sync_policy="commit", auto_checkpoint_ops=0)
+            s.put("t", b"k", b"v")
+            os._exit(1)
+        """)
+        with KVStore(path) as s:
+            assert s.last_recovery.transactions_replayed == 1
+        with KVStore(path) as s:
+            assert s.last_recovery.transactions_replayed == 0
+            assert s.get("t", b"k") == b"v"

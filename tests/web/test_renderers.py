@@ -1,0 +1,130 @@
+"""Tests for the data-type specific web renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core import meta_from_dataset, SimilaritySearchEngine, SketchParams
+from repro.web.renderers import (
+    heatstrip_svg,
+    make_audio_renderer,
+    make_genomic_renderer,
+    make_image_renderer,
+    sparkline_svg,
+    swatch_svg,
+)
+
+
+class TestSvgPrimitives:
+    def test_sparkline_structure(self):
+        svg = sparkline_svg(np.sin(np.linspace(0, 6, 40)))
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" in svg
+
+    def test_sparkline_constant_series(self):
+        svg = sparkline_svg(np.zeros(10))
+        assert "nan" not in svg
+
+    def test_sparkline_short_series(self):
+        assert "polyline" in sparkline_svg(np.array([1.0]))
+
+    def test_heatstrip_sign_coding(self):
+        svg = heatstrip_svg(np.array([2.0, -2.0]))
+        # positive cell red-dominant, negative green-dominant
+        assert "rgb(230,20,20)" in svg
+        assert "rgb(20,230,20)" in svg
+
+    def test_heatstrip_empty(self):
+        assert heatstrip_svg(np.array([])) == ""
+
+    def test_swatch_colors(self):
+        svg = swatch_svg(np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]))
+        assert "rgb(255,0,0)" in svg
+        assert "rgb(0,0,255)" in svg
+
+
+class TestEngineRenderers:
+    def test_genomic_renderer(self, genomic_benchmark):
+        from repro.datatypes.genomic import make_genomic_plugin
+
+        meta = meta_from_dataset(genomic_benchmark.dataset)
+        plugin = make_genomic_plugin(
+            genomic_benchmark.expression.num_experiments, meta=meta
+        )
+        engine = SimilaritySearchEngine(plugin, SketchParams(128, meta, seed=0))
+        for obj in genomic_benchmark.dataset:
+            engine.insert(obj)
+        render = make_genomic_renderer(engine)
+        svg = render(0, 0.0, {})
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == genomic_benchmark.expression.num_experiments
+
+    def test_audio_renderer(self, audio_benchmark):
+        from repro.datatypes.audio import make_audio_plugin
+
+        meta = meta_from_dataset(audio_benchmark.dataset)
+        plugin = make_audio_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(128, meta, seed=0))
+        for obj in audio_benchmark.dataset:
+            engine.insert(obj)
+        svg = make_audio_renderer(engine)(0, 0.0, {})
+        assert "polyline" in svg
+
+    def test_image_renderer(self, image_benchmark):
+        from repro.datatypes.image import make_image_plugin
+
+        plugin = make_image_plugin()
+        engine = SimilaritySearchEngine(plugin, SketchParams(96, plugin.meta, seed=0))
+        for obj in image_benchmark.dataset:
+            engine.insert(obj)
+        svg = make_image_renderer(engine)(0, 0.0, {})
+        assert svg.count("<rect") >= 1
+
+    def test_renderer_in_web_results_page(self, genomic_benchmark):
+        from repro.datatypes.genomic import make_genomic_plugin
+        from repro.server import CommandProcessor
+        from repro.web.webserver import WebApp, _LocalBackend
+
+        meta = meta_from_dataset(genomic_benchmark.dataset)
+        plugin = make_genomic_plugin(
+            genomic_benchmark.expression.num_experiments, meta=meta
+        )
+        engine = SimilaritySearchEngine(plugin, SketchParams(128, meta, seed=0))
+        for obj in genomic_benchmark.dataset:
+            engine.insert(obj)
+        app = WebApp(
+            _LocalBackend(CommandProcessor(engine)),
+            renderer=make_genomic_renderer(engine),
+        )
+        status, page = app.handle("/query?id=0&top=3&method=brute_force_original")
+        assert status == 200
+        assert "<svg" in page
+
+
+class TestExtensionRenderers:
+    def test_sensor_renderer(self):
+        from repro.datatypes.sensor import generate_sensor_benchmark, make_sensor_plugin
+        from repro.web.renderers import make_sensor_renderer
+
+        bench = generate_sensor_benchmark(num_sequences=3, subjects_per_sequence=2, seed=3)
+        meta = meta_from_dataset(bench.dataset)
+        plugin = make_sensor_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(64, meta, seed=0))
+        for obj in bench.dataset:
+            engine.insert(obj)
+        svg = make_sensor_renderer(engine)(0, 0.0, {})
+        assert "polyline" in svg
+
+    def test_video_renderer(self):
+        from repro.datatypes.video import generate_video_benchmark, make_video_plugin
+        from repro.web.renderers import make_video_renderer
+
+        bench = generate_video_benchmark(
+            num_videos=2, renditions_per_video=2, num_distractors=2, seed=3
+        )
+        meta = meta_from_dataset(bench.dataset)
+        plugin = make_video_plugin(meta)
+        engine = SimilaritySearchEngine(plugin, SketchParams(64, meta, seed=0))
+        for obj in bench.dataset:
+            engine.insert(obj)
+        svg = make_video_renderer(engine)(0, 0.0, {})
+        assert svg.count("<rect") >= 1

@@ -1,0 +1,104 @@
+"""Tests for the web interface (in-process and over HTTP)."""
+
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import CommandProcessor
+from repro.web.webserver import WebApp, _LocalBackend, serve_web_background
+
+
+@pytest.fixture()
+def app():
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta), SketchParams(128, meta, seed=0)
+    )
+    rng = np.random.default_rng(2)
+    proc = CommandProcessor(engine)
+    for i in range(12):
+        oid = engine.insert(ObjectSignature(rng.random((2, 4)), [1, 1]))
+        proc.register_attributes(oid, {"group": "a" if i < 6 else "b"})
+    return WebApp(_LocalBackend(proc), attributes=proc.attributes)
+
+
+class TestRoutes:
+    def test_home(self, app):
+        status, page = app.handle("/")
+        assert status == 200
+        assert "12 objects indexed" in page
+        assert "compression_ratio" in page
+
+    def test_query_route(self, app):
+        status, page = app.handle("/query?id=0&top=5&method=brute_force_original")
+        assert status == 200
+        assert "results for object 0" in page
+        assert "<table>" in page
+
+    def test_query_missing_id_shows_home_with_message(self, app):
+        status, page = app.handle("/query")
+        assert status == 200
+        assert "missing seed object id" in page
+
+    def test_query_with_attr(self, app):
+        status, page = app.handle("/query?id=0&attr=group:a")
+        assert status == 200
+        assert "group:a" in page
+
+    def test_attrquery_route(self, app):
+        status, page = app.handle("/attrquery?q=group:b")
+        assert status == 200
+        assert "6 objects match" in page
+
+    def test_unknown_route_404(self, app):
+        status, _page = app.handle("/nope")
+        assert status == 404
+
+    def test_error_page_on_bad_object(self, app):
+        status, page = app.handle("/query?id=999")
+        assert status == 500
+        assert "error" in page
+
+    def test_attributes_rendered(self, app):
+        _status, page = app.handle("/query?id=0&top=3&method=brute_force_original")
+        assert "group=" in page
+
+    def test_custom_renderer(self, app):
+        app.renderer = lambda oid, dist, attrs: f"<b>custom-{oid}</b>"
+        _status, page = app.handle("/query?id=0&top=3&method=brute_force_original")
+        assert "custom-" in page
+
+
+class TestHTTPServer:
+    def test_over_http(self, app):
+        server = serve_web_background(app)
+        host, port = server.server_address
+        try:
+            page = urllib.request.urlopen(f"http://{host}:{port}/").read().decode()
+            assert "objects indexed" in page
+            page = urllib.request.urlopen(
+                f"http://{host}:{port}/query?id=1&top=3"
+            ).read().decode()
+            assert "results for object 1" in page
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_404_over_http(self, app):
+        server = serve_web_background(app)
+        host, port = server.server_address
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(f"http://{host}:{port}/bogus")
+            assert exc_info.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
