@@ -5,7 +5,13 @@ construction (:class:`SketchConstructor`), distances (including EMD),
 the two-phase filter/rank pipeline, and the engine that composes them.
 """
 
-from .bitvector import hamming_distance, hamming_to_many, pack_bits, unpack_bits
+from .bitvector import (
+    hamming_distance,
+    hamming_many_to_many,
+    hamming_to_many,
+    pack_bits,
+    unpack_bits,
+)
 from .distance import (
     chi_square_distance,
     cosine_distance,
@@ -21,7 +27,13 @@ from .distance import (
 )
 from .emd import EMDDistance, EMDParams, emd
 from .engine import EngineStats, SearchMethod, SimilaritySearchEngine
-from .filtering import FilterParams, SegmentStore, sketch_filter
+from .filtering import (
+    FilterParams,
+    SegmentStore,
+    sketch_filter,
+    sketch_filter_many,
+    sketch_filter_reference,
+)
 from .lshindex import LSHIndex, LSHParams
 from .plugin import DataTypePlugin, get_plugin, list_plugins, register_plugin
 from .ranking import SearchResult, rank_candidates
@@ -61,6 +73,7 @@ __all__ = [
     "get_distance",
     "get_plugin",
     "hamming_distance",
+    "hamming_many_to_many",
     "hamming_to_many",
     "l1_distance",
     "l2_distance",
@@ -74,6 +87,8 @@ __all__ = [
     "register_distance",
     "register_plugin",
     "sketch_filter",
+    "sketch_filter_many",
+    "sketch_filter_reference",
     "solve_transport",
     "spearman_distance",
     "unpack_bits",

@@ -18,6 +18,7 @@ __all__ = [
     "unpack_bits",
     "hamming_distance",
     "hamming_to_many",
+    "hamming_many_to_many",
     "popcount64",
 ]
 
@@ -30,13 +31,30 @@ _POPCOUNT16 = np.array(
     [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
 )
 
+# numpy >= 2.0 exposes the hardware popcount instruction as a ufunc; one
+# pass over the XOR words instead of a 4-way uint16 table gather.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
-def popcount64(words: np.ndarray) -> np.ndarray:
-    """Per-element popcount of a ``uint64`` array (any shape)."""
+
+def _popcount64_lut(words: np.ndarray) -> np.ndarray:
+    """Table-lookup popcount — the portable fallback for numpy < 2.0."""
     w = np.ascontiguousarray(words, dtype=np.uint64)
     # View each uint64 as four uint16 halves and sum table lookups.
     halves = w.view(np.uint16).reshape(w.shape + (4,))
     return _POPCOUNT16[halves].sum(axis=-1, dtype=np.uint32)
+
+
+def _popcount64_native(words: np.ndarray) -> np.ndarray:
+    """Native-instruction popcount via ``np.bitwise_count`` (numpy >= 2.0)."""
+    w = np.asarray(words, dtype=np.uint64)
+    return np.bitwise_count(w).astype(np.uint32)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array (any shape)."""
+    if _HAS_BITWISE_COUNT:
+        return _popcount64_native(words)
+    return _popcount64_lut(words)
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
@@ -101,3 +119,60 @@ def hamming_to_many(query: np.ndarray, database: np.ndarray) -> np.ndarray:
         )
     xored = np.bitwise_xor(database, query[None, :])
     return popcount64(xored).sum(axis=1, dtype=np.uint32)
+
+
+# Cap on the blocked working set of the many-to-many kernel: summed over
+# the per-word passes of one block, the XOR intermediates amount to
+# (n_queries, block_rows, n_words) uint64.  16 MiB keeps the per-word
+# slice cache-friendly while amortizing the per-block dispatch.
+_BLOCK_BYTES = 16 << 20
+
+
+def hamming_many_to_many(
+    queries: np.ndarray,
+    database: np.ndarray,
+    block_rows: int = None,
+) -> np.ndarray:
+    """Hamming distances from every query sketch to every database row.
+
+    ``queries`` is ``(n_queries, n_words)``; ``database`` is
+    ``(n_rows, n_words)``.  Returns ``(n_queries, n_rows)`` ``uint32``.
+    The scan is blocked over database rows and accumulated one sketch
+    word at a time: each step XORs a ``(n_queries, block_rows)`` slice
+    and adds its popcount into a running total, so the largest
+    intermediate is 2-D regardless of word count and stays bounded
+    (about ``_BLOCK_BYTES`` across a block's word passes) no matter how
+    large the sketch database is; ``block_rows`` overrides the automatic
+    block size.  One fused pass replaces ``n_queries`` separate
+    :func:`hamming_to_many` scans, with the XOR working set kept small
+    enough to live in cache while every query visits a database block.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.uint64))
+    database = np.atleast_2d(np.asarray(database, dtype=np.uint64))
+    if database.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"word-length mismatch: queries {queries.shape[1]} vs "
+            f"database {database.shape[1]}"
+        )
+    n_queries, n_words = queries.shape
+    n_rows = database.shape[0]
+    out = np.empty((n_queries, n_rows), dtype=np.uint32)
+    if block_rows is None:
+        block_rows = max(1, _BLOCK_BYTES // max(1, n_queries * n_words * 8))
+    elif block_rows <= 0:
+        raise ValueError("block_rows must be positive")
+    for start in range(0, n_rows, block_rows):
+        # Word-major copy of the block: each per-word pass then reads a
+        # contiguous row instead of a strided column of the row-major
+        # database, which is the difference between streaming and
+        # gathering on wide sketches.
+        block = np.ascontiguousarray(database[start : start + block_rows].T)
+        acc = np.zeros((n_queries, block.shape[1]), dtype=np.uint32)
+        for word in range(n_words):
+            xored = np.bitwise_xor(queries[:, word, None], block[word][None, :])
+            if _HAS_BITWISE_COUNT:
+                acc += np.bitwise_count(xored)
+            else:
+                acc += _popcount64_lut(xored)
+        out[:, start : start + block.shape[1]] = acc
+    return out

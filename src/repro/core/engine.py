@@ -16,13 +16,19 @@ three search methods compared in section 6.3.3:
 from __future__ import annotations
 
 import enum
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .bitvector import hamming_to_many
-from .filtering import FilterParams, SegmentStore, sketch_filter
+from .bitvector import hamming_many_to_many, hamming_to_many
+from .filtering import (
+    FilterParams,
+    SegmentStore,
+    sketch_filter,
+    sketch_filter_many,
+)
 from .lshindex import LSHIndex, LSHParams
 from .plugin import DataTypePlugin
 from .ranking import SearchResult, rank_candidates
@@ -136,8 +142,13 @@ class SimilaritySearchEngine:
         attributes: Optional[Mapping[str, str]] = None,
         object_id: Optional[int] = None,
         filename: Optional[str] = None,
+        _sketches: Optional[np.ndarray] = None,
     ) -> int:
-        """Insert a pre-extracted object; returns its assigned object id."""
+        """Insert a pre-extracted object; returns its assigned object id.
+
+        ``_sketches`` lets :meth:`insert_many` pass pre-computed sketch
+        rows so bulk inserts sketch everything in one batched call.
+        """
         if object_id is None:
             object_id = signature.object_id
         if object_id is None:
@@ -147,7 +158,11 @@ class SimilaritySearchEngine:
         signature.object_id = object_id
         self._next_id = max(self._next_id, object_id + 1)
 
-        sketches = self.sketcher.sketch_many(signature.features)
+        sketches = (
+            _sketches
+            if _sketches is not None
+            else self.sketcher.sketch_many(signature.features)
+        )
         self._objects[object_id] = signature
         self._object_sketches[object_id] = sketches
         self._store.add_object(object_id, sketches, signature.features)
@@ -176,7 +191,28 @@ class SimilaritySearchEngine:
         )
 
     def insert_many(self, signatures: Sequence[ObjectSignature]) -> List[int]:
-        return [self.insert(sig) for sig in signatures]
+        """Insert many pre-extracted objects; returns their assigned ids.
+
+        All objects' feature vectors are concatenated and sketched in
+        *one* ``sketch_many`` call instead of one call per object.
+        Algorithm 2's ``(N, K)`` sampling gather and the bit-packing then
+        run once over a ``(total_segments, D)`` matrix, which amortizes
+        the per-call numpy dispatch: for bulk loads of small objects
+        (a few segments each) this makes insertion several times faster
+        than the per-object loop it replaces, and the win grows with the
+        batch size.
+        """
+        signatures = list(signatures)
+        if not signatures:
+            return []
+        all_sketches = self.sketcher.sketch_many(
+            np.concatenate([sig.features for sig in signatures], axis=0)
+        )
+        splits = np.cumsum([sig.num_segments for sig in signatures])[:-1]
+        return [
+            self.insert(sig, _sketches=rows)
+            for sig, rows in zip(signatures, np.split(all_sketches, splits))
+        ]
 
     def remove(self, object_id: int) -> None:
         """Remove an object from the engine (and the metadata backend).
@@ -294,6 +330,83 @@ class SimilaritySearchEngine:
             )
         raise ValueError(f"unsupported method {method!r}")
 
+    def query_many(
+        self,
+        queries: Sequence[ObjectSignature],
+        top_k: int = 10,
+        method: SearchMethod = SearchMethod.FILTERING,
+        exclude_self: bool = False,
+        restrict_to: Optional[Sequence[int]] = None,
+        cascade: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[List[SearchResult]]:
+        """Answer a batch of queries; returns one result list per query.
+
+        For ``FILTERING`` the sketch scans of *all* queries are fused:
+        every query's top-``r`` segment sketches are stacked into one
+        matrix and the whole segment store is streamed through
+        :func:`~repro.core.bitvector.hamming_many_to_many` exactly once,
+        so the per-query scan cost is amortized across the batch (the
+        database passes through the cache once instead of once per
+        query).  Candidate ranking then fans out over a
+        ``ThreadPoolExecutor`` — the ``SegmentStore`` snapshot/lock
+        design permits concurrent scans during inserts, so batches can
+        run while acquisition threads keep adding objects.  Other search
+        methods fan the full per-query path out over the pool.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if not self._objects:
+            return [[] for _ in queries]
+        workers = max_workers if max_workers is not None else min(8, len(queries))
+        if method is not SearchMethod.FILTERING:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(
+                        lambda q: self.query(
+                            q, top_k=top_k, method=method,
+                            exclude_self=exclude_self, restrict_to=restrict_to,
+                            cascade=cascade,
+                        ),
+                        queries,
+                    )
+                )
+        universe = (
+            set(self._objects)
+            if restrict_to is None
+            else {i for i in restrict_to if i in self._objects}
+        )
+        # One concatenated sketching pass for the whole batch, then one
+        # fused filtering scan over the store for every query at once.
+        all_sketches = self.sketcher.sketch_many(
+            np.concatenate([q.features for q in queries], axis=0)
+        )
+        splits = np.cumsum([q.num_segments for q in queries])[:-1]
+        sketches_list = np.split(all_sketches, splits)
+        candidate_sets = sketch_filter_many(
+            queries, sketches_list, self._store, self.filter_params,
+            n_bits=self.sketcher.n_bits,
+        )
+
+        def _finish(index: int) -> List[SearchResult]:
+            query = queries[index]
+            candidates = candidate_sets[index] & universe
+            if cascade is not None and cascade > 0 and len(candidates) > cascade:
+                candidates = self._cascade_prune(
+                    query, sketches_list[index], candidates, cascade,
+                    exclude_self,
+                )
+            return rank_candidates(
+                query, candidates, self._objects, self.plugin.obj_distance,
+                top_k=top_k, exclude_self=exclude_self,
+            )
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_finish, range(len(queries))))
+
     def query_by_id(self, object_id: int, **kwargs) -> List[SearchResult]:
         """Query using an already-inserted object as the seed."""
         return self.query(self._objects[object_id], **kwargs)
@@ -333,22 +446,52 @@ class SimilaritySearchEngine:
             ]
             results.sort()
             return results[:top_k]
+        # Multi-segment: one batched Hamming pass over the whole segment
+        # store, then per-object cost matrices come from owner-sorted
+        # prefix slices instead of a hamming_to_many call per object.
+        group_owners, starts, dists = self._owner_sorted_scan(query_sketches)
+        ends = np.append(starts[1:], dists.shape[1])
         results: List[SearchResult] = []
-        for object_id in universe:
+        for group, object_id in enumerate(group_owners):
+            object_id = int(object_id)
+            if object_id not in universe:
+                continue
             if exclude_self and object_id == query.object_id:
                 continue
-            cand = self._objects[object_id]
-            cand_sketches = self._object_sketches[object_id]
-            costs = np.stack(
-                [hamming_to_many(qs, cand_sketches) for qs in query_sketches]
-            ).astype(np.float64)
+            cand = self._objects.get(object_id)
+            if cand is None:
+                continue
+            costs = dists[:, starts[group] : ends[group]].astype(np.float64)
             if costs.shape == (1, 1):
                 dist = float(costs[0, 0])
             else:
                 dist = solve_transport(query.weights, cand.weights, costs).cost
-            results.append(SearchResult(dist, int(object_id)))
+            results.append(SearchResult(dist, object_id))
         results.sort()
         return results[:top_k]
+
+    def _owner_sorted_scan(
+        self, query_sketches: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One batched Hamming scan over the store, grouped by owner.
+
+        Returns ``(group_owners, starts, dists)``: ``dists`` is the
+        ``(num_query_segments, n_live_rows)`` distance matrix with
+        columns sorted by owning object (segment insertion order is
+        preserved inside each group, matching the owner's signature row
+        order), ``starts[i]`` is the first column of ``group_owners[i]``'s
+        slice, and tombstoned rows are dropped before the scan.
+        """
+        owners, sketch_matrix = self._store.snapshot()
+        alive = np.nonzero(owners >= 0)[0]
+        n_queries = np.atleast_2d(query_sketches).shape[0]
+        if alive.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty((n_queries, 0), dtype=np.uint32)
+        order = alive[np.argsort(owners[alive], kind="stable")]
+        dists = hamming_many_to_many(query_sketches, sketch_matrix[order])
+        group_owners, starts = np.unique(owners[order], return_index=True)
+        return group_owners, starts, dists
 
     def _cascade_prune(
         self,
@@ -363,21 +506,25 @@ class SimilaritySearchEngine:
 
         The proxy is the classical relaxed EMD lower bound: each query
         segment is matched to its nearest candidate segment regardless of
-        capacity, ``sum_i w_i min_j H(q_i, c_j)`` — one Hamming scan per
-        query segment and no flow solve, so it is far cheaper than the
-        exact object distance it stands in for.
+        capacity, ``sum_i w_i min_j H(q_i, c_j)``.  All candidates are
+        scored from one batched Hamming pass over the owner-sorted
+        segment store (grouped ``minimum.reduceat`` instead of a
+        ``hamming_to_many`` call per object), and no flow solve runs, so
+        it is far cheaper than the exact object distance it stands in
+        for.
         """
-        scored = []
-        for object_id in candidates:
-            if exclude_self and object_id == query.object_id:
-                continue
-            cand_sketches = self._object_sketches[object_id]
-            proxy = 0.0
-            for weight, qs in zip(query.weights, query_sketches):
-                proxy += float(weight) * float(
-                    hamming_to_many(qs, cand_sketches).min()
-                )
-            scored.append((proxy, object_id))
+        group_owners, starts, dists = self._owner_sorted_scan(query_sketches)
+        if group_owners.size == 0:
+            return set()
+        # (r, n_groups): per query segment, the nearest segment of each object.
+        group_mins = np.minimum.reduceat(dists, starts, axis=1)
+        proxies = np.asarray(query.weights, dtype=np.float64) @ group_mins
+        scored = [
+            (float(proxies[group]), int(object_id))
+            for group, object_id in enumerate(group_owners)
+            if int(object_id) in candidates
+            and not (exclude_self and int(object_id) == query.object_id)
+        ]
         scored.sort()
         return {object_id for _proxy, object_id in scored[:cascade]}
 

@@ -20,10 +20,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from .bitvector import hamming_to_many
+from .bitvector import hamming_many_to_many, hamming_to_many
 from .types import ObjectSignature
 
-__all__ = ["FilterParams", "SegmentStore", "sketch_filter"]
+__all__ = [
+    "FilterParams",
+    "SegmentStore",
+    "sketch_filter",
+    "sketch_filter_many",
+    "sketch_filter_reference",
+]
 
 
 def default_threshold_fn(weight: float) -> float:
@@ -109,6 +115,14 @@ class SegmentStore:
                 f"expected {self.n_words}-word sketches, got {sketches.shape[1]}"
             )
         count = sketches.shape[0]
+        if count == 0:
+            # A zero-row matrix would register the object nowhere in the
+            # scan arrays: present in the engine but invisible to every
+            # filter pass.  Reject it instead of silently dropping it.
+            raise ValueError(
+                f"object {object_id} has no segment sketches; objects must "
+                "have at least one segment to be searchable"
+            )
         if self.keep_features:
             if features is None:
                 raise ValueError("store keeps features but none were given")
@@ -229,34 +243,101 @@ def sketch_filter(
     ``use_sketches`` is false, ``seg_distance_to_many`` must map a query
     vector and the store's feature matrix to a distance array, and
     ``max_feature_distance`` bounds the threshold scale.
+
+    All ``r`` top query segments are scanned in one batched pass
+    (:func:`~repro.core.bitvector.hamming_many_to_many`) and the
+    k-NN + threshold + owner-dedup selection runs vectorized across
+    segments.  Tombstoned rows (owner -1) are masked to the dtype's
+    maximum *before* the k-NN selection so dead segments never occupy
+    candidate slots.  Hamming distances stay in the kernel's ``uint32``
+    — argpartition's introselect is comparison-driven, so it picks the
+    same indices as on a float64 copy while touching half the memory.
+    :func:`sketch_filter_reference` is the per-segment implementation
+    this must stay candidate-set-identical to.
     """
     if use_sketches:
         owners, sketch_matrix = store.snapshot()
     else:
         owners, sketch_matrix, feature_matrix = store.snapshot(with_features=True)
-    total = owners.shape[0]  # physical rows incl. tombstones (skipped below)
+    if owners.shape[0] == 0:
+        return set()
+    top = query.top_segments(params.num_query_segments)
+    if use_sketches:
+        dists = hamming_many_to_many(query_sketches[top], sketch_matrix)
+        max_scales = np.full(len(top), float(n_bits))
+    else:
+        if seg_distance_to_many is None:
+            raise ValueError("direct filtering needs seg_distance_to_many")
+        dists = np.stack(
+            [
+                np.asarray(
+                    seg_distance_to_many(query.features[i], feature_matrix),
+                    dtype=np.float64,
+                )
+                for i in top
+            ]
+        )
+        max_scales = _direct_max_scales(dists, max_feature_distance)
+    thresholds = _segment_thresholds(query, top, params, max_scales)
+    return _select_candidates(
+        dists, owners, thresholds, params.candidates_per_segment
+    )
+
+
+def sketch_filter_reference(
+    query: ObjectSignature,
+    query_sketches: np.ndarray,
+    store: SegmentStore,
+    params: FilterParams,
+    n_bits: int,
+    use_sketches: bool = True,
+    seg_distance_to_many: Optional[
+        Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ] = None,
+    max_feature_distance: Optional[float] = None,
+) -> Set[int]:
+    """Pre-batch filtering: one full database scan per query segment.
+
+    Kept as the ground-truth implementation: :func:`sketch_filter` must
+    return an identical candidate set (the perf smoke test asserts this),
+    and ``bench_query_throughput.py`` uses it as the before-side of the
+    batched-kernel speedup measurement.
+    """
+    if use_sketches:
+        owners, sketch_matrix = store.snapshot()
+    else:
+        owners, sketch_matrix, feature_matrix = store.snapshot(with_features=True)
+    total = owners.shape[0]
     if total == 0:
         return set()
+    dead = owners < 0
+    n_alive = total - int(dead.sum())
+    if n_alive == 0:
+        return set()
+    any_dead = bool(dead.any())
+    k = min(params.candidates_per_segment, n_alive)
     candidates: Set[int] = set()
-    top = query.top_segments(params.num_query_segments)
-    k = min(params.candidates_per_segment, total)
-
-    for seg_idx in top:
+    for seg_idx in query.top_segments(params.num_query_segments):
         weight = float(query.weights[seg_idx])
         if use_sketches:
-            dists = hamming_to_many(query_sketches[seg_idx], sketch_matrix)
+            dists = hamming_to_many(
+                query_sketches[seg_idx], sketch_matrix
+            ).astype(np.float64)
             max_scale = float(n_bits)
         else:
             if seg_distance_to_many is None:
-                raise ValueError(
-                    "direct filtering needs seg_distance_to_many"
-                )
-            dists = seg_distance_to_many(query.features[seg_idx], feature_matrix)
+                raise ValueError("direct filtering needs seg_distance_to_many")
+            dists = np.asarray(
+                seg_distance_to_many(query.features[seg_idx], feature_matrix),
+                dtype=np.float64,
+            )
             max_scale = (
                 max_feature_distance
                 if max_feature_distance is not None
                 else float(dists.max(initial=1.0)) or 1.0
             )
+        if any_dead:
+            dists[dead] = np.inf
         nearest = np.argpartition(dists, k - 1)[:k] if k < total else np.arange(total)
         if params.threshold_fraction is not None:
             threshold = (
@@ -266,3 +347,142 @@ def sketch_filter(
         hit_owners = owners[nearest]
         candidates.update(int(o) for o in np.unique(hit_owners) if o >= 0)
     return candidates
+
+
+def sketch_filter_many(
+    queries: Sequence[ObjectSignature],
+    query_sketches_list: Sequence[np.ndarray],
+    store: SegmentStore,
+    params: FilterParams,
+    n_bits: int,
+) -> List[Set[int]]:
+    """Filtering phase for a whole batch of queries in one fused scan.
+
+    Every query's top-``r`` segment sketches are stacked into a single
+    ``(sum_of_r, n_words)`` matrix and the segment store is streamed
+    through :func:`~repro.core.bitvector.hamming_many_to_many` once for
+    the entire batch; the k-NN selection and thresholding also run
+    batched over all rows.  Returns one candidate set per query,
+    identical to calling :func:`sketch_filter` per query on the same
+    store snapshot.
+    """
+    queries = list(queries)
+    if not queries:
+        return []
+    owners, sketch_matrix = store.snapshot()
+    if owners.shape[0] == 0:
+        return [set() for _ in queries]
+    tops = [q.top_segments(params.num_query_segments) for q in queries]
+    stacked = np.concatenate(
+        [qs[top] for qs, top in zip(query_sketches_list, tops)], axis=0
+    )
+    dists = hamming_many_to_many(stacked, sketch_matrix)
+    total = dists.shape[1]
+    dead = owners < 0
+    n_alive = total - int(dead.sum())
+    if n_alive == 0:
+        return [set() for _ in queries]
+    if dead.any():
+        dists[:, dead] = _dead_sentinel(dists.dtype)
+    if params.threshold_fraction is not None:
+        thresholds = np.concatenate(
+            [
+                _segment_thresholds(
+                    q, top, params, np.full(len(top), float(n_bits))
+                )
+                for q, top in zip(queries, tops)
+            ]
+        )
+    else:
+        thresholds = None
+    k = min(params.candidates_per_segment, n_alive)
+    if k < total:
+        nearest = np.argpartition(dists, k - 1, axis=1)[:, :k]
+    else:
+        nearest = np.broadcast_to(np.arange(total), dists.shape)
+    within = (
+        np.take_along_axis(dists, nearest, axis=1) <= thresholds[:, None]
+        if thresholds is not None
+        else None
+    )
+    results: List[Set[int]] = []
+    offset = 0
+    for top in tops:
+        rows = slice(offset, offset + len(top))
+        offset += len(top)
+        if within is not None:
+            hit_owners = owners[nearest[rows][within[rows]]]
+        else:
+            hit_owners = owners[np.asarray(nearest[rows]).ravel()]
+        hit_owners = hit_owners[hit_owners >= 0]
+        results.append(set(int(o) for o in np.unique(hit_owners)))
+    return results
+
+
+def _direct_max_scales(
+    dists: np.ndarray, max_feature_distance: Optional[float]
+) -> np.ndarray:
+    """Per-segment threshold scale for direct (non-sketch) filtering."""
+    if max_feature_distance is not None:
+        return np.full(dists.shape[0], float(max_feature_distance))
+    scales = dists.max(axis=1, initial=1.0)
+    scales[scales == 0.0] = 1.0
+    return scales
+
+
+def _segment_thresholds(
+    query: ObjectSignature,
+    top: Sequence[int],
+    params: FilterParams,
+    max_scales: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Per-segment distance thresholds, or ``None`` when disabled."""
+    if params.threshold_fraction is None:
+        return None
+    factors = np.asarray(
+        [params.threshold_fn(float(query.weights[i])) for i in top]
+    )
+    return params.threshold_fraction * max_scales * factors
+
+
+def _dead_sentinel(dtype: np.dtype):
+    """Masking value for tombstoned rows: above every real distance."""
+    if np.issubdtype(dtype, np.floating):
+        return np.inf
+    return np.iinfo(dtype).max
+
+
+def _select_candidates(
+    dists: np.ndarray,
+    owners: np.ndarray,
+    thresholds: Optional[np.ndarray],
+    candidates_per_segment: int,
+) -> Set[int]:
+    """Vectorized k-NN + threshold + owner-dedup over ``(r, total)`` distances.
+
+    ``dists`` is mutated in place (tombstoned columns are masked out);
+    callers pass a freshly materialized matrix.  The dtype is whatever
+    the scan produced — ``uint32`` Hamming counts or ``float64`` direct
+    distances — and tombstones are masked to that dtype's maximum, which
+    sorts after every real distance and fails every threshold just like
+    ``inf`` does.
+    """
+    total = dists.shape[1]
+    dead = owners < 0
+    n_alive = total - int(dead.sum())
+    if n_alive == 0:
+        return set()
+    if dead.any():
+        dists[:, dead] = _dead_sentinel(dists.dtype)
+    k = min(candidates_per_segment, n_alive)
+    if k < total:
+        nearest = np.argpartition(dists, k - 1, axis=1)[:, :k]
+    else:
+        nearest = np.broadcast_to(np.arange(total), dists.shape)
+    if thresholds is not None:
+        within = np.take_along_axis(dists, nearest, axis=1) <= thresholds[:, None]
+        hit_owners = owners[nearest[within]]
+    else:
+        hit_owners = owners[nearest.ravel()]
+    hit_owners = hit_owners[hit_owners >= 0]
+    return set(int(o) for o in np.unique(hit_owners))

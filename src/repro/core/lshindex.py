@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 import numpy as np
 
-from .bitvector import unpack_bits
+from .bitvector import hamming_many_to_many, unpack_bits
 
 __all__ = ["LSHParams", "LSHIndex"]
 
@@ -63,42 +63,92 @@ class LSHIndex:
         self._tables: List[Dict[bytes, Set[int]]] = [
             {} for _ in range(self.params.num_tables)
         ]
+        self._sketches: Dict[int, np.ndarray] = {}
         self._num_segments = 0
 
     def _keys(self, packed_sketch: np.ndarray) -> List[bytes]:
-        bits = unpack_bits(packed_sketch, self.n_bits)
-        return [np.packbits(bits[pos]).tobytes() for pos in self._positions]
+        return [keys[0] for keys in self._keys_many(packed_sketch)]
+
+    def _keys_many(self, packed_sketches: np.ndarray) -> List[List[bytes]]:
+        """Bucket keys of every sketch row, per table: ``keys[table][row]``.
+
+        One unpack + fancy-index gather + packbits per table for the
+        whole batch, instead of re-unpacking each row separately.
+        """
+        rows = np.atleast_2d(np.asarray(packed_sketches, dtype=np.uint64))
+        bits = np.atleast_2d(unpack_bits(rows, self.n_bits))
+        out: List[List[bytes]] = []
+        for pos in self._positions:
+            packed = np.packbits(bits[:, pos], axis=1)
+            out.append([row.tobytes() for row in packed])
+        return out
 
     def add(self, object_id: int, sketches: np.ndarray) -> None:
         """Index every segment sketch of one object."""
         sketches = np.atleast_2d(np.asarray(sketches, dtype=np.uint64))
-        for row in sketches:
-            for table, key in zip(self._tables, self._keys(row)):
+        for table, keys in zip(self._tables, self._keys_many(sketches)):
+            for key in keys:
                 table.setdefault(key, set()).add(object_id)
-            self._num_segments += 1
+        self._sketches[object_id] = sketches
+        self._num_segments += sketches.shape[0]
 
     def remove(self, object_id: int, sketches: np.ndarray) -> None:
         """Remove an object's segment sketches from every bucket."""
         sketches = np.atleast_2d(np.asarray(sketches, dtype=np.uint64))
-        for row in sketches:
-            for table, key in zip(self._tables, self._keys(row)):
+        for table, keys in zip(self._tables, self._keys_many(sketches)):
+            for key in keys:
                 bucket = table.get(key)
                 if bucket is not None:
                     bucket.discard(object_id)
                     if not bucket:
                         del table[key]
-            self._num_segments -= 1
+        self._sketches.pop(object_id, None)
+        self._num_segments -= sketches.shape[0]
 
     def candidates(self, query_sketches: np.ndarray) -> Set[int]:
         """Union of bucket hits across all tables and query segments."""
         query_sketches = np.atleast_2d(np.asarray(query_sketches, dtype=np.uint64))
         out: Set[int] = set()
-        for row in query_sketches:
-            for table, key in zip(self._tables, self._keys(row)):
+        for table, keys in zip(self._tables, self._keys_many(query_sketches)):
+            for key in keys:
                 bucket = table.get(key)
                 if bucket:
                     out |= bucket
         return out
+
+    def candidates_within(
+        self, query_sketches: np.ndarray, max_hamming: int
+    ) -> Set[int]:
+        """Bucket probe followed by batched Hamming verification.
+
+        LSH buckets admit false positives: two far sketches can agree on
+        every sampled bit of some table.  This probe gathers the bucket
+        hits' stored segment sketches into one matrix and verifies them
+        against every query segment in a single
+        :func:`~repro.core.bitvector.hamming_many_to_many` pass, keeping
+        only objects with at least one segment within ``max_hamming`` of
+        some query segment.
+        """
+        hits = self.candidates(query_sketches)
+        if not hits:
+            return hits
+        ids = sorted(hits)
+        matrices = [self._sketches[i] for i in ids]
+        counts = np.array([m.shape[0] for m in matrices])
+        dists = hamming_many_to_many(
+            np.atleast_2d(np.asarray(query_sketches, dtype=np.uint64)),
+            np.concatenate(matrices, axis=0),
+        )
+        # Best match per stored segment over all query segments, then the
+        # best segment of each object via grouped reduction.
+        best = dists.min(axis=0)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        object_best = np.minimum.reduceat(best, starts)
+        return {
+            object_id
+            for object_id, d in zip(ids, object_best)
+            if d <= max_hamming
+        }
 
     @property
     def num_segments(self) -> int:

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import heapq
 import struct
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..core.bitvector import hamming_to_many
+from ..core.bitvector import hamming_many_to_many
 from ..core.filtering import FilterParams
 from ..core.ranking import SearchResult, rank_candidates
 from ..core.types import ObjectSignature
@@ -99,18 +99,55 @@ class OutOfCoreSketchStore:
 
         Streams the whole table block by block, keeping a bounded heap.
         """
-        heap: List[Tuple[int, int]] = []  # max-heap via negated distance
+        thresholds = None if threshold is None else [threshold]
+        return self.scan_nearest_many(
+            np.atleast_2d(np.asarray(query_sketch, dtype=np.uint64)),
+            k, thresholds,
+        )[0]
+
+    def scan_nearest_many(
+        self,
+        query_sketches: np.ndarray,
+        k: int,
+        thresholds: Optional[Sequence[float]] = None,
+    ) -> List[List[Tuple[int, int]]]:
+        """k nearest segments for *every* query sketch in one table pass.
+
+        The disk-resident table is streamed block by block exactly once
+        for the whole batch; per block, distances to all queries come
+        from a single :func:`~repro.core.bitvector.hamming_many_to_many`
+        call, and each query keeps its own bounded heap.  Memory stays
+        O(block_size x n_queries) regardless of database size.
+        ``thresholds`` optionally gives one distance cutoff per query.
+        """
+        queries = np.atleast_2d(np.asarray(query_sketches, dtype=np.uint64))
+        n_queries = queries.shape[0]
+        if thresholds is not None and len(thresholds) != n_queries:
+            raise ValueError("need one threshold per query sketch")
+        heaps: List[List[Tuple[int, int]]] = [[] for _ in range(n_queries)]
         for owners, matrix in self.iter_blocks():
-            dists = hamming_to_many(np.asarray(query_sketch, dtype=np.uint64), matrix)
-            for owner, dist in zip(owners, dists):
-                d = int(dist)
-                if threshold is not None and d > threshold:
-                    continue
-                if len(heap) < k:
-                    heapq.heappush(heap, (-d, int(owner)))
-                elif -heap[0][0] > d:
-                    heapq.heapreplace(heap, (-d, int(owner)))
-        return sorted((owner, -neg) for neg, owner in heap)
+            dist_matrix = hamming_many_to_many(queries, matrix)
+            for qi in range(n_queries):
+                dists = dist_matrix[qi]
+                heap = heaps[qi]
+                # Pre-select the block's k best rows so the Python heap
+                # merge touches at most k entries per block.  The stable
+                # sort orders ties by scan position, so the heap keeps
+                # the same earliest-wins tie-breaking as a row-by-row
+                # scan of the whole table.
+                best = np.argsort(dists, kind="stable")[:k]
+                threshold = thresholds[qi] if thresholds is not None else None
+                for row in best:
+                    d = int(dists[row])
+                    if threshold is not None and d > threshold:
+                        continue
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-d, int(owners[row])))
+                    elif -heap[0][0] > d:
+                        heapq.heapreplace(heap, (-d, int(owners[row])))
+        return [
+            sorted((owner, -neg) for neg, owner in heap) for heap in heaps
+        ]
 
 
 class OutOfCoreSearcher:
@@ -149,17 +186,22 @@ class OutOfCoreSearcher:
             if params.threshold_fraction is not None
             else None
         )
+        top = query.top_segments(params.num_query_segments)
+        thresholds = (
+            [
+                threshold_base * params.threshold_fn(float(query.weights[i]))
+                for i in top
+            ]
+            if threshold_base is not None
+            else None
+        )
+        # All top query segments share one blocked pass over the table
+        # instead of re-streaming it per segment.
+        per_segment = self.sketch_store.scan_nearest_many(
+            query_sketches[top], params.candidates_per_segment, thresholds
+        )
         out: Set[int] = set()
-        for seg_idx in query.top_segments(params.num_query_segments):
-            weight = float(query.weights[seg_idx])
-            threshold = (
-                threshold_base * params.threshold_fn(weight)
-                if threshold_base is not None
-                else None
-            )
-            nearest = self.sketch_store.scan_nearest(
-                query_sketches[seg_idx], params.candidates_per_segment, threshold
-            )
+        for nearest in per_segment:
             out.update(owner for owner, _dist in nearest)
         return out
 

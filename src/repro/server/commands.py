@@ -12,6 +12,11 @@ number of results to return, filter parameters, and attributes"):
   ``weights=`` overrides the seed's segment weights (the paper's
   "adjusted weights for feature vectors" query parameter — e.g. to
   emphasize one image region).
+- ``querymany <id1,id2,...> [top=10] [method=filtering] [attr=<expr>]``
+  — batch similarity search seeded by several indexed objects at once;
+  runs through the engine's fused multi-query pipeline (one sketch scan
+  for the whole batch, concurrent ranking) and answers one
+  ``<query_id> <object_id> <distance>`` line per result.
 - ``attrquery <expr>`` — attribute-only search; returns object ids.
 - ``insertfile <path> [attr.key=value ...]`` — ingest a file through the
   plug-in's segmentation/extraction module.
@@ -138,6 +143,42 @@ class CommandProcessor:
                 restrict_to=restrict,
             )
         return [f"{r.object_id} {r.distance:.6f}" for r in results]
+
+    def _cmd_querymany(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError(
+                "usage: querymany <id1,id2,...> [top=] [method=] [attr=]"
+            )
+        try:
+            object_ids = [int(t) for t in command.args[0].split(",") if t != ""]
+        except ValueError:
+            raise ProtocolError(f"bad object ids {command.args[0]!r}") from None
+        if not object_ids:
+            raise ProtocolError("querymany needs at least one object id")
+        for object_id in object_ids:
+            if object_id not in self.engine:
+                raise ProtocolError(f"unknown object {object_id}")
+        top_k = int(command.get("top", "10"))
+        method = SearchMethod.parse(command.get("method", "filtering"))
+        restrict = None
+        attr_expr = command.get("attr")
+        if attr_expr:
+            try:
+                restrict = sorted(self.searcher.search(attr_expr))
+            except QueryError as exc:
+                raise ProtocolError(f"bad attribute query: {exc}") from exc
+        batches = self.engine.query_many(
+            [self.engine.get_object(object_id) for object_id in object_ids],
+            top_k=top_k,
+            method=method,
+            exclude_self=command.get("self", "no") != "yes",
+            restrict_to=restrict,
+        )
+        return [
+            f"{query_id} {r.object_id} {r.distance:.6f}"
+            for query_id, results in zip(object_ids, batches)
+            for r in results
+        ]
 
     def _cmd_attrquery(self, command: Command) -> List[str]:
         if not command.args:

@@ -5,7 +5,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bitvector import (
+    _HAS_BITWISE_COUNT,
+    _popcount64_lut,
     hamming_distance,
+    hamming_many_to_many,
     hamming_to_many,
     pack_bits,
     popcount64,
@@ -112,3 +115,94 @@ class TestHammingToMany:
     def test_single_row(self):
         row = pack_bits(np.ones(64, dtype=np.uint8))
         assert hamming_to_many(row, row[None, :]).tolist() == [0]
+
+
+class TestPopcountPaths:
+    """The LUT fallback and the np.bitwise_count fast path must agree."""
+
+    def test_lut_known_values(self):
+        words = np.array([0, 1, 3, 0xFF, 2**64 - 1], dtype=np.uint64)
+        assert _popcount64_lut(words).tolist() == [0, 1, 2, 8, 64]
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**32), st.integers(1, 64))
+    def test_lut_matches_dispatch(self, seed, size):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**63, size=size, dtype=np.uint64)
+        # popcount64 dispatches to bitwise_count on numpy >= 2.0; both
+        # implementations must agree bit-for-bit with the LUT fallback.
+        assert np.array_equal(popcount64(words), _popcount64_lut(words))
+
+    def test_native_path_selected_on_modern_numpy(self):
+        if not hasattr(np, "bitwise_count"):
+            pytest.skip("numpy < 2.0: no native popcount")
+        assert _HAS_BITWISE_COUNT
+
+
+class TestHammingManyToMany:
+    def _naive(self, queries_bits, database_bits):
+        return np.array(
+            [[int((q != d).sum()) for d in database_bits] for q in queries_bits]
+        )
+
+    def test_matches_rowwise_and_naive(self):
+        rng = np.random.default_rng(5)
+        q_bits = rng.integers(0, 2, size=(4, 130)).astype(np.uint8)
+        d_bits = rng.integers(0, 2, size=(25, 130)).astype(np.uint8)
+        queries, database = pack_bits(q_bits), pack_bits(d_bits)
+        batched = hamming_many_to_many(queries, database)
+        rowwise = np.stack([hamming_to_many(q, database) for q in queries])
+        assert np.array_equal(batched, rowwise)
+        assert np.array_equal(batched, self._naive(q_bits, d_bits))
+
+    def test_blocked_scan_equals_unblocked(self):
+        rng = np.random.default_rng(6)
+        queries = pack_bits(rng.integers(0, 2, size=(3, 200)).astype(np.uint8))
+        database = pack_bits(rng.integers(0, 2, size=(50, 200)).astype(np.uint8))
+        full = hamming_many_to_many(queries, database)
+        for block_rows in (1, 7, 49, 50, 1000):
+            assert np.array_equal(
+                hamming_many_to_many(queries, database, block_rows=block_rows),
+                full,
+            )
+
+    def test_single_query_matches_to_many(self):
+        rng = np.random.default_rng(7)
+        database = pack_bits(rng.integers(0, 2, size=(10, 64)).astype(np.uint8))
+        query = database[3]
+        out = hamming_many_to_many(query, database)
+        assert out.shape == (1, 10)
+        assert np.array_equal(out[0], hamming_to_many(query, database))
+        assert out[0, 3] == 0
+
+    def test_word_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_many_to_many(
+                np.zeros((2, 1), np.uint64), np.zeros((3, 2), np.uint64)
+            )
+
+    def test_bad_block_rows_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_many_to_many(
+                np.zeros((1, 1), np.uint64), np.zeros((2, 1), np.uint64),
+                block_rows=0,
+            )
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(0, 2**32),
+        st.integers(1, 6),
+        st.integers(1, 30),
+        st.integers(1, 150),
+    )
+    def test_property_equals_rowwise_and_naive(self, seed, n_q, n_db, n_bits):
+        """Batched == row-wise hamming_to_many == naive unpacked-bit count."""
+        rng = np.random.default_rng(seed)
+        q_bits = rng.integers(0, 2, size=(n_q, n_bits)).astype(np.uint8)
+        d_bits = rng.integers(0, 2, size=(n_db, n_bits)).astype(np.uint8)
+        queries, database = pack_bits(q_bits), pack_bits(d_bits)
+        block_rows = int(rng.integers(1, n_db + 2))
+        batched = hamming_many_to_many(queries, database, block_rows=block_rows)
+        rowwise = np.stack([hamming_to_many(q, database) for q in queries])
+        assert np.array_equal(batched, rowwise)
+        assert np.array_equal(batched, self._naive(q_bits, d_bits))

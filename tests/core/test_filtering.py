@@ -11,6 +11,8 @@ from repro.core import (
     SketchConstructor,
     SketchParams,
     sketch_filter,
+    sketch_filter_many,
+    sketch_filter_reference,
 )
 from repro.core.distance import l1_to_many
 from repro.core.filtering import default_threshold_fn
@@ -81,6 +83,14 @@ class TestSegmentStore:
         store = SegmentStore(n_words=1, dim=4)
         with pytest.raises(ValueError):
             store.add_object(0, np.zeros((1, 1), np.uint64))
+
+    def test_zero_row_sketches_rejected(self):
+        """An object with no segment rows would be invisible to every
+        filter scan; the store must refuse it outright."""
+        store = SegmentStore(n_words=1, dim=4)
+        with pytest.raises(ValueError, match="no segment sketches"):
+            store.add_object(0, np.empty((0, 1), np.uint64), np.empty((0, 4)))
+        assert len(store) == 0
 
     def test_featureless_store(self):
         store = SegmentStore(n_words=1, dim=4, keep_features=False)
@@ -170,6 +180,65 @@ class TestSketchFilter:
                 q, sk.sketch_many(q.features), store, FilterParams(),
                 sk.n_bits, use_sketches=False,
             )
+
+    def test_tombstones_do_not_occupy_knn_slots(self):
+        """Dead segments (owner -1) must be excluded before argpartition:
+        with k = number of live segments, every live owner is a candidate
+        no matter how many close tombstoned rows remain in the store."""
+        _meta, sk, store, objects, _rng = _setup(num_objects=20, segs=3)
+        q = objects[7]
+        # Tombstone 4 objects near the query in sketch space (12 of 60
+        # rows — under the 25% compaction threshold, so the dead rows
+        # physically stay and would win k-NN slots without the fix).
+        for oid in (7, 8, 9, 10):
+            store.remove_object(oid)
+        alive_owners = {int(o) for o in store.owners if o >= 0}
+        candidates = sketch_filter(
+            q, sk.sketch_many(q.features), store,
+            FilterParams(num_query_segments=3, candidates_per_segment=48,
+                         threshold_fraction=None),
+            sk.n_bits,
+        )
+        assert candidates == alive_owners
+
+    def test_batched_matches_reference_with_tombstones(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=40)
+        for oid in (0, 1, 2, 3):
+            store.remove_object(oid)
+        for params in (
+            FilterParams(num_query_segments=3, candidates_per_segment=9),
+            FilterParams(num_query_segments=2, candidates_per_segment=30,
+                         threshold_fraction=None),
+            FilterParams(num_query_segments=1, candidates_per_segment=500,
+                         threshold_fraction=0.2),
+        ):
+            for qid in (5, 17, 33):
+                q = objects[qid]
+                qs = sk.sketch_many(q.features)
+                assert sketch_filter(q, qs, store, params, sk.n_bits) == \
+                    sketch_filter_reference(q, qs, store, params, sk.n_bits)
+
+    def test_filter_many_matches_single(self):
+        _meta, sk, store, objects, _rng = _setup(num_objects=50)
+        store.remove_object(4)
+        params = FilterParams(num_query_segments=2, candidates_per_segment=12)
+        queries = [objects[i] for i in (0, 9, 21, 33, 47)]
+        sketches = [sk.sketch_many(q.features) for q in queries]
+        batched = sketch_filter_many(queries, sketches, store, params, sk.n_bits)
+        assert len(batched) == len(queries)
+        for q, qs, got in zip(queries, sketches, batched):
+            assert got == sketch_filter(q, qs, store, params, sk.n_bits)
+
+    def test_filter_many_empty_inputs(self):
+        meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+        sk = SketchConstructor(SketchParams(64, meta, seed=1))
+        store = SegmentStore(sk.n_words, 4)
+        assert sketch_filter_many([], [], store, FilterParams(), 64) == []
+        q = ObjectSignature(np.ones((1, 4)) * 0.5, [1.0])
+        out = sketch_filter_many(
+            [q], [sk.sketch_many(q.features)], store, FilterParams(), 64
+        )
+        assert out == [set()]
 
     def test_filter_recall_on_near_duplicates(self):
         """Near-duplicates of the query object should survive filtering."""

@@ -61,6 +61,43 @@ class TestIndexBehavior:
         assert 1 in candidates
         assert len(candidates) < 20  # most far objects excluded
 
+    def test_candidates_within_drops_false_positives(self):
+        """Verified probing: bucket hits farther than max_hamming from
+        every query segment are pruned by the batched Hamming check."""
+        rng = np.random.default_rng(5)
+        sk = _sketcher(n_bits=256)
+        # One table sampling a single bit: collisions are nearly
+        # guaranteed, so the raw candidate set is full of false positives.
+        index = LSHIndex(sk.n_bits, LSHParams(num_tables=1, bits_per_key=1))
+        base = rng.random(8)
+        index.add(1, sk.sketch(np.clip(base + 0.005, 0, 1))[None, :])
+        for oid in range(2, 30):
+            index.add(oid, sk.sketch(rng.random(8))[None, :])
+        query = sk.sketch(base)[None, :]
+        raw = index.candidates(query)
+        verified = index.candidates_within(query, max_hamming=sk.n_bits // 8)
+        assert verified <= raw
+        assert 1 in verified
+        assert len(verified) < len(raw)
+
+    def test_candidates_within_empty_probe(self):
+        sk = _sketcher()
+        index = LSHIndex(sk.n_bits, LSHParams(num_tables=2, bits_per_key=16))
+        query = sk.sketch(np.random.default_rng(0).random(8))[None, :]
+        assert index.candidates_within(query, max_hamming=10) == set()
+
+    def test_keys_many_matches_per_row(self):
+        """The vectorized key extraction equals per-row extraction."""
+        rng = np.random.default_rng(6)
+        sk = _sketcher()
+        index = LSHIndex(sk.n_bits, LSHParams(num_tables=5, bits_per_key=12))
+        sketches = sk.sketch_many(rng.random((7, 8)))
+        batched = index._keys_many(sketches)
+        for row_idx in range(7):
+            per_row = index._keys(sketches[row_idx])
+            for table_idx in range(5):
+                assert batched[table_idx][row_idx] == per_row[table_idx]
+
     def test_multi_segment_union(self):
         sk = _sketcher()
         index = LSHIndex(sk.n_bits, LSHParams(num_tables=6, bits_per_key=10))

@@ -1,0 +1,76 @@
+"""Perf smoke test: the batched filter path is candidate-set-identical
+to the pre-batch per-segment reference implementation.
+
+Marked ``perf`` so CI can select it (``pytest -m perf``); it is fast and
+runs in tier-1.  This is the acceptance gate for the batched Hamming
+kernel: any change to ``sketch_filter`` / ``sketch_filter_many`` /
+``hamming_many_to_many`` that alters candidate sets — including the
+tombstone handling both paths share — fails here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SegmentStore,
+    SketchConstructor,
+    SketchParams,
+    sketch_filter,
+    sketch_filter_many,
+    sketch_filter_reference,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def _seeded_store(num_objects=120, segs=3, dim=8, n_bits=256, seed=7):
+    meta = FeatureMeta(dim, np.zeros(dim), np.ones(dim))
+    sk = SketchConstructor(SketchParams(n_bits, meta, seed=seed))
+    store = SegmentStore(sk.n_words, dim)
+    rng = np.random.default_rng(seed)
+    objects = {}
+    for oid in range(num_objects):
+        feats = rng.random((segs, dim))
+        objects[oid] = ObjectSignature(feats, rng.random(segs) + 0.1, object_id=oid)
+        store.add_object(oid, sk.sketch_many(feats), feats)
+    # Tombstone a slice of objects (under the compaction threshold) so
+    # the equivalence covers dead-row masking on both paths.
+    for oid in range(10, 30):
+        store.remove_object(oid)
+    return sk, store, objects
+
+
+PARAM_GRID = [
+    FilterParams(num_query_segments=4, candidates_per_segment=64),
+    FilterParams(num_query_segments=4, candidates_per_segment=8,
+                 threshold_fraction=0.3),
+    FilterParams(num_query_segments=2, candidates_per_segment=200,
+                 threshold_fraction=None),
+    FilterParams(num_query_segments=1, candidates_per_segment=1000),
+]
+
+
+@pytest.mark.parametrize("params", PARAM_GRID)
+def test_batched_filter_identical_to_reference(params):
+    sk, store, objects = _seeded_store()
+    for qid in (0, 5, 42, 77, 111):
+        q = objects[qid]
+        qs = sk.sketch_many(q.features)
+        batched = sketch_filter(q, qs, store, params, sk.n_bits)
+        reference = sketch_filter_reference(q, qs, store, params, sk.n_bits)
+        assert batched == reference, (
+            f"candidate sets diverged for query {qid} with {params}"
+        )
+
+
+@pytest.mark.parametrize("params", PARAM_GRID)
+def test_multi_query_filter_identical_to_reference(params):
+    sk, store, objects = _seeded_store()
+    queries = [objects[qid] for qid in (0, 5, 42, 77, 111)]
+    sketches = [sk.sketch_many(q.features) for q in queries]
+    batched = sketch_filter_many(queries, sketches, store, params, sk.n_bits)
+    for q, qs, got in zip(queries, sketches, batched):
+        assert got == sketch_filter_reference(q, qs, store, params, sk.n_bits)

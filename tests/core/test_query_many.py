@@ -1,0 +1,181 @@
+"""Tests for the batch query API and batched bulk insert.
+
+``query_many`` must agree with per-query ``query`` calls, and — because
+the ``SegmentStore`` snapshot/lock design permits concurrent scans
+during inserts — running batches while a writer thread inserts and
+removes objects must never observe a torn snapshot (mismatched
+owners/sketch arrays, stale ids crashing the ranker, etc.).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+
+
+def _build_engine(dim=8, count=40, seed=0, **filter_kwargs):
+    meta = FeatureMeta(dim, np.zeros(dim), np.ones(dim))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta),
+        SketchParams(256, meta, seed=1),
+        FilterParams(**filter_kwargs) if filter_kwargs else None,
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        k = int(rng.integers(1, 5))
+        engine.insert(ObjectSignature(rng.random((k, dim)), rng.random(k) + 0.1))
+    return engine, rng
+
+
+class TestQueryMany:
+    def test_matches_sequential_queries(self):
+        engine, _rng = _build_engine(
+            num_query_segments=3, candidates_per_segment=20
+        )
+        queries = [engine.get_object(i) for i in (0, 7, 13, 25, 39)]
+        batched = engine.query_many(queries, top_k=6, exclude_self=True)
+        for q, got in zip(queries, batched):
+            expected = engine.query(q, top_k=6, exclude_self=True)
+            assert [r.object_id for r in got] == [r.object_id for r in expected]
+            assert [r.distance for r in got] == [r.distance for r in expected]
+
+    def test_matches_sequential_with_cascade_and_restrict(self):
+        engine, _rng = _build_engine(
+            count=60, num_query_segments=4, candidates_per_segment=60,
+            threshold_fraction=None,
+        )
+        restrict = list(range(0, 60, 2))
+        queries = [engine.get_object(i) for i in (2, 18, 44)]
+        batched = engine.query_many(
+            queries, top_k=5, exclude_self=True, restrict_to=restrict,
+            cascade=10,
+        )
+        for q, got in zip(queries, batched):
+            expected = engine.query(
+                q, top_k=5, exclude_self=True, restrict_to=restrict, cascade=10
+            )
+            assert [r.object_id for r in got] == [r.object_id for r in expected]
+
+    @pytest.mark.parametrize(
+        "method",
+        [SearchMethod.BRUTE_FORCE_ORIGINAL, SearchMethod.BRUTE_FORCE_SKETCH],
+    )
+    def test_other_methods_fan_out(self, method):
+        engine, _rng = _build_engine(count=25)
+        queries = [engine.get_object(i) for i in (1, 11, 21)]
+        batched = engine.query_many(queries, top_k=4, method=method)
+        for q, got in zip(queries, batched):
+            expected = engine.query(q, top_k=4, method=method)
+            assert [r.object_id for r in got] == [r.object_id for r in expected]
+
+    def test_empty_batch_and_empty_engine(self):
+        engine, _rng = _build_engine(count=5)
+        assert engine.query_many([]) == []
+        meta = FeatureMeta(8, np.zeros(8), np.ones(8))
+        empty = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(64, meta, seed=0)
+        )
+        q = ObjectSignature(np.random.rand(2, 8), [1, 1])
+        assert empty.query_many([q, q]) == [[], []]
+
+    def test_invalid_top_k(self):
+        engine, _rng = _build_engine(count=5)
+        with pytest.raises(ValueError):
+            engine.query_many([engine.get_object(0)], top_k=0)
+
+    def test_queries_during_concurrent_inserts_and_removes(self):
+        """No torn snapshots: batches issued while a writer thread inserts
+        and removes must complete without error and only return ids that
+        existed at some point."""
+        engine, rng = _build_engine(
+            count=30, num_query_segments=2, candidates_per_segment=30
+        )
+        dim = 8
+        ever_inserted = set(range(30))
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            wrng = np.random.default_rng(99)
+            next_id = 1000
+            alive = []
+            try:
+                while not stop.is_set():
+                    k = int(wrng.integers(1, 4))
+                    sig = ObjectSignature(
+                        wrng.random((k, dim)), wrng.random(k) + 0.1
+                    )
+                    engine.insert(sig, object_id=next_id)
+                    ever_inserted.add(next_id)
+                    alive.append(next_id)
+                    next_id += 1
+                    if len(alive) > 5:
+                        engine.remove(alive.pop(0))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            queries = [engine.get_object(i) for i in range(10)]
+            for _ in range(15):
+                batches = engine.query_many(queries, top_k=8, exclude_self=True)
+                assert len(batches) == len(queries)
+                for results in batches:
+                    dists = [r.distance for r in results]
+                    assert dists == sorted(dists)
+                    for r in results:
+                        assert r.object_id in ever_inserted
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not errors, f"writer thread failed: {errors}"
+
+
+class TestInsertMany:
+    def test_same_sketches_as_individual_inserts(self):
+        meta = FeatureMeta(6, np.zeros(6), np.ones(6))
+        rng = np.random.default_rng(3)
+        # build two engines with identical params, insert one-by-one vs bulk
+        sigs = []
+        for _ in range(20):
+            k = int(rng.integers(1, 5))
+            feats = rng.random((k, 6))
+            sigs.append((feats, rng.random(k) + 0.1))
+        single = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(128, meta, seed=2)
+        )
+        bulk = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(128, meta, seed=2)
+        )
+        for feats, w in sigs:
+            single.insert(ObjectSignature(feats.copy(), w.copy()))
+        ids = bulk.insert_many(
+            [ObjectSignature(feats.copy(), w.copy()) for feats, w in sigs]
+        )
+        assert ids == list(range(20))
+        for oid in ids:
+            assert np.array_equal(
+                single._object_sketches[oid], bulk._object_sketches[oid]
+            )
+        q = single.get_object(4)
+        assert [r.object_id for r in single.query(q, top_k=5)] == [
+            r.object_id for r in bulk.query(q, top_k=5)
+        ]
+
+    def test_empty_batch(self):
+        meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+        engine = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(64, meta, seed=0)
+        )
+        assert engine.insert_many([]) == []

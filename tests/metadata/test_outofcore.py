@@ -96,6 +96,31 @@ class TestSketchStore:
             all_dists.extend(hamming_to_many(query_sketch, matrix).tolist())
         assert sorted(all_dists)[4] >= max_kept or sorted(all_dists)[4] == max_kept
 
+    def test_scan_nearest_many_matches_single_scans(self, setup):
+        """One fused table pass must return exactly what per-query
+        scan_nearest calls return (including tie-breaking)."""
+        _meta, sketcher, _manager, store, searcher = setup
+        signatures = _fill(searcher, 25, seed=5)
+        queries = np.stack(
+            [sketcher.sketch(signatures[i].features[0]) for i in (0, 7, 19)]
+        )
+        fused = store.scan_nearest_many(queries, k=6, thresholds=None)
+        assert len(fused) == 3
+        for qi in range(3):
+            assert fused[qi] == store.scan_nearest(queries[qi], k=6)
+        with_thr = store.scan_nearest_many(queries, k=6, thresholds=[40] * 3)
+        for qi in range(3):
+            assert with_thr[qi] == store.scan_nearest(
+                queries[qi], k=6, threshold=40
+            )
+
+    def test_scan_nearest_many_threshold_count_mismatch(self, setup):
+        _meta, sketcher, _manager, store, searcher = setup
+        _fill(searcher, 5)
+        queries = np.zeros((2, store.n_words), np.uint64)
+        with pytest.raises(ValueError):
+            store.scan_nearest_many(queries, k=3, thresholds=[1.0])
+
     def test_scan_nearest_threshold(self, setup):
         _meta, sketcher, _manager, store, searcher = setup
         signatures = _fill(searcher, 20, seed=4)

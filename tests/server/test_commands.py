@@ -90,6 +90,42 @@ class TestQueryCommand:
             run(processor, 'query 0 attr="(unbalanced"')
 
 
+class TestQueryManyCommand:
+    def test_matches_single_queries(self, processor):
+        batched = run(processor, "querymany 0,5,9 top=4")
+        singles = []
+        for oid in (0, 5, 9):
+            singles.extend(
+                f"{oid} {line}" for line in run(processor, f"query {oid} top=4")
+            )
+        assert batched == singles
+
+    def test_single_id_batch(self, processor):
+        lines = run(processor, "querymany 7 top=3")
+        assert lines
+        assert all(line.split()[0] == "7" for line in lines)
+
+    def test_attr_restriction(self, processor):
+        lines = run(processor, "querymany 0,2 top=20 attr=parity:even")
+        assert all(int(line.split()[1]) % 2 == 0 for line in lines)
+
+    def test_self_included_on_request(self, processor):
+        lines = run(processor, "querymany 3 top=20 self=yes method=brute_force_original")
+        assert lines[0].split()[:2] == ["3", "3"]
+
+    def test_unknown_object(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "querymany 0,999")
+
+    def test_bad_ids(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "querymany 1,abc")
+        with pytest.raises(ProtocolError):
+            run(processor, "querymany ,")
+        with pytest.raises(ProtocolError):
+            run(processor, "querymany")
+
+
 class TestAttrCommands:
     def test_attrquery(self, processor):
         lines = run(processor, "attrquery parity:odd")
