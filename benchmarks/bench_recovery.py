@@ -1,0 +1,78 @@
+"""Recovery-time benchmarks: reopen cost as a function of WAL length.
+
+Crash recovery replays every complete transaction in the live WAL
+segment (docs/ROBUSTNESS.md), so recovery time should grow linearly
+with the un-checkpointed tail.  These benches pin that curve — and
+quantify what a checkpoint buys: recovery after a checkpoint only
+replays the records logged since, so the same store with a recent
+checkpoint reopens in near-constant time.
+
+Recovery itself checkpoints (to shrink the next crash's window), so a
+recovered directory has nothing left to replay; each measured round
+therefore reopens a fresh copy of the crashed snapshot, restored by an
+untimed setup step.
+
+Run with ``pytest benchmarks/bench_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.storage import KVStore
+
+
+def _populate(directory: str, num_txns: int, ops_per_txn: int = 4) -> None:
+    """Commit ``num_txns`` transactions and close WITHOUT a checkpoint,
+    leaving the whole history in the WAL for recovery to replay."""
+    store = KVStore(directory, sync_policy="none", auto_checkpoint_ops=0)
+    for i in range(num_txns):
+        with store.begin() as txn:
+            for j in range(ops_per_txn):
+                key = f"k{(i * ops_per_txn + j) % 512:05d}".encode()
+                txn.put("bench", key, b"v" * 64)
+    store.close(checkpoint=False)
+
+
+def _bench_reopen(benchmark, snapshot: str, workdir: str):
+    def setup():
+        shutil.rmtree(workdir, ignore_errors=True)
+        shutil.copytree(snapshot, workdir)
+        return (), {}
+
+    def reopen():
+        store = KVStore(workdir, auto_checkpoint_ops=0)
+        report = store.last_recovery
+        store.close(checkpoint=False)
+        return report
+
+    return benchmark.pedantic(reopen, setup=setup, rounds=10)
+
+
+@pytest.mark.parametrize("num_txns", [100, 400, 1600])
+def test_bench_recovery_vs_wal_length(tmp_path, benchmark, num_txns):
+    """Reopen (replay the full WAL) for increasing WAL lengths."""
+    snapshot = str(tmp_path / "snapshot")
+    _populate(snapshot, num_txns)
+    report = _bench_reopen(benchmark, snapshot, str(tmp_path / "work"))
+    assert report is not None and report.transactions_replayed == num_txns
+
+
+def test_bench_recovery_after_checkpoint(tmp_path, benchmark):
+    """A checkpoint truncates the replay work: same data, short WAL."""
+    snapshot = str(tmp_path / "snapshot")
+    store = KVStore(snapshot, sync_policy="none", auto_checkpoint_ops=0)
+    for i in range(1600):
+        with store.begin() as txn:
+            txn.put("bench", f"k{i % 512:05d}".encode(), b"v" * 64)
+    store.checkpoint()
+    # A small post-checkpoint tail keeps the replay path non-trivial.
+    for i in range(20):
+        with store.begin() as txn:
+            txn.put("bench", f"t{i:05d}".encode(), b"v" * 64)
+    store.close(checkpoint=False)
+
+    report = _bench_reopen(benchmark, snapshot, str(tmp_path / "work"))
+    assert report is not None and report.transactions_replayed == 20

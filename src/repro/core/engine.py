@@ -169,10 +169,21 @@ class SimilaritySearchEngine:
         if self.lsh_index is not None:
             self.lsh_index.add(object_id, sketches)
         if self.metadata is not None:
-            self.metadata.put_object(
-                object_id, signature, sketches, dict(attributes or {}),
-                filename=filename,
-            )
+            try:
+                self.metadata.put_object(
+                    object_id, signature, sketches, dict(attributes or {}),
+                    filename=filename,
+                )
+            except Exception:
+                # Write-through failed: roll the in-memory insert back so
+                # queries cannot return an object that would vanish on
+                # restart (memory and store must agree on the object set).
+                del self._objects[object_id]
+                del self._object_sketches[object_id]
+                self._store.remove_object(object_id)
+                if self.lsh_index is not None:
+                    self.lsh_index.remove(object_id, sketches)
+                raise
         return object_id
 
     def insert_file(

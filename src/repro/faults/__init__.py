@@ -1,0 +1,34 @@
+"""Fault-injection framework for crash-recovery and resilience testing.
+
+The storage engine's durability story (WAL + shadow paging + recovery)
+is only as credible as the failures it has survived.  This package
+supplies:
+
+- :class:`FaultPlan` / :class:`Fault` — deterministic, seeded schedules
+  of crashes, torn writes, bit-flips, dropped fsyncs, and I/O errors,
+  addressed by operation index.
+- :class:`FaultyFilesystem` / :class:`FaultyFile` — an implementation of
+  the storage engine's :class:`~repro.storage.fs.FileSystem` seam that
+  executes a plan, including power-loss simulation (unsynced data loss).
+- :mod:`repro.faults.torture` — a crash-recovery torture driver that
+  runs randomized transaction workloads, crashes them at every injection
+  point, reopens the store, and checks the recovery invariant:
+  *committed transactions are atomic and form a prefix of commit order;
+  anything durably committed is fully visible; nothing uncommitted is.*
+"""
+
+from .fs import FaultyFile, FaultyFilesystem
+from .plan import Fault, FaultKind, FaultPlan, SimulatedCrash
+from .torture import TortureResult, TortureRunner, WorkloadSpec
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyFile",
+    "FaultyFilesystem",
+    "SimulatedCrash",
+    "TortureResult",
+    "TortureRunner",
+    "WorkloadSpec",
+]

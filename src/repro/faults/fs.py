@@ -1,0 +1,182 @@
+"""Fault-injecting filesystem: the storage engine's I/O under test.
+
+:class:`FaultyFilesystem` implements the :class:`~repro.storage.fs.FileSystem`
+interface the storage engine accepts, wrapping every opened file in a
+:class:`FaultyFile`.  A single monotone operation counter spans all files
+opened through one filesystem instance; each ``write`` and ``fsync``
+claims the next index and consults the :class:`~repro.faults.plan.FaultPlan`
+before touching the disk.  That gives crash points a stable, replayable
+address: "the 17th I/O operation of this workload".
+
+Power-loss semantics: files opened for append (the WAL) track the size
+at their last successful fsync.  When a crash fires and the plan has
+``lose_unsynced`` set, :meth:`FaultyFilesystem.simulate_power_loss`
+truncates each append file back to that size — exactly what a real
+power cut does to page-cache data that never reached the platter.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Dict, List, Optional
+
+from ..storage.fs import FileSystem
+from .plan import Fault, FaultKind, FaultPlan, SimulatedCrash
+
+__all__ = ["FaultyFile", "FaultyFilesystem"]
+
+
+class FaultyFile:
+    """File wrapper that routes writes and fsyncs through the fault plan.
+
+    Reads, seeks, and metadata calls pass straight through — faults are
+    modelled at the write path, where durability bugs live.
+    """
+
+    def __init__(self, fs: "FaultyFilesystem", raw: BinaryIO, path: str, mode: str) -> None:
+        self._fs = fs
+        self._raw = raw
+        self.path = path
+        self.mode = mode
+        self.append = "a" in mode
+        #: Size up to which content is known durable (post-fsync).
+        self.synced_size = os.fstat(raw.fileno()).st_size if self.append else 0
+
+    # -- faulted operations ---------------------------------------------
+    def write(self, data: bytes) -> int:
+        op = self._fs.next_op()
+        for fault in self._fs.plan.faults_at(op):
+            if fault.kind is FaultKind.CRASH:
+                self._fs.plan.fire(fault)
+                raise SimulatedCrash(op, f"before write to {os.path.basename(self.path)}")
+            if fault.kind is FaultKind.TORN:
+                self._fs.plan.fire(fault)
+                keep = int(len(data) * max(0.0, min(1.0, fault.keep_fraction)))
+                self._raw.write(data[:keep])
+                self._raw.flush()
+                raise SimulatedCrash(op, f"torn write ({keep}/{len(data)} bytes)")
+            if fault.kind is FaultKind.ERROR:
+                self._fs.plan.fire(fault)
+                raise OSError(fault.errno, os.strerror(fault.errno), self.path)
+            if fault.kind is FaultKind.BITFLIP:
+                self._fs.plan.fire(fault)
+                flipped = bytearray(data)
+                if flipped:
+                    bit = fault.bit_index % (len(flipped) * 8)
+                    flipped[bit // 8] ^= 1 << (bit % 8)
+                data = bytes(flipped)
+        return self._raw.write(data)
+
+    def fsync(self) -> None:
+        """Called by the filesystem's ``fsync`` — never directly by users."""
+        op = self._fs.next_op()
+        for fault in self._fs.plan.faults_at(op):
+            if fault.kind is FaultKind.CRASH:
+                self._fs.plan.fire(fault)
+                raise SimulatedCrash(op, f"before fsync of {os.path.basename(self.path)}")
+            if fault.kind is FaultKind.ERROR:
+                self._fs.plan.fire(fault)
+                raise OSError(fault.errno, os.strerror(fault.errno), self.path)
+        if self._fs.plan.drops_fsync(op):
+            self._fs.plan.fire(Fault(FaultKind.DROP_FSYNC, op))
+            return  # silently lie, like a volatile write cache
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+        self._fs.fsync_log.append((op, self.path))
+        if self.append:
+            self.synced_size = os.fstat(self._raw.fileno()).st_size
+
+    # -- pass-throughs ---------------------------------------------------
+    def read(self, size: int = -1) -> bytes:
+        return self._raw.read(size)
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._raw.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        if size is None:
+            size = self._raw.tell()
+        self._raw.flush()
+        os.ftruncate(self._raw.fileno(), size)
+        return size
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        if not self._raw.closed:
+            self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class FaultyFilesystem(FileSystem):
+    """A :class:`FileSystem` whose write path obeys a :class:`FaultPlan`."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.op_count = 0
+        #: ``(op_index, path)`` of every fsync that really reached disk.
+        self.fsync_log: List[tuple] = []
+        self._files: List[FaultyFile] = []
+        self._paths: Dict[str, FaultyFile] = {}
+
+    def next_op(self) -> int:
+        op = self.op_count
+        self.op_count += 1
+        return op
+
+    # -- FileSystem interface -------------------------------------------
+    def open(self, path: str, mode: str) -> FaultyFile:
+        wrapped = FaultyFile(self, open(path, mode), path, mode)
+        self._files.append(wrapped)
+        self._paths[path] = wrapped
+        return wrapped
+
+    def fsync(self, fileobj: FaultyFile) -> None:
+        fileobj.fsync()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def getsize(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    # -- crash handling --------------------------------------------------
+    def simulate_power_loss(self) -> None:
+        """Apply crash semantics and drop all handles.
+
+        With ``plan.lose_unsynced``, append-mode files lose everything
+        written after their last successful fsync (page-cache loss);
+        without it, the kernel is assumed to have flushed on its own (a
+        crash where the cache happened to survive).  Either way every
+        wrapped handle is closed: the process hosting the store is gone.
+        """
+        for wrapped in self._files:
+            wrapped.close()
+            if (
+                self.plan.lose_unsynced
+                and wrapped.append
+                and os.path.exists(wrapped.path)
+                and os.path.getsize(wrapped.path) > wrapped.synced_size
+            ):
+                os.truncate(wrapped.path, wrapped.synced_size)
+        self._files.clear()
+        self._paths.clear()

@@ -1,0 +1,182 @@
+"""Deterministic fault plans for the injection framework.
+
+A :class:`FaultPlan` maps *operation indices* to faults.  The faulty
+filesystem counts every ``write`` and ``fsync`` it performs (one global
+counter per plan, in execution order), and before executing operation
+``n`` asks the plan whether a fault fires there.  Because the counter is
+global and the workload is deterministic, a plan like
+``FaultPlan.crash_at(17)`` reproduces the exact same crash point on
+every run — which is what lets the torture driver enumerate *every*
+injection point of a workload and replay failures from a seed.
+
+Fault kinds
+-----------
+``CRASH``
+    Raise :class:`SimulatedCrash` *before* the operation (power loss
+    just before write N reached the disk).
+``TORN``
+    Perform only a prefix of the write, then raise
+    :class:`SimulatedCrash` (power loss mid-sector).
+``BITFLIP``
+    Flip one bit of the written payload (silent media corruption; the
+    WAL/page CRCs must catch it on the read side).
+``DROP_FSYNC``
+    Turn an ``fsync`` into a silent no-op — data stays in the simulated
+    volatile cache and is lost if a crash follows.
+``ERROR``
+    Raise ``OSError`` with a chosen errno (ENOSPC, EIO, ...) without
+    performing the operation; the store must surface it and stay
+    consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+import errno as _errno
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FaultKind", "Fault", "FaultPlan", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """Injected power loss.
+
+    Deliberately a ``BaseException`` so that ``except Exception``
+    blocks inside the code under test cannot swallow it — a real power
+    cut is not catchable either.
+    """
+
+    def __init__(self, op_index: int, detail: str = "") -> None:
+        super().__init__(f"simulated crash at op {op_index}" + (f": {detail}" if detail else ""))
+        self.op_index = op_index
+
+
+class FaultKind(enum.Enum):
+    CRASH = "crash"
+    TORN = "torn"
+    BITFLIP = "bitflip"
+    DROP_FSYNC = "drop_fsync"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault armed at one operation index."""
+
+    kind: FaultKind
+    op_index: int
+    #: TORN: fraction of the payload that reaches disk (0.0 — nothing).
+    keep_fraction: float = 0.5
+    #: BITFLIP: which bit of the payload to flip (modulo its length).
+    bit_index: int = 0
+    #: ERROR: the errno to raise.
+    errno: int = _errno.EIO
+
+
+class FaultPlan:
+    """A deterministic schedule of faults plus crash-semantics knobs.
+
+    ``lose_unsynced``: when a crash fires, writes that were never
+    fsynced are rolled back by the faulty filesystem's power-loss
+    simulation (append files are truncated to their last synced size).
+    This models the real difference between ``write()`` reaching the
+    page cache and ``fsync()`` reaching the platter, and is what makes
+    ``DROP_FSYNC`` faults observable.
+    """
+
+    def __init__(self, faults: Optional[List[Fault]] = None, lose_unsynced: bool = False) -> None:
+        self.lose_unsynced = lose_unsynced
+        self._by_op: Dict[int, List[Fault]] = {}
+        # Half-open [start, end) op ranges where every fsync is dropped.
+        self._fsync_drop_ranges: List[tuple] = []
+        self.triggered: List[Fault] = []
+        for fault in faults or []:
+            self.add(fault)
+
+    # -- construction helpers -------------------------------------------
+    def add(self, fault: Fault) -> "FaultPlan":
+        self._by_op.setdefault(fault.op_index, []).append(fault)
+        return self
+
+    def drop_fsyncs(self, start: int, end: int = 1 << 62) -> "FaultPlan":
+        """Drop every fsync whose op index lands in ``[start, end)``."""
+        self._fsync_drop_ranges.append((start, end))
+        if not self.lose_unsynced:
+            self.lose_unsynced = True
+        return self
+
+    @classmethod
+    def crash_at(cls, op_index: int, lose_unsynced: bool = False) -> "FaultPlan":
+        return cls([Fault(FaultKind.CRASH, op_index)], lose_unsynced=lose_unsynced)
+
+    @classmethod
+    def torn_write_at(
+        cls, op_index: int, keep_fraction: float = 0.5, lose_unsynced: bool = False
+    ) -> "FaultPlan":
+        return cls(
+            [Fault(FaultKind.TORN, op_index, keep_fraction=keep_fraction)],
+            lose_unsynced=lose_unsynced,
+        )
+
+    @classmethod
+    def bitflip_at(cls, op_index: int, bit_index: int = 0) -> "FaultPlan":
+        return cls([Fault(FaultKind.BITFLIP, op_index, bit_index=bit_index)])
+
+    @classmethod
+    def error_at(cls, op_index: int, err: int = _errno.ENOSPC) -> "FaultPlan":
+        return cls([Fault(FaultKind.ERROR, op_index, errno=err)])
+
+    @classmethod
+    def drop_fsync_from(cls, op_index: int) -> "FaultPlan":
+        """Drop every fsync from ``op_index`` onward.
+
+        Fsync loss is rarely a single event — a buggy controller drops
+        them until the crash — so this covers the rest of the run.
+        """
+        return cls(lose_unsynced=True).drop_fsyncs(op_index)
+
+    @classmethod
+    def random(cls, seed: int, total_ops: int, n_faults: int = 1) -> "FaultPlan":
+        """A seeded random plan over a workload known to span ``total_ops``."""
+        rng = random.Random(seed)
+        plan = cls(lose_unsynced=rng.random() < 0.5)
+        for _ in range(max(1, n_faults)):
+            kind = rng.choice(list(FaultKind))
+            op = rng.randrange(max(1, total_ops))
+            if kind is FaultKind.DROP_FSYNC:
+                plan.drop_fsyncs(op)
+                # An undetectable fsync drop needs a crash after it.
+                crash_op = rng.randrange(op, max(op + 1, total_ops))
+                plan.add(Fault(FaultKind.CRASH, crash_op))
+                continue
+            plan.add(
+                Fault(
+                    kind,
+                    op,
+                    keep_fraction=rng.random(),
+                    bit_index=rng.randrange(4096),
+                    errno=rng.choice([_errno.ENOSPC, _errno.EIO]),
+                )
+            )
+        return plan
+
+    # -- queries ---------------------------------------------------------
+    def faults_at(self, op_index: int) -> List[Fault]:
+        return self._by_op.get(op_index, [])
+
+    def drops_fsync(self, op_index: int) -> bool:
+        return any(start <= op_index < end for start, end in self._fsync_drop_ranges)
+
+    def fire(self, fault: Fault) -> None:
+        """Record that a fault actually triggered (for assertions/repro)."""
+        self.triggered.append(fault)
+
+    @property
+    def max_op(self) -> int:
+        return max(self._by_op) if self._by_op else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flat = [f for fl in self._by_op.values() for f in fl]
+        return f"FaultPlan({flat!r}, lose_unsynced={self.lose_unsynced})"

@@ -1,10 +1,17 @@
 """Command-line query interface: line protocol, command processor, TCP
 server and client (section 4.1.4)."""
 
-from .client import ClientError, FerretClient
+from .client import (
+    ClientError,
+    ClientTimeout,
+    FerretClient,
+    RetryPolicy,
+    ServerDegraded,
+)
 from .commands import CommandProcessor
 from .protocol import (
     Command,
+    DegradedError,
     ProtocolError,
     format_error,
     format_ok,
@@ -16,11 +23,15 @@ from .shell import run_shell
 
 __all__ = [
     "ClientError",
+    "ClientTimeout",
     "Command",
     "CommandProcessor",
+    "DegradedError",
     "FerretClient",
     "FerretServer",
     "ProtocolError",
+    "RetryPolicy",
+    "ServerDegraded",
     "format_error",
     "format_ok",
     "parse_command",

@@ -1,44 +1,249 @@
-"""Client library for the command-line query protocol."""
+"""Client library for the command-line query protocol.
+
+Beyond the blocking single-connection client the paper's tools need,
+:class:`FerretClient` offers an opt-in resilience layer for production
+use:
+
+- **Per-command deadlines** — the socket timeout is applied to every
+  command round-trip (not just connect), and an expired deadline raises
+  :class:`ClientTimeout`, a distinct subclass of :class:`ClientError`,
+  so callers can tell a retryable timeout from a protocol error.
+- **Automatic reconnect + retry** — with a :class:`RetryPolicy`, broken
+  connections and timeouts are retried with exponential backoff and
+  deterministic jitter, but only for *idempotent* commands (queries,
+  stats, health): an ``insertfile`` is never replayed blindly.
+- **Degradation awareness** — an ``ERR DEGRADED <reason>`` response
+  (see ``docs/ROBUSTNESS.md``) raises :class:`ServerDegraded`, again
+  distinguishable from plain command failures.
+"""
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .protocol import quote
 
-__all__ = ["ClientError", "FerretClient"]
+__all__ = [
+    "ClientError",
+    "ClientTimeout",
+    "ServerDegraded",
+    "RetryPolicy",
+    "FerretClient",
+    "IDEMPOTENT_COMMANDS",
+]
 
 
 class ClientError(RuntimeError):
     """Server returned an ERR response or the connection broke."""
 
 
+class ClientTimeout(ClientError):
+    """A command exceeded its deadline (retryable for idempotent commands)."""
+
+
+class ServerDegraded(ClientError):
+    """Server answered ``ERR DEGRADED <reason>``: alive but impaired."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: Commands safe to replay after a connection failure: they do not
+#: mutate server state (or, for ``setparam``, are absorbing).
+IDEMPOTENT_COMMANDS = frozenset(
+    {
+        "ping",
+        "count",
+        "stat",
+        "health",
+        "query",
+        "querymany",
+        "queryfile",
+        "attrquery",
+        "attrs",
+        "setparam",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Delay before attempt ``n`` (0-based, first retry is ``n=1``) is
+    ``min(max_delay, base_delay * multiplier**(n-1))`` scaled by a
+    jitter factor drawn uniformly from ``[1-jitter, 1+jitter]`` using a
+    seeded RNG, so retry storms desynchronize across clients while
+    individual runs stay reproducible.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    retry_timeouts: bool = True
+    seed: int = 0
+
+    def delays(self) -> List[float]:
+        rng = random.Random(self.seed)
+        delays = []
+        for attempt in range(1, self.max_attempts):
+            base = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+            delays.append(base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))
+        return delays
+
+
 class FerretClient:
     """Blocking client over one TCP connection.
 
     Usable as a context manager.  All methods raise :class:`ClientError`
-    on an ``ERR`` response.
+    on an ``ERR`` response.  With ``retry`` set, idempotent commands
+    survive connection failures and server restarts transparently.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7878,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
+
+    # -- connection management -------------------------------------------
+    def _connect(self) -> None:
+        self._teardown()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
         self._reader = self._sock.makefile("r", encoding="utf-8")
 
+    def _teardown(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
     # -- raw protocol ----------------------------------------------------
-    def send(self, line: str) -> List[str]:
-        """Send one command line; returns the response data lines."""
-        self._sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
-        header = self._reader.readline()
-        if not header:
-            raise ClientError("connection closed by server")
-        header = header.rstrip("\n")
-        if header.startswith("ERR"):
-            raise ClientError(header[4:] or "unknown server error")
-        if not header.startswith("OK "):
-            raise ClientError(f"malformed response header {header!r}")
-        count = int(header[3:])
-        return [self._reader.readline().rstrip("\n") for _ in range(count)]
+    def _send_once(self, line: str, deadline: Optional[float]) -> List[str]:
+        """One command round-trip on the current connection.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; the
+        socket timeout is re-armed from it before the send and before
+        every response read, so a stalled server cannot hold the caller
+        past its budget.  After any failure the connection is torn down:
+        a half-read response would desynchronize the line protocol.
+        """
+        if self._sock is None:
+            try:
+                self._connect()
+            except OSError as exc:
+                self._teardown()
+                raise ClientError(f"connect failed: {exc}") from exc
+
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return self.timeout
+            left = deadline - time.monotonic()
+            if left <= 0:
+                raise ClientTimeout(f"deadline expired before {line.split()[0]!r} completed")
+            return left
+
+        try:
+            self._sock.settimeout(remaining())
+            self._sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+            self._sock.settimeout(remaining())
+            header = self._reader.readline()
+            if not header:
+                raise ClientError("connection closed by server")
+            header = header.rstrip("\n")
+            if header.startswith("ERR"):
+                message = header[4:] or "unknown server error"
+                if message.startswith("DEGRADED"):
+                    raise ServerDegraded(message[len("DEGRADED"):].strip() or "degraded")
+                raise ClientError(message)
+            if not header.startswith("OK "):
+                raise ClientError(f"malformed response header {header!r}")
+            count = int(header[3:])
+            lines = []
+            for _ in range(count):
+                self._sock.settimeout(remaining())
+                lines.append(self._reader.readline().rstrip("\n"))
+            return lines
+        except socket.timeout as exc:
+            # The connection is now desynchronized (a late response may
+            # still arrive): drop it so the next command starts clean.
+            self._teardown()
+            raise ClientTimeout(f"command timed out: {line.split()[0]!r}") from exc
+        except (OSError, ValueError) as exc:
+            self._teardown()
+            raise ClientError(f"connection failed: {exc}") from exc
+        except ClientError as exc:
+            if isinstance(exc, ServerDegraded):
+                raise  # a complete, well-formed response: connection is fine
+            if isinstance(exc, ClientTimeout) or str(exc).startswith(
+                ("connection closed", "malformed response")
+            ):
+                self._teardown()
+            raise
+
+    def send(self, line: str, timeout: Optional[float] = None) -> List[str]:
+        """Send one command line; returns the response data lines.
+
+        ``timeout`` overrides the client-wide per-command timeout for
+        this call.  With a :class:`RetryPolicy` configured, idempotent
+        commands are retried across reconnects on connection errors and
+        (optionally) timeouts; each attempt gets a fresh deadline.
+        """
+        budget = timeout if timeout is not None else self.timeout
+        command = line.strip().split(" ", 1)[0].lower() if line.strip() else ""
+        policy = self.retry
+        retryable = policy is not None and command in IDEMPOTENT_COMMANDS
+        delays = policy.delays() if retryable else []
+        attempt = 0
+        while True:
+            deadline = time.monotonic() + budget if budget is not None else None
+            try:
+                return self._send_once(line, deadline)
+            except ServerDegraded:
+                raise  # the server answered; retrying won't help
+            except ClientTimeout:
+                if not retryable or not policy.retry_timeouts or attempt >= len(delays):
+                    raise
+            except ClientError:
+                # Protocol-level ERR responses are answers, not failures:
+                # they leave the connection intact and are never retried.
+                if self.connected:
+                    raise
+                if not retryable or attempt >= len(delays):
+                    raise
+            time.sleep(delays[attempt])
+            attempt += 1
+            # Reconnection happens lazily inside the next _send_once.
 
     # -- typed helpers -----------------------------------------------------
     def ping(self) -> bool:
@@ -50,6 +255,14 @@ class FerretClient:
     def stat(self) -> Dict[str, str]:
         out: Dict[str, str] = {}
         for line in self.send("stat"):
+            key, _, value = line.partition(" ")
+            out[key] = value
+        return out
+
+    def health(self) -> Dict[str, str]:
+        """Server health: status plus per-component degradation details."""
+        out: Dict[str, str] = {}
+        for line in self.send("health"):
             key, _, value = line.partition(" ")
             out[key] = value
         return out
@@ -104,12 +317,12 @@ class FerretClient:
         self.send(f"setparam {name} {value}")
 
     def close(self) -> None:
-        try:
-            self._sock.sendall(b"quit\n")
-        except OSError:
-            pass
-        self._reader.close()
-        self._sock.close()
+        if self._sock is not None:
+            try:
+                self._sock.sendall(b"quit\n")
+            except OSError:
+                pass
+        self._teardown()
 
     def __enter__(self) -> "FerretClient":
         return self

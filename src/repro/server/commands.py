@@ -27,6 +27,13 @@ number of results to return, filter parameters, and attributes"):
 - ``setparam <name> <value>`` — adjust filter parameters live
   (``num_query_segments``, ``candidates_per_segment``,
   ``threshold_fraction``).
+- ``health`` — server health report: overall status, uptime, and
+  per-component degradation details (see docs/ROBUSTNESS.md).
+
+Graceful degradation: storage failures answer ``ERR DEGRADED <reason>``
+(a structured error clients can tell apart from bad requests), and an
+LSH-index failure on a query falls back to the exhaustive filtering
+path instead of failing the command.
 """
 
 from __future__ import annotations
@@ -37,7 +44,9 @@ from ..attrsearch.index import InvertedIndex, MemoryIndex
 from ..attrsearch.query import AttributeSearcher, QueryError
 from ..core.engine import SearchMethod, SimilaritySearchEngine
 from ..core.filtering import FilterParams
-from .protocol import Command, ProtocolError, quote
+from ..storage.errors import StorageError
+from ..system import HealthState
+from .protocol import Command, DegradedError, ProtocolError, quote
 
 __all__ = ["CommandProcessor"]
 
@@ -50,11 +59,13 @@ class CommandProcessor:
         engine: SimilaritySearchEngine,
         index: Optional[InvertedIndex] = None,
         attributes: Optional[Dict[int, Dict[str, str]]] = None,
+        health: Optional[HealthState] = None,
     ) -> None:
         self.engine = engine
         self.index = index if index is not None else MemoryIndex()
         self.searcher = AttributeSearcher(self.index)
         self.attributes: Dict[int, Dict[str, str]] = dict(attributes or {})
+        self.health = health if health is not None else HealthState()
 
     # -- attribute bookkeeping ------------------------------------------
     def register_attributes(self, object_id: int, attrs: Dict[str, str]) -> None:
@@ -64,15 +75,49 @@ class CommandProcessor:
 
     # -- dispatch ---------------------------------------------------------
     def execute(self, command: Command) -> List[str]:
-        """Run a command; returns response data lines or raises."""
+        """Run a command; returns response data lines or raises.
+
+        Storage failures are recorded in :attr:`health` and re-raised as
+        :class:`DegradedError` so the wire response is
+        ``ERR DEGRADED <reason>`` rather than a generic error: the
+        request was fine, the server is impaired.
+        """
         handler = getattr(self, f"_cmd_{command.name}", None)
         if handler is None:
             raise ProtocolError(f"unknown command {command.name!r}")
-        return handler(command)
+        try:
+            return handler(command)
+        except StorageError as exc:
+            self.health.record_error("storage", exc)
+            raise DegradedError(f"storage: {exc}") from exc
+
+    # -- degraded-mode query fallback -------------------------------------
+    def _run_query(self, method: SearchMethod, run):
+        """Run ``run(method)``; on LSH-index failure retry via filtering.
+
+        The LSH index is an in-memory acceleration structure — losing it
+        degrades speed, not correctness — so a crash inside the LSH path
+        answers the query through the exhaustive filtering pipeline and
+        records the fallback instead of failing the command.
+        """
+        if method is not SearchMethod.LSH:
+            return run(method)
+        try:
+            return run(method)
+        except (ProtocolError, StorageError):
+            raise
+        except Exception as exc:
+            self.health.record_fallback(
+                "lsh_index", f"{type(exc).__name__}: {exc}"
+            )
+            return run(SearchMethod.FILTERING)
 
     # -- handlers ----------------------------------------------------------
     def _cmd_ping(self, command: Command) -> List[str]:
         return ["pong"]
+
+    def _cmd_health(self, command: Command) -> List[str]:
+        return self.health.status_lines()
 
     def _cmd_count(self, command: Command) -> List[str]:
         return [str(len(self.engine))]
@@ -127,20 +172,26 @@ class CommandProcessor:
                 )
             except ValueError as exc:
                 raise ProtocolError(f"bad weights: {exc}") from exc
-            results = self.engine.query(
-                query,
-                top_k=top_k,
-                method=method,
-                exclude_self=command.get("self", "no") != "yes",
-                restrict_to=restrict,
+            results = self._run_query(
+                method,
+                lambda m: self.engine.query(
+                    query,
+                    top_k=top_k,
+                    method=m,
+                    exclude_self=command.get("self", "no") != "yes",
+                    restrict_to=restrict,
+                ),
             )
         else:
-            results = self.engine.query_by_id(
-                object_id,
-                top_k=top_k,
-                method=method,
-                exclude_self=command.get("self", "no") != "yes",
-                restrict_to=restrict,
+            results = self._run_query(
+                method,
+                lambda m: self.engine.query_by_id(
+                    object_id,
+                    top_k=top_k,
+                    method=m,
+                    exclude_self=command.get("self", "no") != "yes",
+                    restrict_to=restrict,
+                ),
             )
         return [f"{r.object_id} {r.distance:.6f}" for r in results]
 
@@ -167,12 +218,15 @@ class CommandProcessor:
                 restrict = sorted(self.searcher.search(attr_expr))
             except QueryError as exc:
                 raise ProtocolError(f"bad attribute query: {exc}") from exc
-        batches = self.engine.query_many(
-            [self.engine.get_object(object_id) for object_id in object_ids],
-            top_k=top_k,
-            method=method,
-            exclude_self=command.get("self", "no") != "yes",
-            restrict_to=restrict,
+        batches = self._run_query(
+            method,
+            lambda m: self.engine.query_many(
+                [self.engine.get_object(object_id) for object_id in object_ids],
+                top_k=top_k,
+                method=m,
+                exclude_self=command.get("self", "no") != "yes",
+                restrict_to=restrict,
+            ),
         )
         return [
             f"{query_id} {r.object_id} {r.distance:.6f}"
@@ -218,8 +272,11 @@ class CommandProcessor:
             except QueryError as exc:
                 raise ProtocolError(f"bad attribute query: {exc}") from exc
         try:
-            results = self.engine.query_file(
-                command.args[0], top_k=top_k, method=method, restrict_to=restrict
+            results = self._run_query(
+                method,
+                lambda m: self.engine.query_file(
+                    command.args[0], top_k=top_k, method=m, restrict_to=restrict
+                ),
             )
         except (OSError, NotImplementedError, ValueError) as exc:
             raise ProtocolError(f"query failed: {exc}") from exc

@@ -27,11 +27,32 @@ from typing import Dict, List, Tuple
 # '=' (attribute comparisons like "n>=8") stays a positional argument.
 _KWARG_KEY_RE = re.compile(r"^[A-Za-z][A-Za-z0-9._-]*$")
 
-__all__ = ["Command", "ProtocolError", "parse_command", "format_ok", "format_error", "quote"]
+__all__ = [
+    "Command",
+    "ProtocolError",
+    "DegradedError",
+    "parse_command",
+    "format_ok",
+    "format_error",
+    "quote",
+]
 
 
 class ProtocolError(ValueError):
     """Malformed protocol line."""
+
+
+class DegradedError(ProtocolError):
+    """The command failed because a server component is degraded.
+
+    Serialized as ``ERR DEGRADED <reason>`` — a *structured* error
+    clients can distinguish from bad-request failures (the resilient
+    client raises :class:`~repro.server.client.ServerDegraded` for it).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"DEGRADED {reason.splitlines()[0] if reason else 'unknown'}")
+        self.reason = reason
 
 
 @dataclass

@@ -19,21 +19,59 @@ from typing import Optional, Sequence
 from .commands import CommandProcessor
 from .protocol import ProtocolError, format_error, format_ok, parse_command
 
-__all__ = ["FerretServer", "serve_background", "main"]
+__all__ = ["FerretServer", "serve_background", "main", "MAX_LINE_BYTES"]
+
+#: Upper bound on one request line.  A client that streams an unbounded
+#: "line" would otherwise grow the server-side buffer without limit; at
+#: the cap the server answers ERR, drains nothing, and closes.
+MAX_LINE_BYTES = 1 << 20
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def _reply(self, response: str) -> bool:
+        """Write a response; False if the client went away mid-write.
+
+        A client disconnecting between request and response is routine
+        (timeouts, Ctrl-C) and must not unwind into the server loop —
+        the broken pipe only affects this connection.
+        """
+        try:
+            self.wfile.write(response.encode("utf-8"))
+            return True
+        except OSError:
+            return False
+
     def handle(self) -> None:
         processor: CommandProcessor = self.server.processor  # type: ignore[attr-defined]
         while True:
-            raw = self.rfile.readline()
+            try:
+                raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except OSError:
+                return
             if not raw:
+                return
+            if len(raw) > MAX_LINE_BYTES:
+                # Oversized request: the rest of the "line" is still in
+                # flight, so the stream is unrecoverable — answer and close.
+                self._reply(format_error(f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                # Bounded drain toward the newline: closing with unread
+                # data pending would RST the connection and can discard
+                # the ERR response before the client reads it.
+                drained = 0
+                try:
+                    while drained <= MAX_LINE_BYTES:
+                        tail = self.rfile.readline(65536)
+                        drained += len(tail)
+                        if not tail or tail.endswith(b"\n"):
+                            break
+                except OSError:
+                    pass
                 return
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
             if line.lower() in ("quit", "exit"):
-                self.wfile.write(format_ok(["bye"]).encode("utf-8"))
+                self._reply(format_ok(["bye"]))
                 return
             try:
                 command = parse_command(line)
@@ -43,7 +81,8 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = format_error(str(exc))
             except Exception as exc:  # surface engine errors to the client
                 response = format_error(f"{type(exc).__name__}: {exc}")
-            self.wfile.write(response.encode("utf-8"))
+            if not self._reply(response):
+                return
 
 
 class FerretServer(socketserver.ThreadingTCPServer):
@@ -84,7 +123,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     processor = CommandProcessor(engine)
     server = FerretServer(processor, args.host, args.port)
     host, port = server.server_address
-    print(f"ferret-server: {args.datatype} engine with {len(engine)} objects on {host}:{port}")
+    # flush so supervisors reading a pipe see the ready line immediately
+    print(
+        f"ferret-server: {args.datatype} engine with {len(engine)} objects "
+        f"on {host}:{port}",
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -13,20 +13,25 @@ from .errors import (
     StoreClosedError,
     TransactionError,
 )
+from .fs import OS_FS, FileSystem, OsFileSystem
 from .kvstore import KVStore
 from .pager import Meta, Pager
 from .recovery import RecoveryReport, replay_segment
 from .transaction import Transaction, TxnState
-from .wal import WalRecord, WriteAheadLog
+from .wal import SegmentScan, WalRecord, WriteAheadLog
 
 __all__ = [
     "BTree",
     "CorruptionError",
+    "FileSystem",
     "KVStore",
     "KeyTooLargeError",
     "Meta",
+    "OS_FS",
+    "OsFileSystem",
     "Pager",
     "RecoveryReport",
+    "SegmentScan",
     "StorageError",
     "StoreClosedError",
     "Transaction",

@@ -1,0 +1,68 @@
+"""Injectable filesystem seam for the storage engine.
+
+`WriteAheadLog`, `Pager`, and `KVStore` perform all file I/O through a
+:class:`FileSystem` object instead of calling ``open``/``os`` directly.
+The default, :data:`OS_FS`, is a thin pass-through to the real OS; the
+fault-injection framework (:mod:`repro.faults`) provides an alternative
+implementation that deterministically injects crashes, torn writes,
+dropped fsyncs, bit-flips, and I/O errors at chosen operation points —
+which is how the crash-recovery torture suite exercises every injection
+point without monkeypatching.
+
+The interface is intentionally tiny: exactly the calls the storage
+engine makes, nothing more.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+__all__ = ["FileSystem", "OsFileSystem", "OS_FS"]
+
+
+class FileSystem:
+    """The file operations the storage engine needs.
+
+    ``fsync`` takes the file object (not a descriptor) so that wrapped
+    implementations can track per-file sync state.
+    """
+
+    def open(self, path: str, mode: str) -> BinaryIO:
+        raise NotImplementedError
+
+    def fsync(self, fileobj: BinaryIO) -> None:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def getsize(self, path: str) -> int:
+        raise NotImplementedError
+
+    def unlink(self, path: str) -> None:
+        raise NotImplementedError
+
+
+class OsFileSystem(FileSystem):
+    """Pass-through to the real OS filesystem."""
+
+    def open(self, path: str, mode: str) -> BinaryIO:
+        return open(path, mode)
+
+    def fsync(self, fileobj: BinaryIO) -> None:
+        fileobj.flush()
+        os.fsync(fileobj.fileno())
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def getsize(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+
+#: Shared default instance — stateless, safe to reuse everywhere.
+OS_FS = OsFileSystem()

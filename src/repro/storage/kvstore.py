@@ -24,8 +24,9 @@ import os
 import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .btree import BTree
-from .errors import StoreClosedError, StorageError
+from .btree import MAX_KEY_SIZE, BTree
+from .errors import KeyTooLargeError, StoreClosedError, StorageError
+from .fs import OS_FS, FileSystem
 from .pager import DEFAULT_PAGE_SIZE, Pager
 from .recovery import RecoveryReport, replay_segment
 from .transaction import TOMBSTONE, Transaction
@@ -52,6 +53,11 @@ class KVStore:
     auto_checkpoint_ops:
         Checkpoint automatically after this many committed operations;
         ``0`` disables (checkpoint explicitly or on close).
+    fs:
+        Filesystem implementation for all file I/O (defaults to the real
+        OS).  The fault-injection framework passes a
+        :class:`~repro.faults.fs.FaultyFilesystem` here to exercise the
+        store under crashes, torn writes, and I/O errors.
     """
 
     def __init__(
@@ -61,18 +67,21 @@ class KVStore:
         sync_policy: str = "batch",
         sync_batch: int = 16,
         auto_checkpoint_ops: int = 10000,
+        fs: Optional[FileSystem] = None,
     ) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
+        self.fs = fs if fs is not None else OS_FS
         self._lock = threading.RLock()
         self._closed = False
-        self._pager = Pager(os.path.join(directory, "data.db"), page_size)
+        self._failed: Optional[str] = None  # reason, once the store fails
+        self._pager = Pager(os.path.join(directory, "data.db"), page_size, fs=self.fs)
         self._epoch = self._pager.meta.checkpoint_id + 1
         self._trees: Dict[str, BTree] = {}
         self._catalog = self._open_tree_at(self._pager.meta.catalog_root)
         self._load_catalog()
         self._wal = WriteAheadLog(
-            directory, self._pager.meta.wal_seq, sync_policy, sync_batch
+            directory, self._pager.meta.wal_seq, sync_policy, sync_batch, fs=self.fs
         )
         self.last_recovery: Optional[RecoveryReport] = None
         self._next_txid = 1
@@ -99,6 +108,7 @@ class KVStore:
             path,
             apply_put=lambda tree, k, v: self._tree(tree).put(k, v),
             apply_delete=lambda tree, k: self._tree(tree).delete(k),
+            fs=self.fs,
         )
         self.last_recovery = report
         self._next_txid = report.max_txid + 1
@@ -113,6 +123,21 @@ class KVStore:
     def _check_open(self) -> None:
         if self._closed:
             raise StoreClosedError("store is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self._failed is None and self._wal.broken:
+            self._failed = "WAL rollback failed"
+        if self._failed is not None:
+            raise StorageError(
+                f"store is in failed state ({self._failed}); reads still "
+                "work, reopen the store to restore write access"
+            )
+
+    @property
+    def failed(self) -> Optional[str]:
+        """Failure reason once the store degraded to read-only, else None."""
+        return self._failed
 
     def _tree(self, name: str) -> BTree:
         if name == _CATALOG:
@@ -166,7 +191,7 @@ class KVStore:
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
         with self._lock:
-            self._check_open()
+            self._check_writable()
             txn = Transaction(self, self._next_txid)
             self._next_txid += 1
             return txn
@@ -183,9 +208,16 @@ class KVStore:
 
     def _commit_transaction(self, txn: Transaction) -> None:
         with self._lock:
-            self._check_open()
+            self._check_writable()
             records = []
             for tree, key, value in txn.pending_writes():
+                # Validate everything the B-trees could reject *before*
+                # the WAL append: a transaction that is durable in the
+                # log but unapplied in memory would resurrect on reopen.
+                if len(key) > MAX_KEY_SIZE:
+                    raise KeyTooLargeError(
+                        f"key of {len(key)} bytes exceeds {MAX_KEY_SIZE}"
+                    )
                 if value is TOMBSTONE:
                     records.append(WalRecord(REC_DELETE, txn.txid, tree, key))
                 else:
@@ -233,16 +265,30 @@ class KVStore:
     # Checkpointing
     # ------------------------------------------------------------------
     def checkpoint(self) -> None:
-        """Flush all trees to the page file, flip meta, truncate the WAL."""
+        """Flush all trees to the page file, flip meta, truncate the WAL.
+
+        A checkpoint that fails part-way is unresumable: the new meta
+        block (naming a fresh WAL segment) may or may not be durable, so
+        continuing to log into the old segment could silently lose every
+        later commit.  The store therefore latches into a read-only
+        *failed* state — reads keep working, writes raise
+        :class:`StorageError` — until it is reopened, at which point
+        recovery picks whichever checkpoint is durable.
+        """
         with self._lock:
-            self._check_open()
-            for name, tree in self._trees.items():
-                self._catalog.put(
-                    name.encode("utf-8"), tree.root.to_bytes(8, "little", signed=True)
-                )
-            new_seq = self._pager.meta.wal_seq + 1
-            self._pager.commit_checkpoint(self._catalog.root, new_seq)
-            self._wal.rotate(new_seq)
+            self._check_writable()
+            try:
+                for name, tree in self._trees.items():
+                    self._catalog.put(
+                        name.encode("utf-8"),
+                        tree.root.to_bytes(8, "little", signed=True),
+                    )
+                new_seq = self._pager.meta.wal_seq + 1
+                self._pager.commit_checkpoint(self._catalog.root, new_seq)
+                self._wal.rotate(new_seq)
+            except Exception as exc:
+                self._failed = f"checkpoint failed: {exc}"
+                raise StorageError(self._failed) from exc
             self._epoch = self._pager.meta.checkpoint_id + 1
             self._catalog.begin_epoch(self._epoch)
             for tree in self._trees.values():
@@ -253,10 +299,19 @@ class KVStore:
         with self._lock:
             if self._closed:
                 return
-            if checkpoint:
-                self.checkpoint()
-            self._wal.close()
-            self._pager.close()
+            if self._failed is None and not self._wal.broken:
+                if checkpoint:
+                    self.checkpoint()
+                self._wal.close()
+                self._pager.close()
+            else:
+                # Best-effort teardown of a failed store: never sync, a
+                # failed checkpoint already poisoned the write path.
+                for closer in (self._wal.close, self._pager.close):
+                    try:
+                        closer()
+                    except Exception:
+                        pass
             self._closed = True
 
     def __enter__(self) -> "KVStore":
@@ -271,6 +326,15 @@ class KVStore:
     @property
     def checkpoint_id(self) -> int:
         return self._pager.meta.checkpoint_id
+
+    @property
+    def wal_seq(self) -> int:
+        return self._wal.seq
+
+    @property
+    def wal_size(self) -> int:
+        """Bytes appended to the current WAL segment."""
+        return self._wal.size
 
     def stats(self) -> Dict[str, int]:
         with self._lock:

@@ -18,13 +18,13 @@ Page ids index the page area (page 0 starts at ``2 * META_SIZE``).
 
 from __future__ import annotations
 
-import os
 import struct
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from .errors import CorruptionError, StorageError
+from .fs import OS_FS, FileSystem
 
 __all__ = ["Meta", "Pager", "DEFAULT_PAGE_SIZE", "META_SIZE"]
 
@@ -87,10 +87,16 @@ class Pager:
     the free list once the next checkpoint is durable.
     """
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fs: Optional[FileSystem] = None,
+    ) -> None:
         self.path = path
-        create = not os.path.exists(path) or os.path.getsize(path) == 0
-        self._file = open(path, "r+b" if not create else "w+b")
+        self.fs = fs if fs is not None else OS_FS
+        create = not self.fs.exists(path) or self.fs.getsize(path) == 0
+        self._file = self.fs.open(path, "r+b" if not create else "w+b")
         self.page_size = page_size
         self._cache: Dict[int, bytes] = {}
         self.staged: Set[int] = set()  # written since last flush
@@ -102,7 +108,7 @@ class Pager:
             self._write_meta_block(0, self.meta)
             self._write_meta_block(1, self.meta)
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self.fs.fsync(self._file)
         else:
             self.meta = self._load_newest_meta()
             self.page_size = self.meta.page_size
@@ -242,7 +248,7 @@ class Pager:
             chain = nxt
         self.flush_pages(set(self.staged))
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self.fs.fsync(self._file)
 
         new_meta = Meta(
             checkpoint_id=self.meta.checkpoint_id + 1,
@@ -254,7 +260,7 @@ class Pager:
         )
         self._write_meta_block(new_meta.checkpoint_id % 2, new_meta)
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self.fs.fsync(self._file)
         self.meta = new_meta
         # Pages freed during the finished epoch are now safe to reuse.
         self.free_list = self.free_list + self.pending_free

@@ -12,8 +12,9 @@ after recovery and replaying again converges to the same state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from .fs import FileSystem
 from .wal import REC_BEGIN, REC_COMMIT, REC_DELETE, REC_PUT, WalRecord, WriteAheadLog
 
 __all__ = ["RecoveryReport", "replay_segment"]
@@ -29,12 +30,18 @@ class RecoveryReport:
     incomplete_transactions: int = 0
     max_txid: int = 0
     replayed_txids: List[int] = field(default_factory=list)
+    #: The segment ended in a damaged record (partial frame, bad CRC,
+    #: unparseable payload) rather than at a clean record boundary.
+    torn_tail: bool = False
+    #: Offset of the first byte past the last intact record.
+    valid_bytes: int = 0
 
 
 def replay_segment(
     path: str,
     apply_put: Callable[[str, bytes, bytes], None],
     apply_delete: Callable[[str, bytes], None],
+    fs: Optional[FileSystem] = None,
 ) -> RecoveryReport:
     """Replay one WAL segment through the given apply callbacks.
 
@@ -45,7 +52,10 @@ def replay_segment(
     in_flight: Dict[int, List[WalRecord]] = {}
     committed: List[Tuple[int, List[WalRecord]]] = []
 
-    for record in WriteAheadLog.read_segment(path):
+    scan = WriteAheadLog.scan_segment(path, fs=fs)
+    report.torn_tail = scan.torn_tail
+    report.valid_bytes = scan.valid_bytes
+    for record in scan.records:
         report.max_txid = max(report.max_txid, record.txid)
         if record.rec_type == REC_BEGIN:
             report.transactions_seen += 1

@@ -14,6 +14,10 @@ missing its COMMIT is ignored, which yields consistency with possibly a
 few seconds of lost updates, exactly the Berkeley DB configuration the
 paper describes.
 
+All file I/O goes through an injectable :class:`~repro.storage.fs.FileSystem`
+so the fault-injection framework (:mod:`repro.faults`) can exercise the
+log under crashes, torn writes, dropped fsyncs, and I/O errors.
+
 Record framing: ``<length:u32><crc32:u32><payload>``; payload starts
 with a record-type byte and a transaction id.
 """
@@ -23,12 +27,21 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
 
 from .errors import StorageError
+from .fs import OS_FS, FileSystem
 
-__all__ = ["WalRecord", "WriteAheadLog", "REC_BEGIN", "REC_PUT", "REC_DELETE", "REC_COMMIT"]
+__all__ = [
+    "WalRecord",
+    "WriteAheadLog",
+    "SegmentScan",
+    "REC_BEGIN",
+    "REC_PUT",
+    "REC_DELETE",
+    "REC_COMMIT",
+]
 
 REC_BEGIN = 1
 REC_PUT = 2
@@ -65,6 +78,8 @@ class WalRecord:
         rec_type, txid, tree_len = struct.unpack_from("<BQH", payload)
         offset = 11
         tree = payload[offset : offset + tree_len].decode("utf-8")
+        if len(tree.encode("utf-8")) != tree_len:
+            raise ValueError("truncated tree name")
         offset += tree_len
         (key_len,) = struct.unpack_from("<I", payload, offset)
         offset += 4
@@ -73,7 +88,25 @@ class WalRecord:
         (value_len,) = struct.unpack_from("<Q", payload, offset)
         offset += 8
         value = payload[offset : offset + value_len]
+        if len(key) != key_len or len(value) != value_len:
+            raise ValueError("record payload shorter than declared lengths")
         return cls(rec_type, txid, tree, key, value)
+
+
+@dataclass
+class SegmentScan:
+    """Result of scanning one WAL segment.
+
+    ``torn_tail`` is set when the scan stopped *because of* a damaged
+    record — a partial frame header, short payload, CRC mismatch, or an
+    unparseable payload — rather than a clean end-of-file at a record
+    boundary.  ``valid_bytes`` is the offset of the first byte past the
+    last intact record (i.e. where a repair could truncate to).
+    """
+
+    records: List[WalRecord] = field(default_factory=list)
+    torn_tail: bool = False
+    valid_bytes: int = 0
 
 
 class WriteAheadLog:
@@ -85,6 +118,7 @@ class WriteAheadLog:
         seq: int,
         sync_policy: str = "batch",
         batch_size: int = 16,
+        fs: Optional[FileSystem] = None,
     ) -> None:
         if sync_policy not in ("commit", "batch", "none"):
             raise StorageError(f"unknown sync policy {sync_policy!r}")
@@ -92,76 +126,149 @@ class WriteAheadLog:
         self.seq = seq
         self.sync_policy = sync_policy
         self.batch_size = max(1, batch_size)
+        self.fs = fs if fs is not None else OS_FS
         self._unsynced_commits = 0
-        self._file = open(self.segment_path(seq), "ab")
+        self._broken = False
+        path = self.segment_path(seq)
+        self._size = self.fs.getsize(path) if self.fs.exists(path) else 0
+        self._file = self.fs.open(path, "ab")
 
     def segment_path(self, seq: int) -> str:
         return os.path.join(self.directory, f"wal.{seq:08d}")
 
+    @property
+    def size(self) -> int:
+        """Logical size of the current segment (bytes appended so far)."""
+        return self._size
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def _check_usable(self) -> None:
+        if self._broken:
+            raise StorageError(
+                "WAL is broken: a failed append could not be rolled back; "
+                "close and reopen the store to recover"
+            )
+
     def append(self, record: WalRecord) -> None:
+        self._check_usable()
         payload = record.pack()
         frame = struct.pack(_FRAME_FMT, len(payload), zlib.crc32(payload))
         self._file.write(frame + payload)
+        self._size += _FRAME_SIZE + len(payload)
         if record.rec_type == REC_COMMIT:
             self._file.flush()
             if self.sync_policy == "commit":
-                os.fsync(self._file.fileno())
+                self.fs.fsync(self._file)
             elif self.sync_policy == "batch":
                 self._unsynced_commits += 1
                 if self._unsynced_commits >= self.batch_size:
-                    os.fsync(self._file.fileno())
+                    self.fs.fsync(self._file)
                     self._unsynced_commits = 0
 
     def append_transaction(self, txid: int, records: List[WalRecord]) -> None:
-        """Append BEGIN, the given ops, COMMIT as one contiguous burst."""
-        self.append(WalRecord(REC_BEGIN, txid))
-        for record in records:
-            self.append(record)
-        self.append(WalRecord(REC_COMMIT, txid))
+        """Append BEGIN, the given ops, COMMIT as one contiguous burst.
+
+        If any append fails mid-burst (ENOSPC, EIO, ...), the partial
+        transaction is rolled back by truncating the segment to its
+        pre-burst size, so a later transaction cannot append after
+        half-written frames.  If even the truncate fails, the log is
+        marked broken and refuses further appends — recovery on reopen
+        ignores the unterminated transaction either way.
+        """
+        self._check_usable()
+        start_size = self._size
+        try:
+            self.append(WalRecord(REC_BEGIN, txid))
+            for record in records:
+                self.append(record)
+            self.append(WalRecord(REC_COMMIT, txid))
+        except Exception:
+            try:
+                self._file.truncate(start_size)
+                self._size = start_size
+            except Exception:
+                self._broken = True
+            raise
 
     def sync(self) -> None:
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self.fs.fsync(self._file)
         self._unsynced_commits = 0
 
     def rotate(self, new_seq: int) -> None:
-        """Switch to a fresh segment and delete all older ones."""
-        self.sync()
-        self._file.close()
-        old_seq, self.seq = self.seq, new_seq
-        self._file = open(self.segment_path(new_seq), "ab")
+        """Switch to a fresh segment and delete all older ones.
+
+        Called only after the checkpoint naming ``new_seq`` is durable,
+        so the old segment's content is already superseded — no sync is
+        needed (or wanted: it could fail and block the switch).  If the
+        new segment cannot be opened, the log is marked broken: logging
+        on into the old segment while a durable meta block references
+        the new one would silently lose every subsequent commit.
+        """
+        try:
+            self._file.close()
+            old_seq, self.seq = self.seq, new_seq
+            self._size = 0
+            self._unsynced_commits = 0
+            self._file = self.fs.open(self.segment_path(new_seq), "ab")
+        except Exception:
+            self._broken = True
+            raise
         for seq in range(old_seq, new_seq):
             try:
-                os.unlink(self.segment_path(seq))
+                self.fs.unlink(self.segment_path(seq))
             except FileNotFoundError:
                 pass
 
     def close(self) -> None:
         if not self._file.closed:
-            self.sync()
+            if not self._broken:
+                self.sync()
             self._file.close()
 
     # -- replay ---------------------------------------------------------
     @classmethod
-    def read_segment(cls, path: str) -> Iterator[WalRecord]:
-        """Yield records from a segment, stopping at the first torn frame.
+    def scan_segment(cls, path: str, fs: Optional[FileSystem] = None) -> SegmentScan:
+        """Scan a segment, stopping cleanly at the first damaged record.
 
         A partially written tail (crash mid-append) is expected and
-        simply terminates the scan; anything before it is intact because
-        frames carry CRCs.
+        terminates the scan; anything before it is intact because frames
+        carry CRCs.  Damage never propagates as ``struct.error`` — the
+        scan reports it via :attr:`SegmentScan.torn_tail` instead.
         """
-        if not os.path.exists(path):
-            return
-        with open(path, "rb") as fh:
+        fs = fs if fs is not None else OS_FS
+        scan = SegmentScan()
+        if not fs.exists(path):
+            return scan
+        with fs.open(path, "rb") as fh:
+            offset = 0
             while True:
                 frame = fh.read(_FRAME_SIZE)
+                if len(frame) == 0:
+                    return scan  # clean EOF at a record boundary
                 if len(frame) < _FRAME_SIZE:
-                    return
+                    scan.torn_tail = True
+                    return scan
                 length, crc = struct.unpack(_FRAME_FMT, frame)
                 payload = fh.read(length)
                 if len(payload) < length or zlib.crc32(payload) != crc:
-                    return
+                    scan.torn_tail = True
+                    return scan
                 try:
-                    yield WalRecord.unpack(payload)
-                except (struct.error, UnicodeDecodeError):
-                    return
+                    record = WalRecord.unpack(payload)
+                except (struct.error, UnicodeDecodeError, ValueError):
+                    scan.torn_tail = True
+                    return scan
+                offset += _FRAME_SIZE + length
+                scan.records.append(record)
+                scan.valid_bytes = offset
+
+    @classmethod
+    def read_segment(
+        cls, path: str, fs: Optional[FileSystem] = None
+    ) -> Iterator[WalRecord]:
+        """Yield the intact records of a segment (compat wrapper)."""
+        yield from cls.scan_segment(path, fs=fs).records

@@ -21,6 +21,8 @@ Example::
 from __future__ import annotations
 
 import os
+import threading
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from .acquisition.scanner import DirectoryScanner
@@ -33,9 +35,80 @@ from .core.ranking import SearchResult
 from .core.sketch import SketchParams
 from .core.types import ObjectSignature
 from .metadata.manager import MetadataManager
+from .storage.errors import StorageError
 from .storage.kvstore import KVStore
 
-__all__ = ["FerretSystem"]
+__all__ = ["FerretSystem", "HealthState"]
+
+
+class HealthState:
+    """Thread-safe degradation ledger for a running search system.
+
+    Components (``storage``, ``lsh_index``, ``engine``, ...) are marked
+    degraded when they raise and healthy again when they recover; the
+    query interface reports this through the ``health`` protocol command
+    and prefixes failures caused by degraded components with
+    ``ERR DEGRADED <reason>`` so clients can distinguish "your request
+    was bad" from "the server is impaired" (see docs/ROBUSTNESS.md).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._degraded: Dict[str, str] = {}
+        self._error_counts: Dict[str, int] = {}
+        self._fallback_counts: Dict[str, int] = {}
+
+    # -- updates ---------------------------------------------------------
+    def record_error(self, component: str, exc: BaseException) -> None:
+        """Count an error and mark the component degraded."""
+        with self._lock:
+            self._error_counts[component] = self._error_counts.get(component, 0) + 1
+            self._degraded[component] = f"{type(exc).__name__}: {exc}"
+
+    def record_fallback(self, component: str, reason: str = "") -> None:
+        """Count a successful fallback away from a failing component."""
+        with self._lock:
+            self._fallback_counts[component] = (
+                self._fallback_counts.get(component, 0) + 1
+            )
+            if reason:
+                self._degraded.setdefault(component, reason)
+
+    def mark_healthy(self, component: str) -> None:
+        with self._lock:
+            self._degraded.pop(component, None)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return bool(self._degraded)
+
+    def degraded_components(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._degraded)
+
+    def reason(self) -> str:
+        with self._lock:
+            if not self._degraded:
+                return ""
+            return "; ".join(f"{c}: {r}" for c, r in sorted(self._degraded.items()))
+
+    def status_lines(self) -> List[str]:
+        """Protocol lines for the ``health`` command (``key value`` pairs)."""
+        with self._lock:
+            lines = [
+                f"status {'degraded' if self._degraded else 'ok'}",
+                f"uptime_seconds {time.monotonic() - self._started:.1f}",
+            ]
+            for component, why in sorted(self._degraded.items()):
+                lines.append(f"degraded.{component} {why.splitlines()[0]}")
+            for component, count in sorted(self._error_counts.items()):
+                lines.append(f"errors.{component} {count}")
+            for component, count in sorted(self._fallback_counts.items()):
+                lines.append(f"fallbacks.{component} {count}")
+        return lines
 
 
 class FerretSystem:
@@ -64,6 +137,7 @@ class FerretSystem:
     ) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
+        self.health = HealthState()
         self.store = KVStore(directory, **store_kwargs)
         self.metadata = MetadataManager(store=self.store)
         self.index = PersistentIndex(self.store)
@@ -113,17 +187,27 @@ class FerretSystem:
         signature: ObjectSignature,
         attributes: Optional[Mapping[str, str]] = None,
     ) -> int:
-        object_id = self.engine.insert(signature, attributes)
-        if attributes:
-            self.index.add(object_id, dict(attributes))
+        try:
+            object_id = self.engine.insert(signature, attributes)
+            if attributes:
+                self.index.add(object_id, dict(attributes))
+        except StorageError as exc:
+            self.health.record_error("storage", exc)
+            raise
+        self.health.mark_healthy("storage")
         return object_id
 
     def insert_file(
         self, path: str, attributes: Optional[Mapping[str, str]] = None
     ) -> int:
-        object_id = self.engine.insert_file(path, attributes)
-        if attributes:
-            self.index.add(object_id, dict(attributes))
+        try:
+            object_id = self.engine.insert_file(path, attributes)
+            if attributes:
+                self.index.add(object_id, dict(attributes))
+        except StorageError as exc:
+            self.health.record_error("storage", exc)
+            raise
+        self.health.mark_healthy("storage")
         return object_id
 
     def watch_directory(

@@ -1,0 +1,148 @@
+"""Unit tests for the fault-injection framework itself.
+
+The torture tests are only as trustworthy as the injector: these pin
+down the op-counter addressing, each fault kind's mechanics, and the
+power-loss truncation semantics on bare files, without a KVStore in the
+loop.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.faults import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    FaultyFilesystem,
+    SimulatedCrash,
+)
+
+
+def test_op_counter_spans_files_and_operations(tmp_path):
+    fs = FaultyFilesystem(FaultPlan())
+    a = fs.open(str(tmp_path / "a"), "ab")
+    b = fs.open(str(tmp_path / "b"), "ab")
+    a.write(b"one")  # op 0
+    b.write(b"two")  # op 1
+    fs.fsync(a)  # op 2
+    a.write(b"three")  # op 3
+    assert fs.op_count == 4
+    assert fs.fsync_log == [(2, str(tmp_path / "a"))]
+
+
+def test_crash_at_write_stops_before_data_lands(tmp_path):
+    path = str(tmp_path / "f")
+    fs = FaultyFilesystem(FaultPlan.crash_at(1))
+    f = fs.open(path, "ab")
+    f.write(b"first")  # op 0 — survives
+    with pytest.raises(SimulatedCrash) as exc_info:
+        f.write(b"second")  # op 1 — never happens
+    assert exc_info.value.op_index == 1
+    fs.simulate_power_loss()
+    with open(path, "rb") as check:
+        assert check.read() == b"first"
+    assert fs.plan.triggered and fs.plan.triggered[0].kind is FaultKind.CRASH
+
+
+def test_simulated_crash_is_not_an_exception():
+    # `except Exception` in code under test must not swallow a power cut.
+    assert not issubclass(SimulatedCrash, Exception)
+    assert issubclass(SimulatedCrash, BaseException)
+
+
+def test_torn_write_keeps_prefix(tmp_path):
+    path = str(tmp_path / "f")
+    fs = FaultyFilesystem(FaultPlan.torn_write_at(0, keep_fraction=0.5))
+    f = fs.open(path, "ab")
+    with pytest.raises(SimulatedCrash):
+        f.write(b"12345678")
+    fs.simulate_power_loss()
+    with open(path, "rb") as check:
+        assert check.read() == b"1234"
+
+
+def test_bitflip_corrupts_exactly_one_bit(tmp_path):
+    path = str(tmp_path / "f")
+    fs = FaultyFilesystem(FaultPlan.bitflip_at(0, bit_index=9))
+    f = fs.open(path, "ab")
+    f.write(bytes(4))  # silent corruption: the write "succeeds"
+    f.close()
+    with open(path, "rb") as check:
+        data = check.read()
+    assert data == bytes([0, 1 << 1, 0, 0])  # bit 9 = byte 1, bit 1
+
+
+def test_error_fault_raises_oserror_without_writing(tmp_path):
+    path = str(tmp_path / "f")
+    fs = FaultyFilesystem(FaultPlan.error_at(0, err=errno.ENOSPC))
+    f = fs.open(path, "ab")
+    with pytest.raises(OSError) as exc_info:
+        f.write(b"data")
+    assert exc_info.value.errno == errno.ENOSPC
+    f.close()
+    assert os.path.getsize(path) == 0
+
+
+def test_dropped_fsync_plus_power_loss_loses_tail(tmp_path):
+    path = str(tmp_path / "f")
+    plan = FaultPlan.drop_fsync_from(2)
+    fs = FaultyFilesystem(plan)
+    f = fs.open(path, "ab")
+    f.write(b"durable")  # op 0
+    fs.fsync(f)  # op 1 — real
+    f.write(b"volatile")  # op 2
+    fs.fsync(f)  # op 3 — silently dropped
+    fs.simulate_power_loss()
+    with open(path, "rb") as check:
+        assert check.read() == b"durable"
+    assert any(t.kind is FaultKind.DROP_FSYNC for t in plan.triggered)
+
+
+def test_power_loss_without_lose_unsynced_keeps_everything(tmp_path):
+    path = str(tmp_path / "f")
+    fs = FaultyFilesystem(FaultPlan(lose_unsynced=False))
+    f = fs.open(path, "ab")
+    f.write(b"never-synced")
+    fs.simulate_power_loss()
+    with open(path, "rb") as check:
+        assert check.read() == b"never-synced"
+
+
+def test_power_loss_truncates_closed_append_files(tmp_path):
+    # The store's close() may have closed the handle before the "crash";
+    # truncation must still apply because it works on the path.
+    path = str(tmp_path / "f")
+    fs = FaultyFilesystem(FaultPlan(lose_unsynced=True))
+    f = fs.open(path, "ab")
+    f.write(b"sync")
+    fs.fsync(f)
+    f.write(b"-lost")
+    f.close()
+    fs.simulate_power_loss()
+    with open(path, "rb") as check:
+        assert check.read() == b"sync"
+
+
+def test_plan_random_is_deterministic():
+    a = FaultPlan.random(seed=7, total_ops=100, n_faults=3)
+    b = FaultPlan.random(seed=7, total_ops=100, n_faults=3)
+    flat_a = sorted((f.kind.value, f.op_index) for fl in a._by_op.values() for f in fl)
+    flat_b = sorted((f.kind.value, f.op_index) for fl in b._by_op.values() for f in fl)
+    assert flat_a == flat_b
+    assert a.lose_unsynced == b.lose_unsynced
+
+
+def test_plan_drop_ranges_are_half_open():
+    plan = FaultPlan().drop_fsyncs(5, 8)
+    assert not plan.drops_fsync(4)
+    assert plan.drops_fsync(5)
+    assert plan.drops_fsync(7)
+    assert not plan.drops_fsync(8)
+
+
+def test_multiple_faults_can_share_an_op():
+    plan = FaultPlan([Fault(FaultKind.BITFLIP, 3), Fault(FaultKind.CRASH, 3)])
+    kinds = [f.kind for f in plan.faults_at(3)]
+    assert kinds == [FaultKind.BITFLIP, FaultKind.CRASH]
