@@ -26,7 +26,12 @@ from .distance import (
     weighted_l1_distance,
 )
 from .emd import EMDDistance, EMDParams, emd
-from .engine import EngineStats, SearchMethod, SimilaritySearchEngine
+from .engine import (
+    EngineStats,
+    LSHIndexError,
+    SearchMethod,
+    SimilaritySearchEngine,
+)
 from .filtering import (
     FilterParams,
     SegmentStore,
@@ -56,6 +61,7 @@ __all__ = [
     "FeatureMeta",
     "FilterParams",
     "LSHIndex",
+    "LSHIndexError",
     "LSHParams",
     "ObjectSignature",
     "SearchMethod",

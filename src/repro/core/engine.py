@@ -36,7 +36,22 @@ from .sketch import SketchConstructor, SketchParams
 from .transport import solve_transport
 from .types import ObjectSignature
 
-__all__ = ["SearchMethod", "EngineStats", "SimilaritySearchEngine"]
+__all__ = [
+    "LSHIndexError",
+    "SearchMethod",
+    "EngineStats",
+    "SimilaritySearchEngine",
+]
+
+
+class LSHIndexError(ValueError):
+    """The LSH search path failed: index absent or its lookup raised.
+
+    The LSH index is an in-memory acceleration structure, so this error
+    is the one failure the server's command layer may answer by falling
+    back to the exhaustive filtering path.  Subclasses ``ValueError``
+    because the index-absent case historically raised that.
+    """
 
 
 class SearchMethod(enum.Enum):
@@ -155,6 +170,8 @@ class SimilaritySearchEngine:
             object_id = self._next_id
         if object_id in self._objects:
             raise KeyError(f"object id {object_id} already present")
+        prev_signature_id = signature.object_id
+        prev_next_id = self._next_id
         signature.object_id = object_id
         self._next_id = max(self._next_id, object_id + 1)
 
@@ -178,11 +195,16 @@ class SimilaritySearchEngine:
                 # Write-through failed: roll the in-memory insert back so
                 # queries cannot return an object that would vanish on
                 # restart (memory and store must agree on the object set).
+                # The id counter and the caller's signature are restored
+                # too — a failed insert must not consume an id or leave
+                # the signature claiming an id that was never assigned.
                 del self._objects[object_id]
                 del self._object_sketches[object_id]
                 self._store.remove_object(object_id)
                 if self.lsh_index is not None:
                     self.lsh_index.remove(object_id, sketches)
+                self._next_id = prev_next_id
+                signature.object_id = prev_signature_id
                 raise
         return object_id
 
@@ -330,11 +352,17 @@ class SimilaritySearchEngine:
             )
         if method is SearchMethod.LSH:
             if self.lsh_index is None:
-                raise ValueError(
+                raise LSHIndexError(
                     "engine was built without lsh_params; LSH search is "
                     "unavailable"
                 )
-            candidates = self.lsh_index.candidates(query_sketches) & universe
+            try:
+                candidates = self.lsh_index.candidates(query_sketches)
+            except Exception as exc:
+                raise LSHIndexError(
+                    f"LSH candidate lookup failed: {exc}"
+                ) from exc
+            candidates &= universe
             return rank_candidates(
                 query, candidates, self._objects, self.plugin.obj_distance,
                 top_k=top_k, exclude_self=exclude_self,

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional
 
 from ..attrsearch.index import InvertedIndex, MemoryIndex
 from ..attrsearch.query import AttributeSearcher, QueryError
-from ..core.engine import SearchMethod, SimilaritySearchEngine
+from ..core.engine import LSHIndexError, SearchMethod, SimilaritySearchEngine
 from ..core.filtering import FilterParams
 from ..storage.errors import StorageError
 from ..system import HealthState
@@ -96,17 +96,18 @@ class CommandProcessor:
         """Run ``run(method)``; on LSH-index failure retry via filtering.
 
         The LSH index is an in-memory acceleration structure — losing it
-        degrades speed, not correctness — so a crash inside the LSH path
+        degrades speed, not correctness — so a failure *in the LSH path*
+        (the engine raises :class:`LSHIndexError` for exactly that site)
         answers the query through the exhaustive filtering pipeline and
-        records the fallback instead of failing the command.
+        records the fallback.  Any other exception propagates: a bug
+        elsewhere in the query pipeline must surface, not be masked by a
+        silent re-run.
         """
         if method is not SearchMethod.LSH:
             return run(method)
         try:
             return run(method)
-        except (ProtocolError, StorageError):
-            raise
-        except Exception as exc:
+        except LSHIndexError as exc:
             self.health.record_fallback(
                 "lsh_index", f"{type(exc).__name__}: {exc}"
             )

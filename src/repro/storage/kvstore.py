@@ -112,6 +112,13 @@ class KVStore:
         )
         self.last_recovery = report
         self._next_txid = report.max_txid + 1
+        if report.torn_tail:
+            # Repair the tail before accepting any write, even when no
+            # committed transaction was replayed: the segment reopens
+            # append-mode, so new fsynced commits would otherwise land
+            # after the torn frame and the next recovery — which stops
+            # at the first damaged record — would silently lose them.
+            self._wal.truncate_to(report.valid_bytes)
         if report.operations_applied:
             # Make the recovered state durable immediately so a second
             # crash cannot double the window of vulnerability.
@@ -307,11 +314,14 @@ class KVStore:
             else:
                 # Best-effort teardown of a failed store: never sync, a
                 # failed checkpoint already poisoned the write path.
-                for closer in (self._wal.close, self._pager.close):
-                    try:
-                        closer()
-                    except Exception:
-                        pass
+                try:
+                    self._wal.close(sync=False)
+                except Exception:
+                    pass
+                try:
+                    self._pager.close()
+                except Exception:
+                    pass
             self._closed = True
 
     def __enter__(self) -> "KVStore":

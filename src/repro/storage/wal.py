@@ -198,6 +198,27 @@ class WriteAheadLog:
         self.fs.fsync(self._file)
         self._unsynced_commits = 0
 
+    def truncate_to(self, size: int) -> None:
+        """Cut the current segment back to ``size`` bytes (torn-tail repair).
+
+        Recovery calls this when the segment scan found a damaged tail.
+        The segment stays open append-mode across recovery, so without
+        the cut new commits would land *after* the torn frame — and the
+        next recovery, which stops at the first damaged record, would
+        silently drop every one of them.  If the truncate itself fails
+        the log is marked broken (writes refuse) rather than risk that
+        silent loss.
+        """
+        self._check_usable()
+        if size >= self._size:
+            return
+        try:
+            self._file.truncate(size)
+            self._size = size
+        except Exception:
+            self._broken = True
+            raise
+
     def rotate(self, new_seq: int) -> None:
         """Switch to a fresh segment and delete all older ones.
 
@@ -223,9 +244,15 @@ class WriteAheadLog:
             except FileNotFoundError:
                 pass
 
-    def close(self) -> None:
+    def close(self, sync: bool = True) -> None:
+        """Close the segment, fsyncing first unless ``sync`` is False.
+
+        A failed store passes ``sync=False``: after a botched checkpoint
+        the segment's tail is unreliable, and forcing it to disk on the
+        way out would only make the garbage durable.
+        """
         if not self._file.closed:
-            if not self._broken:
+            if sync and not self._broken:
                 self.sync()
             self._file.close()
 

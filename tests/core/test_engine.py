@@ -176,3 +176,29 @@ class TestStats:
         stats = engine.stats()
         assert stats.feature_bytes == 10 * 8 * 4
         assert stats.sketch_bytes == 10 * 4 * 8  # 256 bits = 4 words
+
+
+class _ExplodingMetadata:
+    """Metadata backend whose write-through always fails."""
+
+    def put_object(self, *args, **kwargs):
+        raise RuntimeError("backend down")
+
+
+class TestInsertRollback:
+    def test_failed_insert_restores_engine_and_signature(self, unit_meta):
+        plugin = DataTypePlugin("test", unit_meta)
+        engine = SimilaritySearchEngine(
+            plugin, SketchParams(64, unit_meta, seed=1),
+            metadata=_ExplodingMetadata(),
+        )
+        sig = ObjectSignature(np.random.rand(2, 8), [1.0, 1.0])
+        with pytest.raises(RuntimeError):
+            engine.insert(sig)
+        assert len(engine) == 0
+        # The failure must not consume an id or leave the caller's
+        # signature claiming an id that was never assigned.
+        assert sig.object_id is None
+        assert engine._next_id == 0
+        engine.metadata = None
+        assert engine.insert(ObjectSignature(np.random.rand(1, 8), [1.0])) == 0

@@ -223,3 +223,28 @@ class TestConcurrency:
             t.join()
         assert not errors
         s.close()
+
+
+class TestFailedStoreClose:
+    def test_failed_store_close_never_syncs_wal(self, tmp_path):
+        import errno
+
+        from repro.faults import Fault, FaultKind, FaultyFilesystem
+        from repro.storage import StorageError
+
+        ffs = FaultyFilesystem()
+        s = KVStore(
+            str(tmp_path / "s"), sync_policy="none",
+            auto_checkpoint_ops=0, fs=ffs,
+        )
+        s.put("t", b"k", b"v")
+        # ENOSPC on the next I/O operation: the checkpoint fails on its
+        # first page write, latching the store into the failed state
+        # without breaking the WAL itself.
+        ffs.plan.add(Fault(FaultKind.ERROR, ffs.op_count, errno=errno.ENOSPC))
+        with pytest.raises(StorageError):
+            s.checkpoint()
+        assert s.failed
+        synced_before = len(ffs.fsync_log)
+        s.close()
+        assert len(ffs.fsync_log) == synced_before  # teardown made nothing durable

@@ -190,3 +190,61 @@ class TestCrashedProcessRecovery:
         with KVStore(path) as s:
             assert s.last_recovery.transactions_replayed == 0
             assert s.get("t", b"k") == b"v"
+
+
+class TestTornTailRepairOnOpen:
+    def _wal_path(self, store_dir):
+        wals = sorted(n for n in os.listdir(store_dir) if n.startswith("wal."))
+        assert len(wals) == 1, wals
+        return os.path.join(store_dir, wals[0])
+
+    def test_commits_after_torn_only_txn_survive_next_crash(self, tmp_path):
+        """Torn tail with zero replayable transactions must be repaired.
+
+        Regression: recovery used to repair (via checkpoint) only when
+        it had replayed operations, so a segment whose *first*
+        transaction was torn reopened append-mode at full size.  New
+        acknowledged, fsynced commits then landed after the torn frame,
+        and the next recovery — which stops at the first damaged
+        record — silently lost all of them.
+        """
+        path = str(tmp_path / "torn")
+        with KVStore(path, sync_policy="commit", auto_checkpoint_ops=0) as s:
+            s.put("t", b"base", b"0")
+        # The close checkpointed, so the current segment is empty.  Tear
+        # its very first frame: a few bytes shorter than a frame header.
+        with open(self._wal_path(path), "ab") as fh:
+            fh.write(b"\x9c\xff\xff")
+        s = KVStore(path, sync_policy="commit", auto_checkpoint_ops=0)
+        assert s.last_recovery.torn_tail
+        assert s.last_recovery.operations_applied == 0
+        s.put("t", b"after", b"1")  # acknowledged and fsynced
+        s.close(checkpoint=False)  # crash stand-in: no rotation
+        with KVStore(path) as s2:
+            assert s2.last_recovery.transactions_replayed == 1
+            assert s2.get("t", b"after") == b"1"
+            assert s2.get("t", b"base") == b"0"
+
+    def test_torn_tail_truncated_to_last_intact_record(self, tmp_path):
+        """Damage after an intact-but-uncommitted prefix is cut precisely."""
+        path = str(tmp_path / "torn2")
+        with KVStore(path, sync_policy="commit", auto_checkpoint_ops=0) as s:
+            s.put("t", b"base", b"0")
+        wal_path = self._wal_path(path)
+        # Hand-craft a segment: an intact BEGIN (no COMMIT), then garbage.
+        wal = WriteAheadLog(os.path.dirname(wal_path), int(wal_path[-8:]),
+                            sync_policy="none")
+        wal.append(WalRecord(REC_BEGIN, 7))
+        intact = wal.size
+        wal.close()
+        with open(wal_path, "ab") as fh:
+            fh.write(b"\x01\x02")
+        s = KVStore(path, sync_policy="commit", auto_checkpoint_ops=0)
+        assert s.last_recovery.torn_tail
+        assert s.last_recovery.valid_bytes == intact
+        assert os.path.getsize(wal_path) == intact
+        # Replay after the repair sees only clean frames again.
+        s.put("t", b"k", b"v")
+        s.close(checkpoint=False)
+        with KVStore(path) as s2:
+            assert s2.get("t", b"k") == b"v"

@@ -104,3 +104,47 @@ class TestRotation:
         # 7 commits with batch of 3: last fsync at 6, one unsynced commit left.
         assert wal._unsynced_commits == 1
         wal.close()
+
+
+class TestTornTailRepair:
+    def test_truncate_to_cuts_damage_and_appends_cleanly(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), 0, sync_policy="none")
+        wal.append_transaction(1, [WalRecord(REC_PUT, 1, "t", b"k", b"v")])
+        good = wal.size
+        wal.close()
+        path = wal.segment_path(0)
+        with open(path, "ab") as fh:
+            fh.write(b"\xff\xff\xff")  # partial frame header
+        reopened = WriteAheadLog(str(tmp_path), 0, sync_policy="none")
+        assert reopened.size == good + 3
+        reopened.truncate_to(good)
+        assert reopened.size == good
+        reopened.append_transaction(2, [WalRecord(REC_PUT, 2, "t", b"k2", b"v2")])
+        reopened.close()
+        scan = WriteAheadLog.scan_segment(path)
+        assert not scan.torn_tail
+        assert sorted({r.txid for r in scan.records}) == [1, 2]
+
+    def test_truncate_to_never_grows_the_segment(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), 0, sync_policy="none")
+        wal.append_transaction(1, [])
+        size = wal.size
+        wal.truncate_to(size)
+        wal.truncate_to(size + 100)
+        assert wal.size == size
+        wal.close()
+
+    def test_close_without_sync_skips_fsync(self, tmp_path):
+        from repro.faults import FaultyFilesystem
+
+        ffs = FaultyFilesystem()
+        wal = WriteAheadLog(str(tmp_path), 0, sync_policy="none", fs=ffs)
+        wal.append_transaction(1, [WalRecord(REC_PUT, 1, "t", b"k", b"v")])
+        wal.close(sync=False)
+        assert ffs.fsync_log == []
+        # The default close of a healthy log still syncs.
+        ffs2 = FaultyFilesystem()
+        wal2 = WriteAheadLog(str(tmp_path), 1, sync_policy="none", fs=ffs2)
+        wal2.append_transaction(2, [])
+        wal2.close()
+        assert len(ffs2.fsync_log) == 1
