@@ -1,0 +1,29 @@
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke perf torture bench bench-parallel bench-throughput
+
+# Tier-1 verification: the full fast suite (torture scans stay opt-in).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# CI smoke: tier-1 plus an explicit 2-worker parallel-scan correctness
+# check (the perf-marked equivalence gates, which include the sharded
+# pool vs serial candidate-set identity).
+smoke: test
+	$(PYTHON) -m pytest -q -m perf tests/core/test_parallel.py tests/core/test_perf_smoke.py
+
+perf:
+	$(PYTHON) -m pytest -q -m perf
+
+torture:
+	$(PYTHON) -m pytest -q -m torture
+
+bench-parallel:
+	cd benchmarks && $(PYTHON) bench_parallel_scan.py
+
+bench-throughput:
+	cd benchmarks && $(PYTHON) bench_query_throughput.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

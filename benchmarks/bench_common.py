@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 SCALE = os.environ.get("FERRET_BENCH_SCALE", "default")
 
@@ -23,6 +25,16 @@ def write_result(name: str, lines) -> None:
     path.write_text(text, encoding="utf-8")
     print()
     print(text)
+
+
+def write_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result as BENCH_<name>.json at the repo
+    root (where CI and the driver pick it up) and print the path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {path}")
 
 
 def build_engine(plugin, n_bits, filter_params=None, seed=0):

@@ -1,0 +1,179 @@
+"""Sharded parallel filtering scan vs the serial fused kernel.
+
+Times the candidate-generation stage — the filtering scan over the
+whole segment-sketch database — three ways on the same snapshot:
+
+1. serial fused scan (``sketch_filter_many``: one ``hamming_many_to_many``
+   pass + vectorized deterministic selection),
+2. the shared-memory worker pool (``parallel_sketch_filter_many``), with
+   one worker per available core,
+3. the pool again with 2 workers (the shard-merge overhead floor).
+
+Correctness is asserted on every run: all paths must produce identical
+candidate sets (the deterministic smallest-row-wins tie rule makes the
+shard merge exact).  The >= 2x speedup gate only arms on hosts with at
+least 4 cores and a database of at least 100k segments — a 1-core
+container can verify correctness but has no parallelism to measure.
+
+Writes a human-readable table to benchmarks/results/ and the
+machine-readable ``BENCH_parallel_scan.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import (
+    FilterParams,
+    ObjectSignature,
+    ParallelFilterPool,
+    SegmentStore,
+    parallel_sketch_filter_many,
+    sketch_filter_many,
+)
+
+from bench_common import scaled, write_json, write_result
+
+N_BITS = 256
+N_WORDS = N_BITS // 64
+SEGS_PER_OBJECT = 4
+SPEEDUP_TARGET = 2.0
+MIN_CORES_FOR_TARGET = 4
+MIN_SEGMENTS_FOR_TARGET = 100_000
+
+
+def _build_store(num_segments, seed=0):
+    """Synthetic sketch database: the scan only reads packed words, so
+    random sketches exercise exactly the measured code path."""
+    rng = np.random.default_rng(seed)
+    num_objects = num_segments // SEGS_PER_OBJECT
+    store = SegmentStore(N_WORDS, dim=1, keep_features=False)
+    feats = np.zeros((SEGS_PER_OBJECT, 1))
+    for oid in range(num_objects):
+        sketches = rng.integers(
+            0, 2**64, size=(SEGS_PER_OBJECT, N_WORDS), dtype=np.uint64
+        )
+        store.add_object(oid, sketches, feats)
+    return store, rng
+
+
+def _make_queries(rng, num_queries):
+    queries, sketches = [], []
+    for qid in range(num_queries):
+        queries.append(
+            ObjectSignature(
+                np.zeros((SEGS_PER_OBJECT, 1)),
+                rng.random(SEGS_PER_OBJECT) + 0.1,
+                object_id=10_000_000 + qid,
+            )
+        )
+        sketches.append(
+            rng.integers(
+                0, 2**64, size=(SEGS_PER_OBJECT, N_WORDS), dtype=np.uint64
+            )
+        )
+    return queries, sketches
+
+
+def _time_batches(fn, repeats):
+    out = fn()  # warm-up (and the correctness sample)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - started) / repeats, out
+
+
+def test_parallel_scan():
+    num_segments = scaled(120_000, 500_000)
+    num_queries = scaled(8, 16)
+    repeats = scaled(3, 3)
+    cores = os.cpu_count() or 1
+    params = FilterParams(
+        num_query_segments=4, candidates_per_segment=64,
+        threshold_fraction=0.45,
+    )
+
+    store, rng = _build_store(num_segments)
+    queries, sketches = _make_queries(rng, num_queries)
+    serial_s, serial_sets = _time_batches(
+        lambda: sketch_filter_many(queries, sketches, store, params, N_BITS),
+        repeats,
+    )
+
+    results = {}
+    for label, workers in (("all_cores", max(2, cores)), ("two_workers", 2)):
+        with ParallelFilterPool(num_workers=workers) as pool:
+            started = time.perf_counter()
+            epoch, owners, skm = store.versioned_snapshot()
+            pool.load(owners, skm, epoch=epoch)
+            load_s = time.perf_counter() - started
+            par_s, par_sets = _time_batches(
+                lambda: parallel_sketch_filter_many(
+                    queries, sketches, params, N_BITS, pool
+                ),
+                repeats,
+            )
+        assert par_sets == serial_sets, (
+            f"{label}: parallel scan changed candidate sets"
+        )
+        results[label] = {
+            "workers": workers,
+            "load_ms": load_s * 1e3,
+            "batch_ms": par_s * 1e3,
+            "speedup_vs_serial": serial_s / par_s,
+        }
+
+    gate_armed = (
+        cores >= MIN_CORES_FOR_TARGET
+        and num_segments >= MIN_SEGMENTS_FOR_TARGET
+    )
+    best = results["all_cores"]["speedup_vs_serial"]
+    lines = [
+        "# Sharded parallel filtering scan vs serial fused kernel",
+        f"# {num_segments} segments, {N_BITS}-bit sketches, "
+        f"{num_queries} queries x r=4 segments, {cores} cores",
+        "",
+        f"serial fused scan            {serial_s * 1e3:10.2f} ms/batch",
+    ]
+    for label, r in results.items():
+        lines += [
+            f"pool {label} ({r['workers']}w)      "
+            f"{r['batch_ms']:10.2f} ms/batch  "
+            f"({r['speedup_vs_serial']:.2f}x, load {r['load_ms']:.1f} ms)",
+        ]
+    gate_note = (
+        "ARMED" if gate_armed else
+        f"off (needs >={MIN_CORES_FOR_TARGET} cores and "
+        f">={MIN_SEGMENTS_FOR_TARGET} segments)"
+    )
+    lines += [
+        "",
+        "candidate sets identical across all paths: yes",
+        f"2x speedup gate: {gate_note}",
+    ]
+    write_result("parallel_scan", lines)
+    write_json("parallel_scan", {
+        "num_segments": num_segments,
+        "n_bits": N_BITS,
+        "num_queries": num_queries,
+        "segments_per_query": SEGS_PER_OBJECT,
+        "cpu_count": cores,
+        "serial_ms_per_batch": serial_s * 1e3,
+        "pools": results,
+        "identical_candidate_sets": True,
+        "speedup_gate_armed": gate_armed,
+        "speedup_target": SPEEDUP_TARGET,
+    })
+
+    if gate_armed:
+        assert best >= SPEEDUP_TARGET, (
+            f"parallel scan speedup {best:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target on a {cores}-core host"
+        )
+
+
+if __name__ == "__main__":
+    test_parallel_scan()

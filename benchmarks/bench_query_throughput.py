@@ -36,7 +36,7 @@ from repro.core import (
 from repro.core import bitvector
 from repro.datatypes.bulk import bulk_image_dataset
 
-from bench_common import build_engine, scaled, write_result
+from bench_common import build_engine, scaled, write_json, write_result
 
 N_BITS = 256
 
@@ -171,6 +171,28 @@ def test_query_throughput():
         f"batch speedup                {batch_qps / seq_qps:10.2f} x",
     ]
     write_result("query_throughput", lines)
+    write_json("query_throughput", {
+        "num_objects": num_objects,
+        "num_segments": engine.stats().num_segments,
+        "n_bits": N_BITS,
+        "num_queries": num_queries,
+        "scan": {
+            "reference_lut_ms_per_query": ref_latency * 1e3,
+            "batched_ms_per_query": new_latency * 1e3,
+            "speedup": scan_speedup,
+        },
+        "batch_filter": {
+            "per_query_loop_qps": loop_qps,
+            "fused_many_qps": many_qps,
+            "speedup": many_qps / loop_qps,
+        },
+        "end_to_end": {
+            "sequential_qps": seq_qps,
+            "batched_qps": batch_qps,
+            "speedup": batch_qps / seq_qps,
+        },
+        "identical_candidate_sets": True,
+    })
 
     assert scan_speedup >= 3.0, (
         f"r=4 filtering scan speedup {scan_speedup:.2f}x below the 3x target"

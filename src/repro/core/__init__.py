@@ -35,11 +35,23 @@ from .engine import (
 from .filtering import (
     FilterParams,
     SegmentStore,
+    get_threshold_fn,
+    register_threshold_fn,
+    select_k_smallest,
     sketch_filter,
     sketch_filter_many,
     sketch_filter_reference,
 )
 from .lshindex import LSHIndex, LSHParams
+from .parallel import (
+    ParallelConfig,
+    ParallelFilterPool,
+    ParallelScanError,
+    QueryResultCache,
+    parallel_filter_candidates,
+    parallel_sketch_filter,
+    parallel_sketch_filter_many,
+)
 from .plugin import DataTypePlugin, get_plugin, list_plugins, register_plugin
 from .ranking import SearchResult, rank_candidates
 from .sketch import SketchConstructor, SketchParams, estimate_l1_from_hamming
@@ -64,6 +76,10 @@ __all__ = [
     "LSHIndexError",
     "LSHParams",
     "ObjectSignature",
+    "ParallelConfig",
+    "ParallelFilterPool",
+    "ParallelScanError",
+    "QueryResultCache",
     "SearchMethod",
     "SearchResult",
     "SegmentStore",
@@ -78,6 +94,7 @@ __all__ = [
     "estimate_l1_from_hamming",
     "get_distance",
     "get_plugin",
+    "get_threshold_fn",
     "hamming_distance",
     "hamming_many_to_many",
     "hamming_to_many",
@@ -88,10 +105,15 @@ __all__ = [
     "meta_from_dataset",
     "normalize_weights",
     "pack_bits",
+    "parallel_filter_candidates",
+    "parallel_sketch_filter",
+    "parallel_sketch_filter_many",
     "pearson_distance",
     "rank_candidates",
     "register_distance",
     "register_plugin",
+    "register_threshold_fn",
+    "select_k_smallest",
     "sketch_filter",
     "sketch_filter_many",
     "sketch_filter_reference",

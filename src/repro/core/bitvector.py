@@ -9,6 +9,7 @@ handful of numpy operations rather than a Python loop.
 
 from __future__ import annotations
 
+import threading
 from typing import Union
 
 import numpy as np
@@ -127,6 +128,31 @@ def hamming_to_many(query: np.ndarray, database: np.ndarray) -> np.ndarray:
 # slice cache-friendly while amortizing the per-block dispatch.
 _BLOCK_BYTES = 16 << 20
 
+# Per-thread scratch for the blocked scan: the popcount accumulator and
+# the XOR intermediate are reused across blocks (and across calls) rather
+# than allocated per block — at the default block size that removes two
+# multi-MiB allocations per block from the scan's steady state.  Thread-
+# local because concurrent scans (query_many's ranking pool, the server's
+# connection threads) must not share buffers.
+_scratch = threading.local()
+
+
+def _scratch_views(n_queries: int, block_cols: int):
+    """``(acc, xor)`` reusable views; ``acc`` comes back zeroed."""
+    acc = getattr(_scratch, "acc", None)
+    if (
+        acc is None
+        or acc.shape[0] < n_queries
+        or acc.shape[1] < block_cols
+    ):
+        rows = max(n_queries, 0 if acc is None else acc.shape[0])
+        cols = max(block_cols, 0 if acc is None else acc.shape[1])
+        _scratch.acc = acc = np.empty((rows, cols), dtype=np.uint32)
+        _scratch.xor = np.empty((rows, cols), dtype=np.uint64)
+    acc_view = acc[:n_queries, :block_cols]
+    acc_view[...] = 0
+    return acc_view, _scratch.xor[:n_queries, :block_cols]
+
 
 def hamming_many_to_many(
     queries: np.ndarray,
@@ -167,9 +193,9 @@ def hamming_many_to_many(
         # database, which is the difference between streaming and
         # gathering on wide sketches.
         block = np.ascontiguousarray(database[start : start + block_rows].T)
-        acc = np.zeros((n_queries, block.shape[1]), dtype=np.uint32)
+        acc, xored = _scratch_views(n_queries, block.shape[1])
         for word in range(n_words):
-            xored = np.bitwise_xor(queries[:, word, None], block[word][None, :])
+            np.bitwise_xor(queries[:, word, None], block[word][None, :], out=xored)
             if _HAS_BITWISE_COUNT:
                 acc += np.bitwise_count(xored)
             else:

@@ -18,7 +18,16 @@ from __future__ import annotations
 import enum
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -26,10 +35,15 @@ from .bitvector import hamming_many_to_many, hamming_to_many
 from .filtering import (
     FilterParams,
     SegmentStore,
-    sketch_filter,
     sketch_filter_many,
 )
 from .lshindex import LSHIndex, LSHParams
+from .parallel import (
+    ParallelConfig,
+    ParallelFilterPool,
+    QueryResultCache,
+    parallel_filter_candidates,
+)
 from .plugin import DataTypePlugin
 from .ranking import SearchResult, rank_candidates
 from .sketch import SketchConstructor, SketchParams
@@ -116,6 +130,13 @@ class SimilaritySearchEngine:
         :class:`repro.metadata.manager.MetadataManager`).  When given,
         inserts are written through and :meth:`load` can rebuild the
         in-memory state after a restart.
+    parallel:
+        Parallel filtering-scan knobs
+        (:class:`~repro.core.parallel.ParallelConfig`).  The sharded
+        multi-process scan auto-enables once the store exceeds
+        ``parallel.min_segments`` live segments on a multi-core host; it
+        also carries the query-result cache capacity.  ``None`` means
+        defaults (auto-enable at 50k segments, one worker per CPU).
     """
 
     def __init__(
@@ -125,6 +146,7 @@ class SimilaritySearchEngine:
         filter_params: Optional[FilterParams] = None,
         metadata: Optional["object"] = None,
         lsh_params: Optional[LSHParams] = None,
+        parallel: Optional[ParallelConfig] = None,
     ) -> None:
         self.plugin = plugin
         if sketch_params is None:
@@ -147,6 +169,14 @@ class SimilaritySearchEngine:
             else None
         )
         self._next_id = 0
+        self._parallel_cfg = parallel if parallel is not None else ParallelConfig()
+        self._pool: Optional[ParallelFilterPool] = None
+        self._pool_broken = False
+        self._filter_cache = QueryResultCache(self._parallel_cfg.cache_entries)
+        # Observability hook: called with a reason string whenever the
+        # pool fails and a query silently falls back to the serial scan
+        # (the server wires this to HealthState.record_fallback).
+        self.on_parallel_fallback: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     # Data input
@@ -288,6 +318,155 @@ class SimilaritySearchEngine:
         return count
 
     # ------------------------------------------------------------------
+    # Parallel scan + result cache
+    # ------------------------------------------------------------------
+    def _parallel_ready(self) -> bool:
+        """Should the next filtering scan go through the shard pool?"""
+        cfg = self._parallel_cfg
+        return (
+            cfg.enabled
+            and not self._pool_broken
+            and cfg.effective_workers() > 1
+            and len(self._store) >= cfg.min_segments
+        )
+
+    def _ensure_pool(self) -> ParallelFilterPool:
+        """Spin the pool up / reshard it to the store's current epoch."""
+        cfg = self._parallel_cfg
+        if self._pool is None:
+            self._pool = ParallelFilterPool(
+                num_workers=cfg.effective_workers(),
+                shard_rows=cfg.shard_rows,
+                start_method=cfg.start_method,
+                response_timeout=cfg.response_timeout,
+            )
+        epoch, owners, sketches = self._store.versioned_snapshot()
+        if not self._pool.matches(epoch):
+            self._pool.load(owners, sketches, epoch=epoch)
+        return self._pool
+
+    def _abandon_pool(self, reason: str) -> None:
+        """Pool failure: disable it and notify; queries stay serial."""
+        self._pool_broken = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:
+                pass
+        if self.on_parallel_fallback is not None:
+            try:
+                self.on_parallel_fallback(reason)
+            except Exception:
+                pass
+
+    def set_parallel_enabled(self, enabled: bool) -> None:
+        """Live toggle (the server's ``setparam parallel on|off``).
+
+        Re-enabling clears the broken flag so a previously failed pool
+        gets one fresh start; disabling tears the pool down.
+        """
+        self._parallel_cfg.enabled = enabled
+        if enabled:
+            self._pool_broken = False
+        else:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.close()
+
+    def parallel_info(self) -> Dict[str, object]:
+        """Pool/cache observability snapshot (the server's ``stat``)."""
+        cfg = self._parallel_cfg
+        return {
+            "enabled": cfg.enabled,
+            "broken": self._pool_broken,
+            "active": self._pool is not None,
+            "workers": cfg.effective_workers(),
+            "min_segments": cfg.min_segments,
+            "cache": self._filter_cache.stats(),
+        }
+
+    def _query_cache_key(
+        self, query: ObjectSignature, query_sketches: np.ndarray, params_key
+    ):
+        """Identity of one query's scan: params + the exact top-``r``
+        sketch rows and their weights (all the scan ever looks at)."""
+        params = self.filter_params
+        top = query.top_segments(params.num_query_segments)
+        weights = np.asarray(query.weights, dtype=np.float64)[top]
+        return (
+            params_key,
+            self.sketcher.n_bits,
+            np.ascontiguousarray(query_sketches[top]).tobytes(),
+            weights.tobytes(),
+        )
+
+    def _filter_candidates(
+        self,
+        queries: Sequence[ObjectSignature],
+        query_sketches_list: Sequence[np.ndarray],
+    ) -> List[Set[int]]:
+        """Filtering-phase candidate sets for a batch of queries.
+
+        Order of attack: the epoch-invalidated LRU cache, then the
+        sharded multi-process scan (when enabled and the store is big
+        enough), then the serial fused scan — which is also the graceful
+        fallback when the pool fails mid-flight.  All paths return
+        identical candidate sets, so the choice is invisible to callers.
+        """
+        params = self.filter_params
+        n = len(queries)
+        results: List[Optional[Set[int]]] = [None] * n
+        params_key = params.cache_key()
+        cache = self._filter_cache
+        keys: List[Optional[tuple]] = [None] * n
+        epoch_seen = self._store.epoch
+        if cache.max_entries and params_key is not None:
+            for i, (q, qs) in enumerate(zip(queries, query_sketches_list)):
+                keys[i] = self._query_cache_key(q, qs, params_key)
+                hit = cache.lookup(epoch_seen, keys[i])
+                if hit is not None:
+                    results[i] = set(hit)
+        miss = [i for i in range(n) if results[i] is None]
+        if not miss:
+            return results  # type: ignore[return-value]
+        miss_queries = [queries[i] for i in miss]
+        miss_sketches = [query_sketches_list[i] for i in miss]
+        computed: Optional[List[Set[int]]] = None
+        computed_epoch: Optional[object] = None
+        if self._parallel_ready():
+            try:
+                pool = self._ensure_pool()
+                computed_epoch = pool.loaded_epoch
+                computed = parallel_filter_candidates(
+                    miss_queries, miss_sketches, params,
+                    self.sketcher.n_bits, pool,
+                )
+            except Exception as exc:
+                self._abandon_pool(f"{type(exc).__name__}: {exc}")
+                computed = None
+        if computed is None:
+            computed = sketch_filter_many(
+                miss_queries, miss_sketches, self._store, params,
+                n_bits=self.sketcher.n_bits,
+            )
+            # The serial scan snapshots internally; only cache when the
+            # store provably did not move underneath the whole pass.
+            after = self._store.epoch
+            computed_epoch = epoch_seen if after == epoch_seen else None
+        if (
+            cache.max_entries
+            and params_key is not None
+            and computed_epoch is not None
+        ):
+            for i, cand in zip(miss, computed):
+                if keys[i] is not None:
+                    cache.store(computed_epoch, keys[i], frozenset(cand))
+        for i, cand in zip(miss, computed):
+            results[i] = cand
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     # Query processing
     # ------------------------------------------------------------------
     def query(
@@ -334,13 +513,7 @@ class SimilaritySearchEngine:
                 query, query_sketches, universe, top_k, exclude_self
             )
         if method is SearchMethod.FILTERING:
-            candidates = sketch_filter(
-                query,
-                query_sketches,
-                self._store,
-                self.filter_params,
-                n_bits=self.sketcher.n_bits,
-            )
+            candidates = self._filter_candidates([query], [query_sketches])[0]
             candidates &= universe
             if cascade is not None and cascade > 0 and len(candidates) > cascade:
                 candidates = self._cascade_prune(
@@ -425,10 +598,7 @@ class SimilaritySearchEngine:
         )
         splits = np.cumsum([q.num_segments for q in queries])[:-1]
         sketches_list = np.split(all_sketches, splits)
-        candidate_sets = sketch_filter_many(
-            queries, sketches_list, self._store, self.filter_params,
-            n_bits=self.sketcher.n_bits,
-        )
+        candidate_sets = self._filter_candidates(queries, sketches_list)
 
         def _finish(index: int) -> List[SearchResult]:
             query = queries[index]
@@ -566,6 +736,25 @@ class SimilaritySearchEngine:
         ]
         scored.sort()
         return {object_id for _proxy, object_id in scored[:cascade]}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the parallel scan pool and release its arena.
+
+        Idempotent; the engine keeps answering queries serially after
+        (and will rebuild the pool on demand if still enabled).
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "SimilaritySearchEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection

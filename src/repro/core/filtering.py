@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from .types import ObjectSignature
 __all__ = [
     "FilterParams",
     "SegmentStore",
+    "get_threshold_fn",
+    "register_threshold_fn",
+    "select_k_smallest",
     "sketch_filter",
     "sketch_filter_many",
     "sketch_filter_reference",
@@ -40,6 +43,40 @@ def default_threshold_fn(weight: float) -> float:
     in ``(0.5, 1.0]`` applied to the base threshold.
     """
     return 1.0 - 0.5 * min(max(weight, 0.0), 1.0)
+
+
+def constant_threshold_fn(weight: float) -> float:
+    """Weight-independent multiplier: every segment gets the base threshold."""
+    return 1.0
+
+
+# Named threshold functions.  ``FilterParams`` defaults to a *name* so the
+# params travel across process boundaries (the parallel scan pool, the
+# wire protocol's setparam) without pickling code objects; custom
+# callables still work in-process but cannot be dispatched to workers.
+_THRESHOLD_FNS: Dict[str, Callable[[float], float]] = {}
+
+
+def register_threshold_fn(name: str, fn: Callable[[float], float]) -> None:
+    """Register a named weight->multiplier function for FilterParams."""
+    if not name or not isinstance(name, str):
+        raise ValueError("threshold function name must be a non-empty string")
+    _THRESHOLD_FNS[name] = fn
+
+
+def get_threshold_fn(name: str) -> Callable[[float], float]:
+    """Look up a registered threshold function by name."""
+    try:
+        return _THRESHOLD_FNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown threshold function {name!r}; registered: "
+            f"{sorted(_THRESHOLD_FNS)}"
+        ) from None
+
+
+register_threshold_fn("default", default_threshold_fn)
+register_threshold_fn("constant", constant_threshold_fn)
 
 
 @dataclass(frozen=True)
@@ -59,13 +96,15 @@ class FilterParams:
         threshold, keeping the pure k-NN criterion.
     threshold_fn:
         Weight-dependent multiplier on the base threshold; must be
-        decreasing in the weight.
+        decreasing in the weight.  Either the name of a function added
+        with :func:`register_threshold_fn` (serializable — required for
+        cross-process dispatch) or a bare callable (in-process only).
     """
 
     num_query_segments: int = 4
     candidates_per_segment: int = 64
     threshold_fraction: Optional[float] = 0.5
-    threshold_fn: Callable[[float], float] = default_threshold_fn
+    threshold_fn: Union[str, Callable[[float], float]] = "default"
 
     def __post_init__(self) -> None:
         if self.num_query_segments <= 0:
@@ -76,6 +115,81 @@ class FilterParams:
             0.0 < self.threshold_fraction <= 1.0
         ):
             raise ValueError("threshold_fraction must be in (0, 1]")
+        if isinstance(self.threshold_fn, str):
+            get_threshold_fn(self.threshold_fn)  # fail fast on unknown names
+        elif not callable(self.threshold_fn):
+            raise ValueError("threshold_fn must be a registered name or callable")
+
+    def threshold_factor(self, weight: float) -> float:
+        """Evaluate the (possibly named) threshold function at ``weight``."""
+        fn = (
+            get_threshold_fn(self.threshold_fn)
+            if isinstance(self.threshold_fn, str)
+            else self.threshold_fn
+        )
+        return fn(weight)
+
+    @property
+    def threshold_fn_name(self) -> Optional[str]:
+        """Registered name of ``threshold_fn``, or ``None`` for anonymous
+        callables (reverse-resolved by identity for registered callables)."""
+        if isinstance(self.threshold_fn, str):
+            return self.threshold_fn
+        for name, fn in _THRESHOLD_FNS.items():
+            if fn is self.threshold_fn:
+                return name
+        return None
+
+    def require_serializable(self, context: str = "cross-process dispatch") -> None:
+        """Raise with a clear message when the params cannot leave the process."""
+        if self.threshold_fn_name is None:
+            raise ValueError(
+                f"FilterParams.threshold_fn is an unregistered callable "
+                f"({self.threshold_fn!r}) and cannot be serialized for "
+                f"{context}; register it with "
+                f"repro.core.filtering.register_threshold_fn(name, fn) and "
+                f"pass the name instead"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire/JSON representation; requires a named threshold function."""
+        self.require_serializable("to_dict()")
+        return {
+            "num_query_segments": self.num_query_segments,
+            "candidates_per_segment": self.candidates_per_segment,
+            "threshold_fraction": self.threshold_fraction,
+            "threshold_fn": self.threshold_fn_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FilterParams":
+        return cls(
+            num_query_segments=int(data.get("num_query_segments", 4)),
+            candidates_per_segment=int(data.get("candidates_per_segment", 64)),
+            threshold_fraction=(
+                None
+                if data.get("threshold_fraction") is None
+                else float(data["threshold_fraction"])
+            ),
+            threshold_fn=str(data.get("threshold_fn", "default")),
+        )
+
+    def cache_key(self) -> Optional[Tuple]:
+        """Stable hashable identity for result caching.
+
+        ``None`` (uncacheable) when the threshold function is an
+        unregistered callable — its identity would not survive a
+        re-registration, and two processes could not agree on it.
+        """
+        name = self.threshold_fn_name
+        if name is None:
+            return None
+        return (
+            self.num_query_segments,
+            self.candidates_per_segment,
+            self.threshold_fraction,
+            name,
+        )
 
 
 class SegmentStore:
@@ -98,6 +212,11 @@ class SegmentStore:
         self._pending_features: List[np.ndarray] = []
         self._pending_owners: List[np.ndarray] = []
         self._dead = 0
+        # Mutation epoch: bumped on every logical change (insert, remove,
+        # compact).  Consumers that hold derived state — the parallel
+        # scan pool's shared-memory shards, the query-result cache —
+        # compare epochs to detect staleness instead of diffing arrays.
+        self._epoch = 0
         # The engine runs as one concurrent program (section 3): server
         # threads scan while acquisition threads append, so buffer
         # mutation and consolidation are serialized here.
@@ -136,6 +255,7 @@ class SegmentStore:
             self._pending_owners.append(np.full(count, object_id, dtype=np.int64))
             if self.keep_features:
                 self._pending_features.append(feats)
+            self._epoch += 1
 
     def _consolidate(self) -> None:
         with self._lock:
@@ -185,6 +305,24 @@ class SegmentStore:
                 return self._owners, self._sketches, self._features
             return self._owners, self._sketches
 
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter (insert/remove/compact each bump it)."""
+        with self._lock:
+            return self._epoch
+
+    def versioned_snapshot(self):
+        """``(epoch, owners, sketches)`` taken under one lock acquisition.
+
+        The epoch identifies exactly the returned arrays' logical
+        content, so derived state (shared-memory shards, cached results)
+        built from this snapshot can later be staleness-checked against
+        :attr:`epoch`.
+        """
+        with self._lock:
+            self._consolidate()
+            return self._epoch, self._owners, self._sketches
+
     def remove_object(self, object_id: int) -> int:
         """Drop an object's segments; returns how many were removed.
 
@@ -199,6 +337,7 @@ class SegmentStore:
             if removed:
                 self._owners[mask] = -1
                 self._dead += removed
+                self._epoch += 1
                 if self._dead * 4 >= self._owners.shape[0]:
                     self.compact()
             return removed
@@ -213,6 +352,7 @@ class SegmentStore:
             if self.keep_features:
                 self._features = self._features[alive]
             self._dead = 0
+            self._epoch += 1
 
     def __len__(self) -> int:
         self._consolidate()
@@ -222,6 +362,82 @@ class SegmentStore:
     def sketch_bytes(self) -> int:
         """Total bytes of packed sketch storage (the paper's metadata claim)."""
         return len(self) * self.n_words * 8
+
+
+# Cap on the composite-key scratch of `select_k_smallest`'s integer fast
+# path; a handful of rows at a time keeps the key block cache-resident.
+_SELECT_BLOCK_BYTES = 4 << 20
+
+
+def select_k_smallest(
+    dists: np.ndarray, k: int, ids: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-row column indices of the ``k`` smallest entries, deterministic.
+
+    Ties with the k-th smallest value are admitted in ascending ``ids``
+    order (``ids`` defaults to the column index), so the *set* selected
+    per row is fully determined by the data — unlike a bare
+    ``argpartition``, whose introselect breaks boundary ties arbitrarily.
+    Every filter path (serial, fused batch, sharded parallel, reference)
+    selects through this rule, which is what keeps their candidate sets
+    identical even when distances tie exactly at the k-NN cutoff; the
+    sharded path additionally relies on it to merge per-shard top-k lists
+    without re-scanning (``ids`` carries the global row numbers there).
+
+    Returns an ``(n_rows, min(k, n_cols))`` int64 array; the order of the
+    returned columns is unspecified, only the per-row set is defined.
+    """
+    dists = np.atleast_2d(dists)
+    n_rows, total = dists.shape
+    if k >= total:
+        return np.broadcast_to(np.arange(total, dtype=np.int64), dists.shape)
+    if ids is None:
+        id_mat = np.arange(total, dtype=np.uint64)[None, :]
+        max_id = total - 1
+    else:
+        # (total,) shared across rows, or (n_rows, total) per-row ids —
+        # the sharded merge passes per-row global row numbers.
+        id_mat = np.atleast_2d(np.asarray(ids, dtype=np.uint64))
+        max_id = int(id_mat.max(initial=0))
+    shift = max(1, int(max_id).bit_length())
+    if np.issubdtype(dists.dtype, np.integer):
+        max_d = int(dists.max(initial=0))
+        if max_d < (1 << (64 - shift)):
+            # Composite (distance, id) key in one uint64: argpartition on
+            # it is a deterministic smallest-id tie-break in a single
+            # vectorized pass — the hot path for Hamming scans.  The key
+            # matrix is built a few rows at a time into one reused
+            # scratch block: at fused-batch shapes (~100 queries x 100k+
+            # columns) a whole-matrix key temp is ~100 MB and selection
+            # turns memory-bound, costing ~3x the partition itself.
+            out = np.empty((n_rows, k), dtype=np.int64)
+            block = max(1, _SELECT_BLOCK_BYTES // max(1, total * 8))
+            scratch = np.empty((min(block, n_rows), total), dtype=np.uint64)
+            sh = np.uint64(shift)
+            shared_ids = id_mat.shape[0] == 1
+            for start in range(0, n_rows, block):
+                stop = min(start + block, n_rows)
+                kb = scratch[: stop - start]
+                kb[...] = dists[start:stop]
+                kb <<= sh
+                kb |= id_mat[0] if shared_ids else id_mat[start:stop]
+                out[start:stop] = np.argpartition(kb, k - 1, axis=1)[:, :k]
+            return out
+    # Float distances (direct filtering) or key overflow: two-pass per row.
+    out = np.empty((n_rows, k), dtype=np.int64)
+    for r in range(n_rows):
+        row = dists[r]
+        id_row = id_mat[0] if id_mat.shape[0] == 1 else id_mat[r]
+        part = np.argpartition(row, k - 1)[:k]
+        cutoff = row[part].max()
+        strict = np.nonzero(row < cutoff)[0]
+        ties = np.nonzero(row == cutoff)[0]
+        need = k - strict.size
+        if ties.size > need:
+            ties = ties[np.argsort(id_row[ties], kind="stable")[:need]]
+        out[r, : strict.size] = strict
+        out[r, strict.size :] = ties
+    return out
 
 
 def sketch_filter(
@@ -338,10 +554,12 @@ def sketch_filter_reference(
             )
         if any_dead:
             dists[dead] = np.inf
-        nearest = np.argpartition(dists, k - 1)[:k] if k < total else np.arange(total)
+        nearest = select_k_smallest(dists[None, :], k)[0]
         if params.threshold_fraction is not None:
             threshold = (
-                params.threshold_fraction * max_scale * params.threshold_fn(weight)
+                params.threshold_fraction
+                * max_scale
+                * params.threshold_factor(weight)
             )
             nearest = nearest[dists[nearest] <= threshold]
         hit_owners = owners[nearest]
@@ -396,10 +614,7 @@ def sketch_filter_many(
     else:
         thresholds = None
     k = min(params.candidates_per_segment, n_alive)
-    if k < total:
-        nearest = np.argpartition(dists, k - 1, axis=1)[:, :k]
-    else:
-        nearest = np.broadcast_to(np.arange(total), dists.shape)
+    nearest = select_k_smallest(dists, k)
     within = (
         np.take_along_axis(dists, nearest, axis=1) <= thresholds[:, None]
         if thresholds is not None
@@ -440,7 +655,7 @@ def _segment_thresholds(
     if params.threshold_fraction is None:
         return None
     factors = np.asarray(
-        [params.threshold_fn(float(query.weights[i])) for i in top]
+        [params.threshold_factor(float(query.weights[i])) for i in top]
     )
     return params.threshold_fraction * max_scales * factors
 
@@ -475,10 +690,7 @@ def _select_candidates(
     if dead.any():
         dists[:, dead] = _dead_sentinel(dists.dtype)
     k = min(candidates_per_segment, n_alive)
-    if k < total:
-        nearest = np.argpartition(dists, k - 1, axis=1)[:, :k]
-    else:
-        nearest = np.broadcast_to(np.arange(total), dists.shape)
+    nearest = select_k_smallest(dists, k)
     if thresholds is not None:
         within = np.take_along_axis(dists, nearest, axis=1) <= thresholds[:, None]
         hit_owners = owners[nearest[within]]

@@ -1,0 +1,697 @@
+"""Sharded shared-memory parallel filtering scan.
+
+The filtering unit streams over *all* database segment sketches per
+query (section 4.1.1); the batched kernel made that scan vector-wide,
+but the GIL still pins it to one core.  This module fans the scan out
+over a persistent pool of worker *processes*:
+
+- The consolidated ``(n_rows, n_words)`` sketch matrix and its owner
+  array are copied once into ``multiprocessing.shared_memory`` blocks
+  (the *arena*).  Workers map zero-copy views of their row shards, so a
+  query dispatch pickles only the handful of query sketch rows — never
+  the arena.
+- Rows are cut into contiguous shards of ``shard_rows`` rows, assigned
+  round-robin to workers.  Each worker answers a scan request with its
+  shards' deterministic local top-k ``(distance, global_row)`` pairs.
+- The parent merges the per-shard lists with the same deterministic
+  smallest-row-wins selection rule the serial scan uses
+  (:func:`~repro.core.filtering.select_k_smallest`), which makes the
+  merged candidate sets *identical* to the single-process paths — the
+  per-shard top-k provably contains every globally selected row.
+
+Staleness is tracked by the segment store's mutation epoch: the pool
+records the epoch its arena was loaded from, and the engine reloads
+(reshards) when they diverge.  On any pool failure the engine falls
+back to the serial scan and keeps answering queries.
+
+A bounded LRU :class:`QueryResultCache` (also epoch-invalidated) sits
+in front of the scan so repeated queries of a skewed stream skip it
+entirely.
+
+See docs/PERFORMANCE.md for the shard layout, pool lifecycle, and
+tuning knobs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import multiprocessing
+import numpy as np
+
+from .bitvector import hamming_many_to_many
+from .filtering import (
+    FilterParams,
+    _segment_thresholds,
+    select_k_smallest,
+)
+from .types import ObjectSignature
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelFilterPool",
+    "ParallelScanError",
+    "QueryResultCache",
+    "parallel_filter_candidates",
+    "parallel_sketch_filter",
+    "parallel_sketch_filter_many",
+]
+
+# Masking value for dead / over-threshold rows inside workers: above any
+# real Hamming distance, below no distance, and shared with the merge so
+# padded entries sort last and never survive the final selection.
+_SENTINEL = np.uint32(np.iinfo(np.uint32).max)
+
+
+class ParallelScanError(RuntimeError):
+    """The worker pool failed (dead worker, timeout, protocol error).
+
+    Callers treat this as "pool unusable": the engine answers the query
+    through the serial scan and rebuilds or disables the pool.
+    """
+
+
+@dataclass
+class ParallelConfig:
+    """Knobs of the parallel filtering scan.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count; ``None`` means one per CPU.  A resolved
+        count of 1 disables the pool (a single worker only adds IPC).
+    shard_rows:
+        Rows per contiguous shard; ``None`` splits the arena evenly into
+        one shard per worker.
+    min_segments:
+        Auto-enable threshold: the engine only spins the pool up once
+        the store holds at least this many live segments — below it the
+        serial scan wins on dispatch overhead alone.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` when
+        available (cheap startup) and ``spawn`` otherwise.
+    response_timeout:
+        Seconds to wait for a worker reply before declaring the pool
+        broken.
+    cache_entries:
+        Capacity of the engine's query-result LRU cache (0 disables).
+    enabled:
+        Master switch; the server's ``setparam parallel`` toggles it.
+    """
+
+    num_workers: Optional[int] = None
+    shard_rows: Optional[int] = None
+    min_segments: int = 50_000
+    start_method: Optional[str] = None
+    response_timeout: float = 60.0
+    cache_entries: int = 256
+    enabled: bool = True
+
+    def effective_workers(self) -> int:
+        if self.num_workers is not None:
+            return max(1, int(self.num_workers))
+        return os.cpu_count() or 1
+
+
+def _resolve_start_method(name: Optional[str]) -> str:
+    available = multiprocessing.get_all_start_methods()
+    if name is not None:
+        if name not in available:
+            raise ValueError(
+                f"start method {name!r} unavailable (have {available})"
+            )
+        return name
+    return "fork" if "fork" in available else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _attach_shm(name: str):
+    # The parent owns the blocks' lifetime — workers only ever close()
+    # their maps.  Attaching must therefore NOT register the name with
+    # the (shared) resource tracker: tracker messages from parent and
+    # child interleave arbitrarily, so a child register racing a parent
+    # unregister leaves phantom "leaked" names (bpo-38119).  Python 3.13
+    # exposes this as ``track=False``; on older versions the register
+    # call is suppressed for the duration of the attach.
+    from multiprocessing import resource_tracker, shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _worker_main(conn) -> None:
+    """Persistent worker loop: attach shards, answer sub-scans.
+
+    Messages (tuples, first element is the kind):
+
+    - ``("load", sketch_shm, owner_shm, n_rows, n_words, bounds)`` —
+      attach the arena and view the ``bounds`` row ranges; ack ``("ok",)``.
+    - ``("scan", queries, k, thresholds)`` — deterministic local top-k
+      over this worker's shards; reply ``("ok", dists, global_rows)``.
+    - ``("stop",)`` — exit.
+    """
+    shms: list = []
+    shards: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        try:
+            if kind == "stop":
+                conn.send(("ok",))
+                break
+            elif kind == "load":
+                _, sketch_name, owner_name, n_rows, n_words, bounds = msg
+                for shm in shms:
+                    shm.close()
+                shms = []
+                shards = []
+                if n_rows:
+                    sk_shm = _attach_shm(sketch_name)
+                    ow_shm = _attach_shm(owner_name)
+                    shms = [sk_shm, ow_shm]
+                    sketches = np.ndarray(
+                        (n_rows, n_words), dtype=np.uint64, buffer=sk_shm.buf
+                    )
+                    owners = np.ndarray(
+                        (n_rows,), dtype=np.int64, buffer=ow_shm.buf
+                    )
+                    shards = [
+                        (start, owners[start:stop], sketches[start:stop])
+                        for start, stop in bounds
+                    ]
+                conn.send(("ok",))
+            elif kind == "scan":
+                _, queries, k, thresholds = msg
+                conn.send(("ok",) + _scan_shards(shards, queries, k, thresholds))
+            else:
+                conn.send(("err", f"unknown message kind {kind!r}"))
+        except Exception as exc:  # keep the loop alive; parent decides
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+def _scan_shards(
+    shards: Sequence[Tuple[int, np.ndarray, np.ndarray]],
+    queries: np.ndarray,
+    k: int,
+    thresholds: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic top-k over a worker's shards.
+
+    Returns ``(dists, global_rows)``, each ``(n_queries, <=k)``.  Dead
+    rows (owner < 0) — and, when ``thresholds`` is given, rows beyond
+    the per-query threshold — are masked to the sentinel before
+    selection, mirroring the serial scan's masking order.
+    """
+    n_queries = np.atleast_2d(queries).shape[0]
+    parts_d: List[np.ndarray] = []
+    parts_id: List[np.ndarray] = []
+    for start, owners, sketches in shards:
+        if sketches.shape[0] == 0:
+            continue
+        dists = hamming_many_to_many(queries, sketches)
+        dead = owners < 0
+        if dead.any():
+            dists[:, dead] = _SENTINEL
+        if thresholds is not None:
+            dists[np.greater(dists, thresholds[:, None])] = _SENTINEL
+        kk = min(k, sketches.shape[0])
+        sel = select_k_smallest(dists, kk)
+        parts_d.append(np.take_along_axis(dists, sel, axis=1))
+        parts_id.append(np.asarray(sel, dtype=np.int64) + start)
+    if not parts_d:
+        empty = np.empty((n_queries, 0), dtype=np.uint32)
+        return empty, np.empty((n_queries, 0), dtype=np.int64)
+    if len(parts_d) == 1:
+        return parts_d[0], parts_id[0]
+    all_d = np.concatenate(parts_d, axis=1)
+    all_id = np.concatenate(parts_id, axis=1)
+    kk = min(k, all_d.shape[1])
+    sel = select_k_smallest(all_d, kk, ids=all_id)
+    return (
+        np.take_along_axis(all_d, sel, axis=1),
+        np.take_along_axis(all_id, sel, axis=1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ParallelFilterPool:
+    """Persistent worker pool over a shared-memory shard arena.
+
+    Lifecycle: workers are spawned lazily on the first :meth:`load`;
+    each ``load`` copies a consistent ``(owners, sketches)`` snapshot
+    into fresh shared-memory blocks, reassigns shards, and retires the
+    previous arena once every worker acked the switch.  :meth:`close`
+    stops the workers and unlinks the arena; the pool is also a context
+    manager.  All public methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        shard_rows: Optional[int] = None,
+        start_method: Optional[str] = None,
+        response_timeout: float = 60.0,
+    ) -> None:
+        cfg = ParallelConfig(num_workers=num_workers)
+        self.num_workers = cfg.effective_workers()
+        self.shard_rows = shard_rows
+        self.response_timeout = response_timeout
+        self._ctx = multiprocessing.get_context(
+            _resolve_start_method(start_method)
+        )
+        self._lock = threading.RLock()
+        self._workers: List[Tuple[object, object]] = []  # (process, conn)
+        self._shm: List[object] = []
+        self._epoch: Optional[object] = None
+        self._loaded = False
+        self._owners: Optional[np.ndarray] = None
+        self._n_rows = 0
+        self._n_alive = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        if self._closed:
+            raise ParallelScanError("pool is closed")
+        for i in range(self.num_workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                daemon=True,
+                name=f"ferret-scan-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+
+    def _recv(self, conn, what: str):
+        if not conn.poll(self.response_timeout):
+            raise ParallelScanError(f"worker timed out on {what}")
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ParallelScanError(f"worker died during {what}: {exc}") from exc
+        if reply[0] != "ok":
+            raise ParallelScanError(f"worker error during {what}: {reply[1]}")
+        return reply
+
+    def _send(self, conn, msg, what: str) -> None:
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ParallelScanError(f"worker died during {what}: {exc}") from exc
+
+    def _shard_bounds(self, n_rows: int) -> List[List[Tuple[int, int]]]:
+        """Per-worker lists of contiguous ``(start, stop)`` row ranges."""
+        if self.shard_rows is not None and self.shard_rows > 0:
+            rows_per_shard = self.shard_rows
+        else:
+            rows_per_shard = max(1, -(-n_rows // self.num_workers))
+        per_worker: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self.num_workers)
+        ]
+        shard = 0
+        for start in range(0, n_rows, rows_per_shard):
+            stop = min(start + rows_per_shard, n_rows)
+            per_worker[shard % self.num_workers].append((start, stop))
+            shard += 1
+        return per_worker
+
+    def load(
+        self,
+        owners: np.ndarray,
+        sketches: np.ndarray,
+        epoch: Optional[object] = None,
+    ) -> None:
+        """Copy a snapshot into a fresh arena and reshard the workers.
+
+        ``epoch`` is an opaque staleness token (the segment store's
+        mutation counter); :meth:`matches` compares against it so the
+        engine can rebuild on insert/delete.
+        """
+        from multiprocessing import shared_memory
+
+        owners = np.ascontiguousarray(owners, dtype=np.int64)
+        sketches = np.ascontiguousarray(sketches, dtype=np.uint64)
+        if sketches.ndim != 2 or owners.shape[0] != sketches.shape[0]:
+            raise ValueError("owners and sketches must be parallel arrays")
+        n_rows, n_words = sketches.shape
+        with self._lock:
+            if self._closed:
+                raise ParallelScanError("pool is closed")
+            old_shm = self._shm
+            new_shm: List[object] = []
+            if n_rows:
+                self._ensure_workers()
+                sk_shm = shared_memory.SharedMemory(
+                    create=True, size=sketches.nbytes
+                )
+                ow_shm = shared_memory.SharedMemory(
+                    create=True, size=owners.nbytes
+                )
+                new_shm = [sk_shm, ow_shm]
+                np.ndarray(
+                    sketches.shape, dtype=np.uint64, buffer=sk_shm.buf
+                )[...] = sketches
+                np.ndarray(
+                    owners.shape, dtype=np.int64, buffer=ow_shm.buf
+                )[...] = owners
+                bounds = self._shard_bounds(n_rows)
+                try:
+                    for (proc, conn), ranges in zip(self._workers, bounds):
+                        self._send(
+                            conn,
+                            ("load", sk_shm.name, ow_shm.name, n_rows,
+                             n_words, ranges),
+                            "load",
+                        )
+                    for proc, conn in self._workers:
+                        self._recv(conn, "load")
+                except ParallelScanError:
+                    self._release_shm(new_shm)
+                    raise
+            self._shm = new_shm
+            self._owners = owners.copy()
+            self._n_rows = n_rows
+            self._n_alive = int((owners >= 0).sum())
+            self._epoch = epoch
+            self._loaded = True
+            self._release_shm(old_shm)
+
+    @staticmethod
+    def _release_shm(blocks) -> None:
+        for shm in blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+
+    def matches(self, epoch: object) -> bool:
+        """True when the arena was loaded from exactly this epoch."""
+        with self._lock:
+            return self._loaded and self._epoch == epoch
+
+    @property
+    def loaded_epoch(self) -> Optional[object]:
+        with self._lock:
+            return self._epoch if self._loaded else None
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_alive(self) -> int:
+        return self._n_alive
+
+    def owners_of(self, rows: np.ndarray) -> np.ndarray:
+        """Owner ids of global row numbers (parent-side lookup)."""
+        if self._owners is None:
+            raise ParallelScanError("pool has no arena loaded")
+        return self._owners[rows]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for proc, conn in self._workers:
+                try:
+                    conn.send(("stop",))
+                except Exception:
+                    pass
+            for proc, conn in self._workers:
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            self._workers = []
+            self._release_shm(self._shm)
+            self._shm = []
+            self._loaded = False
+
+    def __enter__(self) -> "ParallelFilterPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; engine/system call close()
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- scanning -------------------------------------------------------
+    def scan_topk(
+        self,
+        queries: np.ndarray,
+        k: int,
+        thresholds: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Global deterministic top-k rows per query sketch.
+
+        ``queries`` is ``(n_queries, n_words)``; returns
+        ``(dists, global_rows)`` of shape ``(n_queries, <=k)``.  When
+        ``thresholds`` (one per query row) is given, rows beyond the
+        threshold are masked *before* selection — the out-of-core scan's
+        semantics; the in-memory filter thresholds after selection
+        instead and passes ``None`` here.  Entries may include masked
+        sentinel distances when fewer than ``k`` rows qualify; callers
+        filter on the sentinel / owner sign.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.uint64))
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if thresholds is not None:
+            thresholds = np.asarray(thresholds, dtype=np.float64)
+            if thresholds.shape[0] != queries.shape[0]:
+                raise ValueError("need one threshold per query row")
+        with self._lock:
+            if self._closed:
+                raise ParallelScanError("pool is closed")
+            if not self._loaded:
+                raise ParallelScanError("pool has no arena loaded")
+            n_queries = queries.shape[0]
+            if self._n_rows == 0:
+                return (
+                    np.empty((n_queries, 0), dtype=np.uint32),
+                    np.empty((n_queries, 0), dtype=np.int64),
+                )
+            for proc, conn in self._workers:
+                self._send(conn, ("scan", queries, k, thresholds), "scan")
+            parts_d: List[np.ndarray] = []
+            parts_id: List[np.ndarray] = []
+            for proc, conn in self._workers:
+                _ok, d, rows = self._recv(conn, "scan")
+                if d.shape[1]:
+                    parts_d.append(d)
+                    parts_id.append(rows)
+        if not parts_d:
+            return (
+                np.empty((n_queries, 0), dtype=np.uint32),
+                np.empty((n_queries, 0), dtype=np.int64),
+            )
+        all_d = np.concatenate(parts_d, axis=1)
+        all_id = np.concatenate(parts_id, axis=1)
+        kk = min(k, all_d.shape[1])
+        sel = select_k_smallest(all_d, kk, ids=all_id)
+        return (
+            np.take_along_axis(all_d, sel, axis=1),
+            np.take_along_axis(all_id, sel, axis=1),
+        )
+
+
+# ----------------------------------------------------------------------
+# Filtering-unit entry points (mirror the serial functions)
+# ----------------------------------------------------------------------
+def parallel_filter_candidates(
+    queries: Sequence[ObjectSignature],
+    query_sketches_list: Sequence[np.ndarray],
+    params: FilterParams,
+    n_bits: int,
+    pool: ParallelFilterPool,
+) -> List[Set[int]]:
+    """Candidate sets for a batch of queries via the shard pool.
+
+    Equivalent to :func:`~repro.core.filtering.sketch_filter_many` run
+    against the snapshot the pool's arena was loaded from: all queries'
+    top-``r`` rows go out as one fused scan request, the per-shard top-k
+    lists are merged deterministically, and thresholding + owner dedup
+    run parent-side exactly like the serial selection.
+    """
+    queries = list(queries)
+    if not queries:
+        return []
+    if pool.n_rows == 0 or pool.n_alive == 0:
+        return [set() for _ in queries]
+    tops = [q.top_segments(params.num_query_segments) for q in queries]
+    stacked = np.concatenate(
+        [qs[top] for qs, top in zip(query_sketches_list, tops)], axis=0
+    )
+    if params.threshold_fraction is not None:
+        thresholds = np.concatenate(
+            [
+                _segment_thresholds(
+                    q, top, params, np.full(len(top), float(n_bits))
+                )
+                for q, top in zip(queries, tops)
+            ]
+        )
+    else:
+        thresholds = None
+    k = min(params.candidates_per_segment, pool.n_alive)
+    dists, rows = pool.scan_topk(stacked, k)
+    owners = pool.owners_of(rows)
+    if thresholds is not None:
+        within = dists <= thresholds[:, None]
+    else:
+        within = dists < _SENTINEL
+    results: List[Set[int]] = []
+    offset = 0
+    for top in tops:
+        span = slice(offset, offset + len(top))
+        offset += len(top)
+        hit_owners = owners[span][within[span]]
+        hit_owners = hit_owners[hit_owners >= 0]
+        results.append(set(int(o) for o in np.unique(hit_owners)))
+    return results
+
+
+def parallel_sketch_filter(
+    query: ObjectSignature,
+    query_sketches: np.ndarray,
+    params: FilterParams,
+    n_bits: int,
+    pool: ParallelFilterPool,
+) -> Set[int]:
+    """Single-query candidate set via the shard pool (sketch path)."""
+    return parallel_filter_candidates(
+        [query], [query_sketches], params, n_bits, pool
+    )[0]
+
+
+def parallel_sketch_filter_many(
+    queries: Sequence[ObjectSignature],
+    query_sketches_list: Sequence[np.ndarray],
+    params: FilterParams,
+    n_bits: int,
+    pool: ParallelFilterPool,
+) -> List[Set[int]]:
+    """Alias mirroring :func:`sketch_filter_many`'s name."""
+    return parallel_filter_candidates(
+        queries, query_sketches_list, params, n_bits, pool
+    )
+
+
+# ----------------------------------------------------------------------
+# Query-result cache
+# ----------------------------------------------------------------------
+class QueryResultCache:
+    """Bounded LRU cache of scan results, invalidated by mutation epoch.
+
+    Entries are tagged with the single epoch the whole cache is valid
+    for; the first access at a different epoch clears everything (any
+    insert/delete/compaction may change any candidate set).  Real query
+    streams are heavily skewed, so even a small capacity absorbs most
+    repeats.  Thread-safe; a ``max_entries`` of 0 disables the cache.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict" = OrderedDict()
+        self._epoch: Optional[object] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _sync_epoch(self, epoch: object) -> None:
+        if self._epoch != epoch:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._epoch = epoch
+
+    def lookup(self, epoch: object, key: object):
+        """Cached value for ``key`` at ``epoch``, or ``None``."""
+        if self.max_entries == 0 or key is None:
+            return None
+        with self._lock:
+            self._sync_epoch(epoch)
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def store(self, epoch: object, key: object, value) -> None:
+        if self.max_entries == 0 or key is None:
+            return
+        with self._lock:
+            self._sync_epoch(epoch)
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }

@@ -12,6 +12,17 @@ Layout: table ``segment_sketches``, key ``object_key || segment index``
 (big-endian, so one object's segments are contiguous and the scan order
 is deterministic), value = packed sketch words.  The key embeds the
 owner, so the scan needs no side lookup.
+
+A :class:`~repro.core.parallel.ParallelFilterPool` can be attached to
+the sketch store: the table is streamed once into the pool's shared-
+memory arena (in scan order, so global row number == scan position) and
+subsequent scans fan out across the pool's workers.  Per-query
+thresholds are pushed into the workers — masked before selection — so
+the parallel scan keeps this module's threshold-then-top-k semantics,
+and the deterministic tie rule (smallest scan position wins at the kth
+distance) makes its results identical to the serial blocked scan.
+Attaching trades the out-of-core memory bound for scan speed: the arena
+snapshot is memory-resident.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import numpy as np
 
 from ..core.bitvector import hamming_many_to_many
 from ..core.filtering import FilterParams
+from ..core.parallel import _SENTINEL, ParallelFilterPool, ParallelScanError
 from ..core.ranking import SearchResult, rank_candidates
 from ..core.types import ObjectSignature
 from ..storage.kvstore import KVStore
@@ -43,6 +55,15 @@ class OutOfCoreSketchStore:
         self.store = store
         self.n_words = n_words
         self.block_size = block_size
+        # Mutation epoch: bumped on every insert so an attached pool's
+        # arena (tagged with the epoch it was loaded from) can be
+        # detected as stale and reloaded before the next scan.
+        self._epoch = 0
+        self._pool: Optional[ParallelFilterPool] = None
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
 
     @staticmethod
     def _key(object_id: int, segment: int) -> bytes:
@@ -57,6 +78,7 @@ class OutOfCoreSketchStore:
         with self.store.begin() as txn:
             for segment, row in enumerate(sketches):
                 txn.put(_TABLE, self._key(object_id, segment), row.tobytes())
+        self._epoch += 1
 
     def num_segments(self) -> int:
         return self.store.count(_TABLE)
@@ -88,6 +110,72 @@ class OutOfCoreSketchStore:
             after = batch[-1][0] + b"\x00"
             if len(batch) < self.block_size:
                 break
+
+    # -- parallel scan attachment ---------------------------------------
+    def attach_pool(self, pool: ParallelFilterPool) -> None:
+        """Serve scans from ``pool``'s worker shards instead of in-process.
+
+        The table is streamed into the pool's shared-memory arena on the
+        next scan (and re-streamed whenever the store's epoch moves past
+        the arena's).  The store does not own the pool: detaching or a
+        scan failure never closes it.
+        """
+        self._pool = pool
+        self._sync_pool()
+
+    def detach_pool(self) -> Optional[ParallelFilterPool]:
+        """Stop using the attached pool and return it (not closed)."""
+        pool, self._pool = self._pool, None
+        return pool
+
+    def _sync_pool(self) -> bool:
+        """Load/refresh the pool arena; True when it can serve scans."""
+        pool = self._pool
+        if pool is None:
+            return False
+        epoch = self._epoch
+        if pool.matches(epoch):
+            return True
+        owner_parts: List[np.ndarray] = []
+        sketch_parts: List[np.ndarray] = []
+        for owners, matrix in self.iter_blocks():
+            owner_parts.append(owners)
+            sketch_parts.append(matrix)
+        if not owner_parts:
+            return False  # empty table: the serial path is already O(1)
+        pool.load(
+            np.concatenate(owner_parts),
+            np.ascontiguousarray(np.concatenate(sketch_parts, axis=0)),
+            epoch=epoch,
+        )
+        return True
+
+    def _scan_nearest_pool(
+        self,
+        queries: np.ndarray,
+        k: int,
+        thresholds: Optional[Sequence[float]],
+    ) -> List[List[Tuple[int, int]]]:
+        assert self._pool is not None
+        th = None
+        if thresholds is not None:
+            # Per-query None means "no cutoff"; +inf masks nothing.
+            th = np.array(
+                [np.inf if t is None else float(t) for t in thresholds],
+                dtype=np.float64,
+            )
+        dists, rows = self._pool.scan_topk(queries, k, thresholds=th)
+        out: List[List[Tuple[int, int]]] = []
+        for qi in range(queries.shape[0]):
+            keep = dists[qi] < _SENTINEL
+            owners = self._pool.owners_of(rows[qi][keep])
+            out.append(
+                sorted(
+                    (int(owner), int(d))
+                    for owner, d in zip(owners, dists[qi][keep])
+                )
+            )
+        return out
 
     def scan_nearest(
         self,
@@ -124,7 +212,16 @@ class OutOfCoreSketchStore:
         n_queries = queries.shape[0]
         if thresholds is not None and len(thresholds) != n_queries:
             raise ValueError("need one threshold per query sketch")
-        heaps: List[List[Tuple[int, int]]] = [[] for _ in range(n_queries)]
+        if self._pool is not None and k > 0:
+            try:
+                if self._sync_pool():
+                    return self._scan_nearest_pool(queries, k, thresholds)
+            except ParallelScanError:
+                # A dead/closed pool must not fail the scan; drop it and
+                # stream in-process.  Re-attach to resume parallel scans.
+                self._pool = None
+        heaps: List[List[Tuple[int, int, int]]] = [[] for _ in range(n_queries)]
+        base = 0
         for owners, matrix in self.iter_blocks():
             dist_matrix = hamming_many_to_many(queries, matrix)
             for qi in range(n_queries):
@@ -132,9 +229,12 @@ class OutOfCoreSketchStore:
                 heap = heaps[qi]
                 # Pre-select the block's k best rows so the Python heap
                 # merge touches at most k entries per block.  The stable
-                # sort orders ties by scan position, so the heap keeps
-                # the same earliest-wins tie-breaking as a row-by-row
-                # scan of the whole table.
+                # sort orders ties by scan position; heap entries carry
+                # the negated global scan position so eviction removes
+                # the latest-scanned row among equal distances.  That is
+                # exactly the deterministic smallest-position-wins rule
+                # of :func:`~repro.core.filtering.select_k_smallest`, so
+                # serial and pool scans pick identical rows under ties.
                 best = np.argsort(dists, kind="stable")[:k]
                 threshold = thresholds[qi] if thresholds is not None else None
                 for row in best:
@@ -142,11 +242,12 @@ class OutOfCoreSketchStore:
                     if threshold is not None and d > threshold:
                         continue
                     if len(heap) < k:
-                        heapq.heappush(heap, (-d, int(owners[row])))
+                        heapq.heappush(heap, (-d, -(base + int(row)), int(owners[row])))
                     elif -heap[0][0] > d:
-                        heapq.heapreplace(heap, (-d, int(owners[row])))
+                        heapq.heapreplace(heap, (-d, -(base + int(row)), int(owners[row])))
+            base += matrix.shape[0]
         return [
-            sorted((owner, -neg) for neg, owner in heap) for heap in heaps
+            sorted((owner, -neg) for neg, _pos, owner in heap) for heap in heaps
         ]
 
 
@@ -189,7 +290,7 @@ class OutOfCoreSearcher:
         top = query.top_segments(params.num_query_segments)
         thresholds = (
             [
-                threshold_base * params.threshold_fn(float(query.weights[i]))
+                threshold_base * params.threshold_factor(float(query.weights[i]))
                 for i in top
             ]
             if threshold_base is not None

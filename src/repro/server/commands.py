@@ -26,7 +26,8 @@ number of results to return, filter parameters, and attributes"):
 - ``attrs <object_id>`` — dump an object's attributes.
 - ``setparam <name> <value>`` — adjust filter parameters live
   (``num_query_segments``, ``candidates_per_segment``,
-  ``threshold_fraction``).
+  ``threshold_fraction``, ``threshold_fn`` by registered name, and
+  ``parallel on|off`` for the sharded multi-core scan).
 - ``health`` — server health report: overall status, uptime, and
   per-component degradation details (see docs/ROBUSTNESS.md).
 
@@ -43,7 +44,7 @@ from typing import Dict, List, Optional
 from ..attrsearch.index import InvertedIndex, MemoryIndex
 from ..attrsearch.query import AttributeSearcher, QueryError
 from ..core.engine import LSHIndexError, SearchMethod, SimilaritySearchEngine
-from ..core.filtering import FilterParams
+from ..core.filtering import FilterParams, get_threshold_fn
 from ..storage.errors import StorageError
 from ..system import HealthState
 from .protocol import Command, DegradedError, ProtocolError, quote
@@ -66,6 +67,12 @@ class CommandProcessor:
         self.searcher = AttributeSearcher(self.index)
         self.attributes: Dict[int, Dict[str, str]] = dict(attributes or {})
         self.health = health if health is not None else HealthState()
+        # A pool failure mid-query degrades throughput, not correctness
+        # (the engine re-answers serially); surface it in `health` the
+        # same way an LSH-index fallback is.
+        self.engine.on_parallel_fallback = lambda reason: (
+            self.health.record_fallback("parallel_scan", reason)
+        )
 
     # -- attribute bookkeeping ------------------------------------------
     def register_attributes(self, object_id: int, attrs: Dict[str, str]) -> None:
@@ -125,6 +132,8 @@ class CommandProcessor:
 
     def _cmd_stat(self, command: Command) -> List[str]:
         stats = self.engine.stats()
+        par = self.engine.parallel_info()
+        cache = par["cache"]
         return [
             f"objects {stats.num_objects}",
             f"segments {stats.num_segments}",
@@ -133,6 +142,13 @@ class CommandProcessor:
             f"feature_bytes {stats.feature_bytes}",
             f"sketch_bytes {stats.sketch_bytes}",
             f"compression_ratio {stats.compression_ratio:.2f}",
+            f"parallel_enabled {'yes' if par['enabled'] else 'no'}",
+            f"parallel_active {'yes' if par['active'] else 'no'}",
+            f"parallel_workers {par['workers']}",
+            f"cache_entries {cache['entries']}/{cache['capacity']}",
+            f"cache_hits {cache['hits']}",
+            f"cache_misses {cache['misses']}",
+            f"cache_invalidations {cache['invalidations']}",
         ]
 
     def _cmd_query(self, command: Command) -> List[str]:
@@ -311,6 +327,21 @@ class CommandProcessor:
                 params.num_query_segments, params.candidates_per_segment,
                 value, params.threshold_fn,
             )
+        elif name == "threshold_fn":
+            try:
+                get_threshold_fn(raw)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+            updated = FilterParams(
+                params.num_query_segments, params.candidates_per_segment,
+                params.threshold_fraction, raw,
+            )
+        elif name == "parallel":
+            flag = raw.lower()
+            if flag not in ("on", "off"):
+                raise ProtocolError("usage: setparam parallel on|off")
+            self.engine.set_parallel_enabled(flag == "on")
+            return [f"parallel={flag}"]
         else:
             raise ProtocolError(f"unknown parameter {name!r}")
         self.engine.filter_params = updated

@@ -30,6 +30,7 @@ from .attrsearch.index import PersistentIndex
 from .attrsearch.query import AttributeSearcher
 from .core.engine import SearchMethod, SimilaritySearchEngine
 from .core.filtering import FilterParams
+from .core.parallel import ParallelConfig
 from .core.plugin import DataTypePlugin
 from .core.ranking import SearchResult
 from .core.sketch import SketchParams
@@ -123,6 +124,9 @@ class FerretSystem:
     sketch_params / filter_params:
         Engine tuning; the sketch seed is persisted on first open and
         reused afterwards so stored sketches stay comparable.
+    parallel:
+        Sharded-scan tuning forwarded to the engine (worker count,
+        auto-enable threshold, result-cache size).
     store_kwargs:
         Forwarded to the underlying :class:`KVStore` (sync policy etc.).
     """
@@ -133,6 +137,7 @@ class FerretSystem:
         directory: str,
         sketch_params: Optional[SketchParams] = None,
         filter_params: Optional[FilterParams] = None,
+        parallel: Optional[ParallelConfig] = None,
         **store_kwargs,
     ) -> None:
         os.makedirs(directory, exist_ok=True)
@@ -144,7 +149,8 @@ class FerretSystem:
         self.searcher = AttributeSearcher(self.index)
         sketch_params = self._pin_sketch_params(plugin, sketch_params)
         self.engine = SimilaritySearchEngine(
-            plugin, sketch_params, filter_params, metadata=self.metadata
+            plugin, sketch_params, filter_params, metadata=self.metadata,
+            parallel=parallel,
         )
         self._closed = False
         self.loaded = self.engine.load()
@@ -281,6 +287,7 @@ class FerretSystem:
 
     def close(self) -> None:
         if not self._closed:
+            self.engine.close()  # tear down the scan worker pool first
             self.store.close()
             self._closed = True
 
