@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke perf torture bench bench-parallel bench-throughput
+.PHONY: test smoke metrics-smoke perf torture bench bench-parallel bench-throughput
 
 # Tier-1 verification: the full fast suite (torture scans stay opt-in).
 test:
@@ -12,6 +12,12 @@ test:
 # pool vs serial candidate-set identity).
 smoke: test
 	$(PYTHON) -m pytest -q -m perf tests/core/test_parallel.py tests/core/test_perf_smoke.py
+
+# Observability smoke: metrics/tracing/log unit tests, the narrowed
+# exception-handler regressions, the cache epoch-race interleavings, and
+# the client<->server metrics + trace round-trip.
+metrics-smoke:
+	$(PYTHON) -m pytest -q tests/observability tests/core/test_cache_epoch_race.py tests/server/test_observability_integration.py
 
 perf:
 	$(PYTHON) -m pytest -q -m perf

@@ -15,9 +15,14 @@ Measures three things the batching PR claims:
 3. *End-to-end throughput*: ``engine.query_many`` against a sequential
    ``query`` loop, in queries/sec.  End-to-end time is dominated by
    exact EMD ranking, so this mostly shows the pipeline does not regress.
+4. *Metrics overhead*: the same sequential query loop with the metrics
+   registry enabled vs disabled.  The observability layer claims
+   near-zero cost (one branch per instrument with metrics off, a lock +
+   add with them on); this section holds it to < 5% end-to-end.
 
 Assertions fail the bench if any batched path stops returning the same
-candidates or the r=4 scan speedup drops below 3x.
+candidates, the r=4 scan speedup drops below 3x, or the metrics-enabled
+query path regresses more than 5% against metrics-disabled.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.core import (
 )
 from repro.core import bitvector
 from repro.datatypes.bulk import bulk_image_dataset
+from repro.observability import metrics as obs_metrics
 
 from bench_common import build_engine, scaled, write_json, write_result
 
@@ -148,6 +154,40 @@ def test_query_throughput():
     for got, expected in zip(batched, sequential):
         assert [r.object_id for r in got] == [r.object_id for r in expected]
 
+    # -- 4. metrics overhead: instrumented query path on vs off ----------
+    # The filter cache is cleared before every timed pass so both
+    # configurations do identical work (full serial scan + ranking);
+    # best-of-N per configuration suppresses scheduler noise on the
+    # 1-core CI box.  Alternating the order (on, off, on, off, ...)
+    # keeps thermal/cache drift from biasing one side.
+    overhead_queries = queries[: max(8, len(queries) // 2)]
+    overhead_repeats = 3
+    registry = obs_metrics.get_registry()
+    was_enabled = registry.enabled
+
+    def _time_query_loop() -> float:
+        engine._filter_cache.clear()
+        started = time.perf_counter()
+        for q in overhead_queries:
+            engine.query(q, top_k=10, method=SearchMethod.FILTERING,
+                         exclude_self=True)
+        return time.perf_counter() - started
+
+    best_on = float("inf")
+    best_off = float("inf")
+    try:
+        _time_query_loop()  # warm-up, outside both measurements
+        for _ in range(overhead_repeats):
+            obs_metrics.set_enabled(True)
+            best_on = min(best_on, _time_query_loop())
+            obs_metrics.set_enabled(False)
+            best_off = min(best_off, _time_query_loop())
+    finally:
+        registry.enabled = was_enabled
+    metrics_on_qps = len(overhead_queries) / best_on
+    metrics_off_qps = len(overhead_queries) / best_off
+    metrics_overhead = (best_on - best_off) / best_off
+
     lines = [
         "# Query throughput: batched Hamming kernel + multi-query pipeline",
         f"# {num_objects} objects, {engine.stats().num_segments} segments, "
@@ -169,6 +209,12 @@ def test_query_throughput():
         f"query_many() batch           {batch_qps:10.1f} queries/s "
         f"({batch_elapsed / len(queries) * 1e3:.3f} ms/query)",
         f"batch speedup                {batch_qps / seq_qps:10.2f} x",
+        "",
+        "## Metrics overhead (sequential query loop, best of "
+        f"{overhead_repeats})",
+        f"metrics enabled              {metrics_on_qps:10.1f} queries/s",
+        f"metrics disabled             {metrics_off_qps:10.1f} queries/s",
+        f"overhead                     {metrics_overhead * 100:10.2f} %",
     ]
     write_result("query_throughput", lines)
     write_json("query_throughput", {
@@ -191,6 +237,11 @@ def test_query_throughput():
             "batched_qps": batch_qps,
             "speedup": batch_qps / seq_qps,
         },
+        "metrics_overhead": {
+            "enabled_qps": metrics_on_qps,
+            "disabled_qps": metrics_off_qps,
+            "overhead_fraction": metrics_overhead,
+        },
         "identical_candidate_sets": True,
     })
 
@@ -201,6 +252,10 @@ def test_query_throughput():
     # End-to-end is dominated by exact EMD ranking, so the fused scan is a
     # small fraction of total time; just require the batch path not regress.
     assert batch_qps >= 0.9 * seq_qps, "batch pipeline regressed end-to-end"
+    assert metrics_overhead < 0.05, (
+        f"metrics-enabled query path {metrics_overhead * 100:.2f}% slower "
+        f"than disabled (budget: 5%)"
+    )
 
 
 if __name__ == "__main__":

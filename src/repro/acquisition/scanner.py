@@ -18,8 +18,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.engine import SimilaritySearchEngine
+from ..observability import metrics as _metrics
+from ..storage.errors import StorageError
 
 __all__ = ["ScanReport", "DirectoryScanner"]
+
+_M_IMPORTS = _metrics.counter("acquisition.imports")
+_M_SCANS = _metrics.counter("acquisition.scans")
+_M_ERR_IMPORT = _metrics.counter("errors_absorbed.acquisition.import")
 
 
 @dataclass
@@ -98,6 +104,7 @@ class DirectoryScanner:
     def scan_once(self) -> ScanReport:
         """One scan pass: import every new, size-stable file."""
         report = ScanReport()
+        _M_SCANS.inc()
         for path in self._candidates():
             if path in self.imported:
                 continue
@@ -114,12 +121,17 @@ class DirectoryScanner:
             attrs = self.attribute_fn(path) if self.attribute_fn else {}
             try:
                 object_id = self.engine.insert_file(path, attributes=attrs)
-            except Exception as exc:
+            except (OSError, ValueError, KeyError, StorageError) as exc:
+                # A bad file (unreadable, malformed for the plug-in) or a
+                # storage hiccup fails *that file* and the scan moves on;
+                # anything else (TypeError, a plug-in bug) must surface.
+                _M_ERR_IMPORT.inc()
                 report.failed[path] = f"{type(exc).__name__}: {exc}"
                 continue
             self.imported.add(path)
             self._sizes.pop(path, None)
             report.imported.append(path)
+            _M_IMPORTS.inc()
             if self.on_import is not None:
                 self.on_import(path, object_id)
         return report

@@ -16,6 +16,7 @@ three search methods compared in section 6.3.3:
 from __future__ import annotations
 
 import enum
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -31,6 +32,8 @@ from typing import (
 
 import numpy as np
 
+from ..observability import metrics as _metrics
+from ..observability.tracing import QueryTrace, TraceRecorder
 from .bitvector import hamming_many_to_many, hamming_to_many
 from .filtering import (
     FilterParams,
@@ -41,6 +44,7 @@ from .lshindex import LSHIndex, LSHParams
 from .parallel import (
     ParallelConfig,
     ParallelFilterPool,
+    ParallelScanError,
     QueryResultCache,
     parallel_filter_candidates,
 )
@@ -56,6 +60,23 @@ __all__ = [
     "EngineStats",
     "SimilaritySearchEngine",
 ]
+
+# Query-pipeline telemetry (see docs/OBSERVABILITY.md).  Handles are
+# created once at import; the registry's reset() zeroes them in place.
+_M_QUERIES = _metrics.counter("engine.queries")
+_M_QUERY_SECONDS = _metrics.histogram("engine.query_seconds")
+_M_BATCH_QUERIES = _metrics.counter("engine.batch_queries")
+_M_BATCH_SECONDS = _metrics.histogram("engine.batch_seconds")
+_M_FILTER_SECONDS = _metrics.histogram("engine.filter_seconds")
+_M_RANK_SECONDS = _metrics.histogram("engine.rank_seconds")
+_M_CANDIDATES = _metrics.histogram(
+    "engine.candidates", buckets=_metrics.DEFAULT_COUNT_BUCKETS
+)
+_M_DISTANCE_EVALS = _metrics.counter("engine.distance_evals")
+_M_POOL_FALLBACKS = _metrics.counter("engine.pool_fallbacks")
+_M_CACHE_RACE_SKIPS = _metrics.counter("query_cache.stale_store_skips")
+_M_ERR_POOL_SCAN = _metrics.counter("errors_absorbed.engine.pool_scan")
+_M_ERR_POOL_CLOSE = _metrics.counter("errors_absorbed.engine.pool_close")
 
 
 class LSHIndexError(ValueError):
@@ -173,6 +194,9 @@ class SimilaritySearchEngine:
         self._pool: Optional[ParallelFilterPool] = None
         self._pool_broken = False
         self._filter_cache = QueryResultCache(self._parallel_cfg.cache_entries)
+        # Per-engine tracing state: opt-in stage traces plus the always
+        # armed slow-query log (the server's ``setparam trace on|off``).
+        self.tracer = TraceRecorder()
         # Observability hook: called with a reason string whenever the
         # pool fails and a query silently falls back to the serial scan
         # (the server wires this to HealthState.record_fallback).
@@ -347,18 +371,21 @@ class SimilaritySearchEngine:
 
     def _abandon_pool(self, reason: str) -> None:
         """Pool failure: disable it and notify; queries stay serial."""
+        _M_POOL_FALLBACKS.inc()
         self._pool_broken = True
         pool, self._pool = self._pool, None
         if pool is not None:
             try:
                 pool.close()
-            except Exception:
-                pass
+            except OSError:
+                # Tearing down an already-broken pool may fail again at
+                # the OS level; the serial fallback must still proceed.
+                _M_ERR_POOL_CLOSE.inc()
         if self.on_parallel_fallback is not None:
-            try:
-                self.on_parallel_fallback(reason)
-            except Exception:
-                pass
+            # Deliberately unguarded: the callback is wired by the
+            # embedding process (the server's HealthState), and a broken
+            # observer is a caller bug that must surface, not vanish.
+            self.on_parallel_fallback(reason)
 
     def set_parallel_enabled(self, enabled: bool) -> None:
         """Live toggle (the server's ``setparam parallel on|off``).
@@ -405,6 +432,7 @@ class SimilaritySearchEngine:
         self,
         queries: Sequence[ObjectSignature],
         query_sketches_list: Sequence[np.ndarray],
+        trace: Optional[QueryTrace] = None,
     ) -> List[Set[int]]:
         """Filtering-phase candidate sets for a batch of queries.
 
@@ -413,6 +441,8 @@ class SimilaritySearchEngine:
         enough), then the serial fused scan — which is also the graceful
         fallback when the pool fails mid-flight.  All paths return
         identical candidate sets, so the choice is invisible to callers.
+        When ``trace`` is given, the chosen scan path, cache hit/miss
+        split, and per-path scan time are recorded on it.
         """
         params = self.filter_params
         n = len(queries)
@@ -428,32 +458,59 @@ class SimilaritySearchEngine:
                 if hit is not None:
                     results[i] = set(hit)
         miss = [i for i in range(n) if results[i] is None]
+        if trace is not None:
+            trace.add_count("cache_hits", n - len(miss))
+            trace.add_count("cache_misses", len(miss))
         if not miss:
+            if trace is not None:
+                trace.note("scan", "cache")
             return results  # type: ignore[return-value]
         miss_queries = [queries[i] for i in miss]
         miss_sketches = [query_sketches_list[i] for i in miss]
         computed: Optional[List[Set[int]]] = None
         computed_epoch: Optional[object] = None
+        scan_path = "serial"
         if self._parallel_ready():
             try:
                 pool = self._ensure_pool()
                 computed_epoch = pool.loaded_epoch
+                scan_started = time.perf_counter()
                 computed = parallel_filter_candidates(
                     miss_queries, miss_sketches, params,
                     self.sketcher.n_bits, pool,
                 )
-            except Exception as exc:
+                scan_path = "parallel"
+                if trace is not None:
+                    trace.add_stage(
+                        "parallel_scan", time.perf_counter() - scan_started
+                    )
+            except (ParallelScanError, OSError) as exc:
+                # Only pool-infrastructure failures (dead workers,
+                # timeouts, shared-memory exhaustion) may trigger the
+                # silent serial fallback; any other exception is a bug
+                # in the scan itself and propagates to the caller.
+                _M_ERR_POOL_SCAN.inc()
                 self._abandon_pool(f"{type(exc).__name__}: {exc}")
                 computed = None
+                scan_path = "parallel_fallback"
         if computed is None:
+            scan_started = time.perf_counter()
             computed = sketch_filter_many(
                 miss_queries, miss_sketches, self._store, params,
                 n_bits=self.sketcher.n_bits,
             )
+            if trace is not None:
+                trace.add_stage(
+                    "serial_scan", time.perf_counter() - scan_started
+                )
             # The serial scan snapshots internally; only cache when the
             # store provably did not move underneath the whole pass.
             after = self._store.epoch
             computed_epoch = epoch_seen if after == epoch_seen else None
+            if computed_epoch is None:
+                _M_CACHE_RACE_SKIPS.inc()
+        if trace is not None:
+            trace.note("scan", scan_path)
         if (
             cache.max_entries
             and params_key is not None
@@ -497,38 +554,108 @@ class SimilaritySearchEngine:
             raise ValueError("top_k must be positive")
         if not self._objects:
             return []
+        started = time.perf_counter()
+        trace = self.tracer.begin(method.value, 1)
+        results = self._query_one(
+            query, top_k, method, exclude_self, restrict_to, cascade, trace
+        )
+        elapsed = time.perf_counter() - started
+        _M_QUERIES.inc()
+        _M_QUERY_SECONDS.observe(elapsed)
+        if trace is not None:
+            self.tracer.finish(trace, elapsed)
+        else:
+            self.tracer.observe_total(method.value, 1, elapsed)
+        return results
+
+    def _note_rank(
+        self, trace: Optional[QueryTrace], seconds: float, evals: int
+    ) -> None:
+        """Record one ranking pass: its wall time and how many objects
+        got a full (expensive) distance evaluation."""
+        _M_RANK_SECONDS.observe(seconds)
+        _M_DISTANCE_EVALS.inc(evals)
+        if trace is not None:
+            trace.add_stage("rank", seconds)
+            trace.add_count("distance_evals", evals)
+
+    def _query_one(
+        self,
+        query: ObjectSignature,
+        top_k: int,
+        method: SearchMethod,
+        exclude_self: bool,
+        restrict_to: Optional[Sequence[int]],
+        cascade: Optional[int],
+        trace: Optional[QueryTrace],
+    ) -> List[SearchResult]:
+        """Dispatch one validated query to its search-method pipeline."""
         universe = (
             set(self._objects)
             if restrict_to is None
             else {i for i in restrict_to if i in self._objects}
         )
         if method is SearchMethod.BRUTE_FORCE_ORIGINAL:
-            return rank_candidates(
+            rank_started = time.perf_counter()
+            results = rank_candidates(
                 query, universe, self._objects, self.plugin.obj_distance,
                 top_k=top_k, exclude_self=exclude_self,
             )
+            self._note_rank(
+                trace, time.perf_counter() - rank_started, len(universe)
+            )
+            return results
+        sketch_started = time.perf_counter()
         query_sketches = self.sketcher.sketch_many(query.features)
+        if trace is not None:
+            trace.add_stage("sketch", time.perf_counter() - sketch_started)
         if method is SearchMethod.BRUTE_FORCE_SKETCH:
-            return self._rank_by_sketch(
+            rank_started = time.perf_counter()
+            results = self._rank_by_sketch(
                 query, query_sketches, universe, top_k, exclude_self
             )
+            self._note_rank(
+                trace, time.perf_counter() - rank_started, len(universe)
+            )
+            return results
         if method is SearchMethod.FILTERING:
-            candidates = self._filter_candidates([query], [query_sketches])[0]
+            filter_started = time.perf_counter()
+            candidates = self._filter_candidates(
+                [query], [query_sketches], trace=trace
+            )[0]
+            filter_seconds = time.perf_counter() - filter_started
+            _M_FILTER_SECONDS.observe(filter_seconds)
             candidates &= universe
+            _M_CANDIDATES.observe(len(candidates))
+            if trace is not None:
+                trace.add_stage("filter", filter_seconds)
+                trace.add_count("candidates", len(candidates))
             if cascade is not None and cascade > 0 and len(candidates) > cascade:
+                cascade_started = time.perf_counter()
                 candidates = self._cascade_prune(
                     query, query_sketches, candidates, cascade, exclude_self
                 )
-            return rank_candidates(
+                if trace is not None:
+                    trace.add_stage(
+                        "cascade", time.perf_counter() - cascade_started
+                    )
+                    trace.add_count("cascade_survivors", len(candidates))
+            rank_started = time.perf_counter()
+            results = rank_candidates(
                 query, candidates, self._objects, self.plugin.obj_distance,
                 top_k=top_k, exclude_self=exclude_self,
             )
+            self._note_rank(
+                trace, time.perf_counter() - rank_started, len(candidates)
+            )
+            return results
         if method is SearchMethod.LSH:
             if self.lsh_index is None:
                 raise LSHIndexError(
                     "engine was built without lsh_params; LSH search is "
                     "unavailable"
                 )
+            filter_started = time.perf_counter()
             try:
                 candidates = self.lsh_index.candidates(query_sketches)
             except Exception as exc:
@@ -536,10 +663,21 @@ class SimilaritySearchEngine:
                     f"LSH candidate lookup failed: {exc}"
                 ) from exc
             candidates &= universe
-            return rank_candidates(
+            _M_CANDIDATES.observe(len(candidates))
+            if trace is not None:
+                trace.add_stage(
+                    "lsh_lookup", time.perf_counter() - filter_started
+                )
+                trace.add_count("candidates", len(candidates))
+            rank_started = time.perf_counter()
+            results = rank_candidates(
                 query, candidates, self._objects, self.plugin.obj_distance,
                 top_k=top_k, exclude_self=exclude_self,
             )
+            self._note_rank(
+                trace, time.perf_counter() - rank_started, len(candidates)
+            )
+            return results
         raise ValueError(f"unsupported method {method!r}")
 
     def query_many(
@@ -591,30 +729,58 @@ class SimilaritySearchEngine:
             if restrict_to is None
             else {i for i in restrict_to if i in self._objects}
         )
+        started = time.perf_counter()
+        trace = self.tracer.begin(method.value, len(queries))
         # One concatenated sketching pass for the whole batch, then one
         # fused filtering scan over the store for every query at once.
+        sketch_started = time.perf_counter()
         all_sketches = self.sketcher.sketch_many(
             np.concatenate([q.features for q in queries], axis=0)
         )
         splits = np.cumsum([q.num_segments for q in queries])[:-1]
         sketches_list = np.split(all_sketches, splits)
-        candidate_sets = self._filter_candidates(queries, sketches_list)
+        if trace is not None:
+            trace.add_stage("sketch", time.perf_counter() - sketch_started)
+        filter_started = time.perf_counter()
+        candidate_sets = self._filter_candidates(
+            queries, sketches_list, trace=trace
+        )
+        filter_seconds = time.perf_counter() - filter_started
+        _M_FILTER_SECONDS.observe(filter_seconds)
+        if trace is not None:
+            trace.add_stage("filter", filter_seconds)
+
+        # Per-slot writes from the ranking threads; the trace itself is
+        # only updated after the pool joins (it is not thread-safe).
+        evals = [0] * len(queries)
 
         def _finish(index: int) -> List[SearchResult]:
             query = queries[index]
             candidates = candidate_sets[index] & universe
+            _M_CANDIDATES.observe(len(candidates))
             if cascade is not None and cascade > 0 and len(candidates) > cascade:
                 candidates = self._cascade_prune(
                     query, sketches_list[index], candidates, cascade,
                     exclude_self,
                 )
+            evals[index] = len(candidates)
             return rank_candidates(
                 query, candidates, self._objects, self.plugin.obj_distance,
                 top_k=top_k, exclude_self=exclude_self,
             )
 
+        rank_started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_finish, range(len(queries))))
+            all_results = list(pool.map(_finish, range(len(queries))))
+        self._note_rank(trace, time.perf_counter() - rank_started, sum(evals))
+        elapsed = time.perf_counter() - started
+        _M_BATCH_QUERIES.inc(len(queries))
+        _M_BATCH_SECONDS.observe(elapsed)
+        if trace is not None:
+            self.tracer.finish(trace, elapsed)
+        else:
+            self.tracer.observe_total(method.value, len(queries), elapsed)
+        return all_results
 
     def query_by_id(self, object_id: int, **kwargs) -> List[SearchResult]:
         """Query using an already-inserted object as the seed."""

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -43,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import multiprocessing
 import numpy as np
 
+from ..observability import metrics as _metrics
 from .bitvector import hamming_many_to_many
 from .filtering import (
     FilterParams,
@@ -65,6 +67,22 @@ __all__ = [
 # real Hamming distance, below no distance, and shared with the merge so
 # padded entries sort last and never survive the final selection.
 _SENTINEL = np.uint32(np.iinfo(np.uint32).max)
+
+# Parent-side pool/cache telemetry (see docs/OBSERVABILITY.md).  Handles
+# are created once at import; MetricsRegistry.reset() zeroes them in
+# place so they stay valid across test resets.
+_M_POOL_SCANS = _metrics.counter("parallel.scans")
+_M_POOL_SCAN_SECONDS = _metrics.histogram("parallel.scan_seconds")
+_M_POOL_WAIT_SECONDS = _metrics.histogram("parallel.shard_wait_seconds")
+_M_POOL_ROUND_TRIPS = _metrics.counter("parallel.worker_round_trips")
+_M_POOL_LOADS = _metrics.counter("parallel.arena_loads")
+_M_POOL_ROWS = _metrics.gauge("parallel.arena_rows")
+_M_CACHE_HITS = _metrics.counter("query_cache.hits")
+_M_CACHE_MISSES = _metrics.counter("query_cache.misses")
+_M_CACHE_EVICTIONS = _metrics.counter("query_cache.evictions")
+_M_CACHE_INVALIDATIONS = _metrics.counter("query_cache.invalidations")
+_M_ERR_SHM_RELEASE = _metrics.counter("errors_absorbed.parallel.shm_release")
+_M_ERR_POOL_CLOSE = _metrics.counter("errors_absorbed.parallel.pool_close")
 
 
 class ParallelScanError(RuntimeError):
@@ -210,11 +228,14 @@ def _worker_main(conn) -> None:
     for shm in shms:
         try:
             shm.close()
-        except Exception:
+        except (OSError, BufferError):
+            # A vanished map or an exported view must not mask the exit
+            # path; anything else (a bug) is allowed to surface in the
+            # worker's traceback.
             pass
     try:
         conn.close()
-    except Exception:
+    except OSError:
         pass
 
 
@@ -411,6 +432,8 @@ class ParallelFilterPool:
             self._epoch = epoch
             self._loaded = True
             self._release_shm(old_shm)
+            _M_POOL_LOADS.inc()
+            _M_POOL_ROWS.set(n_rows)
 
     @staticmethod
     def _release_shm(blocks) -> None:
@@ -420,8 +443,11 @@ class ParallelFilterPool:
                 shm.unlink()
             except FileNotFoundError:
                 pass
-            except Exception:
-                pass
+            except (OSError, BufferError):
+                # Already-unlinked blocks and still-exported buffer views
+                # are expected during teardown races; count them instead
+                # of hiding every exception type.
+                _M_ERR_SHM_RELEASE.inc()
 
     def matches(self, epoch: object) -> bool:
         """True when the arena was loaded from exactly this epoch."""
@@ -455,8 +481,10 @@ class ParallelFilterPool:
             for proc, conn in self._workers:
                 try:
                     conn.send(("stop",))
-                except Exception:
-                    pass
+                except OSError:
+                    # Dead worker / closed pipe: join+terminate below
+                    # still reaps it.
+                    _M_ERR_POOL_CLOSE.inc()
             for proc, conn in self._workers:
                 proc.join(timeout=2.0)
                 if proc.is_alive():
@@ -464,8 +492,8 @@ class ParallelFilterPool:
                     proc.join(timeout=1.0)
                 try:
                     conn.close()
-                except Exception:
-                    pass
+                except OSError:
+                    _M_ERR_POOL_CLOSE.inc()
             self._workers = []
             self._release_shm(self._shm)
             self._shm = []
@@ -508,6 +536,7 @@ class ParallelFilterPool:
             thresholds = np.asarray(thresholds, dtype=np.float64)
             if thresholds.shape[0] != queries.shape[0]:
                 raise ValueError("need one threshold per query row")
+        started = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ParallelScanError("pool is closed")
@@ -523,12 +552,17 @@ class ParallelFilterPool:
                 self._send(conn, ("scan", queries, k, thresholds), "scan")
             parts_d: List[np.ndarray] = []
             parts_id: List[np.ndarray] = []
+            wait_started = time.perf_counter()
             for proc, conn in self._workers:
                 _ok, d, rows = self._recv(conn, "scan")
                 if d.shape[1]:
                     parts_d.append(d)
                     parts_id.append(rows)
+            _M_POOL_WAIT_SECONDS.observe(time.perf_counter() - wait_started)
+            _M_POOL_ROUND_TRIPS.inc(len(self._workers))
+        _M_POOL_SCANS.inc()
         if not parts_d:
+            _M_POOL_SCAN_SECONDS.observe(time.perf_counter() - started)
             return (
                 np.empty((n_queries, 0), dtype=np.uint32),
                 np.empty((n_queries, 0), dtype=np.int64),
@@ -537,10 +571,12 @@ class ParallelFilterPool:
         all_id = np.concatenate(parts_id, axis=1)
         kk = min(k, all_d.shape[1])
         sel = select_k_smallest(all_d, kk, ids=all_id)
-        return (
+        result = (
             np.take_along_axis(all_d, sel, axis=1),
             np.take_along_axis(all_id, sel, axis=1),
         )
+        _M_POOL_SCAN_SECONDS.observe(time.perf_counter() - started)
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -645,12 +681,14 @@ class QueryResultCache:
         self._epoch: Optional[object] = None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.invalidations = 0
 
     def _sync_epoch(self, epoch: object) -> None:
         if self._epoch != epoch:
             if self._entries:
                 self.invalidations += 1
+                _M_CACHE_INVALIDATIONS.inc()
             self._entries.clear()
             self._epoch = epoch
 
@@ -663,9 +701,11 @@ class QueryResultCache:
             value = self._entries.get(key)
             if value is None:
                 self.misses += 1
+                _M_CACHE_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            _M_CACHE_HITS.inc()
             return value
 
     def store(self, epoch: object, key: object, value) -> None:
@@ -677,6 +717,8 @@ class QueryResultCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                _M_CACHE_EVICTIONS.inc()
 
     def clear(self) -> None:
         with self._lock:
@@ -693,5 +735,6 @@ class QueryResultCache:
                 "capacity": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "invalidations": self.invalidations,
             }

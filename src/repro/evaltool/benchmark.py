@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..core.engine import SearchMethod, SimilaritySearchEngine
+from ..observability.log import get_logger, set_quiet
 from .metrics import QualityScores, score_query
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
     "load_benchmark",
     "save_benchmark",
 ]
+
+_LOG = get_logger("evaltool")
 
 
 @dataclass(frozen=True)
@@ -195,13 +198,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--size", type=int, default=200, help="dataset size")
     parser.add_argument("--report", action="store_true",
                         help="print the per-set breakdown")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress logging (errors still log)")
     args = parser.parse_args(argv)
+    if args.quiet:
+        set_quiet(True)
 
     from ..datatypes import build_demo_engine
 
+    # Progress goes through the structured logger (stderr); stdout
+    # carries only the evaluation result, so it stays pipeable.
+    _LOG.info("building_engine", datatype=args.datatype, size=args.size)
     engine, _extra = build_demo_engine(args.datatype, size=args.size)
     suite = load_benchmark(args.benchmark)
+    _LOG.info("benchmark_loaded", suite=suite.name, sets=len(suite))
     result = evaluate_engine(engine, suite, SearchMethod.parse(args.method))
+    _LOG.info(
+        "evaluation_done",
+        queries=result.num_queries,
+        avg_query_seconds=f"{result.avg_query_seconds:.5f}",
+    )
     if args.report:
         print(result.report())
     else:

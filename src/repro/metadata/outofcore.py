@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import struct
+import time
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -38,12 +39,20 @@ from ..core.filtering import FilterParams
 from ..core.parallel import _SENTINEL, ParallelFilterPool, ParallelScanError
 from ..core.ranking import SearchResult, rank_candidates
 from ..core.types import ObjectSignature
+from ..observability import metrics as _metrics
 from ..storage.kvstore import KVStore
 from .manager import MetadataManager
 
 __all__ = ["OutOfCoreSketchStore", "OutOfCoreSearcher"]
 
 _TABLE = "segment_sketches"
+
+_M_SCANS = _metrics.counter("outofcore.scans")
+_M_SCAN_SECONDS = _metrics.histogram("outofcore.scan_seconds")
+_M_POOL_SCANS = _metrics.counter("outofcore.pool_scans")
+_M_BLOCKS = _metrics.counter("outofcore.blocks_read")
+_M_ROWS = _metrics.counter("outofcore.rows_scanned")
+_M_ERR_POOL_FALLBACK = _metrics.counter("errors_absorbed.outofcore.pool_scan")
 
 
 class OutOfCoreSketchStore:
@@ -106,6 +115,8 @@ class OutOfCoreSketchStore:
             matrix = np.frombuffer(b"".join(rows), dtype="<u8").reshape(
                 len(rows), self.n_words
             )
+            _M_BLOCKS.inc()
+            _M_ROWS.inc(len(rows))
             yield np.asarray(owners, dtype=np.int64), matrix.astype(np.uint64)
             after = batch[-1][0] + b"\x00"
             if len(batch) < self.block_size:
@@ -212,13 +223,19 @@ class OutOfCoreSketchStore:
         n_queries = queries.shape[0]
         if thresholds is not None and len(thresholds) != n_queries:
             raise ValueError("need one threshold per query sketch")
+        started = time.perf_counter()
+        _M_SCANS.inc()
         if self._pool is not None and k > 0:
             try:
                 if self._sync_pool():
-                    return self._scan_nearest_pool(queries, k, thresholds)
+                    result = self._scan_nearest_pool(queries, k, thresholds)
+                    _M_POOL_SCANS.inc()
+                    _M_SCAN_SECONDS.observe(time.perf_counter() - started)
+                    return result
             except ParallelScanError:
                 # A dead/closed pool must not fail the scan; drop it and
                 # stream in-process.  Re-attach to resume parallel scans.
+                _M_ERR_POOL_FALLBACK.inc()
                 self._pool = None
         heaps: List[List[Tuple[int, int, int]]] = [[] for _ in range(n_queries)]
         base = 0
@@ -246,6 +263,7 @@ class OutOfCoreSketchStore:
                     elif -heap[0][0] > d:
                         heapq.heapreplace(heap, (-d, -(base + int(row)), int(owners[row])))
             base += matrix.shape[0]
+        _M_SCAN_SECONDS.observe(time.perf_counter() - started)
         return [
             sorted((owner, -neg) for neg, _pos, owner in heap) for heap in heaps
         ]

@@ -1,0 +1,56 @@
+"""Observability layer: metrics registry, per-query tracing, logging.
+
+Production telemetry for the toolkit (the ROADMAP's "heavy traffic"
+north star needs more than offline benchmarks):
+
+- :mod:`~repro.observability.metrics` — a dependency-free, thread-safe
+  registry of counters, gauges, and fixed-bucket histograms with a
+  process-wide default instance and a stable line rendering.
+- :mod:`~repro.observability.tracing` — per-query stage timing and
+  cardinality traces through the two-phase pipeline, plus a ring-buffer
+  slow-query log.
+- :mod:`~repro.observability.log` — a structured stderr logger for
+  server/web startup and degraded-mode events (keeping stdout clean for
+  the scripted command protocol).
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, trace fields, and
+overhead numbers.
+"""
+
+from .log import StructuredLogger, get_logger, is_quiet, set_quiet, set_stream
+from .metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_enabled,
+)
+from .tracing import QueryTrace, SlowQueryLog, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "SlowQueryLog",
+    "StructuredLogger",
+    "TraceRecorder",
+    "counter",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "histogram",
+    "is_quiet",
+    "set_enabled",
+    "set_quiet",
+    "set_stream",
+]

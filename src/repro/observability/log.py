@@ -1,0 +1,127 @@
+"""Structured logging for the toolkit's long-running processes.
+
+The server and web front-end previously announced startup (and degraded
+modes) with bare ``print()`` to stdout — which pollutes the scripted
+command protocol the paper's section 5 use case pipes around.  This
+module gives them a tiny structured logger instead:
+
+- One line per event: ``<iso-time> <LEVEL> <name> <event> key=value ...``
+- Writes to **stderr** by default, never stdout, so protocol streams and
+  tool output stay clean.
+- A process-wide quiet switch (:func:`set_quiet`, the CLIs' ``--quiet``
+  flag) silences everything below ERROR.
+
+Built on stdlib only; not a ``logging`` wrapper because the toolkit
+needs exactly one handler, one format, and a hard guarantee about which
+stream it writes to.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = [
+    "StructuredLogger",
+    "get_logger",
+    "set_quiet",
+    "set_stream",
+    "is_quiet",
+]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Config:
+    """Process-wide sink configuration shared by every logger."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.stream: Optional[IO[str]] = None  # None = sys.stderr at call time
+        self.quiet = False
+        self.min_level = _LEVELS["info"]
+
+
+_CONFIG = _Config()
+
+
+def set_quiet(quiet: bool = True) -> None:
+    """Silence every event below ERROR (the CLIs' ``--quiet``)."""
+    _CONFIG.quiet = bool(quiet)
+
+
+def is_quiet() -> bool:
+    return _CONFIG.quiet
+
+
+def set_stream(stream: Optional[IO[str]]) -> None:
+    """Redirect log output (``None`` restores the stderr default).
+
+    Tests use this to capture events; the stream is resolved at call
+    time so late rebinding of ``sys.stderr`` keeps working.
+    """
+    _CONFIG.stream = stream
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    if text == "" or any(c.isspace() for c in text) or '"' in text:
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
+
+
+class StructuredLogger:
+    """Named logger emitting one structured line per event."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        numeric = _LEVELS[level]
+        if numeric < _CONFIG.min_level:
+            return
+        if _CONFIG.quiet and numeric < _LEVELS["error"]:
+            return
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime())
+        parts = [stamp, level.upper(), self.name, event]
+        parts.extend(f"{k}={_quote(v)}" for k, v in fields.items())
+        line = " ".join(parts) + "\n"
+        with _CONFIG.lock:
+            stream = _CONFIG.stream if _CONFIG.stream is not None else sys.stderr
+            try:
+                stream.write(line)
+                stream.flush()
+            except (OSError, ValueError):
+                # A closed/broken log sink must never take the server
+                # down; the event is dropped.
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)
+
+
+_LOGGERS: dict = {}
+_LOGGERS_LOCK = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Get (or create) the named logger; instances are cached."""
+    with _LOGGERS_LOCK:
+        logger = _LOGGERS.get(name)
+        if logger is None:
+            logger = StructuredLogger(name)
+            _LOGGERS[name] = logger
+        return logger

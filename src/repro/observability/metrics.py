@@ -1,0 +1,328 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The toolkit's runtime telemetry (per-stage query latency, candidate-set
+sizes, cache and pool behavior, WAL fsync cost, server command rates)
+all flows through one :class:`MetricsRegistry`.  Design constraints:
+
+- **No dependencies** — stdlib only, so the metrics layer is available
+  everywhere the engine is (including fork/spawn scan workers).
+- **Thread-safe** — the engine runs as one concurrent program
+  (section 3): server threads, acquisition threads, and the query
+  pipeline all update metrics concurrently.  Every mutation happens
+  under the owning metric's lock.
+- **Near-zero cost when disabled** — each instrument checks one
+  attribute on its registry before doing any work, so instrumented hot
+  paths cost a single predictable branch with metrics off.  Metric
+  objects are created once (at import time in the instrumented modules)
+  and survive :meth:`MetricsRegistry.reset`, which zeroes values in
+  place rather than discarding objects.
+
+The wire rendering (:meth:`MetricsRegistry.render`) is a stable,
+line-oriented ``name value`` format documented in
+``docs/OBSERVABILITY.md``; the server's ``metrics`` command and the web
+UI's ``/metrics`` page both emit it verbatim.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "set_enabled",
+]
+
+#: Latency buckets in seconds: 100us .. 10s, roughly 1-2.5-5 per decade.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Cardinality buckets (candidate-set sizes, rows scanned, ...).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+    50000, 100000,
+)
+
+
+class _Metric:
+    """Common plumbing: a name, a lock, and the owning registry."""
+
+    __slots__ = ("name", "_lock", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._registry = registry
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+
+class Counter(_Metric):
+    """Monotonic event counter."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _render(self) -> List[str]:
+        return [f"{self.name} {self.value}"]
+
+
+class Gauge(_Metric):
+    """Point-in-time value (pool workers, arena rows, ring occupancy)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _render(self) -> List[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with a running count and sum.
+
+    Buckets are upper bounds (``observe(v)`` lands in the first bucket
+    with ``v <= bound``; values above every bound only count toward
+    ``_count``/``_sum``).  Rendering emits cumulative bucket counts the
+    way Prometheus does, so rates and quantile estimates can be derived
+    downstream without the registry keeping per-observation state.
+    """
+
+    __slots__ = ("_bounds", "_buckets", "_count", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, registry)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self._bounds = tuple(float(b) for b in buckets)
+        self._buckets = [0] * len(self._bounds)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        idx = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if idx < len(self._buckets):
+                self._buckets[idx] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{count, sum, mean}`` plus per-bound cumulative counts."""
+        with self._lock:
+            out: Dict[str, float] = {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+            }
+            running = 0
+            for bound, n in zip(self._bounds, self._buckets):
+                running += n
+                out[f"le_{_fmt(bound)}"] = running
+            return out
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * len(self._bounds)
+            self._count = 0
+            self._sum = 0.0
+
+    def _render(self) -> List[str]:
+        with self._lock:
+            lines = [
+                f"{self.name}_count {self._count}",
+                f"{self.name}_sum {_fmt(self._sum)}",
+            ]
+            running = 0
+            for bound, n in zip(self._bounds, self._buckets):
+                running += n
+                lines.append(f"{self.name}_bucket_le_{_fmt(bound)} {running}")
+            return lines
+
+
+def _fmt(value: float) -> str:
+    """Render a number without float noise: ints stay ints."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Named metric store; get-or-create accessors, stable rendering.
+
+    One process-wide default registry (:func:`get_registry`) backs all
+    built-in instrumentation; isolated registries can be created for
+    tests or embedded engines.  ``enabled`` gates every mutation — see
+    the module docstring for the cost model.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every metric *in place* (instruments keep their handles)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._reset()
+
+    # -- get-or-create ---------------------------------------------------
+    def _get(self, name: str, cls, **kwargs) -> _Metric:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, self, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets)  # type: ignore[return-value]
+
+    # -- introspection ---------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def value(self, name: str) -> float:
+        """Convenience: a counter/gauge's value (0 for unknown names)."""
+        metric = self.get(name)
+        if metric is None or isinstance(metric, Histogram):
+            return 0.0
+        return metric.value  # type: ignore[union-attr]
+
+    def render(self) -> List[str]:
+        """Stable line format: one ``name value`` pair per line, sorted
+        by metric name (histograms expand to ``_count``/``_sum``/
+        ``_bucket_le_*`` lines)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric._render())
+        return lines
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry all built-in instruments use."""
+    return _DEFAULT_REGISTRY
+
+
+def set_enabled(enabled: bool) -> None:
+    """Master switch on the default registry."""
+    _DEFAULT_REGISTRY.enabled = bool(enabled)
+
+
+def counter(name: str) -> Counter:
+    return _DEFAULT_REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _DEFAULT_REGISTRY.gauge(name)
+
+
+def histogram(
+    name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+) -> Histogram:
+    return _DEFAULT_REGISTRY.histogram(name, buckets=buckets)

@@ -67,6 +67,8 @@ IDEMPOTENT_COMMANDS = frozenset(
         "attrquery",
         "attrs",
         "setparam",
+        "metrics",
+        "trace",
     }
 )
 
@@ -155,9 +157,23 @@ class FerretClient:
         ``deadline`` is an absolute ``time.monotonic()`` instant; the
         socket timeout is re-armed from it before the send and before
         every response read, so a stalled server cannot hold the caller
-        past its budget.  After any failure the connection is torn down:
-        a half-read response would desynchronize the line protocol.
+        past its budget.  An already-expired deadline raises
+        :class:`ClientTimeout` *before* anything is written — sending a
+        command whose response will never be read would desynchronize
+        the connection for no benefit.  After any mid-flight failure the
+        connection is torn down: a half-read response would
+        desynchronize the line protocol.
         """
+        # The command word is only for error messages; an empty or
+        # whitespace-only line must still fail as a timeout/protocol
+        # error, not as an IndexError on split()[0].
+        tokens = line.split()
+        command_word = tokens[0] if tokens else "<empty>"
+        if deadline is not None and deadline - time.monotonic() <= 0:
+            # Connection (if any) is untouched: nothing was sent.
+            raise ClientTimeout(
+                f"deadline expired before {command_word!r} was sent"
+            )
         if self._sock is None:
             try:
                 self._connect()
@@ -170,7 +186,9 @@ class FerretClient:
                 return self.timeout
             left = deadline - time.monotonic()
             if left <= 0:
-                raise ClientTimeout(f"deadline expired before {line.split()[0]!r} completed")
+                raise ClientTimeout(
+                    f"deadline expired before {command_word!r} completed"
+                )
             return left
 
         try:
@@ -198,7 +216,7 @@ class FerretClient:
             # The connection is now desynchronized (a late response may
             # still arrive): drop it so the next command starts clean.
             self._teardown()
-            raise ClientTimeout(f"command timed out: {line.split()[0]!r}") from exc
+            raise ClientTimeout(f"command timed out: {command_word!r}") from exc
         except (OSError, ValueError) as exc:
             self._teardown()
             raise ClientError(f"connection failed: {exc}") from exc
@@ -263,6 +281,22 @@ class FerretClient:
         """Server health: status plus per-component degradation details."""
         out: Dict[str, str] = {}
         for line in self.send("health"):
+            key, _, value = line.partition(" ")
+            out[key] = value
+        return out
+
+    def metrics(self) -> Dict[str, str]:
+        """The server's metrics registry as ``{name: value}`` strings."""
+        out: Dict[str, str] = {}
+        for line in self.send("metrics"):
+            key, _, value = line.partition(" ")
+            out[key] = value
+        return out
+
+    def trace(self) -> Dict[str, str]:
+        """The last query's stage breakdown (``setparam trace on`` first)."""
+        out: Dict[str, str] = {}
+        for line in self.send("trace"):
             key, _, value = line.partition(" ")
             out[key] = value
         return out

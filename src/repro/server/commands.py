@@ -26,10 +26,18 @@ number of results to return, filter parameters, and attributes"):
 - ``attrs <object_id>`` — dump an object's attributes.
 - ``setparam <name> <value>`` — adjust filter parameters live
   (``num_query_segments``, ``candidates_per_segment``,
-  ``threshold_fraction``, ``threshold_fn`` by registered name, and
-  ``parallel on|off`` for the sharded multi-core scan).
+  ``threshold_fraction``, ``threshold_fn`` by registered name,
+  ``parallel on|off`` for the sharded multi-core scan,
+  ``trace on|off`` for per-query stage tracing, ``metrics on|off`` for
+  the registry master switch, and ``slow_query_ms <ms>`` for the
+  slow-query log threshold).
 - ``health`` — server health report: overall status, uptime, and
   per-component degradation details (see docs/ROBUSTNESS.md).
+- ``metrics`` — dump the process metrics registry in its stable
+  ``name value`` line format (see docs/OBSERVABILITY.md).
+- ``trace`` — the last query's stage breakdown (needs
+  ``setparam trace on``); ``trace slow [n]`` lists the most recent
+  slow-query log entries.
 
 Graceful degradation: storage failures answer ``ERR DEGRADED <reason>``
 (a structured error clients can tell apart from bad requests), and an
@@ -39,17 +47,24 @@ path instead of failing the command.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from ..attrsearch.index import InvertedIndex, MemoryIndex
 from ..attrsearch.query import AttributeSearcher, QueryError
 from ..core.engine import LSHIndexError, SearchMethod, SimilaritySearchEngine
 from ..core.filtering import FilterParams, get_threshold_fn
+from ..observability import metrics as _metrics
 from ..storage.errors import StorageError
 from ..system import HealthState
 from .protocol import Command, DegradedError, ProtocolError, quote
 
 __all__ = ["CommandProcessor"]
+
+_M_COMMANDS = _metrics.counter("server.commands")
+_M_COMMAND_SECONDS = _metrics.histogram("server.command_seconds")
+_M_COMMAND_ERRORS = _metrics.counter("server.command_errors")
+_M_DEGRADED = _metrics.counter("server.degraded_responses")
 
 
 class CommandProcessor:
@@ -91,12 +106,23 @@ class CommandProcessor:
         """
         handler = getattr(self, f"_cmd_{command.name}", None)
         if handler is None:
+            _M_COMMAND_ERRORS.inc()
             raise ProtocolError(f"unknown command {command.name!r}")
+        started = time.perf_counter()
         try:
-            return handler(command)
+            result = handler(command)
         except StorageError as exc:
+            _M_COMMAND_ERRORS.inc()
+            _M_DEGRADED.inc()
             self.health.record_error("storage", exc)
             raise DegradedError(f"storage: {exc}") from exc
+        except Exception:
+            _M_COMMAND_ERRORS.inc()
+            raise
+        _M_COMMANDS.inc()
+        _M_COMMAND_SECONDS.observe(time.perf_counter() - started)
+        _metrics.counter(f"server.command.{command.name}").inc()
+        return result
 
     # -- degraded-mode query fallback -------------------------------------
     def _run_query(self, method: SearchMethod, run):
@@ -134,6 +160,7 @@ class CommandProcessor:
         stats = self.engine.stats()
         par = self.engine.parallel_info()
         cache = par["cache"]
+        tracer = self.engine.tracer
         return [
             f"objects {stats.num_objects}",
             f"segments {stats.num_segments}",
@@ -148,8 +175,42 @@ class CommandProcessor:
             f"cache_entries {cache['entries']}/{cache['capacity']}",
             f"cache_hits {cache['hits']}",
             f"cache_misses {cache['misses']}",
+            f"cache_evictions {cache['evictions']}",
             f"cache_invalidations {cache['invalidations']}",
+            f"metrics {'on' if _metrics.get_registry().enabled else 'off'}",
+            f"trace {'on' if tracer.enabled else 'off'}",
+            f"slow_queries {tracer.slow_log.total_recorded}",
+            f"slow_query_ms {tracer.slow_log.threshold_seconds * 1000.0:g}",
         ]
+
+    def _cmd_metrics(self, command: Command) -> List[str]:
+        return _metrics.get_registry().render()
+
+    def _cmd_trace(self, command: Command) -> List[str]:
+        tracer = self.engine.tracer
+        if command.args and command.args[0] == "slow":
+            try:
+                limit = int(command.args[1]) if len(command.args) > 1 else 10
+            except ValueError:
+                raise ProtocolError("usage: trace slow [n]") from None
+            if limit <= 0:
+                raise ProtocolError("usage: trace slow [n]")
+            lines = [f"slow_queries_total {tracer.slow_log.total_recorded}"]
+            for i, entry in enumerate(tracer.slow_log.entries()[-limit:]):
+                lines.append(
+                    f"{i} method={entry.method} queries={entry.num_queries} "
+                    f"total_seconds={entry.total_seconds:.6f}"
+                )
+            return lines
+        if command.args:
+            raise ProtocolError("usage: trace [slow [n]]")
+        last = tracer.last
+        if last is None:
+            return [
+                f"tracing {'on' if tracer.enabled else 'off'}",
+                "no_trace_recorded",
+            ]
+        return last.lines()
 
     def _cmd_query(self, command: Command) -> List[str]:
         if len(command.args) != 1:
@@ -342,6 +403,28 @@ class CommandProcessor:
                 raise ProtocolError("usage: setparam parallel on|off")
             self.engine.set_parallel_enabled(flag == "on")
             return [f"parallel={flag}"]
+        elif name == "trace":
+            flag = raw.lower()
+            if flag not in ("on", "off"):
+                raise ProtocolError("usage: setparam trace on|off")
+            self.engine.tracer.set_enabled(flag == "on")
+            return [f"trace={flag}"]
+        elif name == "metrics":
+            flag = raw.lower()
+            if flag not in ("on", "off"):
+                raise ProtocolError("usage: setparam metrics on|off")
+            _metrics.set_enabled(flag == "on")
+            return [f"metrics={flag}"]
+        elif name == "slow_query_ms":
+            try:
+                millis = float(raw)
+            except ValueError:
+                raise ProtocolError(f"bad slow_query_ms {raw!r}") from None
+            try:
+                self.engine.tracer.set_slow_threshold(millis / 1000.0)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+            return [f"slow_query_ms={raw}"]
         else:
             raise ProtocolError(f"unknown parameter {name!r}")
         self.engine.filter_params = updated

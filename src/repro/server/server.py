@@ -16,10 +16,15 @@ import socketserver
 import threading
 from typing import Optional, Sequence
 
+from ..observability import metrics as _metrics
+from ..observability.log import get_logger, set_quiet
 from .commands import CommandProcessor
 from .protocol import ProtocolError, format_error, format_ok, parse_command
 
 __all__ = ["FerretServer", "serve_background", "main", "MAX_LINE_BYTES"]
+
+_LOG = get_logger("server")
+_M_UNHANDLED = _metrics.counter("server.unhandled_errors")
 
 #: Upper bound on one request line.  A client that streams an unbounded
 #: "line" would otherwise grow the server-side buffer without limit; at
@@ -79,7 +84,16 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = format_ok(data)
             except ProtocolError as exc:
                 response = format_error(str(exc))
-            except Exception as exc:  # surface engine errors to the client
+            except Exception as exc:
+                # Deliberately broad: this is the per-connection fault
+                # boundary — an engine bug must be reported to *this*
+                # client as ERR, never unwind the server loop.  It is
+                # counted and logged, not silent.
+                _M_UNHANDLED.inc()
+                _LOG.error(
+                    "command_failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 response = format_error(f"{type(exc).__name__}: {exc}")
             if not self._reply(response):
                 return
@@ -115,7 +129,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--size", type=int, default=150)
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7878)
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress startup/progress logging (errors still log)",
+    )
     args = parser.parse_args(argv)
+    if args.quiet:
+        set_quiet(True)
 
     from ..datatypes import build_demo_engine
 
@@ -123,11 +143,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     processor = CommandProcessor(engine)
     server = FerretServer(processor, args.host, args.port)
     host, port = server.server_address
-    # flush so supervisors reading a pipe see the ready line immediately
-    print(
-        f"ferret-server: {args.datatype} engine with {len(engine)} objects "
-        f"on {host}:{port}",
-        flush=True,
+    # The ready line is a *log event* on stderr, never stdout: stdout
+    # stays clean for scripted pipelines around the line protocol.
+    # Supervisors should wait for the port to accept connections.
+    _LOG.info(
+        "ready",
+        datatype=args.datatype,
+        objects=len(engine),
+        address=f"{host}:{port}",
     )
     try:
         server.serve_forever()

@@ -22,8 +22,10 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..observability import metrics as _metrics
 from .btree import MAX_KEY_SIZE, BTree
 from .errors import KeyTooLargeError, StoreClosedError, StorageError
 from .fs import OS_FS, FileSystem
@@ -35,6 +37,15 @@ from .wal import REC_DELETE, REC_PUT, WalRecord, WriteAheadLog
 __all__ = ["KVStore"]
 
 _CATALOG = "__catalog__"
+
+_M_RECOVERIES = _metrics.counter("store.recoveries")
+_M_RECOVERED_TXNS = _metrics.counter("store.recovered_txns")
+_M_RECOVERED_OPS = _metrics.counter("store.recovered_ops")
+_M_TORN_TAILS = _metrics.counter("store.torn_tails_repaired")
+_M_CHECKPOINTS = _metrics.counter("store.checkpoints")
+_M_CHECKPOINT_SECONDS = _metrics.histogram("store.checkpoint_seconds")
+_M_CHECKPOINT_FAILURES = _metrics.counter("store.checkpoint_failures")
+_M_ERR_FAILED_CLOSE = _metrics.counter("errors_absorbed.store.failed_close")
 
 
 class KVStore:
@@ -112,7 +123,11 @@ class KVStore:
         )
         self.last_recovery = report
         self._next_txid = report.max_txid + 1
+        _M_RECOVERIES.inc()
+        _M_RECOVERED_TXNS.inc(report.transactions_replayed)
+        _M_RECOVERED_OPS.inc(report.operations_applied)
         if report.torn_tail:
+            _M_TORN_TAILS.inc()
             # Repair the tail before accepting any write, even when no
             # committed transaction was replayed: the segment reopens
             # append-mode, so new fsynced commits would otherwise land
@@ -284,6 +299,7 @@ class KVStore:
         """
         with self._lock:
             self._check_writable()
+            checkpoint_started = time.perf_counter()
             try:
                 for name, tree in self._trees.items():
                     self._catalog.put(
@@ -294,6 +310,10 @@ class KVStore:
                 self._pager.commit_checkpoint(self._catalog.root, new_seq)
                 self._wal.rotate(new_seq)
             except Exception as exc:
+                # Breadth is intentional: *any* failure here leaves the
+                # checkpoint unresumable, and the error is re-raised as
+                # StorageError rather than absorbed.
+                _M_CHECKPOINT_FAILURES.inc()
                 self._failed = f"checkpoint failed: {exc}"
                 raise StorageError(self._failed) from exc
             self._epoch = self._pager.meta.checkpoint_id + 1
@@ -301,6 +321,10 @@ class KVStore:
             for tree in self._trees.values():
                 tree.begin_epoch(self._epoch)
             self._ops_since_checkpoint = 0
+            _M_CHECKPOINTS.inc()
+            _M_CHECKPOINT_SECONDS.observe(
+                time.perf_counter() - checkpoint_started
+            )
 
     def close(self, checkpoint: bool = True) -> None:
         with self._lock:
@@ -314,14 +338,16 @@ class KVStore:
             else:
                 # Best-effort teardown of a failed store: never sync, a
                 # failed checkpoint already poisoned the write path.
+                # Only I/O and storage-state errors are expected here;
+                # anything else is a bug and propagates.
                 try:
                     self._wal.close(sync=False)
-                except Exception:
-                    pass
+                except (OSError, StorageError, ValueError):
+                    _M_ERR_FAILED_CLOSE.inc()
                 try:
                     self._pager.close()
-                except Exception:
-                    pass
+                except (OSError, StorageError, ValueError):
+                    _M_ERR_FAILED_CLOSE.inc()
             self._closed = True
 
     def __enter__(self) -> "KVStore":

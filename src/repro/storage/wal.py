@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from ..observability import metrics as _metrics
 from .errors import StorageError
 from .fs import OS_FS, FileSystem
 
@@ -47,6 +49,15 @@ REC_BEGIN = 1
 REC_PUT = 2
 REC_DELETE = 3
 REC_COMMIT = 4
+
+_M_APPENDS = _metrics.counter("wal.appends")
+_M_COMMITS = _metrics.counter("wal.commits")
+_M_FSYNCS = _metrics.counter("wal.fsyncs")
+_M_FSYNC_SECONDS = _metrics.histogram("wal.fsync_seconds")
+_M_ROLLBACKS = _metrics.counter("wal.rollbacks")
+_M_TAIL_REPAIRS = _metrics.counter("wal.tail_repairs")
+_M_ROTATIONS = _metrics.counter("wal.rotations")
+_M_BROKEN = _metrics.counter("wal.broken")
 
 _FRAME_FMT = "<II"
 _FRAME_SIZE = struct.calcsize(_FRAME_FMT)
@@ -152,20 +163,28 @@ class WriteAheadLog:
                 "close and reopen the store to recover"
             )
 
+    def _fsync(self) -> None:
+        fsync_started = time.perf_counter()
+        self.fs.fsync(self._file)
+        _M_FSYNCS.inc()
+        _M_FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
+
     def append(self, record: WalRecord) -> None:
         self._check_usable()
         payload = record.pack()
         frame = struct.pack(_FRAME_FMT, len(payload), zlib.crc32(payload))
         self._file.write(frame + payload)
         self._size += _FRAME_SIZE + len(payload)
+        _M_APPENDS.inc()
         if record.rec_type == REC_COMMIT:
+            _M_COMMITS.inc()
             self._file.flush()
             if self.sync_policy == "commit":
-                self.fs.fsync(self._file)
+                self._fsync()
             elif self.sync_policy == "batch":
                 self._unsynced_commits += 1
                 if self._unsynced_commits >= self.batch_size:
-                    self.fs.fsync(self._file)
+                    self._fsync()
                     self._unsynced_commits = 0
 
     def append_transaction(self, txid: int, records: List[WalRecord]) -> None:
@@ -186,16 +205,22 @@ class WriteAheadLog:
                 self.append(record)
             self.append(WalRecord(REC_COMMIT, txid))
         except Exception:
+            _M_ROLLBACKS.inc()
             try:
                 self._file.truncate(start_size)
                 self._size = start_size
-            except Exception:
+            except OSError:
+                # Only an I/O failure of the truncate itself latches the
+                # log broken; any other exception here would be a bug in
+                # this rollback path and must surface alongside the
+                # original append failure.
                 self._broken = True
+                _M_BROKEN.inc()
             raise
 
     def sync(self) -> None:
         self._file.flush()
-        self.fs.fsync(self._file)
+        self._fsync()
         self._unsynced_commits = 0
 
     def truncate_to(self, size: int) -> None:
@@ -215,8 +240,10 @@ class WriteAheadLog:
         try:
             self._file.truncate(size)
             self._size = size
-        except Exception:
+            _M_TAIL_REPAIRS.inc()
+        except OSError:
             self._broken = True
+            _M_BROKEN.inc()
             raise
 
     def rotate(self, new_seq: int) -> None:
@@ -235,8 +262,10 @@ class WriteAheadLog:
             self._size = 0
             self._unsynced_commits = 0
             self._file = self.fs.open(self.segment_path(new_seq), "ab")
-        except Exception:
+            _M_ROTATIONS.inc()
+        except OSError:
             self._broken = True
+            _M_BROKEN.inc()
             raise
         for seq in range(old_seq, new_seq):
             try:

@@ -36,10 +36,17 @@ from .core.ranking import SearchResult
 from .core.sketch import SketchParams
 from .core.types import ObjectSignature
 from .metadata.manager import MetadataManager
+from .observability import metrics as _metrics
+from .observability.log import get_logger
 from .storage.errors import StorageError
 from .storage.kvstore import KVStore
 
 __all__ = ["FerretSystem", "HealthState"]
+
+_LOG = get_logger("health")
+_M_ERRORS = _metrics.counter("health.errors")
+_M_FALLBACKS = _metrics.counter("health.fallbacks")
+_M_DEGRADED_COMPONENTS = _metrics.gauge("health.degraded_components")
 
 
 class HealthState:
@@ -65,7 +72,17 @@ class HealthState:
         """Count an error and mark the component degraded."""
         with self._lock:
             self._error_counts[component] = self._error_counts.get(component, 0) + 1
+            newly = component not in self._degraded
             self._degraded[component] = f"{type(exc).__name__}: {exc}"
+            n_degraded = len(self._degraded)
+        _M_ERRORS.inc()
+        _M_DEGRADED_COMPONENTS.set(n_degraded)
+        if newly:
+            _LOG.warning(
+                "component_degraded",
+                component=component,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     def record_fallback(self, component: str, reason: str = "") -> None:
         """Count a successful fallback away from a failing component."""
@@ -73,12 +90,22 @@ class HealthState:
             self._fallback_counts[component] = (
                 self._fallback_counts.get(component, 0) + 1
             )
+            newly = reason and component not in self._degraded
             if reason:
                 self._degraded.setdefault(component, reason)
+            n_degraded = len(self._degraded)
+        _M_FALLBACKS.inc()
+        _M_DEGRADED_COMPONENTS.set(n_degraded)
+        if newly:
+            _LOG.warning("fallback", component=component, reason=reason)
 
     def mark_healthy(self, component: str) -> None:
         with self._lock:
-            self._degraded.pop(component, None)
+            recovered = self._degraded.pop(component, None)
+            n_degraded = len(self._degraded)
+        _M_DEGRADED_COMPONENTS.set(n_degraded)
+        if recovered is not None:
+            _LOG.info("component_recovered", component=component)
 
     # -- queries ---------------------------------------------------------
     @property

@@ -9,7 +9,9 @@ to a :class:`repro.server.server.FerretServer` or in-process against a
 HTML.
 
 Routes: ``/`` (home + forms), ``/query?id=&top=&method=&attr=``,
-``/queryfile?path=&top=&method=``, ``/attrquery?q=``.
+``/queryfile?path=&top=&method=``, ``/attrquery?q=``, and ``/metrics``
+(the metrics registry as plain text, same line format as the server's
+``metrics`` command).
 """
 
 from __future__ import annotations
@@ -20,11 +22,19 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..observability import metrics as _metrics
+from ..observability.log import get_logger, set_quiet
+from ..server.client import ClientError
 from ..server.commands import CommandProcessor
 from ..server.protocol import ProtocolError, parse_command, quote
 from .views import ResultRenderer, render_home, render_page, render_results
 
 __all__ = ["WebApp", "FerretWebServer", "serve_web_background", "main"]
+
+_LOG = get_logger("web")
+_M_REQUESTS = _metrics.counter("web.requests")
+_M_REQUEST_ERRORS = _metrics.counter("web.request_errors")
+_M_ERR_ABSORBED = _metrics.counter("errors_absorbed.web.handle")
 
 
 class WebApp:
@@ -60,8 +70,15 @@ class WebApp:
         return rows
 
     # -- routes -----------------------------------------------------------
+    def content_type(self, path: str) -> str:
+        """MIME type for a request path (``/metrics`` is plain text)."""
+        if urlparse(path).path == "/metrics":
+            return "text/plain; charset=utf-8"
+        return "text/html; charset=utf-8"
+
     def handle(self, path: str) -> Tuple[int, str]:
-        """Dispatch a request path; returns (status, html)."""
+        """Dispatch a request path; returns (status, body)."""
+        _M_REQUESTS.inc()
         parsed = urlparse(path)
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         try:
@@ -73,8 +90,22 @@ class WebApp:
                 return 200, self._queryfile(params)
             if parsed.path == "/attrquery":
                 return 200, self._attrquery(params)
+            if parsed.path == "/metrics":
+                return 200, "\n".join(_metrics.get_registry().render()) + "\n"
             return 404, render_page(self.title, "<p class='err'>not found</p>")
-        except Exception as exc:
+        except (ClientError, ValueError, KeyError, OSError) as exc:
+            # Expected request-level failures only: malformed parameters
+            # (ValueError covers ProtocolError), backend/protocol errors,
+            # missing objects, and I/O against a remote backend.  A bug
+            # elsewhere (TypeError, numpy errors, ...) propagates to the
+            # HTTP layer instead of being dressed up as a 500 page.
+            _M_REQUEST_ERRORS.inc()
+            _M_ERR_ABSORBED.inc()
+            _LOG.warning(
+                "request_failed",
+                path=parsed.path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return 500, render_page(
                 self.title, f"<p class='err'>error: {type(exc).__name__}: {exc}</p>"
             )
@@ -150,7 +181,7 @@ class _WebHandler(BaseHTTPRequestHandler):
         status, page = app.handle(self.path)
         payload = page.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Type", app.content_type(self.path))
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
@@ -183,7 +214,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--size", type=int, default=150)
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress startup/progress logging (errors still log)",
+    )
     args = parser.parse_args(argv)
+    if args.quiet:
+        set_quiet(True)
 
     from ..datatypes import build_demo_engine
 
@@ -194,7 +231,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     server = FerretWebServer(app, args.host, args.port)
     host, port = server.server_address
-    print(f"ferret-web: http://{host}:{port}/ ({len(engine)} objects)")
+    _LOG.info(
+        "ready",
+        url=f"http://{host}:{port}/",
+        objects=len(engine),
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -1,0 +1,90 @@
+"""Unit tests for the structured logger."""
+
+import io
+
+import pytest
+
+from repro.observability import log as obslog
+from repro.observability.log import StructuredLogger, get_logger, is_quiet, set_quiet, set_stream
+
+
+@pytest.fixture()
+def sink():
+    stream = io.StringIO()
+    set_stream(stream)
+    yield stream
+    set_stream(None)
+    set_quiet(False)
+
+
+class TestFormat:
+    def test_line_shape(self, sink):
+        get_logger("t").info("ready", port=7878, datatype="image")
+        line = sink.getvalue().strip()
+        stamp, level, name, event, rest = line.split(" ", 4)
+        assert "T" in stamp  # iso-ish timestamp
+        assert level == "INFO"
+        assert name == "t"
+        assert event == "ready"
+        assert rest == "port=7878 datatype=image"
+
+    def test_values_with_spaces_are_quoted(self, sink):
+        get_logger("t").warning("fail", error="broken pipe: reset")
+        assert 'error="broken pipe: reset"' in sink.getvalue()
+
+    def test_empty_value_quoted(self, sink):
+        get_logger("t").info("ev", x="")
+        assert 'x=""' in sink.getvalue()
+
+    def test_levels_rendered_uppercase(self, sink):
+        logger = get_logger("t")
+        logger.warning("w")
+        logger.error("e")
+        out = sink.getvalue()
+        assert " WARNING t w" in out
+        assert " ERROR t e" in out
+
+    def test_debug_below_min_level(self, sink):
+        get_logger("t").debug("noise")
+        assert sink.getvalue() == ""
+
+
+class TestQuiet:
+    def test_quiet_suppresses_below_error(self, sink):
+        set_quiet(True)
+        assert is_quiet()
+        logger = get_logger("t")
+        logger.info("hidden")
+        logger.warning("hidden")
+        logger.error("shown")
+        out = sink.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_unquiet_restores(self, sink):
+        set_quiet(True)
+        set_quiet(False)
+        get_logger("t").info("back")
+        assert "back" in sink.getvalue()
+
+
+class TestPlumbing:
+    def test_get_logger_caches(self):
+        assert get_logger("same") is get_logger("same")
+        assert get_logger("same") is not get_logger("other")
+
+    def test_broken_sink_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, *_):
+                raise OSError("gone")
+
+        set_stream(Broken())
+        try:
+            get_logger("t").error("event")  # must not raise
+        finally:
+            set_stream(None)
+
+    def test_logger_is_slotted(self):
+        logger = StructuredLogger("x")
+        with pytest.raises(AttributeError):
+            logger.extra = 1

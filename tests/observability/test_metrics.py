@@ -1,0 +1,173 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import threading
+
+import pytest
+
+from repro.observability import metrics as m
+from repro.observability.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        c = registry.counter("a")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_disabled_is_noop(self, registry):
+        c = registry.counter("a")
+        registry.disable()
+        c.inc(100)
+        assert c.value == 0
+        registry.enable()
+        c.inc()
+        assert c.value == 1
+
+    def test_thread_safety(self, registry):
+        c = registry.counter("a")
+
+        def spin():
+            for _ in range(5000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 20000
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = registry.gauge("g")
+        g.set(3.5)
+        g.add(1.5)
+        assert g.value == 5.0
+
+    def test_disabled_is_noop(self, registry):
+        g = registry.gauge("g")
+        registry.disable()
+        g.set(9)
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 10.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(12.0)
+        snap = h.snapshot()
+        # Cumulative: 0.5 <= 1, 1.5 <= 2, 10.0 above every bound.
+        assert snap["le_1"] == 1
+        assert snap["le_2"] == 2
+        assert snap["le_5"] == 2
+        assert snap["mean"] == pytest.approx(4.0)
+
+    def test_bucket_validation(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", buckets=(2.0, 1.0))
+
+    def test_render_expansion(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        lines = registry.render()
+        assert "lat_count 1" in lines
+        assert "lat_sum 0.5" in lines
+        assert "lat_bucket_le_1 1" in lines
+        assert "lat_bucket_le_2 1" in lines
+
+    def test_count_buckets_default_sorted(self):
+        assert list(DEFAULT_COUNT_BUCKETS) == sorted(DEFAULT_COUNT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_clash_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("")
+
+    def test_reset_zeroes_in_place(self, registry):
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        c.inc(3)
+        g.set(7)
+        h.observe(0.1)
+        registry.reset()
+        # Same handles, zero values: import-time module handles survive.
+        assert c is registry.counter("c")
+        assert c.value == 0
+        assert g.value == 0.0
+        assert h.count == 0
+
+    def test_value_convenience(self, registry):
+        registry.counter("c").inc(2)
+        assert registry.value("c") == 2
+        assert registry.value("missing") == 0.0
+        registry.histogram("h").observe(1.0)
+        assert registry.value("h") == 0.0  # histograms have no single value
+
+    def test_render_sorted_stable_format(self, registry):
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("c").set(1.5)
+        lines = registry.render()
+        assert lines == ["a 2", "b 1", "c 1.5"]
+        for line in lines:
+            name, value = line.split(" ")
+            assert name and value
+
+    def test_names_and_get(self, registry):
+        registry.counter("one")
+        registry.gauge("two")
+        assert registry.names() == ["one", "two"]
+        assert isinstance(registry.get("one"), Counter)
+        assert isinstance(registry.get("two"), Gauge)
+        assert registry.get("three") is None
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_use_default_registry(self):
+        c = m.counter("test.module_helper")
+        assert m.get_registry().get("test.module_helper") is c
+        assert isinstance(m.histogram("test.module_hist"), Histogram)
+        assert isinstance(m.gauge("test.module_gauge"), Gauge)
+
+    def test_set_enabled_round_trip(self):
+        reg = m.get_registry()
+        was = reg.enabled
+        try:
+            c = m.counter("test.master_switch")
+            before = c.value
+            m.set_enabled(False)
+            c.inc()
+            assert c.value == before
+            m.set_enabled(True)
+            c.inc()
+            assert c.value == before + 1
+        finally:
+            reg.enabled = was

@@ -1,0 +1,175 @@
+"""End-to-end observability: metrics + trace round-trip the wire protocol.
+
+Spins a real TCP server and drives it through :class:`FerretClient`:
+the ``metrics`` command, ``setparam trace on`` plus the last-query stage
+breakdown, the slow-query log view, and the extended ``stat`` keys —
+exactly what an operator at a terminal would see.  Also pins the client
+bug-fixes that rode along: an empty command line must fail as a timeout
+(never an IndexError), and an already-expired deadline must raise
+*before* anything is written.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.server import (
+    ClientError,
+    CommandProcessor,
+    FerretClient,
+    serve_background,
+)
+from repro.server.client import ClientTimeout
+
+
+@pytest.fixture()
+def served():
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta), SketchParams(128, meta, seed=0)
+    )
+    rng = np.random.default_rng(5)
+    proc = CommandProcessor(engine)
+    for i in range(12):
+        oid = engine.insert(ObjectSignature(rng.random((2, 4)), [1.0, 1.0]))
+        proc.register_attributes(oid, {"bucket": str(i % 2)})
+    server = serve_background(proc)
+    host, port = server.server_address
+    yield host, port, engine
+    server.shutdown()
+    server.server_close()
+
+
+class TestMetricsCommand:
+    def test_metrics_round_trip(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            client.query(0, top=5)
+            metrics = client.metrics()
+            # Counters moved through the full pipeline: server dispatch,
+            # engine query, filtering scan, ranking.
+            assert int(metrics["server.commands"]) >= 1
+            assert int(metrics["server.command.query"]) >= 1
+            assert int(metrics["engine.queries"]) >= 1
+            assert int(metrics["engine.distance_evals"]) >= 1
+            assert int(metrics["engine.query_seconds_count"]) >= 1
+
+    def test_metrics_line_format_stable(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            for line in client.send("metrics"):
+                name, _, value = line.partition(" ")
+                assert name and " " not in name
+                float(value)  # every value parses as a number
+
+    def test_metrics_toggle(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            try:
+                client.set_param("metrics", "off")
+                before = int(client.metrics()["engine.queries"])
+                client.query(0, top=3)
+                assert int(client.metrics()["engine.queries"]) == before
+            finally:
+                client.set_param("metrics", "on")
+            client.query(0, top=3)
+            assert int(client.metrics()["engine.queries"]) == before + 1
+
+
+class TestTraceCommand:
+    def test_trace_off_by_default(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            client.query(0, top=3)
+            trace = client.trace()
+            assert trace["tracing"] == "off"
+            assert "no_trace_recorded" in trace
+
+    def test_last_query_stage_breakdown(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            client.set_param("trace", "on")
+            client.query(0, top=5)
+            trace = client.trace()
+            assert trace["method"] == "filtering"
+            assert trace["queries"] == "1"
+            assert float(trace["total_seconds"]) > 0.0
+            assert "stage.filter_seconds" in trace
+            assert "stage.rank_seconds" in trace
+            assert int(trace["count.candidates"]) >= 1
+            assert int(trace["count.distance_evals"]) >= 1
+            assert trace["note.scan"] in ("serial", "parallel", "cache")
+
+    def test_cache_hit_visible_in_trace(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            client.set_param("trace", "on")
+            client.query(0, top=5)
+            client.query(0, top=5)  # identical: served from the cache
+            trace = client.trace()
+            assert trace["note.scan"] == "cache"
+            assert trace["count.cache_hits"] == "1"
+
+    def test_slow_query_log_view(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            client.set_param("trace", "on")
+            # Threshold of ~0 ms is rejected; 0.0001 ms catches everything.
+            client.set_param("slow_query_ms", "0.0001")
+            client.query(0, top=3)
+            lines = client.send("trace slow 5")
+            assert lines[0].startswith("slow_queries_total ")
+            assert int(lines[0].split()[1]) >= 1
+            assert "method=filtering" in lines[1]
+            stats = client.stat()
+            assert int(stats["slow_queries"]) >= 1
+
+    def test_bad_trace_args_rejected(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            with pytest.raises(ClientError):
+                client.send("trace bogus")
+            with pytest.raises(ClientError):
+                client.send("trace slow nope")
+            with pytest.raises(ClientError):
+                client.set_param("slow_query_ms", "-5")
+            with pytest.raises(ClientError):
+                client.set_param("trace", "sideways")
+
+
+class TestExtendedStat:
+    def test_observability_keys_present(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            stats = client.stat()
+            assert stats["metrics"] in ("on", "off")
+            assert stats["trace"] in ("on", "off")
+            assert "slow_queries" in stats
+            assert float(stats["slow_query_ms"]) > 0
+            assert "cache_evictions" in stats
+
+
+class TestClientFixes:
+    def test_empty_command_is_timeout_not_indexerror(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            # The server skips blank lines without replying, so the only
+            # correct outcome is a timeout naming the (empty) command —
+            # this used to die with IndexError on line.split()[0].
+            with pytest.raises(ClientTimeout, match="<empty>"):
+                client.send("   ", timeout=0.3)
+
+    def test_expired_deadline_raises_before_write(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            with pytest.raises(ClientTimeout, match="before 'ping' was sent"):
+                client.send("ping", timeout=0)
+            # Nothing hit the wire: the connection is still synchronized.
+            assert client.connected
+            assert client.ping()
