@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke metrics-smoke perf torture bench bench-parallel bench-throughput
+.PHONY: test smoke metrics-smoke perf torture bench bench-parallel bench-throughput bench-check
 
 # Tier-1 verification: the full fast suite (torture scans stay opt-in).
 test:
@@ -30,6 +30,15 @@ bench-parallel:
 
 bench-throughput:
 	cd benchmarks && $(PYTHON) bench_query_throughput.py
+
+# Throughput regression gate: stash the committed baseline JSON (the
+# bench overwrites BENCH_query_throughput.json at the repo root), rerun
+# the bench, and fail on a >15% qps drop in any compared series.
+bench-check:
+	cp BENCH_query_throughput.json /tmp/BENCH_query_throughput.baseline.json
+	cd benchmarks && $(PYTHON) bench_query_throughput.py
+	$(PYTHON) benchmarks/check_regression.py \
+		/tmp/BENCH_query_throughput.baseline.json BENCH_query_throughput.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,121 @@
+"""Throughput regression gate over BENCH_query_throughput.json.
+
+Compares a freshly produced ``bench_query_throughput`` JSON against a
+baseline (normally the committed ``BENCH_query_throughput.json``) and
+fails if any throughput series regressed by more than the tolerance.
+
+Usage::
+
+    python check_regression.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+The compared series are queries/sec figures, so *lower is worse*:
+
+- ``end_to_end.sequential_qps``   — per-query engine.query() loop
+- ``end_to_end.batched_qps``      — engine.query_many() pipeline
+- ``batch_filter.fused_many_qps`` — fused multi-query filter scan
+
+Machine-size drift is the obvious failure mode of comparing absolute
+qps across runs, which is why the default tolerance is a generous 15%
+and why the gate refuses to compare runs of different dataset sizes.
+Exit status: 0 = within tolerance, 1 = regression, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+THROUGHPUT_KEYS = (
+    "end_to_end.sequential_qps",
+    "end_to_end.batched_qps",
+    "batch_filter.fused_many_qps",
+)
+
+SHAPE_KEYS = ("num_objects", "num_queries", "n_bits")
+
+
+def _lookup(payload: dict, dotted: str) -> Optional[float]:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    for key in SHAPE_KEYS:
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"shape mismatch on {key!r}: baseline "
+                f"{baseline.get(key)} vs current {current.get(key)} "
+                "(runs are not comparable)"
+            )
+    if failures:
+        return failures
+    for key in THROUGHPUT_KEYS:
+        base = _lookup(baseline, key)
+        cur = _lookup(current, key)
+        if base is None:
+            failures.append(f"baseline missing series {key!r}")
+            continue
+        if cur is None:
+            failures.append(f"current run missing series {key!r}")
+            continue
+        if base <= 0:
+            failures.append(f"baseline {key!r} is non-positive ({base})")
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            drop = (base - cur) / base
+            failures.append(
+                f"{key}: {cur:.1f} qps is {drop * 100:.1f}% below "
+                f"baseline {base:.1f} qps (tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on query-throughput regression vs a baseline run"
+    )
+    parser.add_argument("baseline", help="baseline BENCH_query_throughput.json")
+    parser.add_argument("current", help="current BENCH_query_throughput.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed fractional drop per series (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    payloads = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payloads.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    baseline, current = payloads
+
+    failures = check(baseline, current, args.tolerance)
+    if failures:
+        print("THROUGHPUT REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    for key in THROUGHPUT_KEYS:
+        base, cur = _lookup(baseline, key), _lookup(current, key)
+        delta = (cur - base) / base * 100.0
+        print(f"ok  {key}: {cur:.1f} qps ({delta:+.1f}% vs baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

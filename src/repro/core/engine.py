@@ -413,6 +413,25 @@ class SimilaritySearchEngine:
             "cache": self._filter_cache.stats(),
         }
 
+    def collect_worker_metrics(self) -> int:
+        """Pull pending registry deltas from live scan workers into the
+        parent registry (``worker.<i>.*`` / ``workers.*`` series).
+
+        Scans piggyback their own deltas, so this only matters for
+        activity between scans; ``metrics``/``stat`` call it right
+        before rendering.  Returns workers polled (0 with no pool).  A
+        broken pool must not fail a metrics dump: pool errors abandon
+        the pool exactly like a failed scan would and report 0.
+        """
+        pool = self._pool
+        if pool is None:
+            return 0
+        try:
+            return pool.fetch_worker_metrics()
+        except ParallelScanError as exc:
+            self._abandon_pool(f"metrics pull failed: {exc}")
+            return 0
+
     def _query_cache_key(
         self, query: ObjectSignature, query_sketches: np.ndarray, params_key
     ):
@@ -477,7 +496,7 @@ class SimilaritySearchEngine:
                 scan_started = time.perf_counter()
                 computed = parallel_filter_candidates(
                     miss_queries, miss_sketches, params,
-                    self.sketcher.n_bits, pool,
+                    self.sketcher.n_bits, pool, trace=trace,
                 )
                 scan_path = "parallel"
                 if trace is not None:

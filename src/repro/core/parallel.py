@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import multiprocessing
 import numpy as np
 
+from ..observability import log as _log
 from ..observability import metrics as _metrics
 from .bitvector import hamming_many_to_many
 from .filtering import (
@@ -83,6 +84,9 @@ _M_CACHE_EVICTIONS = _metrics.counter("query_cache.evictions")
 _M_CACHE_INVALIDATIONS = _metrics.counter("query_cache.invalidations")
 _M_ERR_SHM_RELEASE = _metrics.counter("errors_absorbed.parallel.shm_release")
 _M_ERR_POOL_CLOSE = _metrics.counter("errors_absorbed.parallel.pool_close")
+_M_ERR_METRICS_MERGE = _metrics.counter(
+    "errors_absorbed.parallel.metrics_merge"
+)
 
 
 class ParallelScanError(RuntimeError):
@@ -171,19 +175,58 @@ def _attach_shm(name: str):
         resource_tracker.register = original_register
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn, quiet: bool = False, metrics_enabled: bool = True) -> None:
     """Persistent worker loop: attach shards, answer sub-scans.
+
+    ``quiet``/``metrics_enabled`` are the parent's logger and registry
+    switches at spawn time — a spawn-mode worker re-imports everything,
+    so without them it would re-enable banner logging the operator
+    turned off and run its registry in the wrong state.
 
     Messages (tuples, first element is the kind):
 
     - ``("load", sketch_shm, owner_shm, n_rows, n_words, bounds)`` —
       attach the arena and view the ``bounds`` row ranges; ack ``("ok",)``.
-    - ``("scan", queries, k, thresholds)`` — deterministic local top-k
-      over this worker's shards; reply ``("ok", dists, global_rows)``.
+    - ``("scan", queries, k, thresholds[, t_sent, origin])`` —
+      deterministic local top-k over this worker's shards; reply
+      ``("ok", dists, global_rows, span_stats, metrics_delta)``.
+      ``span_stats`` is ``{"queue_wait": s, "compute": s}`` (wall-clock
+      queue wait measured against the parent's ``t_sent``, comparable on
+      the same host); ``metrics_delta`` is this worker's registry change
+      since its last export (:func:`delta_snapshots`), piggybacked so
+      every scan keeps the parent's ``worker.<i>.*`` series fresh.
+    - ``("metrics",)`` — on-demand export; reply ``("ok", delta)``.
+    - ``("info",)`` — reply ``("ok", {pid, name, quiet,
+      metrics_enabled})`` (used by tests and ``parallel_info``).
     - ``("stop",)`` — exit.
     """
+    _log.set_quiet(quiet)
+    registry = _metrics.get_registry()
+    registry.enabled = bool(metrics_enabled)
+    # Worker-side instruments live here, not at module level, so the
+    # parent process never registers zero-valued `scan.*` series.
+    w_requests = registry.counter("scan.requests")
+    w_rows = registry.counter("scan.rows")
+    w_compute = registry.histogram("scan.compute_seconds")
+    w_queue_wait = registry.histogram("scan.queue_wait_seconds")
+    w_arena_loads = registry.counter("arena.loads")
+    w_ooc_scans = registry.counter("outofcore.scans")
+    w_ooc_rows = registry.counter("outofcore.rows_scanned")
+    # Fork-mode workers inherit the parent registry's live values, so
+    # export *deltas against this baseline* — a worker only ever ships
+    # what it did itself.
+    prev_snap = registry.snapshot()
+
+    def _export_delta():
+        nonlocal prev_snap
+        cur = registry.snapshot()
+        delta = _metrics.delta_snapshots(prev_snap, cur)
+        prev_snap = cur
+        return delta
+
     shms: list = []
     shards: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    n_shard_rows = 0
     while True:
         try:
             msg = conn.recv()
@@ -200,6 +243,7 @@ def _worker_main(conn) -> None:
                     shm.close()
                 shms = []
                 shards = []
+                n_shard_rows = 0
                 if n_rows:
                     sk_shm = _attach_shm(sketch_name)
                     ow_shm = _attach_shm(owner_name)
@@ -214,10 +258,44 @@ def _worker_main(conn) -> None:
                         (start, owners[start:stop], sketches[start:stop])
                         for start, stop in bounds
                     ]
+                    n_shard_rows = sum(stop - start for start, stop in bounds)
+                w_arena_loads.inc()
                 conn.send(("ok",))
             elif kind == "scan":
-                _, queries, k, thresholds = msg
-                conn.send(("ok",) + _scan_shards(shards, queries, k, thresholds))
+                _, queries, k, thresholds = msg[:4]
+                t_sent = msg[4] if len(msg) > 4 else None
+                origin = msg[5] if len(msg) > 5 else None
+                queue_wait = (
+                    max(0.0, time.time() - t_sent) if t_sent is not None else 0.0
+                )
+                compute_started = time.perf_counter()
+                result = _scan_shards(shards, queries, k, thresholds)
+                compute = time.perf_counter() - compute_started
+                w_requests.inc()
+                w_rows.inc(n_shard_rows * np.atleast_2d(queries).shape[0])
+                w_compute.observe(compute)
+                w_queue_wait.observe(queue_wait)
+                if origin == "outofcore":
+                    w_ooc_scans.inc()
+                    w_ooc_rows.inc(
+                        n_shard_rows * np.atleast_2d(queries).shape[0]
+                    )
+                stats = {"queue_wait": queue_wait, "compute": compute}
+                conn.send(("ok",) + result + (stats, _export_delta()))
+            elif kind == "metrics":
+                conn.send(("ok", _export_delta()))
+            elif kind == "info":
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "pid": os.getpid(),
+                            "name": multiprocessing.current_process().name,
+                            "quiet": _log.is_quiet(),
+                            "metrics_enabled": registry.enabled,
+                        },
+                    )
+                )
             else:
                 conn.send(("err", f"unknown message kind {kind!r}"))
         except Exception as exc:  # keep the loop alive; parent decides
@@ -327,11 +405,17 @@ class ParallelFilterPool:
             return
         if self._closed:
             raise ParallelScanError("pool is closed")
+        # Workers inherit the parent's operational switches at spawn
+        # time (fork shares them for free; spawn re-imports and must be
+        # told), so `--quiet` and `setparam metrics off` hold across the
+        # whole process tree.
+        quiet = _log.is_quiet()
+        metrics_enabled = _metrics.get_registry().enabled
         for i in range(self.num_workers):
             parent_conn, child_conn = self._ctx.Pipe()
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(child_conn,),
+                args=(child_conn, quiet, metrics_enabled),
                 daemon=True,
                 name=f"ferret-scan-{i}",
             )
@@ -511,12 +595,61 @@ class ParallelFilterPool:
         except Exception:
             pass
 
+    # -- cross-process telemetry ----------------------------------------
+    def _fold_delta(self, worker_index: int, delta) -> None:
+        """Fold one worker's registry delta into the parent registry as
+        ``worker.<i>.*`` plus the merged ``workers.*`` roll-up.  Both
+        merges are additive over deltas, so the roll-up equals the sum
+        of the per-worker series regardless of arrival order."""
+        if not delta:
+            return
+        registry = _metrics.get_registry()
+        try:
+            registry.merge_snapshot(delta, prefix=f"worker.{worker_index}.")
+            registry.merge_snapshot(delta, prefix="workers.")
+        except ValueError:
+            # A type/bounds conflict in telemetry must never fail the
+            # scan that carried it.
+            _M_ERR_METRICS_MERGE.inc()
+
+    def fetch_worker_metrics(self) -> int:
+        """On-demand metric pull: ask every worker for its registry
+        delta and fold the results.  Returns the number of workers
+        polled (0 when the pool has never spawned).  The `metrics` and
+        `stat` server commands call this so a dump reflects worker
+        activity even between scans."""
+        with self._lock:
+            if self._closed or not self._workers:
+                return 0
+            for proc, conn in self._workers:
+                self._send(conn, ("metrics",), "metrics")
+            deltas = []
+            for proc, conn in self._workers:
+                reply = self._recv(conn, "metrics")
+                deltas.append(reply[1])
+        for i, delta in enumerate(deltas):
+            self._fold_delta(i, delta)
+        return len(deltas)
+
+    def worker_info(self) -> List[Dict[str, object]]:
+        """Per-worker runtime state (pid, process name, quiet flag,
+        metrics switch) straight from each worker process."""
+        with self._lock:
+            if self._closed or not self._workers:
+                return []
+            for proc, conn in self._workers:
+                self._send(conn, ("info",), "info")
+            return [dict(self._recv(conn, "info")[1])
+                    for proc, conn in self._workers]
+
     # -- scanning -------------------------------------------------------
     def scan_topk(
         self,
         queries: np.ndarray,
         k: int,
         thresholds: Optional[np.ndarray] = None,
+        origin: str = "filter",
+        trace=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Global deterministic top-k rows per query sketch.
 
@@ -528,6 +661,13 @@ class ParallelFilterPool:
         instead and passes ``None`` here.  Entries may include masked
         sentinel distances when fewer than ``k`` rows qualify; callers
         filter on the sentinel / owner sign.
+
+        ``origin`` labels the request for worker-side accounting (the
+        out-of-core store passes ``"outofcore"`` so workers count
+        ``outofcore.scans``).  ``trace``, when given a
+        :class:`~repro.observability.tracing.QueryTrace`, gains one
+        ``worker.<i>`` child span per worker splitting that worker's
+        round trip into queue wait, compute, and reply serialization.
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.uint64))
         if k <= 0:
@@ -537,6 +677,7 @@ class ParallelFilterPool:
             if thresholds.shape[0] != queries.shape[0]:
                 raise ValueError("need one threshold per query row")
         started = time.perf_counter()
+        deltas: List[Tuple[int, object]] = []
         with self._lock:
             if self._closed:
                 raise ParallelScanError("pool is closed")
@@ -548,18 +689,39 @@ class ParallelFilterPool:
                     np.empty((n_queries, 0), dtype=np.uint32),
                     np.empty((n_queries, 0), dtype=np.int64),
                 )
+            # time.time() crosses the process boundary (same host), so
+            # workers can subtract it for queue wait; perf_counter does
+            # not and stays parent-side.
+            dispatch = ("scan", queries, k, thresholds, time.time(), origin)
             for proc, conn in self._workers:
-                self._send(conn, ("scan", queries, k, thresholds), "scan")
+                self._send(conn, dispatch, "scan")
+            dispatched = time.perf_counter()
             parts_d: List[np.ndarray] = []
             parts_id: List[np.ndarray] = []
             wait_started = time.perf_counter()
-            for proc, conn in self._workers:
-                _ok, d, rows = self._recv(conn, "scan")
+            for i, (proc, conn) in enumerate(self._workers):
+                reply = self._recv(conn, "scan")
+                d, rows = reply[1], reply[2]
+                stats = reply[3] if len(reply) > 3 else None
+                if len(reply) > 4:
+                    deltas.append((i, reply[4]))
+                if stats is not None and trace is not None:
+                    round_trip = time.perf_counter() - dispatched
+                    queue_wait = float(stats.get("queue_wait", 0.0))
+                    compute = float(stats.get("compute", 0.0))
+                    trace.add_span(
+                        f"worker.{i}",
+                        queue_wait=queue_wait,
+                        compute=compute,
+                        reply=max(0.0, round_trip - queue_wait - compute),
+                    )
                 if d.shape[1]:
                     parts_d.append(d)
                     parts_id.append(rows)
             _M_POOL_WAIT_SECONDS.observe(time.perf_counter() - wait_started)
             _M_POOL_ROUND_TRIPS.inc(len(self._workers))
+        for i, delta in deltas:
+            self._fold_delta(i, delta)
         _M_POOL_SCANS.inc()
         if not parts_d:
             _M_POOL_SCAN_SECONDS.observe(time.perf_counter() - started)
@@ -588,6 +750,7 @@ def parallel_filter_candidates(
     params: FilterParams,
     n_bits: int,
     pool: ParallelFilterPool,
+    trace=None,
 ) -> List[Set[int]]:
     """Candidate sets for a batch of queries via the shard pool.
 
@@ -595,7 +758,9 @@ def parallel_filter_candidates(
     against the snapshot the pool's arena was loaded from: all queries'
     top-``r`` rows go out as one fused scan request, the per-shard top-k
     lists are merged deterministically, and thresholding + owner dedup
-    run parent-side exactly like the serial selection.
+    run parent-side exactly like the serial selection.  ``trace``
+    forwards to :meth:`ParallelFilterPool.scan_topk` for per-worker
+    child spans.
     """
     queries = list(queries)
     if not queries:
@@ -618,7 +783,7 @@ def parallel_filter_candidates(
     else:
         thresholds = None
     k = min(params.candidates_per_segment, pool.n_alive)
-    dists, rows = pool.scan_topk(stacked, k)
+    dists, rows = pool.scan_topk(stacked, k, trace=trace)
     owners = pool.owners_of(rows)
     if thresholds is not None:
         within = dists <= thresholds[:, None]

@@ -99,6 +99,7 @@ class EvaluationResult:
     avg_query_seconds: float
     num_queries: int
     per_set: Dict[str, QualityScores] = field(default_factory=dict)
+    query_seconds: List[float] = field(default_factory=list)
 
     def row(self) -> Dict[str, float]:
         """Table-1-shaped summary row."""
@@ -117,6 +118,23 @@ class EvaluationResult:
         )
         return ranked[: max(0, count)]
 
+    def latency_quantile(self, q: float) -> float:
+        """Exact ``q``-quantile of the recorded per-query wall times
+        (linear interpolation between order statistics; NaN with no
+        recorded latencies).  Unlike the server's histogram-derived
+        ``stat`` percentiles, these come from the raw measurements."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.query_seconds:
+            return float("nan")
+        ordered = sorted(self.query_seconds)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
     def report(self) -> str:
         """Human-readable multi-line report with a per-set breakdown."""
         lines = [
@@ -127,6 +145,13 @@ class EvaluationResult:
             f"2nd tier {self.quality.second_tier:.3f}  "
             f"{self.avg_query_seconds:.4f}s/query",
         ]
+        if self.query_seconds:
+            lines.append(
+                "  latency p50 "
+                f"{self.latency_quantile(0.50) * 1000.0:.2f}ms  "
+                f"p95 {self.latency_quantile(0.95) * 1000.0:.2f}ms  "
+                f"p99 {self.latency_quantile(0.99) * 1000.0:.2f}ms"
+            )
         for name, scores in sorted(self.per_set.items()):
             lines.append(
                 f"    {name:<20} AP {scores.average_precision:.3f}"
@@ -151,6 +176,7 @@ def evaluate_engine(
     dataset_size = len(engine)
     per_query: List[QualityScores] = []
     per_set: Dict[str, QualityScores] = {}
+    query_seconds: List[float] = []
     total_time = 0.0
     num_queries = 0
     for sim_set in suite.sets:
@@ -165,7 +191,9 @@ def evaluate_engine(
             results = engine.query_by_id(
                 query_id, top_k=k_needed, method=method, exclude_self=True
             )
-            total_time += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            total_time += elapsed
+            query_seconds.append(elapsed)
             result_ids = [r.object_id for r in results]
             scores = score_query(result_ids, sim_set.members, query_id, dataset_size)
             per_query.append(scores)
@@ -180,6 +208,7 @@ def evaluate_engine(
         avg_query_seconds=total_time / max(1, num_queries),
         num_queries=num_queries,
         per_set=per_set,
+        query_seconds=query_seconds,
     )
 
 

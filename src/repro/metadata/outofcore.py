@@ -166,6 +166,7 @@ class OutOfCoreSketchStore:
         queries: np.ndarray,
         k: int,
         thresholds: Optional[Sequence[float]],
+        trace=None,
     ) -> List[List[Tuple[int, int]]]:
         assert self._pool is not None
         th = None
@@ -175,7 +176,12 @@ class OutOfCoreSketchStore:
                 [np.inf if t is None else float(t) for t in thresholds],
                 dtype=np.float64,
             )
-        dists, rows = self._pool.scan_topk(queries, k, thresholds=th)
+        # origin="outofcore" makes the workers book this request under
+        # their own outofcore.* series (surfaced parent-side as
+        # workers.outofcore.scans after aggregation).
+        dists, rows = self._pool.scan_topk(
+            queries, k, thresholds=th, origin="outofcore", trace=trace
+        )
         out: List[List[Tuple[int, int]]] = []
         for qi in range(queries.shape[0]):
             keep = dists[qi] < _SENTINEL
@@ -209,6 +215,7 @@ class OutOfCoreSketchStore:
         query_sketches: np.ndarray,
         k: int,
         thresholds: Optional[Sequence[float]] = None,
+        trace=None,
     ) -> List[List[Tuple[int, int]]]:
         """k nearest segments for *every* query sketch in one table pass.
 
@@ -228,7 +235,9 @@ class OutOfCoreSketchStore:
         if self._pool is not None and k > 0:
             try:
                 if self._sync_pool():
-                    result = self._scan_nearest_pool(queries, k, thresholds)
+                    result = self._scan_nearest_pool(
+                        queries, k, thresholds, trace=trace
+                    )
                     _M_POOL_SCANS.inc()
                     _M_SCAN_SECONDS.observe(time.perf_counter() - started)
                     return result

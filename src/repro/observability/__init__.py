@@ -26,11 +26,13 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     counter,
+    delta_snapshots,
     gauge,
     get_registry,
     histogram,
     set_enabled,
 )
+from .profiler import SamplingProfiler
 from .tracing import QueryTrace, SlowQueryLog, TraceRecorder
 
 __all__ = [
@@ -41,10 +43,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "QueryTrace",
+    "SamplingProfiler",
     "SlowQueryLog",
     "StructuredLogger",
     "TraceRecorder",
     "counter",
+    "delta_snapshots",
     "gauge",
     "get_logger",
     "get_registry",

@@ -21,11 +21,24 @@ The wire rendering (:meth:`MetricsRegistry.render`) is a stable,
 line-oriented ``name value`` format documented in
 ``docs/OBSERVABILITY.md``; the server's ``metrics`` command and the web
 UI's ``/metrics`` page both emit it verbatim.
+:meth:`MetricsRegistry.render_prometheus` additionally renders the same
+registry in the Prometheus text exposition format for scrapers
+(``metrics -p`` / the web UI's ``/metrics.txt``).
+
+Cross-process aggregation: scan workers export their registries as
+plain-data **snapshots** (:meth:`MetricsRegistry.snapshot`), ship only
+the change since the last export (:func:`delta_snapshots`), and the
+parent folds deltas into namespaced series with
+:meth:`MetricsRegistry.merge_snapshot`.  Counter and histogram merges
+are associative and commutative over deltas, so per-worker and rolled-up
+series stay consistent no matter the arrival order.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
+import re
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +54,7 @@ __all__ = [
     "gauge",
     "histogram",
     "set_enabled",
+    "delta_snapshots",
 ]
 
 #: Latency buckets in seconds: 100us .. 10s, roughly 1-2.5-5 per decade.
@@ -98,6 +112,16 @@ class Counter(_Metric):
     def _render(self) -> List[str]:
         return [f"{self.name} {self.value}"]
 
+    def _state(self) -> tuple:
+        with self._lock:
+            return ("c", self._value)
+
+    def _merge(self, amount: int) -> None:
+        """Fold an already-gated cross-process delta in (no enabled check:
+        the registry-level merge decided)."""
+        with self._lock:
+            self._value += int(amount)
+
 
 class Gauge(_Metric):
     """Point-in-time value (pool workers, arena rows, ring occupancy)."""
@@ -131,6 +155,15 @@ class Gauge(_Metric):
 
     def _render(self) -> List[str]:
         return [f"{self.name} {_fmt(self.value)}"]
+
+    def _state(self) -> tuple:
+        with self._lock:
+            return ("g", self._value)
+
+    def _merge(self, value: float) -> None:
+        """Gauges are point-in-time: the incoming value wins."""
+        with self._lock:
+            self._value = float(value)
 
 
 class Histogram(_Metric):
@@ -179,6 +212,35 @@ class Histogram(_Metric):
         with self._lock:
             return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``).
+
+        Finds the bucket holding the ``q * count``-th observation and
+        interpolates linearly between its lower and upper bound — the
+        same estimator Prometheus' ``histogram_quantile`` uses, with the
+        same caveats: the answer is an *estimate* whose error is bounded
+        by the bucket width, and observations above the last bound clamp
+        to it.  Returns NaN for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            count = self._count
+            buckets = list(self._buckets)
+        if count == 0:
+            return float("nan")
+        target = q * count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self._bounds, buckets):
+            if n and running + n >= target:
+                fraction = (target - running) / n
+                return lower + (bound - lower) * fraction
+            running += n
+            lower = bound
+        # Every counted observation beyond the last bound is clamped.
+        return float(self._bounds[-1])
+
     def snapshot(self) -> Dict[str, float]:
         """``{count, sum, mean}`` plus per-bound cumulative counts."""
         with self._lock:
@@ -211,12 +273,91 @@ class Histogram(_Metric):
                 lines.append(f"{self.name}_bucket_le_{_fmt(bound)} {running}")
             return lines
 
+    def _state(self) -> tuple:
+        with self._lock:
+            return ("h", self._bounds, tuple(self._buckets), self._count, self._sum)
+
+    def _merge(
+        self,
+        bounds: Sequence[float],
+        buckets: Sequence[int],
+        count: int,
+        total: float,
+    ) -> None:
+        """Fold per-bucket deltas in; bounds must match exactly."""
+        if tuple(float(b) for b in bounds) != self._bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds mismatch on merge"
+            )
+        with self._lock:
+            for i, n in enumerate(buckets):
+                self._buckets[i] += int(n)
+            self._count += int(count)
+            self._sum += float(total)
+
 
 def _fmt(value: float) -> str:
     """Render a number without float noise: ints stay ints."""
+    if math.isnan(value) or math.isinf(value):
+        return str(value)
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    """Sanitize a dotted metric name into a legal Prometheus name."""
+    cleaned = _PROM_BAD_CHARS.sub("_", name)
+    if namespace:
+        cleaned = f"{namespace}_{cleaned}"
+    if cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def delta_snapshots(
+    prev: Dict[str, tuple], cur: Dict[str, tuple]
+) -> Dict[str, tuple]:
+    """The change from ``prev`` to ``cur`` (both from
+    :meth:`MetricsRegistry.snapshot`), as a snapshot-shaped dict.
+
+    Counters and histograms become differences (metrics absent from
+    ``prev`` count from zero); gauges pass through their current value
+    when it changed.  Unchanged metrics are omitted, so a worker that
+    did nothing ships an empty dict.  Deltas compose: applying the delta
+    of ``a -> b`` then ``b -> c`` equals applying the delta ``a -> c``.
+    """
+    delta: Dict[str, tuple] = {}
+    for name, state in cur.items():
+        kind = state[0]
+        before = prev.get(name)
+        if before is not None and before[0] != kind:
+            before = None  # type changed (shouldn't happen): count from zero
+        if kind == "c":
+            base = before[1] if before is not None else 0
+            if state[1] != base:
+                delta[name] = ("c", state[1] - base)
+        elif kind == "g":
+            if before is None or before[1] != state[1]:
+                delta[name] = state
+        elif kind == "h":
+            _, bounds, buckets, count, total = state
+            if before is not None and before[1] == bounds:
+                prev_buckets, prev_count, prev_sum = before[2], before[3], before[4]
+            else:
+                prev_buckets, prev_count, prev_sum = (0,) * len(buckets), 0, 0.0
+            if count != prev_count or total != prev_sum:
+                delta[name] = (
+                    "h",
+                    bounds,
+                    tuple(b - p for b, p in zip(buckets, prev_buckets)),
+                    count - prev_count,
+                    total - prev_sum,
+                )
+    return delta
 
 
 class MetricsRegistry:
@@ -289,16 +430,100 @@ class MetricsRegistry:
             return 0.0
         return metric.value  # type: ignore[union-attr]
 
-    def render(self) -> List[str]:
+    def render(self, prefix: Optional[str] = None) -> List[str]:
         """Stable line format: one ``name value`` pair per line, sorted
         by metric name (histograms expand to ``_count``/``_sum``/
-        ``_bucket_le_*`` lines)."""
+        ``_bucket_le_*`` lines).  ``prefix`` restricts the dump to
+        metrics whose *name* starts with it (the server's
+        ``metrics <prefix>`` filter)."""
         with self._lock:
-            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+            names = sorted(self._metrics)
+            if prefix:
+                names = [n for n in names if n.startswith(prefix)]
+            metrics = [self._metrics[name] for name in names]
         lines: List[str] = []
         for metric in metrics:
             lines.extend(metric._render())
         return lines
+
+    def render_prometheus(
+        self, prefix: Optional[str] = None, namespace: str = "ferret"
+    ) -> List[str]:
+        """The registry in the Prometheus text exposition format.
+
+        Dots (and any other characters illegal in Prometheus metric
+        names) become underscores, every series is namespaced
+        (``ferret_engine_queries``), ``# TYPE`` comments declare the
+        metric kind, and histograms expand into cumulative
+        ``_bucket{le="..."}`` series ending in ``le="+Inf"`` plus
+        ``_sum``/``_count`` — exactly what ``histogram_quantile()``
+        expects.  ``prefix`` filters on the *original* metric name.
+        """
+        with self._lock:
+            names = sorted(self._metrics)
+            if prefix:
+                names = [n for n in names if n.startswith(prefix)]
+            metrics = [self._metrics[name] for name in names]
+        lines: List[str] = []
+        for metric in metrics:
+            pname = _prom_name(metric.name, namespace)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_fmt(metric.value)}")
+            elif isinstance(metric, Histogram):
+                _kind, bounds, buckets, count, total = metric._state()
+                lines.append(f"# TYPE {pname} histogram")
+                running = 0
+                for bound, n in zip(bounds, buckets):
+                    running += n
+                    lines.append(
+                        f'{pname}_bucket{{le="{_fmt(bound)}"}} {running}'
+                    )
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {count}')
+                lines.append(f"{pname}_sum {_fmt(total)}")
+                lines.append(f"{pname}_count {count}")
+        return lines
+
+    # -- cross-process aggregation ---------------------------------------
+    def snapshot(self) -> Dict[str, tuple]:
+        """Plain-data state of every metric (picklable, lock-consistent
+        per metric).  The tuples are ``("c", value)``, ``("g", value)``,
+        and ``("h", bounds, buckets, count, sum)``."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {metric.name: metric._state() for metric in metrics}
+
+    def merge_snapshot(
+        self, snapshot: Dict[str, tuple], prefix: str = ""
+    ) -> None:
+        """Fold a (delta) snapshot into this registry under ``prefix``.
+
+        Counters and histograms *accumulate* — folding the deltas of
+        several workers (in any order, any grouping) yields the same
+        totals, which is what makes the ``workers.*`` roll-up well
+        defined.  Gauges take the incoming value (last writer wins).
+        Metrics are created on first sight; a type or bucket-bounds
+        conflict with an existing metric raises ``ValueError``.
+        """
+        if not self.enabled:
+            return
+        for name, state in snapshot.items():
+            kind = state[0]
+            full = prefix + name
+            if kind == "c":
+                self.counter(full)._merge(state[1])
+            elif kind == "g":
+                self.gauge(full)._merge(state[1])
+            elif kind == "h":
+                _, bounds, buckets, count, total = state
+                self.histogram(full, buckets=bounds)._merge(
+                    bounds, buckets, count, total
+                )
+            else:
+                raise ValueError(f"unknown metric state kind {kind!r}")
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

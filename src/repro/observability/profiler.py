@@ -1,0 +1,190 @@
+"""Dependency-free sampling profiler for the long-running server.
+
+When a production query is slow, the slow-query log says *that* it was
+slow and the trace says *which stage* was slow — this module answers the
+remaining question, *what code* the process was running.  It is a
+wall-clock stack sampler built purely on the stdlib:
+
+- A daemon thread wakes every ``interval`` seconds and snapshots every
+  thread's Python stack via ``sys._current_frames()``.  The classical
+  ``signal.setitimer``/``SIGPROF`` approach can only interrupt (and
+  therefore only observe) the main thread and may only be armed *from*
+  the main thread — useless for a ``ThreadingTCPServer`` whose queries
+  run on handler threads — so the thread sampler is the portable choice.
+  The trade-off: samples land at bytecode boundaries and time spent
+  inside a single C call (a long numpy kernel) attributes to the Python
+  frame that issued it, which is exactly the attribution a search-engine
+  operator wants anyway.
+- Samples aggregate in place as collapsed stacks (``frame;frame;frame``
+  root-first, FlameGraph's folded format) with counts, so memory is
+  bounded by the number of *unique* stacks, not the sampling duration.
+- :meth:`SamplingProfiler.capture_slow` takes one immediate snapshot of
+  all threads; the engine's trace recorder calls it whenever a query
+  crosses the slow-query threshold, so slow queries leave stacks behind
+  even when continuous sampling is off.
+
+Server surface: ``setparam profile on|off`` starts/stops the sampler
+and ``profile [n]`` returns the top-``n`` collapsed stacks (see
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from . import metrics as _metrics
+
+__all__ = ["SamplingProfiler", "collapse_frame"]
+
+_M_SAMPLES = _metrics.counter("profiler.samples")
+_M_SLOW_CAPTURES = _metrics.counter("profiler.slow_captures")
+
+
+def _format_frame(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    # Folded-stack consumers split frames on ";" and the trailing count
+    # on the last space, so neither may appear inside a frame name
+    # (synthetic filenames like "<frozen runpy>" contain spaces).
+    return f"{filename}:{code.co_name}".replace(" ", "_").replace(";", "_")
+
+
+def collapse_frame(frame, max_depth: int = 64) -> Tuple[str, ...]:
+    """One thread's stack as a root-first tuple of ``file.py:func``."""
+    stack: List[str] = []
+    while frame is not None and len(stack) < max_depth:
+        stack.append(_format_frame(frame))
+        frame = frame.f_back
+    stack.reverse()
+    return tuple(stack)
+
+
+class SamplingProfiler:
+    """Aggregating wall-clock stack sampler over all threads.
+
+    Thread-safe; ``start``/``stop`` are idempotent.  The sampler thread
+    excludes its own stack from samples.  ``max_unique_stacks`` bounds
+    memory — once reached, samples landing on *new* stacks are counted
+    as ``dropped`` instead of stored (existing stacks keep counting).
+    """
+
+    def __init__(
+        self, interval: float = 0.005, max_unique_stacks: int = 4096
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if max_unique_stacks <= 0:
+            raise ValueError("max_unique_stacks must be positive")
+        self.interval = float(interval)
+        self.max_unique_stacks = int(max_unique_stacks)
+        self._lock = threading.Lock()
+        self._counts: Dict[Tuple[str, ...], int] = {}
+        self._samples = 0
+        self._slow_captures = 0
+        self._dropped = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> bool:
+        """Begin continuous sampling; False if already running."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return False
+            self._stop_event = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run, name="ferret-profiler", daemon=True
+            )
+            self._thread.start()
+            return True
+
+    def stop(self) -> bool:
+        """Stop continuous sampling; False if it was not running."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None or not thread.is_alive():
+            return False
+        self._stop_event.set()
+        thread.join(timeout=2.0)
+        return True
+
+    # -- sampling --------------------------------------------------------
+    def _run(self) -> None:
+        stop = self._stop_event
+        while not stop.wait(self.interval):
+            self.sample_once()
+
+    def sample_once(self) -> int:
+        """Snapshot every thread's stack now; returns stacks recorded.
+
+        The sampler thread's own loop is excluded (whether this call
+        came from it or from outside); every other thread — including
+        the caller, which is the point of the slow-query capture — is
+        recorded.
+        """
+        thread = self._thread
+        sampler_ident = thread.ident if thread is not None else None
+        frames = sys._current_frames()
+        recorded = 0
+        with self._lock:
+            for ident, frame in frames.items():
+                if sampler_ident is not None and ident == sampler_ident:
+                    continue
+                stack = collapse_frame(frame)
+                if not stack:
+                    continue
+                if (
+                    stack not in self._counts
+                    and len(self._counts) >= self.max_unique_stacks
+                ):
+                    self._dropped += 1
+                    continue
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+                recorded += 1
+            self._samples += 1
+        _M_SAMPLES.inc()
+        return recorded
+
+    def capture_slow(self) -> int:
+        """One immediate all-thread sample attributed to a slow query."""
+        recorded = self.sample_once()
+        with self._lock:
+            self._slow_captures += 1
+        _M_SLOW_CAPTURES.inc()
+        return recorded
+
+    # -- results ---------------------------------------------------------
+    def collapsed(self, limit: Optional[int] = None) -> List[str]:
+        """Folded-stack lines ``frame;frame;frame count``, most-sampled
+        first (ties broken by stack text for stable output)."""
+        with self._lock:
+            items = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            items = items[: max(0, limit)]
+        return [f"{';'.join(stack)} {count}" for stack, count in items]
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_seconds": self.interval,
+                "samples": self._samples,
+                "unique_stacks": len(self._counts),
+                "slow_captures": self._slow_captures,
+                "dropped": self._dropped,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+            self._slow_captures = 0
+            self._dropped = 0

@@ -40,13 +40,17 @@ class QueryTrace:
     name (``candidates``, ``distance_evals``, ``cache_hits``, ...) to an
     integer.  ``note`` records which scan path answered the filter stage
     (``serial``, ``parallel``, ``cache``, ``parallel_fallback``).
+    ``spans`` holds named child spans — one per scan worker when the
+    parallel pool answered, each splitting the worker's round trip into
+    queue wait, compute, and reply serialization — so a trace shows
+    *where* shard time went instead of one opaque parent-side wait.
     Traces are built single-threaded inside one query call; only the
     completed, immutable result is shared.
     """
 
     __slots__ = (
         "method", "num_queries", "started_at", "total_seconds",
-        "stages", "counts", "notes",
+        "stages", "counts", "notes", "spans",
     )
 
     def __init__(self, method: str, num_queries: int = 1) -> None:
@@ -57,6 +61,7 @@ class QueryTrace:
         self.stages: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
         self.notes: Dict[str, str] = {}
+        self.spans: List[Dict[str, object]] = []
 
     # -- building --------------------------------------------------------
     def add_stage(self, name: str, seconds: float) -> None:
@@ -67,6 +72,17 @@ class QueryTrace:
 
     def note(self, name: str, value: str) -> None:
         self.notes[name] = value
+
+    def add_span(self, name: str, **seconds: float) -> None:
+        """Attach a named child span with per-phase timings (seconds).
+
+        E.g. ``trace.add_span("worker.0", queue_wait=..., compute=...,
+        reply=...)`` for one scan worker's share of a pooled filter.
+        """
+        span: Dict[str, object] = {"name": name}
+        for key, value in seconds.items():
+            span[key] = float(value)
+        self.spans.append(span)
 
     class _StageTimer:
         __slots__ = ("_trace", "_name", "_started")
@@ -102,6 +118,10 @@ class QueryTrace:
             out.append(f"count.{name} {self.counts[name]}")
         for name in sorted(self.notes):
             out.append(f"note.{name} {self.notes[name]}")
+        for span in self.spans:
+            name = span["name"]
+            for key in sorted(k for k in span if k != "name"):
+                out.append(f"span.{name}.{key}_seconds {span[key]:.6f}")
         return out
 
     def to_dict(self) -> Dict[str, object]:
@@ -113,6 +133,7 @@ class QueryTrace:
             "stages": dict(self.stages),
             "counts": dict(self.counts),
             "notes": dict(self.notes),
+            "spans": [dict(span) for span in self.spans],
         }
 
 
@@ -169,6 +190,14 @@ class TraceRecorder:
     publishes the trace as :attr:`last`, and offers it to the slow log.
     The engine also calls :meth:`observe_total` for untraced queries so
     the slow-query log still catches them (with a minimal trace).
+
+    The recorder also owns a :class:`~repro.observability.profiler.
+    SamplingProfiler`: idle until started (``setparam profile on``), but
+    with :attr:`auto_profile` set (the default) every query that lands
+    in the slow-query log additionally triggers one immediate stack
+    capture of all threads — so even without continuous sampling, a slow
+    query leaves behind the stacks the process was running when it was
+    detected.
     """
 
     def __init__(
@@ -177,8 +206,12 @@ class TraceRecorder:
         slow_log_capacity: int = 64,
         slow_threshold_seconds: float = 0.5,
     ) -> None:
+        from .profiler import SamplingProfiler
+
         self.enabled = enabled
         self.slow_log = SlowQueryLog(slow_log_capacity, slow_threshold_seconds)
+        self.profiler = SamplingProfiler()
+        self.auto_profile = True
         self._lock = threading.Lock()
         self._last: Optional[QueryTrace] = None
 
@@ -201,7 +234,8 @@ class TraceRecorder:
         trace.total_seconds = total_seconds
         with self._lock:
             self._last = trace
-        self.slow_log.offer(trace)
+        if self.slow_log.offer(trace):
+            self._capture_slow()
         return trace
 
     def observe_total(
@@ -213,7 +247,14 @@ class TraceRecorder:
         trace = QueryTrace(method, num_queries)
         trace.total_seconds = total_seconds
         trace.note("detail", "untraced")
-        self.slow_log.offer(trace)
+        if self.slow_log.offer(trace):
+            self._capture_slow()
+
+    def _capture_slow(self) -> None:
+        """A slow query just landed: grab one stack sample of the whole
+        process (the offending thread is still inside the query path)."""
+        if self.auto_profile:
+            self.profiler.capture_slow()
 
     @property
     def last(self) -> Optional[QueryTrace]:

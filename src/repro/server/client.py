@@ -69,6 +69,7 @@ IDEMPOTENT_COMMANDS = frozenset(
         "setparam",
         "metrics",
         "trace",
+        "profile",
     }
 )
 
@@ -285,13 +286,28 @@ class FerretClient:
             out[key] = value
         return out
 
-    def metrics(self) -> Dict[str, str]:
-        """The server's metrics registry as ``{name: value}`` strings."""
+    def metrics(self, prefix: Optional[str] = None) -> Dict[str, str]:
+        """The server's metrics registry as ``{name: value}`` strings.
+
+        ``prefix`` restricts the dump server-side (``metrics parallel.``)
+        so clients needn't download the full registry.
+        """
+        line = "metrics" if prefix is None else f"metrics {quote(prefix)}"
         out: Dict[str, str] = {}
-        for line in self.send("metrics"):
-            key, _, value = line.partition(" ")
+        for response_line in self.send(line):
+            key, _, value = response_line.partition(" ")
             out[key] = value
         return out
+
+    def metrics_prometheus(self, prefix: Optional[str] = None) -> str:
+        """The registry in Prometheus text exposition format (raw)."""
+        line = "metrics -p" if prefix is None else f"metrics -p {quote(prefix)}"
+        return "\n".join(self.send(line)) + "\n"
+
+    def profile(self, limit: Optional[int] = None) -> List[str]:
+        """Sampling-profiler stats + top collapsed stacks (raw lines)."""
+        line = "profile" if limit is None else f"profile {int(limit)}"
+        return self.send(line)
 
     def trace(self) -> Dict[str, str]:
         """The last query's stage breakdown (``setparam trace on`` first)."""

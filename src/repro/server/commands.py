@@ -29,15 +29,20 @@ number of results to return, filter parameters, and attributes"):
   ``threshold_fraction``, ``threshold_fn`` by registered name,
   ``parallel on|off`` for the sharded multi-core scan,
   ``trace on|off`` for per-query stage tracing, ``metrics on|off`` for
-  the registry master switch, and ``slow_query_ms <ms>`` for the
-  slow-query log threshold).
+  the registry master switch, ``profile on|off`` for the sampling
+  profiler, and ``slow_query_ms <ms>`` for the slow-query log
+  threshold).
 - ``health`` — server health report: overall status, uptime, and
   per-component degradation details (see docs/ROBUSTNESS.md).
-- ``metrics`` — dump the process metrics registry in its stable
-  ``name value`` line format (see docs/OBSERVABILITY.md).
+- ``metrics [-p] [prefix]`` — dump the process metrics registry
+  (worker deltas folded in first) in its stable ``name value`` line
+  format, or with ``-p`` in the Prometheus text exposition format;
+  ``prefix`` filters on metric name (see docs/OBSERVABILITY.md).
 - ``trace`` — the last query's stage breakdown (needs
   ``setparam trace on``); ``trace slow [n]`` lists the most recent
   slow-query log entries.
+- ``profile [n]`` — sampling-profiler stats plus the top ``n``
+  collapsed stacks.
 
 Graceful degradation: storage failures answer ``ERR DEGRADED <reason>``
 (a structured error clients can tell apart from bad requests), and an
@@ -156,7 +161,19 @@ class CommandProcessor:
     def _cmd_count(self, command: Command) -> List[str]:
         return [str(len(self.engine))]
 
+    def _query_latency_lines(self) -> List[str]:
+        """p50/p95/p99 query latency (ms) from the engine.query_seconds
+        histogram — bucket-interpolated estimates, ``nan`` before the
+        first query (see docs/OBSERVABILITY.md §1 for the caveat)."""
+        hist = _metrics.get_registry().get("engine.query_seconds")
+        lines = []
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = hist.quantile(q) if hist is not None else float("nan")
+            lines.append(f"query_{label}_ms {value * 1000.0:.3f}")
+        return lines
+
     def _cmd_stat(self, command: Command) -> List[str]:
+        self.engine.collect_worker_metrics()
         stats = self.engine.stats()
         par = self.engine.parallel_info()
         cache = par["cache"]
@@ -181,10 +198,56 @@ class CommandProcessor:
             f"trace {'on' if tracer.enabled else 'off'}",
             f"slow_queries {tracer.slow_log.total_recorded}",
             f"slow_query_ms {tracer.slow_log.threshold_seconds * 1000.0:g}",
-        ]
+        ] + self._query_latency_lines()
 
     def _cmd_metrics(self, command: Command) -> List[str]:
-        return _metrics.get_registry().render()
+        """``metrics [-p] [prefix]``: registry dump, optionally filtered
+        to one name prefix and/or rendered in Prometheus text format.
+
+        Pulls pending worker deltas first so the dump includes the
+        ``worker.<i>.*`` / ``workers.*`` series of the scan pool.
+        """
+        prometheus = False
+        prefix: Optional[str] = None
+        for arg in command.args:
+            if arg == "-p":
+                prometheus = True
+            elif prefix is None:
+                prefix = arg
+            else:
+                raise ProtocolError("usage: metrics [-p] [prefix]")
+        self.engine.collect_worker_metrics()
+        registry = _metrics.get_registry()
+        if prometheus:
+            return registry.render_prometheus(prefix=prefix)
+        return registry.render(prefix=prefix)
+
+    def _cmd_profile(self, command: Command) -> List[str]:
+        """``profile [n]``: sampling-profiler state plus the top ``n``
+        collapsed stacks (``frame;frame;frame count``, FlameGraph's
+        folded format).  Stacks come from continuous sampling
+        (``setparam profile on``) and from the automatic one-shot
+        capture of every slow query."""
+        limit = 20
+        if command.args:
+            try:
+                limit = int(command.args[0])
+            except ValueError:
+                raise ProtocolError("usage: profile [n]") from None
+            if limit <= 0:
+                raise ProtocolError("usage: profile [n]")
+        if len(command.args) > 1:
+            raise ProtocolError("usage: profile [n]")
+        profiler = self.engine.tracer.profiler
+        stats = profiler.stats()
+        lines = [
+            f"running {'yes' if stats['running'] else 'no'}",
+            f"samples {stats['samples']}",
+            f"unique_stacks {stats['unique_stacks']}",
+            f"slow_captures {stats['slow_captures']}",
+            f"dropped {stats['dropped']}",
+        ]
+        return lines + profiler.collapsed(limit=limit)
 
     def _cmd_trace(self, command: Command) -> List[str]:
         tracer = self.engine.tracer
@@ -415,6 +478,16 @@ class CommandProcessor:
                 raise ProtocolError("usage: setparam metrics on|off")
             _metrics.set_enabled(flag == "on")
             return [f"metrics={flag}"]
+        elif name == "profile":
+            flag = raw.lower()
+            if flag not in ("on", "off"):
+                raise ProtocolError("usage: setparam profile on|off")
+            profiler = self.engine.tracer.profiler
+            if flag == "on":
+                profiler.start()
+            else:
+                profiler.stop()
+            return [f"profile={flag}"]
         elif name == "slow_query_ms":
             try:
                 millis = float(raw)

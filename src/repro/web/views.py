@@ -66,7 +66,8 @@ def render_home(
   <input type="submit" value="Search">
 </form>
 <h2>Engine statistics</h2>
-<p><a href="/metrics">raw metrics</a></p>
+<p><a href="/metrics">raw metrics</a> &middot;
+<a href="/metrics.txt">Prometheus scrape endpoint</a></p>
 <table><tr><th>stat</th><th>value</th></tr>{stat_rows}</table>
 """
     return render_page(title, body)

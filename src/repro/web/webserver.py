@@ -9,9 +9,11 @@ to a :class:`repro.server.server.FerretServer` or in-process against a
 HTML.
 
 Routes: ``/`` (home + forms), ``/query?id=&top=&method=&attr=``,
-``/queryfile?path=&top=&method=``, ``/attrquery?q=``, and ``/metrics``
+``/queryfile?path=&top=&method=``, ``/attrquery?q=``, ``/metrics``
 (the metrics registry as plain text, same line format as the server's
-``metrics`` command).
+``metrics`` command), and ``/metrics.txt`` (the Prometheus text
+exposition format, served through ``metrics -p`` so worker-side series
+are folded in — point a scraper here).
 """
 
 from __future__ import annotations
@@ -71,9 +73,14 @@ class WebApp:
 
     # -- routes -----------------------------------------------------------
     def content_type(self, path: str) -> str:
-        """MIME type for a request path (``/metrics`` is plain text)."""
-        if urlparse(path).path == "/metrics":
+        """MIME type for a request path (``/metrics*`` are plain text)."""
+        route = urlparse(path).path
+        if route == "/metrics":
             return "text/plain; charset=utf-8"
+        if route == "/metrics.txt":
+            # The version parameter is part of Prometheus' exposition
+            # content type; scrapers use it to pick a parser.
+            return "text/plain; version=0.0.4; charset=utf-8"
         return "text/html; charset=utf-8"
 
     def handle(self, path: str) -> Tuple[int, str]:
@@ -92,6 +99,11 @@ class WebApp:
                 return 200, self._attrquery(params)
             if parsed.path == "/metrics":
                 return 200, "\n".join(_metrics.get_registry().render()) + "\n"
+            if parsed.path == "/metrics.txt":
+                # Scrape endpoint: go through the `metrics -p` command so
+                # worker deltas are folded in and remote mode scrapes the
+                # engine-owning process, not this frontend.
+                return 200, "\n".join(self.backend.send("metrics -p")) + "\n"
             return 404, render_page(self.title, "<p class='err'>not found</p>")
         except (ClientError, ValueError, KeyError, OSError) as exc:
             # Expected request-level failures only: malformed parameters

@@ -1,0 +1,191 @@
+"""Cross-process telemetry of the parallel scan pool.
+
+Workers run in separate processes, so their registry activity is
+invisible to the parent unless explicitly shipped back.  These tests
+pin the aggregation pipeline end to end: delta export piggybacked on
+scan replies, the on-demand ``("metrics",)`` pull, the
+``worker.<i>.*`` / ``workers.*`` namespacing, per-worker trace spans,
+and the quiet/metrics switch inheritance at spawn time (under both
+``fork`` and ``spawn`` start methods).
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FilterParams,
+    ParallelConfig,
+    ParallelFilterPool,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from repro.observability import log as _log
+from repro.observability import metrics as _metrics
+from repro.observability.tracing import QueryTrace
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+START_METHODS = [
+    m
+    for m in ("fork", "spawn")
+    if m in multiprocessing.get_all_start_methods()
+]
+
+
+def _loaded_pool(num_workers=2, rows=64, start_method=None):
+    pool = ParallelFilterPool(
+        num_workers=num_workers, start_method=start_method
+    )
+    rng = np.random.default_rng(7)
+    sketches = rng.integers(0, 2**63, size=(rows, 2), dtype=np.uint64)
+    pool.load(np.arange(rows, dtype=np.int64), sketches, epoch=1)
+    return pool, sketches
+
+
+def _value(name):
+    return _metrics.get_registry().value(name)
+
+
+class TestWorkerMetricAggregation:
+    def test_scan_piggybacks_worker_series(self):
+        before_requests = _value("workers.scan.requests")
+        before_w0 = _value("worker.0.scan.requests")
+        with _loaded_pool(num_workers=2)[0] as pool:
+            pool.scan_topk(
+                np.zeros((1, 2), dtype=np.uint64), 4
+            )
+        assert _value("workers.scan.requests") == before_requests + 2
+        assert _value("worker.0.scan.requests") == before_w0 + 1
+        reg = _metrics.get_registry()
+        hist = reg.get("workers.scan.compute_seconds")
+        assert hist is not None and hist.count >= 2
+
+    def test_outofcore_origin_counts_worker_side(self):
+        before = _value("workers.outofcore.scans")
+        with _loaded_pool(num_workers=2)[0] as pool:
+            pool.scan_topk(
+                np.zeros((1, 2), dtype=np.uint64), 4, origin="outofcore"
+            )
+        assert _value("workers.outofcore.scans") == before + 2
+        assert _value("workers.outofcore.rows_scanned") > 0
+
+    def test_fetch_worker_metrics_on_demand(self):
+        pool, _ = _loaded_pool(num_workers=2)
+        with pool:
+            before = _value("workers.arena.loads")
+            # nothing scanned yet: the load count is still worker-side
+            assert pool.fetch_worker_metrics() == 2
+            assert _value("workers.arena.loads") == before + 2
+            # a second pull with no new activity ships empty deltas
+            mid = _value("workers.arena.loads")
+            assert pool.fetch_worker_metrics() == 2
+            assert _value("workers.arena.loads") == mid
+        assert pool.fetch_worker_metrics() == 0  # closed pool: no-op
+
+    def test_roll_up_equals_sum_of_workers(self):
+        base_roll = _value("workers.scan.requests")
+        base = [
+            _value(f"worker.{i}.scan.requests") for i in range(3)
+        ]
+        with _loaded_pool(num_workers=3)[0] as pool:
+            for _ in range(4):
+                pool.scan_topk(np.zeros((1, 2), dtype=np.uint64), 2)
+        per_worker = sum(
+            _value(f"worker.{i}.scan.requests") - base[i] for i in range(3)
+        )
+        assert per_worker == 12
+        assert _value("workers.scan.requests") - base_roll == per_worker
+
+
+class TestPerShardSpans:
+    def test_scan_attaches_one_span_per_worker(self):
+        trace = QueryTrace("filtering")
+        with _loaded_pool(num_workers=2)[0] as pool:
+            pool.scan_topk(
+                np.zeros((2, 2), dtype=np.uint64), 4, trace=trace
+            )
+        assert len(trace.spans) == 2
+        names = [s["name"] for s in trace.spans]
+        assert names == ["worker.0", "worker.1"]
+        for span in trace.spans:
+            for key in ("queue_wait", "compute", "reply"):
+                assert span[key] >= 0.0
+        rendered = trace.lines()
+        assert any(
+            l.startswith("span.worker.0.compute_seconds") for l in rendered
+        )
+
+    def test_no_trace_no_spans_overhead(self):
+        with _loaded_pool(num_workers=2)[0] as pool:
+            d, r = pool.scan_topk(np.zeros((1, 2), dtype=np.uint64), 4)
+        assert d.shape[0] == 1  # scan unaffected without a trace
+
+    def test_engine_query_produces_spans(self):
+        from repro.datatypes.bulk import bulk_image_dataset
+        from repro.datatypes.image import make_image_plugin
+
+        plugin = make_image_plugin()
+        engine = SimilaritySearchEngine(
+            plugin,
+            SketchParams(64, plugin.meta, seed=0),
+            FilterParams(num_query_segments=3, candidates_per_segment=16),
+            parallel=ParallelConfig(
+                num_workers=2, min_segments=1, cache_entries=0
+            ),
+        )
+        with engine:
+            engine.insert_many(list(bulk_image_dataset(30, seed=3)))
+            engine.tracer.set_enabled(True)
+            engine.query_by_id(0, top_k=3)
+            trace = engine.tracer.last
+            assert trace is not None
+            assert trace.notes.get("scan") == "parallel"
+            assert len(trace.spans) == 2
+            assert {s["name"] for s in trace.spans} == {
+                "worker.0", "worker.1"
+            }
+
+
+class TestSpawnInheritance:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_quiet_flag_inherited(self, start_method):
+        was_quiet = _log.is_quiet()
+        _log.set_quiet(True)
+        try:
+            pool, _ = _loaded_pool(
+                num_workers=2, start_method=start_method
+            )
+            with pool:
+                info = pool.worker_info()
+        finally:
+            _log.set_quiet(was_quiet)
+        assert len(info) == 2
+        assert all(w["quiet"] for w in info)
+        assert sorted(w["name"] for w in info) == [
+            "ferret-scan-0", "ferret-scan-1"
+        ]
+        assert len({w["pid"] for w in info}) == 2
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_metrics_switch_inherited(self, start_method):
+        registry = _metrics.get_registry()
+        assert registry.enabled  # test-suite invariant
+        registry.enabled = False
+        try:
+            pool, _ = _loaded_pool(
+                num_workers=1, start_method=start_method
+            )
+        finally:
+            registry.enabled = True
+        with pool:
+            info = pool.worker_info()
+        assert all(not w["metrics_enabled"] for w in info)
+
+    def test_not_quiet_by_default(self):
+        assert not _log.is_quiet()
+        with _loaded_pool(num_workers=1)[0] as pool:
+            info = pool.worker_info()
+        assert not info[0]["quiet"]
+        assert info[0]["metrics_enabled"]

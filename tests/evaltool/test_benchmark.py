@@ -103,3 +103,59 @@ class TestEvaluateEngine:
         assert set(row) == {
             "average_precision", "first_tier", "second_tier", "avg_query_seconds",
         }
+
+
+class TestLatencyQuantiles:
+    def _result(self):
+        meta = FeatureMeta(6, np.zeros(6), np.ones(6))
+        engine = SimilaritySearchEngine(
+            DataTypePlugin("t", meta), SketchParams(256, meta, seed=0)
+        )
+        rng = np.random.default_rng(0)
+        suite = BenchmarkSuite("clusters")
+        for c in range(3):
+            members = [
+                engine.insert(ObjectSignature(rng.random((2, 6)), [1, 1]))
+                for _ in range(4)
+            ]
+            suite.add(f"c{c}", members)
+        return evaluate_engine(engine, suite, queries_per_set=2)
+
+    def test_query_seconds_recorded_per_query(self):
+        result = self._result()
+        assert len(result.query_seconds) == result.num_queries
+        assert all(t > 0 for t in result.query_seconds)
+        assert sum(result.query_seconds) / result.num_queries == pytest.approx(
+            result.avg_query_seconds
+        )
+
+    def test_quantiles_exact_and_monotone(self):
+        result = self._result()
+        qs = [result.latency_quantile(q) for q in (0.0, 0.5, 0.95, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[0] == min(result.query_seconds)
+        assert qs[-1] == max(result.query_seconds)
+        with pytest.raises(ValueError):
+            result.latency_quantile(1.5)
+
+    def test_empty_is_nan(self):
+        import math
+
+        from repro.evaltool.benchmark import EvaluationResult
+        from repro.evaltool.metrics import QualityScores
+
+        empty = EvaluationResult(
+            suite_name="s",
+            method=SearchMethod.FILTERING,
+            quality=QualityScores(0, 0, 0),
+            per_query=[],
+            avg_query_seconds=0.0,
+            num_queries=0,
+        )
+        assert math.isnan(empty.latency_quantile(0.5))
+
+    def test_report_includes_latency_line(self):
+        result = self._result()
+        report = result.report()
+        assert "latency p50" in report
+        assert "p95" in report and "p99" in report

@@ -1,0 +1,121 @@
+"""The CI throughput regression gate (benchmarks/check_regression.py).
+
+The gate script lives outside the package (benchmarks/ is not on the
+import path), so it is loaded by file path here.  These tests pin its
+contract: pass within tolerance, fail beyond it, refuse mismatched
+run shapes, and exit 2 on unusable input.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return _load_module()
+
+
+def _payload(seq=100.0, batched=120.0, fused=500.0):
+    return {
+        "num_objects": 12000,
+        "num_queries": 24,
+        "n_bits": 256,
+        "end_to_end": {"sequential_qps": seq, "batched_qps": batched},
+        "batch_filter": {"fused_many_qps": fused},
+    }
+
+
+class TestCheck:
+    def test_identical_runs_pass(self, gate):
+        assert gate.check(_payload(), _payload(), 0.15) == []
+
+    def test_small_drop_within_tolerance(self, gate):
+        current = _payload(seq=90.0, batched=110.0, fused=440.0)
+        assert gate.check(_payload(), current, 0.15) == []
+
+    def test_improvement_passes(self, gate):
+        current = _payload(seq=200.0, batched=300.0, fused=900.0)
+        assert gate.check(_payload(), current, 0.15) == []
+
+    def test_large_drop_fails_naming_series(self, gate):
+        current = _payload(seq=80.0)  # 20% drop > 15% tolerance
+        failures = gate.check(_payload(), current, 0.15)
+        assert len(failures) == 1
+        assert "end_to_end.sequential_qps" in failures[0]
+        assert "20.0%" in failures[0]
+
+    def test_each_series_gated_independently(self, gate):
+        current = _payload(seq=50.0, fused=100.0)
+        failures = gate.check(_payload(), current, 0.15)
+        assert len(failures) == 2
+
+    def test_boundary_is_inclusive(self, gate):
+        # exactly at the floor (15% drop with 15% tolerance) still passes
+        current = _payload(seq=85.0)
+        assert gate.check(_payload(), current, 0.15) == []
+
+    def test_shape_mismatch_refuses_comparison(self, gate):
+        current = _payload()
+        current["num_objects"] = 50000
+        failures = gate.check(_payload(), current, 0.15)
+        assert len(failures) == 1
+        assert "not comparable" in failures[0]
+
+    def test_missing_series_fails(self, gate):
+        current = _payload()
+        del current["batch_filter"]
+        failures = gate.check(_payload(), current, 0.15)
+        assert any("batch_filter.fused_many_qps" in f for f in failures)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_pass_exit_zero(self, gate, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _payload())
+        cur = self._write(tmp_path, "cur.json", _payload(seq=95.0))
+        assert gate.main([base, cur]) == 0
+        out = capsys.readouterr().out
+        assert "ok  end_to_end.sequential_qps" in out
+
+    def test_regression_exit_one(self, gate, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _payload())
+        cur = self._write(tmp_path, "cur.json", _payload(seq=10.0))
+        assert gate.main([base, cur]) == 1
+        assert "THROUGHPUT REGRESSION" in capsys.readouterr().out
+
+    def test_tighter_tolerance_flag(self, gate, tmp_path):
+        base = self._write(tmp_path, "base.json", _payload())
+        cur = self._write(tmp_path, "cur.json", _payload(seq=90.0))
+        assert gate.main([base, cur]) == 0
+        assert gate.main([base, cur, "--tolerance", "0.05"]) == 1
+
+    def test_unreadable_input_exit_two(self, gate, tmp_path):
+        base = self._write(tmp_path, "base.json", _payload())
+        assert gate.main([base, str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert gate.main([base, str(bad)]) == 2
+
+    def test_bad_tolerance_exit_two(self, gate, tmp_path):
+        base = self._write(tmp_path, "base.json", _payload())
+        assert gate.main([base, base, "--tolerance", "1.5"]) == 2
+
+    def test_committed_baseline_compares_to_itself(self, gate):
+        baseline = _SCRIPT.parents[1] / "BENCH_query_throughput.json"
+        assert gate.main([str(baseline), str(baseline)]) == 0

@@ -1,0 +1,195 @@
+"""Prometheus exposition, histogram quantiles, and cross-process
+snapshot/delta/merge semantics of the metrics registry."""
+
+import math
+import re
+
+import pytest
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    delta_snapshots,
+)
+
+# Prometheus text-format grammar (the subset the renderer emits):
+# either a `# TYPE <name> <kind>` comment or `<name>[{le="..."}] <value>`.
+_TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+    r"(nan|[+-]?(inf|\d+(\.\d+)?([eE][+-]?\d+)?))$"
+)
+
+
+def _assert_prometheus_parses(lines):
+    assert lines, "exposition must not be empty"
+    for line in lines:
+        assert _TYPE_RE.match(line) or _SAMPLE_RE.match(line), (
+            f"not valid Prometheus text format: {line!r}"
+        )
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram(self, registry):
+        registry.counter("engine.queries").inc(3)
+        registry.gauge("parallel.arena_rows").set(120)
+        h = registry.histogram("engine.query_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)  # beyond the last bound: only count/sum
+        lines = registry.render_prometheus()
+        _assert_prometheus_parses(lines)
+        assert "# TYPE ferret_engine_queries counter" in lines
+        assert "ferret_engine_queries 3" in lines
+        assert "# TYPE ferret_parallel_arena_rows gauge" in lines
+        assert "ferret_parallel_arena_rows 120" in lines
+        assert "# TYPE ferret_engine_query_seconds histogram" in lines
+        assert 'ferret_engine_query_seconds_bucket{le="0.1"} 1' in lines
+        assert 'ferret_engine_query_seconds_bucket{le="1"} 2' in lines
+        assert 'ferret_engine_query_seconds_bucket{le="+Inf"} 3' in lines
+        assert "ferret_engine_query_seconds_count 3" in lines
+
+    def test_prefix_filter_uses_original_names(self, registry):
+        registry.counter("engine.queries").inc()
+        registry.counter("server.commands").inc()
+        lines = registry.render_prometheus(prefix="engine.")
+        assert any("engine_queries" in l for l in lines)
+        assert not any("server_commands" in l for l in lines)
+
+    def test_name_sanitization(self, registry):
+        registry.counter("worker.0.scan.requests").inc()
+        lines = registry.render_prometheus()
+        assert "ferret_worker_0_scan_requests 1" in lines
+        _assert_prometheus_parses(lines)
+
+    def test_line_prefix_filter_on_render(self, registry):
+        registry.counter("a.x").inc()
+        registry.counter("b.y").inc(2)
+        assert registry.render(prefix="b.") == ["b.y 2"]
+
+
+class TestHistogramQuantile:
+    def test_empty_is_nan(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_interpolation_within_bucket(self, registry):
+        h = registry.histogram("h", buckets=(10.0,))
+        for _ in range(100):
+            h.observe(5.0)
+        # all mass in [0, 10): p50 interpolates to the bucket midpoint
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_monotone_and_clamped(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+        # observations above the last bound clamp to it
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_bounds_validation(self, registry):
+        h = registry.histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+
+class TestSnapshotDeltaMerge:
+    def _activity(self, registry, scans, seconds):
+        registry.counter("scans").inc(scans)
+        h = registry.histogram("scan_seconds", buckets=(0.1, 1.0))
+        for s in seconds:
+            h.observe(s)
+        registry.gauge("rows").set(scans * 10)
+
+    def test_idle_worker_ships_empty_delta(self, registry):
+        self._activity(registry, 2, [0.05])
+        snap = registry.snapshot()
+        assert delta_snapshots(snap, registry.snapshot()) == {}
+
+    def test_delta_only_contains_changes(self, registry):
+        self._activity(registry, 1, [0.05])
+        before = registry.snapshot()
+        registry.counter("scans").inc(4)
+        delta = delta_snapshots(before, registry.snapshot())
+        assert delta == {"scans": ("c", 4)}
+
+    def test_merge_namespaces_and_accumulates(self, registry):
+        worker = MetricsRegistry()
+        self._activity(worker, 3, [0.05, 0.5])
+        delta = delta_snapshots({}, worker.snapshot())
+        registry.merge_snapshot(delta, prefix="worker.0.")
+        registry.merge_snapshot(delta, prefix="worker.0.")
+        assert registry.value("worker.0.scans") == 6
+        h = registry.get("worker.0.scan_seconds")
+        assert h.count == 4
+        assert registry.value("worker.0.rows") == 30  # gauge: last wins
+
+    def test_histogram_merge_associative_and_commutative(self):
+        """The property worker aggregation relies on: folding worker
+        deltas in any order / grouping yields identical series."""
+        workers = []
+        for seed, observations in enumerate(
+            [(0.05, 0.2), (0.9, 1.5, 0.01), (0.3,)]
+        ):
+            w = MetricsRegistry()
+            self._activity(w, seed + 1, observations)
+            workers.append(delta_snapshots({}, w.snapshot()))
+
+        def fold(order):
+            parent = MetricsRegistry()
+            for idx in order:
+                parent.merge_snapshot(workers[idx], prefix="workers.")
+            # gauges are last-writer-wins by design, so only counters
+            # and histograms are order-independent
+            return [
+                l for l in parent.render() if not l.startswith("workers.rows")
+            ]
+
+        left_to_right = fold([0, 1, 2])
+        assert fold([2, 1, 0]) == left_to_right
+        assert fold([1, 2, 0]) == left_to_right
+        # associativity: pre-combining two deltas then folding the third
+        pre = MetricsRegistry()
+        pre.merge_snapshot(workers[0])
+        pre.merge_snapshot(workers[1])
+        combined = delta_snapshots({}, pre.snapshot())
+        parent = MetricsRegistry()
+        parent.merge_snapshot(combined, prefix="workers.")
+        parent.merge_snapshot(workers[2], prefix="workers.")
+        counter_lines = [
+            l for l in parent.render() if not l.startswith("workers.rows")
+        ]
+        assert counter_lines == left_to_right
+
+    def test_merge_bucket_bounds_mismatch_raises(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            registry.merge_snapshot({"h": ("h", (5.0,), (1,), 1, 0.5)})
+
+    def test_merge_respects_disabled_registry(self, registry):
+        registry.disable()
+        registry.merge_snapshot({"scans": ("c", 5)})
+        registry.enable()
+        assert registry.value("scans") == 0
+
+    def test_deltas_compose(self, registry):
+        """delta(a->b) + delta(b->c) folded equals delta(a->c) folded."""
+        a = registry.snapshot()
+        self._activity(registry, 2, [0.05])
+        b = registry.snapshot()
+        registry.counter("scans").inc(3)
+        c = registry.snapshot()
+        stepwise = MetricsRegistry()
+        stepwise.merge_snapshot(delta_snapshots(a, b))
+        stepwise.merge_snapshot(delta_snapshots(b, c))
+        direct = MetricsRegistry()
+        direct.merge_snapshot(delta_snapshots(a, c))
+        assert stepwise.render() == direct.render()

@@ -1,0 +1,132 @@
+"""Unit tests for the dependency-free sampling profiler."""
+
+import re
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.observability.profiler import SamplingProfiler, collapse_frame
+
+_COLLAPSED_RE = re.compile(r"^[^ ]+(;[^ ]+)* \d+$")
+
+
+class TestCollapseFrame:
+    def test_root_first_and_depth_cap(self):
+        frame = sys._getframe()
+        stack = collapse_frame(frame)
+        assert stack[-1].endswith(":test_root_first_and_depth_cap")
+        assert all(":" in entry for entry in stack)
+        assert len(collapse_frame(frame, max_depth=1)) == 1
+
+
+class TestSampleOnce:
+    def test_captures_calling_thread(self):
+        p = SamplingProfiler()
+        assert p.sample_once() >= 1
+        stats = p.stats()
+        assert stats["samples"] == 1
+        assert stats["unique_stacks"] >= 1
+        lines = p.collapsed()
+        assert lines
+        for line in lines:
+            assert _COLLAPSED_RE.match(line), line
+        # this test function is on the captured stack somewhere
+        assert any("test_captures_calling_thread" in line for line in lines)
+
+    def test_counts_aggregate_not_grow(self):
+        p = SamplingProfiler()
+
+        def busy():
+            # one deterministic stack shape, sampled repeatedly
+            for _ in range(3):
+                p.sample_once()
+
+        busy()
+        assert p.stats()["samples"] == 3
+        # identical stacks collapse into counts instead of new entries
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in p.collapsed())
+        assert total >= 3
+
+    def test_unique_stack_cap_drops_new_stacks(self):
+        p = SamplingProfiler(max_unique_stacks=1)
+        p.sample_once()
+
+        def deeper():
+            p.sample_once()
+
+        deeper()  # different stack: over the cap, must be dropped
+        stats = p.stats()
+        assert stats["unique_stacks"] == 1
+        assert stats["dropped"] >= 1
+
+    def test_capture_slow_counts(self):
+        p = SamplingProfiler()
+        assert p.capture_slow() >= 1
+        assert p.stats()["slow_captures"] == 1
+
+    def test_clear(self):
+        p = SamplingProfiler()
+        p.capture_slow()
+        p.clear()
+        stats = p.stats()
+        assert stats["samples"] == 0
+        assert stats["unique_stacks"] == 0
+        assert stats["slow_captures"] == 0
+        assert p.collapsed() == []
+
+    def test_collapsed_limit(self):
+        p = SamplingProfiler()
+        p.sample_once()
+        assert len(p.collapsed(limit=0)) == 0
+
+
+class TestContinuousSampling:
+    def test_start_sample_stop(self):
+        p = SamplingProfiler(interval=0.001)
+        assert p.start()
+        assert not p.start()  # idempotent
+        deadline = time.monotonic() + 2.0
+        while p.stats()["samples"] < 3 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert p.stats()["samples"] >= 3
+        assert p.running
+        assert p.stop()
+        assert not p.stop()  # idempotent
+        assert not p.running
+
+    def test_sampler_thread_excludes_itself(self):
+        p = SamplingProfiler(interval=0.001)
+        p.start()
+        deadline = time.monotonic() + 2.0
+        while not p.collapsed() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        p.stop()
+        for line in p.collapsed():
+            assert "_run" not in line.split(" ")[0].split(";")[-1]
+
+    def test_samples_other_threads(self):
+        p = SamplingProfiler()
+        release = threading.Event()
+
+        def parked_thread_body():
+            release.wait(5.0)
+
+        t = threading.Thread(target=parked_thread_body)
+        t.start()
+        try:
+            time.sleep(0.05)
+            p.sample_once()
+        finally:
+            release.set()
+            t.join()
+        assert any(
+            "parked_thread_body" in line for line in p.collapsed()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_unique_stacks=0)

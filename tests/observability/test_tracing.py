@@ -120,3 +120,100 @@ class TestTraceRecorder:
         rec.clear()
         assert rec.last is None
         assert len(rec.slow_log) == 0
+
+
+class TestQueryTraceSpans:
+    def test_add_span_renders_in_lines(self):
+        t = QueryTrace("filtering")
+        t.total_seconds = 1.0
+        t.add_span("worker.0", queue_wait=0.001, compute=0.5, reply=0.002)
+        t.add_span("worker.1", queue_wait=0.002, compute=0.25, reply=0.001)
+        lines = t.lines()
+        assert "span.worker.0.compute_seconds 0.500000" in lines
+        assert "span.worker.0.queue_wait_seconds 0.001000" in lines
+        assert "span.worker.0.reply_seconds 0.002000" in lines
+        assert "span.worker.1.compute_seconds 0.250000" in lines
+        # spans render in insertion order, after stages/counts/notes
+        w0 = lines.index("span.worker.0.compute_seconds 0.500000")
+        w1 = lines.index("span.worker.1.compute_seconds 0.250000")
+        assert w0 < w1
+
+    def test_to_dict_includes_spans(self):
+        t = QueryTrace("filtering")
+        t.add_span("worker.3", compute=0.125)
+        d = t.to_dict()
+        assert d["spans"] == [{"name": "worker.3", "compute": 0.125}]
+        # the dict is a copy: mutating it must not touch the trace
+        d["spans"][0]["compute"] = 99.0
+        assert t.spans[0]["compute"] == 0.125
+
+
+class TestSlowQueryLogWraparound:
+    def test_deterministic_wraparound_order(self):
+        """Entries past capacity drop oldest-first, and the survivors
+        keep arrival order across several full wraps of the ring."""
+        log = SlowQueryLog(capacity=3, threshold_seconds=0.0)
+        for i in range(10):
+            assert log.offer(_trace(float(i)))
+            kept = [t.total_seconds for t in log.entries()]
+            assert kept == [float(j) for j in range(max(0, i - 2), i + 1)]
+        assert log.total_recorded == 10
+        assert len(log) == 3
+
+    def test_threaded_record_and_read(self):
+        """Concurrent offer() and entries()/len() never corrupt the ring:
+        every snapshot is a contiguous, in-order window of offers."""
+        import threading
+
+        log = SlowQueryLog(capacity=8, threshold_seconds=0.0)
+        writers = 4
+        per_writer = 500
+        stop = threading.Event()
+        snapshots = []
+
+        def write(writer_id):
+            for i in range(per_writer):
+                log.offer(_trace(float(writer_id * per_writer + i)))
+
+        def read():
+            while not stop.is_set():
+                entries = log.entries()
+                assert len(entries) <= 8
+                snapshots.append(len(entries))
+                assert len(log) <= 8
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ]
+        reader = threading.Thread(target=read)
+        reader.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        reader.join()
+        assert log.total_recorded == writers * per_writer
+        assert len(log) == 8
+        assert snapshots  # the reader actually observed mid-flight states
+
+
+class TestAutoProfile:
+    def test_slow_query_triggers_stack_capture(self):
+        rec = TraceRecorder(enabled=True, slow_threshold_seconds=0.01)
+        rec.finish(rec.begin("filtering"), 0.5)
+        stats = rec.profiler.stats()
+        assert stats["slow_captures"] == 1
+        assert stats["unique_stacks"] >= 1
+        assert rec.profiler.collapsed()  # at least this thread's stack
+
+    def test_untraced_slow_query_also_captures(self):
+        rec = TraceRecorder(enabled=False, slow_threshold_seconds=0.01)
+        rec.observe_total("filtering", 1, 0.5)
+        assert rec.profiler.stats()["slow_captures"] == 1
+
+    def test_auto_profile_opt_out(self):
+        rec = TraceRecorder(enabled=True, slow_threshold_seconds=0.01)
+        rec.auto_profile = False
+        rec.finish(rec.begin("filtering"), 0.5)
+        assert rec.profiler.stats()["slow_captures"] == 0

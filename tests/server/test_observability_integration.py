@@ -173,3 +173,196 @@ class TestClientFixes:
             # Nothing hit the wire: the connection is still synchronized.
             assert client.connected
             assert client.ping()
+
+
+@pytest.fixture()
+def served_parallel():
+    """Server whose engine answers filter scans through a 2-worker pool."""
+    from repro.core import FilterParams, ParallelConfig
+
+    meta = FeatureMeta(4, np.zeros(4), np.ones(4))
+    engine = SimilaritySearchEngine(
+        DataTypePlugin("t", meta),
+        SketchParams(128, meta, seed=0),
+        FilterParams(num_query_segments=2, candidates_per_segment=8),
+        parallel=ParallelConfig(
+            num_workers=2, min_segments=1, cache_entries=0
+        ),
+    )
+    rng = np.random.default_rng(5)
+    proc = CommandProcessor(engine)
+    for _ in range(12):
+        engine.insert(ObjectSignature(rng.random((2, 4)), [1.0, 1.0]))
+    server = serve_background(proc)
+    host, port = server.server_address
+    yield host, port, engine
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+class TestWorkerTelemetryOverWire:
+    def test_metrics_include_worker_series_after_pool_query(
+        self, served_parallel
+    ):
+        host, port, engine = served_parallel
+        with FerretClient(host, port) as client:
+            client.set_param("trace", "on")
+            client.query(0, top=5)
+            assert engine.parallel_info()["active"]
+            metrics = client.metrics()
+            # Worker-side series, absent before this PR, are now folded
+            # into the parent dump under both namespaces.
+            assert int(metrics["workers.scan.requests"]) >= 2
+            assert int(metrics["worker.0.scan.requests"]) >= 1
+            assert int(metrics["worker.1.scan.requests"]) >= 1
+            assert int(metrics["workers.scan.compute_seconds_count"]) >= 2
+            # ... and the same pool-enabled query traced per-shard spans.
+            trace = client.trace()
+            assert trace["note.scan"] == "parallel"
+            assert "span.worker.0.compute_seconds" in trace
+            assert "span.worker.1.queue_wait_seconds" in trace
+
+    def test_metrics_prefix_filter(self, served_parallel):
+        host, port, _ = served_parallel
+        with FerretClient(host, port) as client:
+            client.query(0, top=3)
+            filtered = client.metrics(prefix="workers.")
+            assert filtered
+            assert all(k.startswith("workers.") for k in filtered)
+            # the filter actually shrinks the payload
+            assert len(filtered) < len(client.metrics())
+
+    def test_stat_pulls_worker_deltas(self, served_parallel):
+        host, port, engine = served_parallel
+        with FerretClient(host, port) as client:
+            client.query(0, top=3)
+            client.stat()  # folds pending worker deltas
+            from repro.observability import metrics as _m
+
+            assert _m.get_registry().value("workers.arena.loads") >= 2
+
+
+class TestPrometheusExposition:
+    def test_metrics_p_parses_as_prometheus(self, served):
+        import re
+
+        host, port, _ = served
+        type_re = re.compile(
+            r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+        )
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+            r"(nan|[+-]?(inf|\d+(\.\d+)?([eE][+-]?\d+)?))$"
+        )
+        with FerretClient(host, port) as client:
+            client.query(0, top=3)
+            lines = client.send("metrics -p")
+            assert lines
+            for line in lines:
+                assert type_re.match(line) or sample_re.match(line), line
+            assert "# TYPE ferret_engine_queries counter" in lines
+            assert any(
+                l.startswith('ferret_engine_query_seconds_bucket{le="+Inf"}')
+                for l in lines
+            )
+
+    def test_prometheus_prefix_filter(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            body = client.metrics_prometheus(prefix="server.")
+            assert "ferret_server_commands" in body
+            assert "ferret_engine_queries" not in body
+
+    def test_bad_metrics_args_rejected(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            with pytest.raises(ClientError):
+                client.send("metrics -p a b")
+
+
+class TestProfileCommand:
+    def test_profile_reports_slow_query_capture(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            # Force every query over the slow threshold: the recorder's
+            # auto-profile hook must capture at least one stack.
+            client.set_param("slow_query_ms", "0.0001")
+            client.query(0, top=3)
+            lines = client.profile()
+            header = dict(
+                l.split(" ", 1) for l in lines[:5]
+            )
+            assert header["running"] == "no"
+            assert int(header["slow_captures"]) >= 1
+            assert int(header["unique_stacks"]) >= 1
+            stacks = lines[5:]
+            assert stacks
+            # collapsed folded format: frame;frame;frame count
+            frame_part, count = stacks[0].rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in frame_part
+
+    def test_profile_on_off_continuous_sampling(self, served):
+        host, port, engine = served
+        with FerretClient(host, port) as client:
+            client.set_param("profile", "on")
+            try:
+                import time as _time
+
+                deadline = _time.monotonic() + 2.0
+                while (
+                    engine.tracer.profiler.stats()["samples"] < 2
+                    and _time.monotonic() < deadline
+                ):
+                    _time.sleep(0.01)
+                lines = client.profile(limit=5)
+                assert lines[0] == "running yes"
+                assert int(dict(
+                    l.split(" ", 1) for l in lines[:5]
+                )["samples"]) >= 2
+            finally:
+                client.set_param("profile", "off")
+            assert client.profile()[0] == "running no"
+            with pytest.raises(ClientError):
+                client.set_param("profile", "sideways")
+
+    def test_bad_profile_args_rejected(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            with pytest.raises(ClientError):
+                client.send("profile 0")
+            with pytest.raises(ClientError):
+                client.send("profile -3")
+            with pytest.raises(ClientError):
+                client.send("profile many")
+
+
+class TestTraceSlowValidation:
+    def test_nonpositive_limit_rejected(self, served):
+        """`trace slow 0` / negative n answer a usage error, never an
+        empty (or full) silent slice."""
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            for bad in ("0", "-1", "-100"):
+                with pytest.raises(ClientError, match="usage: trace slow"):
+                    client.send(f"trace slow {bad}")
+            # the boundary valid value still works
+            assert client.send("trace slow 1")[0].startswith(
+                "slow_queries_total"
+            )
+
+
+class TestStatPercentiles:
+    def test_quantile_lines_track_queries(self, served):
+        host, port, _ = served
+        with FerretClient(host, port) as client:
+            stats = client.stat()
+            for key in ("query_p50_ms", "query_p95_ms", "query_p99_ms"):
+                assert key in stats  # present (nan) even before queries
+            client.query(0, top=3)
+            stats = client.stat()
+            p50 = float(stats["query_p50_ms"])
+            p95 = float(stats["query_p95_ms"])
+            p99 = float(stats["query_p99_ms"])
+            assert 0.0 < p50 <= p95 <= p99

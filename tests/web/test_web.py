@@ -102,3 +102,52 @@ class TestHTTPServer:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestMetricsScrapeEndpoint:
+    def test_metrics_txt_is_prometheus(self, app):
+        import re
+
+        app.handle("/query?id=0&top=3")
+        status, body = app.handle("/metrics.txt")
+        assert status == 200
+        type_re = re.compile(
+            r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+        )
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+            r"(nan|[+-]?(inf|\d+(\.\d+)?([eE][+-]?\d+)?))$"
+        )
+        lines = body.rstrip("\n").split("\n")
+        assert lines
+        for line in lines:
+            assert type_re.match(line) or sample_re.match(line), line
+        assert "# TYPE ferret_engine_queries counter" in lines
+
+    def test_metrics_txt_content_type(self, app):
+        assert app.content_type("/metrics.txt") == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        assert app.content_type("/metrics") == "text/plain; charset=utf-8"
+
+    def test_home_links_scrape_endpoint(self, app):
+        _status, page = app.handle("/")
+        assert 'href="/metrics.txt"' in page
+
+    def test_metrics_txt_over_http(self, app):
+        import urllib.request
+
+        server = serve_web_background(app)
+        host, port = server.server_address
+        try:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics.txt"
+            ) as resp:
+                assert resp.headers["Content-Type"] == (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                )
+                body = resp.read().decode()
+            assert "ferret_server_commands" in body
+        finally:
+            server.shutdown()
+            server.server_close()
