@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke metrics-smoke perf torture bench bench-parallel bench-throughput bench-check
+.PHONY: test smoke metrics-smoke rank-smoke perf torture bench bench-parallel bench-throughput bench-check
 
 # Tier-1 verification: the full fast suite (torture scans stay opt-in).
 test:
@@ -18,6 +18,14 @@ smoke: test
 # the client<->server metrics + trace round-trip.
 metrics-smoke:
 	$(PYTHON) -m pytest -q tests/observability tests/core/test_cache_epoch_race.py tests/server/test_observability_integration.py
+
+# Ranking-cascade smoke: the rank-equivalence / lower-bound property
+# tests plus the throughput bench in quick mode, which exercises the
+# cascade end-to-end (identity vs the exact EMD path) and writes the
+# phase-split JSON to BENCH_query_throughput_quick.json for CI upload.
+rank-smoke:
+	$(PYTHON) -m pytest -q tests/core/test_rank_cascade.py tests/core/test_ranking.py tests/core/test_emd.py
+	cd benchmarks && FERRET_BENCH_SCALE=quick $(PYTHON) bench_query_throughput.py
 
 perf:
 	$(PYTHON) -m pytest -q -m perf

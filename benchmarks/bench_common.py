@@ -11,10 +11,21 @@ REPO_ROOT = Path(__file__).parent.parent
 
 SCALE = os.environ.get("FERRET_BENCH_SCALE", "default")
 
+# Quick mode (FERRET_BENCH_SCALE=quick) shrinks every bench to a smoke
+# run: CI's `make rank-smoke` uses it to produce the phase-split JSON in
+# seconds.  Perf gates are skipped in quick mode (tiny datasets make
+# speedup ratios meaningless); correctness assertions still run.
+QUICK = SCALE == "quick"
 
-def scaled(default: int, full: int) -> int:
-    """Pick a dataset size: scaled-down default vs paper-sized full run."""
-    return full if SCALE == "full" else default
+
+def scaled(default: int, full: int, quick: int = None) -> int:
+    """Pick a dataset size: quick smoke vs scaled-down default vs
+    paper-sized full run."""
+    if SCALE == "full":
+        return full
+    if QUICK:
+        return quick if quick is not None else max(1, default // 8)
+    return default
 
 
 def write_result(name: str, lines) -> None:
@@ -29,8 +40,12 @@ def write_result(name: str, lines) -> None:
 
 def write_json(name: str, payload: dict) -> None:
     """Persist a machine-readable result as BENCH_<name>.json at the repo
-    root (where CI and the driver pick it up) and print the path."""
-    path = REPO_ROOT / f"BENCH_{name}.json"
+    root (where CI and the driver pick it up) and print the path.
+
+    Quick-mode runs write BENCH_<name>_quick.json instead so a smoke run
+    can never clobber the committed baseline."""
+    suffix = "_quick" if QUICK else ""
+    path = REPO_ROOT / f"BENCH_{name}{suffix}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

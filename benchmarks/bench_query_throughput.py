@@ -12,9 +12,15 @@ Measures three things the batching PR claims:
    for the whole batch) against a per-query ``sketch_filter`` loop —
    this is where the multi-query fusion pays off, since the database is
    streamed once per batch instead of once per query.
-3. *End-to-end throughput*: ``engine.query_many`` against a sequential
-   ``query`` loop, in queries/sec.  End-to-end time is dominated by
-   exact EMD ranking, so this mostly shows the pipeline does not regress.
+3. *End-to-end throughput*: three configurations in queries/sec — the
+   pre-cascade baseline (a sequential ``query`` loop with the ranking
+   cascade disabled: one exact transportation solve per candidate), the
+   sequential loop with the cascade on, and ``engine.query_many`` with
+   the cascade on.  All three must return identical ``(object_id,
+   distance)`` lists; the batched-vs-exact ratio is the PR's headline
+   ``cascade_speedup`` (gated >= 2x here and in check_regression.py).
+   A filter-vs-rank phase split (from the engine's stage histograms)
+   plus prune-rate counters are recorded per configuration.
 4. *Metrics overhead*: the same sequential query loop with the metrics
    registry enabled vs disabled.  The observability layer claims
    near-zero cost (one branch per instrument with metrics off, a lock +
@@ -33,6 +39,7 @@ import numpy as np
 
 from repro.core import (
     FilterParams,
+    RankParams,
     SearchMethod,
     sketch_filter,
     sketch_filter_many,
@@ -42,7 +49,7 @@ from repro.core import bitvector
 from repro.datatypes.bulk import bulk_image_dataset
 from repro.observability import metrics as obs_metrics
 
-from bench_common import build_engine, scaled, write_json, write_result
+from bench_common import QUICK, build_engine, scaled, write_json, write_result
 
 N_BITS = 256
 
@@ -96,14 +103,46 @@ def _time_filter_lut(engine, queries, sketches, repeats):
         bitvector._HAS_BITWISE_COUNT = saved
 
 
+def _phase_snapshot():
+    """Cumulative filter/rank stage time + cascade counters from the
+    metrics registry; deltas around a timed pass give its phase split."""
+    registry = obs_metrics.get_registry()
+
+    def _sum(name):
+        metric = registry.get(name)
+        return float(metric.sum) if metric is not None else 0.0
+
+    def _val(name):
+        metric = registry.get(name)
+        return float(metric.value) if metric is not None else 0.0
+
+    return {
+        "filter_seconds": _sum("engine.filter_seconds"),
+        "rank_seconds": _sum("engine.rank_seconds"),
+        "exact_evals": _val("rank.exact_evals"),
+        "lower_bound_prunes": _val("rank.lower_bound_prunes"),
+    }
+
+
+def _phase_delta(before, after):
+    delta = {key: after[key] - before[key] for key in before}
+    considered = delta["exact_evals"] + delta["lower_bound_prunes"]
+    delta["prune_rate"] = (
+        delta["lower_bound_prunes"] / considered if considered else 0.0
+    )
+    delta["exact_evals"] = int(delta["exact_evals"])
+    delta["lower_bound_prunes"] = int(delta["lower_bound_prunes"])
+    return delta
+
+
 def test_query_throughput():
     # Large enough that the sketch database (~4 MB at 12k objects) spills
     # out of L2: that is the regime the filtering unit targets, and where
     # streaming the database once per *batch* instead of once per query
     # pays off.
-    num_objects = scaled(12000, 50000)
-    num_queries = scaled(24, 64)
-    repeats = scaled(3, 3)
+    num_objects = scaled(12000, 50000, quick=1500)
+    num_queries = scaled(24, 64, quick=8)
+    repeats = scaled(3, 3, quick=1)
     engine, queries = _build(num_objects, num_queries)
     sketches = [engine.sketcher.sketch_many(q.features) for q in queries]
 
@@ -137,22 +176,58 @@ def test_query_throughput():
     loop_qps = len(queries) / loop_elapsed
     many_qps = len(queries) / many_elapsed
 
-    # -- 3. end-to-end: query_many vs sequential query loop --------------
-    started = time.perf_counter()
-    sequential = [
-        engine.query(q, top_k=10, method=SearchMethod.FILTERING,
-                     exclude_self=True)
-        for q in queries
-    ]
-    seq_elapsed = time.perf_counter() - started
+    # -- 3. end-to-end: exact baseline vs ranking cascade ---------------
+    # Each pass clears the filter cache first so all three pay a real
+    # filtering scan, and the phase split is read from the engine's own
+    # stage histograms around the timed region.
+    obs_metrics.set_enabled(True)
+    phase_split = {}
+
+    def _timed_pass(label, fn):
+        engine._filter_cache.clear()
+        before = _phase_snapshot()
+        started = time.perf_counter()
+        results = fn()
+        elapsed = time.perf_counter() - started
+        phase_split[label] = _phase_delta(before, _phase_snapshot())
+        return results, elapsed
+
+    engine.rank_params = RankParams(cascade=False)
+    exact_sequential, exact_elapsed = _timed_pass(
+        "exact_sequential",
+        lambda: [
+            engine.query(q, top_k=10, method=SearchMethod.FILTERING,
+                         exclude_self=True)
+            for q in queries
+        ],
+    )
+    exact_seq_qps = len(queries) / exact_elapsed
+
+    engine.rank_params = RankParams()
+    sequential, seq_elapsed = _timed_pass(
+        "cascade_sequential",
+        lambda: [
+            engine.query(q, top_k=10, method=SearchMethod.FILTERING,
+                         exclude_self=True)
+            for q in queries
+        ],
+    )
     seq_qps = len(queries) / seq_elapsed
 
-    started = time.perf_counter()
-    batched = engine.query_many(queries, top_k=10, exclude_self=True)
-    batch_elapsed = time.perf_counter() - started
+    batched, batch_elapsed = _timed_pass(
+        "cascade_batched",
+        lambda: engine.query_many(queries, top_k=10, exclude_self=True),
+    )
     batch_qps = len(queries) / batch_elapsed
-    for got, expected in zip(batched, sequential):
-        assert [r.object_id for r in got] == [r.object_id for r in expected]
+    cascade_speedup = batch_qps / exact_seq_qps
+
+    # Identity against the exact per-candidate EMD path: same ids, same
+    # distances (bit-for-bit), same order — for both cascade passes.
+    for variant in (sequential, batched):
+        for got, expected in zip(variant, exact_sequential):
+            assert [(r.object_id, r.distance) for r in got] == [
+                (r.object_id, r.distance) for r in expected
+            ], "cascade changed ranked results vs the exact EMD path"
 
     # -- 4. metrics overhead: instrumented query path on vs off ----------
     # The filter cache is cleared before every timed pass so both
@@ -160,8 +235,13 @@ def test_query_throughput():
     # best-of-N per configuration suppresses scheduler noise on the
     # 1-core CI box.  Alternating the order (on, off, on, off, ...)
     # keeps thermal/cache drift from biasing one side.
-    overhead_queries = queries[: max(8, len(queries) // 2)]
-    overhead_repeats = 3
+    # The ranking cascade cut per-query time ~6x, so the fixed metric
+    # cost is measured against a much smaller denominator than when this
+    # gate was introduced: the full query set and best-of-7 keep
+    # scheduler noise (easily +-10% per pass on a busy box) from
+    # swamping the microsecond-scale true overhead.
+    overhead_queries = queries
+    overhead_repeats = 7
     registry = obs_metrics.get_registry()
     was_enabled = registry.enabled
 
@@ -203,12 +283,24 @@ def test_query_throughput():
         f"fused sketch_filter_many               {many_qps:10.0f} queries/s",
         f"batch filter speedup                   {many_qps / loop_qps:10.2f} x",
         "",
-        "## End-to-end (filter + exact EMD ranking, top 10)",
-        f"sequential query() loop      {seq_qps:10.1f} queries/s "
+        "## End-to-end (filter + EMD ranking, top 10)",
+        f"exact sequential (cascade off) {exact_seq_qps:10.1f} queries/s "
+        f"({exact_elapsed / len(queries) * 1e3:.3f} ms/query)",
+        f"cascade sequential             {seq_qps:10.1f} queries/s "
         f"({seq_elapsed / len(queries) * 1e3:.3f} ms/query)",
-        f"query_many() batch           {batch_qps:10.1f} queries/s "
+        f"cascade query_many() batch     {batch_qps:10.1f} queries/s "
         f"({batch_elapsed / len(queries) * 1e3:.3f} ms/query)",
-        f"batch speedup                {batch_qps / seq_qps:10.2f} x",
+        f"batch-vs-sequential speedup    {batch_qps / seq_qps:10.2f} x",
+        f"cascade speedup vs exact       {cascade_speedup:10.2f} x",
+        "",
+        "## Phase split (seconds per pass; prune rate of the cascade)",
+    ] + [
+        f"{label:<18} filter {split['filter_seconds']:8.3f} s   "
+        f"rank {split['rank_seconds']:8.3f} s   "
+        f"prune_rate {split['prune_rate']:.3f}   "
+        f"exact_evals {split['exact_evals']}"
+        for label, split in phase_split.items()
+    ] + [
         "",
         "## Metrics overhead (sequential query loop, best of "
         f"{overhead_repeats})",
@@ -233,10 +325,13 @@ def test_query_throughput():
             "speedup": many_qps / loop_qps,
         },
         "end_to_end": {
+            "exact_sequential_qps": exact_seq_qps,
             "sequential_qps": seq_qps,
             "batched_qps": batch_qps,
             "speedup": batch_qps / seq_qps,
+            "cascade_speedup": cascade_speedup,
         },
+        "phase_split": phase_split,
         "metrics_overhead": {
             "enabled_qps": metrics_on_qps,
             "disabled_qps": metrics_off_qps,
@@ -245,13 +340,19 @@ def test_query_throughput():
         "identical_candidate_sets": True,
     })
 
+    if QUICK:
+        # Smoke run: speedup ratios on a tiny dataset are dominated by
+        # constant overheads, so only the identity assertions above gate.
+        return
     assert scan_speedup >= 3.0, (
         f"r=4 filtering scan speedup {scan_speedup:.2f}x below the 3x target"
     )
     assert many_qps > loop_qps, "fused batch filter slower than per-query loop"
-    # End-to-end is dominated by exact EMD ranking, so the fused scan is a
-    # small fraction of total time; just require the batch path not regress.
     assert batch_qps >= 0.9 * seq_qps, "batch pipeline regressed end-to-end"
+    assert cascade_speedup >= 2.0, (
+        f"ranking-cascade end-to-end speedup {cascade_speedup:.2f}x below "
+        "the 2x target vs the exact per-candidate EMD path"
+    )
     assert metrics_overhead < 0.05, (
         f"metrics-enabled query path {metrics_overhead * 100:.2f}% slower "
         f"than disabled (budget: 5%)"

@@ -10,9 +10,15 @@ Usage::
 
 The compared series are queries/sec figures, so *lower is worse*:
 
+- ``end_to_end.exact_sequential_qps`` — query() loop, ranking cascade off
 - ``end_to_end.sequential_qps``   — per-query engine.query() loop
 - ``end_to_end.batched_qps``      — engine.query_many() pipeline
 - ``batch_filter.fused_many_qps`` — fused multi-query filter scan
+
+On top of the relative series, ``end_to_end.cascade_speedup`` (batched
+cascade vs exact per-candidate ranking) is held to an absolute floor of
+2.0x — the ranking-cascade PR's headline claim — independent of the
+baseline.
 
 Machine-size drift is the obvious failure mode of comparing absolute
 qps across runs, which is why the default tolerance is a generous 15%
@@ -28,12 +34,18 @@ import sys
 from typing import Optional
 
 THROUGHPUT_KEYS = (
+    "end_to_end.exact_sequential_qps",
     "end_to_end.sequential_qps",
     "end_to_end.batched_qps",
     "batch_filter.fused_many_qps",
 )
 
 SHAPE_KEYS = ("num_objects", "num_queries", "n_bits")
+
+# Absolute floors: (dotted key, minimum value).  Unlike the qps series
+# these do not compare against the baseline — they assert the current
+# run still delivers the claimed ratio on its own.
+FLOOR_KEYS = (("end_to_end.cascade_speedup", 2.0),)
 
 
 def _lookup(payload: dict, dotted: str) -> Optional[float]:
@@ -76,6 +88,14 @@ def check(baseline: dict, current: dict, tolerance: float) -> list:
                 f"{key}: {cur:.1f} qps is {drop * 100:.1f}% below "
                 f"baseline {base:.1f} qps (tolerance {tolerance * 100:.0f}%)"
             )
+    for key, floor in FLOOR_KEYS:
+        cur = _lookup(current, key)
+        if cur is None:
+            failures.append(f"current run missing series {key!r}")
+        elif cur < floor:
+            failures.append(
+                f"{key}: {cur:.2f} is below the absolute floor {floor:.2f}"
+            )
     return failures
 
 
@@ -114,6 +134,9 @@ def main(argv=None) -> int:
         base, cur = _lookup(baseline, key), _lookup(current, key)
         delta = (cur - base) / base * 100.0
         print(f"ok  {key}: {cur:.1f} qps ({delta:+.1f}% vs baseline)")
+    for key, floor in FLOOR_KEYS:
+        cur = _lookup(current, key)
+        print(f"ok  {key}: {cur:.2f} (floor {floor:.2f})")
     return 0
 
 

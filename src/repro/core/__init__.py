@@ -25,7 +25,15 @@ from .distance import (
     spearman_distance,
     weighted_l1_distance,
 )
-from .emd import EMDDistance, EMDParams, emd
+from .emd import (
+    EMDDistance,
+    EMDParams,
+    NonFiniteDistanceError,
+    emd,
+    emd_lower_bound_centroid,
+    emd_lower_bound_rowcol,
+    emd_to_many,
+)
 from .engine import (
     EngineStats,
     LSHIndexError,
@@ -53,7 +61,13 @@ from .parallel import (
     parallel_sketch_filter_many,
 )
 from .plugin import DataTypePlugin, get_plugin, list_plugins, register_plugin
-from .ranking import SearchResult, rank_candidates
+from .ranking import (
+    RankParams,
+    RankStats,
+    SearchResult,
+    rank_candidates,
+    rank_candidates_many,
+)
 from .sketch import SketchConstructor, SketchParams, estimate_l1_from_hamming
 from .transport import TransportResult, solve_transport
 from .types import (
@@ -75,11 +89,14 @@ __all__ = [
     "LSHIndex",
     "LSHIndexError",
     "LSHParams",
+    "NonFiniteDistanceError",
     "ObjectSignature",
     "ParallelConfig",
     "ParallelFilterPool",
     "ParallelScanError",
     "QueryResultCache",
+    "RankParams",
+    "RankStats",
     "SearchMethod",
     "SearchResult",
     "SegmentStore",
@@ -91,6 +108,9 @@ __all__ = [
     "cosine_distance",
     "histogram_intersection_distance",
     "emd",
+    "emd_lower_bound_centroid",
+    "emd_lower_bound_rowcol",
+    "emd_to_many",
     "estimate_l1_from_hamming",
     "get_distance",
     "get_plugin",
@@ -110,6 +130,7 @@ __all__ = [
     "parallel_sketch_filter_many",
     "pearson_distance",
     "rank_candidates",
+    "rank_candidates_many",
     "register_distance",
     "register_plugin",
     "register_threshold_fn",

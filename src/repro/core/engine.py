@@ -49,7 +49,12 @@ from .parallel import (
     parallel_filter_candidates,
 )
 from .plugin import DataTypePlugin
-from .ranking import SearchResult, rank_candidates
+from .ranking import (
+    RankParams,
+    RankStats,
+    SearchResult,
+    rank_candidates_many,
+)
 from .sketch import SketchConstructor, SketchParams
 from .transport import solve_transport
 from .types import ObjectSignature
@@ -73,6 +78,15 @@ _M_CANDIDATES = _metrics.histogram(
     "engine.candidates", buckets=_metrics.DEFAULT_COUNT_BUCKETS
 )
 _M_DISTANCE_EVALS = _metrics.counter("engine.distance_evals")
+# Ranking-cascade telemetry: how many candidates skipped the exact
+# transportation solve thanks to a lower bound, and where rank time went
+# (bound computation vs exact solves).  prune_rate is the cumulative
+# prunes / (prunes + exact evals) ratio.
+_M_RANK_LB_PRUNES = _metrics.counter("rank.lower_bound_prunes")
+_M_RANK_EXACT_EVALS = _metrics.counter("rank.exact_evals")
+_M_RANK_PRUNE_RATE = _metrics.gauge("rank.prune_rate")
+_M_RANK_BOUND_SECONDS = _metrics.histogram("rank.bound_seconds")
+_M_RANK_SOLVE_SECONDS = _metrics.histogram("rank.solve_seconds")
 _M_POOL_FALLBACKS = _metrics.counter("engine.pool_fallbacks")
 _M_CACHE_RACE_SKIPS = _metrics.counter("query_cache.stale_store_skips")
 _M_ERR_POOL_SCAN = _metrics.counter("errors_absorbed.engine.pool_scan")
@@ -158,6 +172,10 @@ class SimilaritySearchEngine:
         ``parallel.min_segments`` live segments on a multi-core host; it
         also carries the query-result cache capacity.  ``None`` means
         defaults (auto-enable at 50k segments, one worker per CPU).
+    rank_params:
+        Ranking-cascade knobs (:class:`~repro.core.ranking.RankParams`);
+        defaults enable batched cost matrices and lower-bound pruning.
+        Live-tunable via the server's ``setparam rank_* on|off``.
     """
 
     def __init__(
@@ -168,6 +186,7 @@ class SimilaritySearchEngine:
         metadata: Optional["object"] = None,
         lsh_params: Optional[LSHParams] = None,
         parallel: Optional[ParallelConfig] = None,
+        rank_params: Optional[RankParams] = None,
     ) -> None:
         self.plugin = plugin
         if sketch_params is None:
@@ -178,6 +197,7 @@ class SimilaritySearchEngine:
             )
         self.sketcher = SketchConstructor(sketch_params)
         self.filter_params = filter_params or FilterParams()
+        self.rank_params = rank_params or RankParams()
         self.metadata = metadata
         self._objects: Dict[int, ObjectSignature] = {}
         self._object_sketches: Dict[int, np.ndarray] = {}
@@ -588,15 +608,53 @@ class SimilaritySearchEngine:
         return results
 
     def _note_rank(
-        self, trace: Optional[QueryTrace], seconds: float, evals: int
+        self, trace: Optional[QueryTrace], seconds: float, stats: RankStats
     ) -> None:
-        """Record one ranking pass: its wall time and how many objects
-        got a full (expensive) distance evaluation."""
+        """Record one ranking pass: wall time, how many candidates got a
+        full (expensive) distance evaluation, how many a lower bound
+        pruned, and the bound/solve time split (as a ``rank`` span)."""
         _M_RANK_SECONDS.observe(seconds)
-        _M_DISTANCE_EVALS.inc(evals)
+        _M_DISTANCE_EVALS.inc(stats.exact_evals)
+        _M_RANK_EXACT_EVALS.inc(stats.exact_evals)
+        _M_RANK_LB_PRUNES.inc(stats.lower_bound_prunes)
+        total = _M_RANK_EXACT_EVALS.value + _M_RANK_LB_PRUNES.value
+        if total > 0:
+            _M_RANK_PRUNE_RATE.set(_M_RANK_LB_PRUNES.value / total)
+        _M_RANK_BOUND_SECONDS.observe(stats.bound_seconds)
+        _M_RANK_SOLVE_SECONDS.observe(stats.solve_seconds)
         if trace is not None:
             trace.add_stage("rank", seconds)
-            trace.add_count("distance_evals", evals)
+            trace.add_count("distance_evals", stats.exact_evals)
+            trace.add_count("rank_considered", stats.considered)
+            trace.add_count("lower_bound_prunes", stats.lower_bound_prunes)
+            trace.add_span(
+                "rank", bound=stats.bound_seconds, solve=stats.solve_seconds
+            )
+
+    def _rank(
+        self,
+        query: ObjectSignature,
+        candidate_ids,
+        top_k: Optional[int],
+        exclude_self: bool,
+        trace: Optional[QueryTrace],
+    ) -> List[SearchResult]:
+        """Run the ranking cascade over one candidate set and record it.
+
+        All query paths funnel through here so the cascade (and its
+        telemetry) covers FILTERING, LSH, the full-universe brute-force
+        path, and the post-``_cascade_prune`` survivors alike.  A
+        :class:`~repro.core.emd.NonFiniteDistanceError` raised by a
+        poisoned candidate propagates to the caller carrying the
+        offending ``object_id``.
+        """
+        rank_started = time.perf_counter()
+        results, stats = rank_candidates_many(
+            query, candidate_ids, self._objects, self.plugin.obj_distance,
+            top_k=top_k, exclude_self=exclude_self, params=self.rank_params,
+        )
+        self._note_rank(trace, time.perf_counter() - rank_started, stats)
+        return results
 
     def _query_one(
         self,
@@ -615,15 +673,7 @@ class SimilaritySearchEngine:
             else {i for i in restrict_to if i in self._objects}
         )
         if method is SearchMethod.BRUTE_FORCE_ORIGINAL:
-            rank_started = time.perf_counter()
-            results = rank_candidates(
-                query, universe, self._objects, self.plugin.obj_distance,
-                top_k=top_k, exclude_self=exclude_self,
-            )
-            self._note_rank(
-                trace, time.perf_counter() - rank_started, len(universe)
-            )
-            return results
+            return self._rank(query, universe, top_k, exclude_self, trace)
         sketch_started = time.perf_counter()
         query_sketches = self.sketcher.sketch_many(query.features)
         if trace is not None:
@@ -634,7 +684,11 @@ class SimilaritySearchEngine:
                 query, query_sketches, universe, top_k, exclude_self
             )
             self._note_rank(
-                trace, time.perf_counter() - rank_started, len(universe)
+                trace,
+                time.perf_counter() - rank_started,
+                RankStats(
+                    considered=len(universe), exact_evals=len(universe)
+                ),
             )
             return results
         if method is SearchMethod.FILTERING:
@@ -659,15 +713,7 @@ class SimilaritySearchEngine:
                         "cascade", time.perf_counter() - cascade_started
                     )
                     trace.add_count("cascade_survivors", len(candidates))
-            rank_started = time.perf_counter()
-            results = rank_candidates(
-                query, candidates, self._objects, self.plugin.obj_distance,
-                top_k=top_k, exclude_self=exclude_self,
-            )
-            self._note_rank(
-                trace, time.perf_counter() - rank_started, len(candidates)
-            )
-            return results
+            return self._rank(query, candidates, top_k, exclude_self, trace)
         if method is SearchMethod.LSH:
             if self.lsh_index is None:
                 raise LSHIndexError(
@@ -688,15 +734,7 @@ class SimilaritySearchEngine:
                     "lsh_lookup", time.perf_counter() - filter_started
                 )
                 trace.add_count("candidates", len(candidates))
-            rank_started = time.perf_counter()
-            results = rank_candidates(
-                query, candidates, self._objects, self.plugin.obj_distance,
-                top_k=top_k, exclude_self=exclude_self,
-            )
-            self._note_rank(
-                trace, time.perf_counter() - rank_started, len(candidates)
-            )
-            return results
+            return self._rank(query, candidates, top_k, exclude_self, trace)
         raise ValueError(f"unsupported method {method!r}")
 
     def query_many(
@@ -769,9 +807,11 @@ class SimilaritySearchEngine:
         if trace is not None:
             trace.add_stage("filter", filter_seconds)
 
-        # Per-slot writes from the ranking threads; the trace itself is
-        # only updated after the pool joins (it is not thread-safe).
-        evals = [0] * len(queries)
+        # Per-slot writes from the ranking threads; the trace and the
+        # rank metrics are only updated after the pool joins (the trace
+        # is not thread-safe, and one merged RankStats keeps the metric
+        # update atomic per batch).
+        slot_stats: List[Optional[RankStats]] = [None] * len(queries)
 
         def _finish(index: int) -> List[SearchResult]:
             query = queries[index]
@@ -782,16 +822,22 @@ class SimilaritySearchEngine:
                     query, sketches_list[index], candidates, cascade,
                     exclude_self,
                 )
-            evals[index] = len(candidates)
-            return rank_candidates(
+            results, stats = rank_candidates_many(
                 query, candidates, self._objects, self.plugin.obj_distance,
                 top_k=top_k, exclude_self=exclude_self,
+                params=self.rank_params,
             )
+            slot_stats[index] = stats
+            return results
 
         rank_started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=workers) as pool:
             all_results = list(pool.map(_finish, range(len(queries))))
-        self._note_rank(trace, time.perf_counter() - rank_started, sum(evals))
+        batch_stats = RankStats()
+        for stats in slot_stats:
+            if stats is not None:
+                batch_stats.merge(stats)
+        self._note_rank(trace, time.perf_counter() - rank_started, batch_stats)
         elapsed = time.perf_counter() - started
         _M_BATCH_QUERIES.inc(len(queries))
         _M_BATCH_SECONDS.observe(elapsed)

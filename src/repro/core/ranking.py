@@ -3,16 +3,53 @@
 The ranking component "computes the (more accurate) object distance
 between the query object and each object in the candidate set, thus
 refining the final answers to the query" (section 4.1.1).
+
+Two entry points share one contract:
+
+* :func:`rank_candidates` — the exact serial path: one object-distance
+  call per candidate, k-smallest selection.
+* :func:`rank_candidates_many` — the batched cascade.  When the object
+  distance is the (improved) EMD, it builds all cost matrices from one
+  packed computation, orders candidates by cheap provable lower bounds,
+  and runs the transportation simplex only for candidates whose bound
+  still beats the running k-th distance.  Results are **bit-identical**
+  to :func:`rank_candidates` — same distances, same ``(distance,
+  object_id)`` ordering, same deterministic ties — because the bounds
+  are conservative and the exact solves use the same cost values the
+  per-candidate path would compute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Mapping, Optional
+import heapq
+import time
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
+from .emd import (
+    EMDDistance,
+    emd_lower_bound_centroid,
+    packed_cost_matrices,
+    rowcol_bound_from_costs,
+)
+from .transport import solve_transport
 from .types import ObjectSignature
 
-__all__ = ["SearchResult", "rank_candidates"]
+__all__ = [
+    "SearchResult",
+    "RankParams",
+    "RankStats",
+    "rank_candidates",
+    "rank_candidates_many",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -25,6 +62,97 @@ class SearchResult:
 
     distance: float
     object_id: int
+
+
+@dataclass(frozen=True)
+class RankParams:
+    """Tuning knobs of the batched ranking cascade.
+
+    Serializable (``to_dict`` / ``from_dict``) so the server can expose
+    the knobs via ``setparam`` and persist them alongside the engine's
+    other parameters.
+
+    Parameters
+    ----------
+    cascade:
+        Master switch.  Off means every candidate gets an exact
+        object-distance call (the historical behaviour).
+    centroid_bound:
+        Use the weighted-l1-of-centroids lower bound (only active for
+        the default l1 ground without thresholding).
+    rowcol_bound:
+        Use the thresholded row/column-minima lower bound (valid for
+        every EMD configuration; computed from the already-built cost
+        matrix, so it is nearly free).
+    dedup_segments:
+        Deduplicate bitwise-equal segment rows across candidates before
+        the packed ground-distance kernel.
+    """
+
+    cascade: bool = True
+    centroid_bound: bool = True
+    rowcol_bound: bool = True
+    dedup_segments: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("cascade", "centroid_bound", "rowcol_bound",
+                     "dedup_segments"):
+            if not isinstance(getattr(self, name), bool):
+                raise ValueError(f"RankParams.{name} must be a bool")
+
+    def to_dict(self) -> Dict[str, bool]:
+        return {
+            "cascade": self.cascade,
+            "centroid_bound": self.centroid_bound,
+            "rowcol_bound": self.rowcol_bound,
+            "dedup_segments": self.dedup_segments,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, bool]) -> "RankParams":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown RankParams fields: {sorted(unknown)}")
+        return cls(**dict(payload))
+
+    def cache_key(self) -> Tuple[bool, bool, bool, bool]:
+        return (self.cascade, self.centroid_bound, self.rowcol_bound,
+                self.dedup_segments)
+
+    def with_updates(self, **changes: bool) -> "RankParams":
+        return replace(self, **changes)
+
+
+@dataclass
+class RankStats:
+    """What one ranking pass did — feeds metrics and trace spans.
+
+    ``considered`` counts candidates that survived self-exclusion and
+    concurrent-removal checks; ``exact_evals + lower_bound_prunes ==
+    considered`` always holds.  ``bound_seconds`` / ``solve_seconds``
+    split the cascade's time between bound computation (including the
+    packed cost matrices) and exact transportation solves.
+    """
+
+    considered: int = 0
+    exact_evals: int = 0
+    lower_bound_prunes: int = 0
+    bound_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    def merge(self, other: "RankStats") -> None:
+        self.considered += other.considered
+        self.exact_evals += other.exact_evals
+        self.lower_bound_prunes += other.lower_bound_prunes
+        self.bound_seconds += other.bound_seconds
+        self.solve_seconds += other.solve_seconds
+
+    @property
+    def prune_rate(self) -> float:
+        if self.considered <= 0:
+            return 0.0
+        return self.lower_bound_prunes / self.considered
 
 
 def rank_candidates(
@@ -54,7 +182,133 @@ def rank_candidates(
         results.append(
             SearchResult(float(obj_distance(query, candidate)), int(object_id))
         )
-    results.sort()
     if top_k is not None:
-        results = results[: max(0, top_k)]
+        # heapq.nsmallest == sorted(results)[:k] (documented equivalence),
+        # so ties stay deterministic via SearchResult's (distance, id)
+        # ordering — but the serial path stops paying O(n log n) for k≪n.
+        return heapq.nsmallest(max(0, top_k), results)
+    results.sort()
     return results
+
+
+def _resolve_candidates(
+    query: ObjectSignature,
+    candidate_ids: Iterable[int],
+    objects: Mapping[int, ObjectSignature],
+    exclude_self: bool,
+) -> Tuple[List[int], List[ObjectSignature]]:
+    ids: List[int] = []
+    sigs: List[ObjectSignature] = []
+    for object_id in candidate_ids:
+        if exclude_self and object_id == query.object_id:
+            continue
+        try:
+            candidate = objects[object_id]
+        except KeyError:
+            continue
+        ids.append(int(object_id))
+        sigs.append(candidate)
+    return ids, sigs
+
+
+def rank_candidates_many(
+    query: ObjectSignature,
+    candidate_ids: Iterable[int],
+    objects: Mapping[int, ObjectSignature],
+    obj_distance: Callable[[ObjectSignature, ObjectSignature], float],
+    top_k: Optional[int] = None,
+    exclude_self: bool = False,
+    params: Optional[RankParams] = None,
+) -> Tuple[List[SearchResult], RankStats]:
+    """Batched ranking cascade; results identical to :func:`rank_candidates`.
+
+    When ``obj_distance`` is an :class:`~repro.core.emd.EMDDistance`, the
+    cascade (a) builds all thresholded cost matrices from one packed
+    ground-distance computation, (b) computes provable lower bounds per
+    candidate, (c) visits candidates in ascending ``(bound, object_id)``
+    order keeping a running top-k, and (d) calls the transportation
+    simplex only while a candidate's bound can still beat the current
+    k-th distance — pruning on a *strict* comparison so distance ties
+    resolve exactly as the serial path resolves them.
+
+    Falls back to :func:`rank_candidates` (stats still populated) when
+    the cascade is disabled, the distance is not EMD, or ``top_k`` does
+    not actually cut the candidate list.
+    """
+    params = params or RankParams()
+    ids, sigs = _resolve_candidates(query, candidate_ids, objects, exclude_self)
+    stats = RankStats(considered=len(ids))
+
+    use_cascade = (
+        params.cascade
+        and isinstance(obj_distance, EMDDistance)
+        and top_k is not None
+        and 0 < top_k < len(ids)
+    )
+    if not use_cascade:
+        started = time.perf_counter()
+        results: List[SearchResult] = []
+        for object_id, candidate in zip(ids, sigs):
+            results.append(
+                SearchResult(float(obj_distance(query, candidate)), object_id)
+            )
+        stats.exact_evals = len(results)
+        stats.solve_seconds = time.perf_counter() - started
+        if top_k is not None:
+            return heapq.nsmallest(max(0, top_k), results), stats
+        results.sort()
+        return results, stats
+
+    emd_params = obj_distance.params
+    bound_started = time.perf_counter()
+    matrices = packed_cost_matrices(
+        query, sigs, emd_params, dedup=params.dedup_segments
+    )
+    supply = emd_params.effective_weights(query.weights)
+    demands = [emd_params.effective_weights(c.weights) for c in sigs]
+
+    order: List[Tuple[float, int]] = []  # (lower_bound, position)
+    for pos, candidate in enumerate(sigs):
+        lb = 0.0
+        if params.centroid_bound:
+            lb = emd_lower_bound_centroid(query, candidate, emd_params)
+        if params.rowcol_bound:
+            lb = max(
+                lb,
+                rowcol_bound_from_costs(
+                    matrices[pos], supply, demands[pos]
+                ),
+            )
+        order.append((lb, pos))
+    # Ascending (bound, object_id): cheap-looking candidates first so the
+    # k-th distance tightens fast; id tie-break keeps the visit order —
+    # and therefore the float state of the run — deterministic.
+    order.sort(key=lambda item: (item[0], ids[item[1]]))
+    stats.bound_seconds = time.perf_counter() - bound_started
+
+    solve_started = time.perf_counter()
+    # Max-heap of the k best via (-distance, -object_id): heap[0] is the
+    # current k-th (worst kept) result under (distance, id) ordering.
+    heap: List[Tuple[float, int]] = []
+    for lb, pos in order:
+        if len(heap) >= top_k:
+            kth_dist = -heap[0][0]
+            # Strict '>' only: a candidate whose bound ties the k-th
+            # distance could still replace it via a smaller object id.
+            if lb > kth_dist:
+                break
+        distance = float(
+            solve_transport(supply, demands[pos], matrices[pos]).cost
+        )
+        stats.exact_evals += 1
+        entry = (-distance, -ids[pos])
+        if len(heap) < top_k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+    stats.lower_bound_prunes = stats.considered - stats.exact_evals
+    stats.solve_seconds = time.perf_counter() - solve_started
+
+    results = [SearchResult(-d, -nid) for d, nid in heap]
+    results.sort()
+    return results, stats

@@ -30,8 +30,10 @@ number of results to return, filter parameters, and attributes"):
   ``parallel on|off`` for the sharded multi-core scan,
   ``trace on|off`` for per-query stage tracing, ``metrics on|off`` for
   the registry master switch, ``profile on|off`` for the sampling
-  profiler, and ``slow_query_ms <ms>`` for the slow-query log
-  threshold).
+  profiler, ``slow_query_ms <ms>`` for the slow-query log threshold,
+  and ``rank_cascade`` / ``rank_centroid_bound`` / ``rank_rowcol_bound``
+  / ``rank_dedup`` ``on|off`` for the batched ranking cascade's
+  lower-bound pruning — see docs/PERFORMANCE.md, "Ranking cascade").
 - ``health`` — server health report: overall status, uptime, and
   per-component degradation details (see docs/ROBUSTNESS.md).
 - ``metrics [-p] [prefix]`` — dump the process metrics registry
@@ -172,6 +174,14 @@ class CommandProcessor:
             lines.append(f"query_{label}_ms {value * 1000.0:.3f}")
         return lines
 
+    def _rank_counter(self, name: str) -> int:
+        metric = _metrics.get_registry().get(name)
+        return int(metric.value) if metric is not None else 0
+
+    def _rank_prune_rate(self) -> float:
+        gauge = _metrics.get_registry().get("rank.prune_rate")
+        return float(gauge.value) if gauge is not None else 0.0
+
     def _cmd_stat(self, command: Command) -> List[str]:
         self.engine.collect_worker_metrics()
         stats = self.engine.stats()
@@ -194,6 +204,11 @@ class CommandProcessor:
             f"cache_misses {cache['misses']}",
             f"cache_evictions {cache['evictions']}",
             f"cache_invalidations {cache['invalidations']}",
+            f"rank_cascade {'on' if self.engine.rank_params.cascade else 'off'}",
+            f"rank_prune_rate {self._rank_prune_rate():.4f}",
+            f"rank_exact_evals {self._rank_counter('rank.exact_evals')}",
+            f"rank_lower_bound_prunes "
+            f"{self._rank_counter('rank.lower_bound_prunes')}",
             f"metrics {'on' if _metrics.get_registry().enabled else 'off'}",
             f"trace {'on' if tracer.enabled else 'off'}",
             f"slow_queries {tracer.slow_log.total_recorded}",
@@ -488,6 +503,23 @@ class CommandProcessor:
             else:
                 profiler.stop()
             return [f"profile={flag}"]
+        elif name in (
+            "rank_cascade", "rank_centroid_bound", "rank_rowcol_bound",
+            "rank_dedup",
+        ):
+            flag = raw.lower()
+            if flag not in ("on", "off"):
+                raise ProtocolError(f"usage: setparam {name} on|off")
+            field = {
+                "rank_cascade": "cascade",
+                "rank_centroid_bound": "centroid_bound",
+                "rank_rowcol_bound": "rowcol_bound",
+                "rank_dedup": "dedup_segments",
+            }[name]
+            self.engine.rank_params = self.engine.rank_params.with_updates(
+                **{field: flag == "on"}
+            )
+            return [f"{name}={flag}"]
         elif name == "slow_query_ms":
             try:
                 millis = float(raw)

@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import EMDDistance, EMDParams, ObjectSignature, emd
-from repro.core.emd import pairwise_segment_distances
+from repro.core.emd import (
+    NonFiniteDistanceError,
+    _l1_cost_matrix,
+    pairwise_segment_distances,
+)
 
 
 def _obj(rng, k, dim=5):
@@ -32,6 +36,51 @@ class TestPairwiseDistances:
             pairwise_segment_distances(
                 np.ones((2, 3)), np.ones((4, 3)), lambda q, d: np.zeros((1, 1))
             )
+
+    def test_broadcast_kernel_matches_per_row_loop(self):
+        # The blocked broadcast kernel must be bit-identical to the
+        # historical per-row l1 loop it replaced.
+        from repro.core.distance import l1_to_many
+
+        rng = np.random.default_rng(10)
+        a = rng.normal(size=(7, 5))
+        b = rng.normal(size=(300, 5))
+        looped = np.stack([l1_to_many(row, b) for row in a])
+        assert (_l1_cost_matrix(a, b) == looped).all()
+        assert (pairwise_segment_distances(a, b) == looped).all()
+
+    def test_blocked_path_identical(self, monkeypatch):
+        # Force the kernel into its multi-block path and check values.
+        # (attribute access via repro.core hits the re-exported emd()
+        # function, so pull the module from sys.modules)
+        import sys
+
+        emd_mod = sys.modules["repro.core.emd"]
+
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(64, 4))
+        whole = _l1_cost_matrix(a, b)
+        monkeypatch.setattr(emd_mod, "_L1_BLOCK_BYTES", 512)
+        assert (_l1_cost_matrix(a, b) == whole).all()
+
+    def test_nan_features_raise_typed_error(self):
+        a = np.array([[0.0, np.nan]])
+        b = np.ones((2, 2))
+        with pytest.raises(NonFiniteDistanceError):
+            pairwise_segment_distances(a, b)
+
+    def test_inf_from_custom_ground_raises(self):
+        def ground(qs, db):
+            out = np.zeros((qs.shape[0], db.shape[0]))
+            out[0, 0] = np.inf
+            return out
+
+        with pytest.raises(NonFiniteDistanceError) as excinfo:
+            pairwise_segment_distances(
+                np.ones((2, 3)), np.ones((4, 3)), ground, object_id=9
+            )
+        assert excinfo.value.object_id == 9
 
 
 class TestEMD:

@@ -1,0 +1,372 @@
+"""Tests for the batched EMD ranking cascade.
+
+Two families of guarantees:
+
+1. The lower bounds are *provable*: across thresholded / sqrt-weighted /
+   custom-ground configurations, neither bound ever exceeds the exact
+   EMD (hypothesis property tests).
+2. The cascade is *invisible*: ``rank_candidates_many`` returns exactly
+   ``rank_candidates``'s results — distances, ordering, deterministic
+   ties — on randomized workloads including self-exclusion and
+   concurrently-removed candidates; the engine produces identical ranked
+   answers with the cascade on and off.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EMDDistance,
+    EMDParams,
+    FilterParams,
+    NonFiniteDistanceError,
+    ObjectSignature,
+    RankParams,
+    SearchMethod,
+    SimilaritySearchEngine,
+    SketchParams,
+    emd,
+    emd_lower_bound_centroid,
+    emd_lower_bound_rowcol,
+    emd_to_many,
+    rank_candidates,
+    rank_candidates_many,
+)
+from repro.core.distance import weighted_l1_to_many
+from repro.observability import metrics as obs_metrics
+
+# One ulp-scale tolerance: the bounds carry their own float-safety
+# margin, so bound <= exact must hold up to representation noise only.
+TOL = 1e-9
+
+
+def _sig(rng, object_id, num_segments, dim=5):
+    features = rng.normal(size=(num_segments, dim))
+    weights = rng.random(num_segments) + 0.05
+    return ObjectSignature(features, weights / weights.sum(), object_id=object_id)
+
+
+def _custom_ground_params(dim=5, threshold=1.0):
+    dim_weights = np.linspace(0.5, 1.5, dim)
+
+    def ground(queries, database):
+        return np.stack(
+            [weighted_l1_to_many(q, database, dim_weights) for q in queries]
+        )
+
+    return EMDParams(threshold=threshold, ground=ground)
+
+
+def _param_configs(dim=5):
+    return [
+        EMDParams(),
+        EMDParams(threshold=1.2),
+        EMDParams(weight_transform=np.sqrt),
+        EMDParams(threshold=0.8, weight_transform=np.sqrt),
+        _custom_ground_params(dim=dim),
+    ]
+
+
+class TestLowerBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        config=st.integers(0, 4),
+        m=st.integers(1, 6),
+        n=st.integers(1, 6),
+    )
+    def test_bounds_never_exceed_exact_emd(self, seed, config, m, n):
+        rng = np.random.default_rng(seed)
+        params = _param_configs()[config]
+        query = _sig(rng, 1, m)
+        candidate = _sig(rng, 2, n)
+        exact = emd(query, candidate, params)
+        centroid = emd_lower_bound_centroid(query, candidate, params)
+        rowcol = emd_lower_bound_rowcol(query, candidate, params)
+        assert centroid <= exact + TOL
+        assert rowcol <= exact + TOL
+        assert centroid >= 0.0 and rowcol >= 0.0
+
+    def test_centroid_bound_trivial_when_thresholded_or_custom(self):
+        # Thresholding can push the optimal flow cost below the centroid
+        # distance (clip enough and every assignment costs ~t), and a
+        # custom ground need not be a norm — both must disable the bound.
+        rng = np.random.default_rng(0)
+        q, c = _sig(rng, 1, 3), _sig(rng, 2, 4)
+        assert emd_lower_bound_centroid(q, c, EMDParams(threshold=0.5)) == 0.0
+        assert emd_lower_bound_centroid(q, c, _custom_ground_params()) == 0.0
+        assert emd_lower_bound_centroid(q, c, EMDParams()) > 0.0
+
+    def test_bounds_tight_on_identical_objects(self):
+        rng = np.random.default_rng(3)
+        q = _sig(rng, 1, 4)
+        dup = ObjectSignature(
+            q.features.copy(), q.weights.copy(), object_id=2
+        )
+        for params in _param_configs():
+            exact = emd(q, dup, params)
+            assert emd_lower_bound_rowcol(q, dup, params) <= exact + TOL
+
+
+class TestEmdToMany:
+    @pytest.mark.parametrize("config", range(5))
+    def test_bitwise_identical_to_sequential(self, config):
+        rng = np.random.default_rng(config)
+        params = _param_configs()[config]
+        query = _sig(rng, 99, 4)
+        candidates = [
+            _sig(rng, i, int(rng.integers(1, 7))) for i in range(40)
+        ]
+        batched = emd_to_many(query, candidates, params)
+        sequential = np.array([emd(query, c, params) for c in candidates])
+        assert (batched == sequential).all()
+
+    def test_dedup_shared_segments_identical(self):
+        rng = np.random.default_rng(7)
+        base = [_sig(rng, i, 3) for i in range(4)]
+        # Candidates share bitwise-equal segment rows across objects.
+        candidates = [
+            ObjectSignature(
+                base[i % 4].features.copy(),
+                base[i % 4].weights.copy(),
+                object_id=i,
+            )
+            for i in range(24)
+        ]
+        params = EMDParams(threshold=1.2)
+        query = _sig(rng, 99, 5)
+        batched = emd_to_many(query, candidates, params, dedup=True)
+        plain = emd_to_many(query, candidates, params, dedup=False)
+        sequential = np.array([emd(query, c, params) for c in candidates])
+        assert (batched == sequential).all()
+        assert (plain == sequential).all()
+
+    def test_empty_candidates(self):
+        rng = np.random.default_rng(8)
+        assert emd_to_many(_sig(rng, 1, 3), [], EMDParams()).size == 0
+
+
+class TestCascadeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        config=st.integers(0, 4),
+        top_k=st.integers(1, 30),
+        exclude_self=st.booleans(),
+    )
+    def test_matches_rank_candidates(self, seed, config, top_k, exclude_self):
+        rng = np.random.default_rng(seed)
+        params = _param_configs()[config]
+        objects = {
+            i: _sig(rng, i, int(rng.integers(1, 6))) for i in range(25)
+        }
+        query = objects[0] if exclude_self else _sig(rng, 999, 3)
+        dist = EMDDistance(params)
+        # Candidate list includes ids removed between filter and rank.
+        candidate_ids = list(objects) + [1000, 1001]
+        expected = rank_candidates(
+            query, candidate_ids, objects, dist,
+            top_k=top_k, exclude_self=exclude_self,
+        )
+        got, stats = rank_candidates_many(
+            query, candidate_ids, objects, dist,
+            top_k=top_k, exclude_self=exclude_self,
+        )
+        assert got == expected
+        assert stats.exact_evals + stats.lower_bound_prunes == stats.considered
+
+    def test_matches_without_top_k(self):
+        rng = np.random.default_rng(11)
+        objects = {i: _sig(rng, i, 2) for i in range(15)}
+        dist = EMDDistance(EMDParams())
+        query = _sig(rng, 99, 2)
+        expected = rank_candidates(query, list(objects), objects, dist)
+        got, _stats = rank_candidates_many(query, list(objects), objects, dist)
+        assert got == expected
+
+    def test_deterministic_under_ties(self):
+        rng = np.random.default_rng(12)
+        base = _sig(rng, 0, 3)
+        # Every candidate is the same signature => every distance ties;
+        # the cascade must keep the smallest object ids, like the exact
+        # path's (distance, object_id) ordering does.
+        objects = {
+            i: ObjectSignature(
+                base.features.copy(), base.weights.copy(), object_id=i
+            )
+            for i in range(20)
+        }
+        dist = EMDDistance(EMDParams())
+        query = _sig(rng, 99, 3)
+        expected = rank_candidates(query, list(objects), objects, dist, top_k=5)
+        got, _stats = rank_candidates_many(
+            query, list(objects), objects, dist, top_k=5
+        )
+        assert got == expected
+        assert [r.object_id for r in got] == [0, 1, 2, 3, 4]
+
+    def test_cascade_off_falls_back(self):
+        rng = np.random.default_rng(13)
+        objects = {i: _sig(rng, i, 3) for i in range(12)}
+        dist = EMDDistance(EMDParams())
+        query = _sig(rng, 99, 3)
+        off, stats = rank_candidates_many(
+            query, list(objects), objects, dist, top_k=4,
+            params=RankParams(cascade=False),
+        )
+        assert stats.exact_evals == len(objects)
+        assert stats.lower_bound_prunes == 0
+        on, _ = rank_candidates_many(
+            query, list(objects), objects, dist, top_k=4
+        )
+        assert off == on
+
+    def test_non_emd_distance_falls_back(self):
+        rng = np.random.default_rng(14)
+        objects = {i: _sig(rng, i, 1) for i in range(10)}
+        dist = lambda a, b: float(abs(a.features[0, 0] - b.features[0, 0]))
+        query = _sig(rng, 99, 1)
+        expected = rank_candidates(query, list(objects), objects, dist, top_k=3)
+        got, stats = rank_candidates_many(
+            query, list(objects), objects, dist, top_k=3
+        )
+        assert got == expected
+        assert stats.lower_bound_prunes == 0
+
+
+class TestRankParams:
+    def test_round_trip(self):
+        params = RankParams(cascade=False, rowcol_bound=False)
+        assert RankParams.from_dict(params.to_dict()) == params
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown RankParams"):
+            RankParams.from_dict({"cascade": True, "bogus": 1})
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(ValueError, match="must be a bool"):
+            RankParams(cascade="yes")
+
+    def test_with_updates(self):
+        assert RankParams().with_updates(cascade=False).cascade is False
+
+
+class TestNonFiniteValidation:
+    def test_error_carries_candidate_id(self):
+        rng = np.random.default_rng(20)
+        query = _sig(rng, 1, 3)
+        bad = ObjectSignature(
+            np.array([[np.nan, 0.0, 0.0, 0.0, 0.0]]),
+            np.array([1.0]),
+            object_id=42,
+        )
+        with pytest.raises(NonFiniteDistanceError) as excinfo:
+            emd(query, bad)
+        assert excinfo.value.object_id == 42
+        assert "42" in str(excinfo.value)
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(NonFiniteDistanceError, ValueError)
+
+    def test_engine_surfaces_offender(self):
+        rng = np.random.default_rng(21)
+        plugin_objects = {
+            i: _sig(rng, i, 2, dim=4) for i in range(6)
+        }
+        from repro.core.plugin import DataTypePlugin
+        from repro.core.types import FeatureMeta
+
+        plugin = DataTypePlugin(
+            name="raw-nonfinite-test",
+            meta=FeatureMeta(
+                dim=4,
+                min_values=np.full(4, -5.0),
+                max_values=np.full(4, 5.0),
+            ),
+            emd_params=EMDParams(),
+        )
+        engine = SimilaritySearchEngine(
+            plugin, SketchParams(32, plugin.meta, seed=0)
+        )
+        for sig in plugin_objects.values():
+            engine.insert(sig)
+        poisoned = ObjectSignature(
+            np.array([[np.inf, 0.0, 0.0, 0.0], [0.0, 0.0, 0.0, 0.0]]),
+            np.array([0.5, 0.5]),
+            object_id=None,
+        )
+        poisoned_id = engine.insert(poisoned)
+        query = _sig(rng, 999, 2, dim=4)
+        with pytest.raises(NonFiniteDistanceError) as excinfo:
+            engine.query(
+                query, top_k=3, method=SearchMethod.BRUTE_FORCE_ORIGINAL
+            )
+        assert excinfo.value.object_id == poisoned_id
+
+
+class TestEngineIntegration:
+    def _engine(self, num_objects=120, seed=0, **kwargs):
+        from repro.datatypes.bulk import bulk_image_dataset
+        from repro.datatypes.image import make_image_plugin
+
+        plugin = make_image_plugin()
+        engine = SimilaritySearchEngine(
+            plugin,
+            SketchParams(64, plugin.meta, seed=seed),
+            FilterParams(num_query_segments=3, candidates_per_segment=24),
+            **kwargs,
+        )
+        engine.insert_many(list(bulk_image_dataset(num_objects, seed=seed)))
+        return engine
+
+    def test_cascade_on_off_identical_results(self):
+        engine = self._engine()
+        queries = [engine.get_object(i) for i in range(6)]
+        engine.rank_params = RankParams(cascade=False)
+        exact = [
+            engine.query(q, top_k=5, exclude_self=True) for q in queries
+        ]
+        engine.rank_params = RankParams()
+        engine._filter_cache.clear()
+        cascade = [
+            engine.query(q, top_k=5, exclude_self=True) for q in queries
+        ]
+        batched = engine.query_many(queries, top_k=5, exclude_self=True)
+        assert cascade == exact
+        assert batched == exact
+
+    def test_metrics_and_trace_visibility(self):
+        registry = obs_metrics.get_registry()
+        registry.reset()
+        engine = self._engine()
+        engine.tracer.set_enabled(True)
+        engine.query(engine.get_object(0), top_k=3, exclude_self=True)
+        evals = registry.get("rank.exact_evals")
+        prunes = registry.get("rank.lower_bound_prunes")
+        rate = registry.get("rank.prune_rate")
+        assert evals is not None and evals.value >= 1
+        assert prunes is not None and prunes.value >= 0
+        assert rate is not None and 0.0 <= rate.value <= 1.0
+        trace = engine.tracer.last
+        assert trace is not None
+        assert "rank" in trace.stages
+        assert trace.counts["rank_considered"] >= trace.counts["distance_evals"]
+        assert "lower_bound_prunes" in trace.counts
+        rank_spans = [s for s in trace.spans if s["name"] == "rank"]
+        assert len(rank_spans) == 1
+        assert rank_spans[0]["bound"] >= 0.0
+        assert rank_spans[0]["solve"] >= 0.0
+        rendered = "\n".join(trace.lines())
+        assert "span.rank.bound_seconds" in rendered
+
+    def test_prometheus_exposition_includes_rank_series(self):
+        registry = obs_metrics.get_registry()
+        registry.reset()
+        engine = self._engine()
+        engine.query(engine.get_object(0), top_k=3, exclude_self=True)
+        text = "\n".join(registry.render_prometheus())
+        assert "ferret_rank_exact_evals" in text
+        assert "ferret_rank_lower_bound_prunes" in text
+        assert "ferret_rank_prune_rate" in text

@@ -80,3 +80,16 @@ class TestRankCandidates:
         r1 = rank_candidates(objects[0], range(8), objects, constant)
         r2 = rank_candidates(objects[0], reversed(range(8)), objects, constant)
         assert [r.object_id for r in r1] == [r.object_id for r in r2]
+
+    def test_top_k_selection_matches_full_sort(self):
+        # The k-smallest heap selection must be indistinguishable from
+        # sort-then-truncate, including under distance ties.
+        rng = np.random.default_rng(7)
+        objects = _objects(rng, 50)
+        tie_dist = lambda a, b: float(b.object_id % 5)
+        for top_k in (0, 1, 5, 49, 50, 100):
+            full = rank_candidates(objects[0], range(50), objects, tie_dist)
+            cut = rank_candidates(
+                objects[0], range(50), objects, tie_dist, top_k=top_k
+            )
+            assert cut == full[:top_k]

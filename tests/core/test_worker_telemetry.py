@@ -142,10 +142,16 @@ class TestPerShardSpans:
             trace = engine.tracer.last
             assert trace is not None
             assert trace.notes.get("scan") == "parallel"
-            assert len(trace.spans) == 2
-            assert {s["name"] for s in trace.spans} == {
+            worker_spans = [
+                s for s in trace.spans if str(s["name"]).startswith("worker.")
+            ]
+            assert len(worker_spans) == 2
+            assert {s["name"] for s in worker_spans} == {
                 "worker.0", "worker.1"
             }
+            # The ranking cascade contributes its own span alongside the
+            # per-worker scan spans.
+            assert any(s["name"] == "rank" for s in trace.spans)
 
 
 class TestSpawnInheritance:

@@ -27,12 +27,18 @@ def gate():
     return _load_module()
 
 
-def _payload(seq=100.0, batched=120.0, fused=500.0):
+def _payload(seq=100.0, batched=120.0, fused=500.0, exact=40.0,
+             cascade_speedup=3.0):
     return {
         "num_objects": 12000,
         "num_queries": 24,
         "n_bits": 256,
-        "end_to_end": {"sequential_qps": seq, "batched_qps": batched},
+        "end_to_end": {
+            "exact_sequential_qps": exact,
+            "sequential_qps": seq,
+            "batched_qps": batched,
+            "cascade_speedup": cascade_speedup,
+        },
         "batch_filter": {"fused_many_qps": fused},
     }
 
@@ -78,6 +84,25 @@ class TestCheck:
         del current["batch_filter"]
         failures = gate.check(_payload(), current, 0.15)
         assert any("batch_filter.fused_many_qps" in f for f in failures)
+
+    def test_cascade_speedup_floor(self, gate):
+        # The cascade-speedup gate is absolute: even with a baseline that
+        # also sat below the floor, a current run under 2.0x fails.
+        low = _payload(cascade_speedup=1.5)
+        failures = gate.check(low, low, 0.15)
+        assert len(failures) == 1
+        assert "end_to_end.cascade_speedup" in failures[0]
+        assert "floor" in failures[0]
+
+    def test_cascade_speedup_at_floor_passes(self, gate):
+        current = _payload(cascade_speedup=2.0)
+        assert gate.check(_payload(), current, 0.15) == []
+
+    def test_missing_cascade_speedup_fails(self, gate):
+        current = _payload()
+        del current["end_to_end"]["cascade_speedup"]
+        failures = gate.check(_payload(), current, 0.15)
+        assert any("end_to_end.cascade_speedup" in f for f in failures)
 
 
 class TestMain:

@@ -162,6 +162,40 @@ class TestSetParam:
         with pytest.raises(ProtocolError):
             run(processor, "setparam nope 1")
 
+    def test_rank_cascade_toggle(self, processor):
+        assert processor.engine.rank_params.cascade is True
+        assert run(processor, "setparam rank_cascade off") == [
+            "rank_cascade=off"
+        ]
+        assert processor.engine.rank_params.cascade is False
+        run(processor, "setparam rank_cascade on")
+        assert processor.engine.rank_params.cascade is True
+
+    def test_rank_bound_toggles(self, processor):
+        run(processor, "setparam rank_centroid_bound off")
+        run(processor, "setparam rank_rowcol_bound off")
+        run(processor, "setparam rank_dedup off")
+        params = processor.engine.rank_params
+        assert params.centroid_bound is False
+        assert params.rowcol_bound is False
+        assert params.dedup_segments is False
+        assert params.cascade is True  # untouched knob keeps its value
+
+    def test_rank_toggle_rejects_non_flag(self, processor):
+        with pytest.raises(ProtocolError):
+            run(processor, "setparam rank_cascade maybe")
+
+    def test_stat_reports_rank_lines(self, processor):
+        run(processor, "query 0 top=3")
+        lines = run(processor, "stat")
+        assert any(line == "rank_cascade on" for line in lines)
+        assert any(line.startswith("rank_prune_rate ") for line in lines)
+        evals = [l for l in lines if l.startswith("rank_exact_evals ")]
+        assert evals and int(evals[0].split()[1]) >= 1
+        assert any(
+            line.startswith("rank_lower_bound_prunes ") for line in lines
+        )
+
 
 class TestQueryFallbackScope:
     def test_lsh_unavailable_falls_back_to_filtering(self, processor):
