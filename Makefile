@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke metrics-smoke rank-smoke perf torture bench bench-parallel bench-throughput bench-check
+.PHONY: test smoke metrics-smoke rank-smoke cluster-smoke perf torture bench bench-parallel bench-throughput bench-check bench-recovery
 
 # Tier-1 verification: the full fast suite (torture scans stay opt-in).
 test:
@@ -26,6 +26,20 @@ metrics-smoke:
 rank-smoke:
 	$(PYTHON) -m pytest -q tests/core/test_rank_cascade.py tests/core/test_ranking.py tests/core/test_emd.py
 	cd benchmarks && FERRET_BENCH_SCALE=quick $(PYTHON) bench_query_throughput.py
+
+# Cluster smoke: real backend subprocesses under the coordinator.  The
+# smoke test kills one backend at R=1 (PARTIAL answer, exactly the dead
+# shard missing) and restarts it (full answers again after the prober
+# re-admits it); the node-fault drills add the R=2 kill/hang/restart
+# invariants and the acked-insert visibility oracle.
+cluster-smoke:
+	$(PYTHON) -m pytest -q tests/cluster/test_cluster_smoke.py tests/cluster/test_node_faults.py
+
+# Crash-recovery gate: measure WAL replay throughput and hold it to the
+# absolute floor in check_regression.py (RECOVERY_FLOOR_KEYS).
+bench-recovery:
+	cd benchmarks && $(PYTHON) bench_recovery.py
+	$(PYTHON) benchmarks/check_regression.py --recovery BENCH_recovery.json
 
 perf:
 	$(PYTHON) -m pytest -q -m perf

@@ -12,12 +12,20 @@ recovered directory has nothing left to replay; each measured round
 therefore reopens a fresh copy of the crashed snapshot, restored by an
 untimed setup step.
 
-Run with ``pytest benchmarks/bench_recovery.py``.
+Run with ``pytest benchmarks/bench_recovery.py`` for the full
+pytest-benchmark curves, or as a script (``python bench_recovery.py``)
+for the CI gate: the script mode times WAL replay directly and writes
+``BENCH_recovery.json`` with the ``recovery.replay_txns_per_sec``
+series that ``check_regression.py --recovery`` holds to an absolute
+floor.
 """
 
 from __future__ import annotations
 
+import os
 import shutil
+import tempfile
+import time
 
 import pytest
 
@@ -76,3 +84,52 @@ def test_bench_recovery_after_checkpoint(tmp_path, benchmark):
 
     report = _bench_reopen(benchmark, snapshot, str(tmp_path / "work"))
     assert report is not None and report.transactions_replayed == 20
+
+
+def main() -> None:
+    """Script mode: measure WAL replay throughput for the CI floor gate."""
+    from bench_common import scaled, write_json, write_result
+
+    num_txns = scaled(800, 3200, 200)
+    ops_per_txn = 4
+    rounds = 5
+    rates = []
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = os.path.join(tmp, "snapshot")
+        _populate(snapshot, num_txns, ops_per_txn)
+        for round_index in range(rounds):
+            workdir = os.path.join(tmp, f"work{round_index}")
+            shutil.copytree(snapshot, workdir)
+            started = time.perf_counter()
+            store = KVStore(workdir, auto_checkpoint_ops=0)
+            elapsed = time.perf_counter() - started
+            report = store.last_recovery
+            store.close(checkpoint=False)
+            assert (
+                report is not None
+                and report.transactions_replayed == num_txns
+            ), "recovery did not replay the expected WAL tail"
+            rates.append(num_txns / elapsed)
+    best = max(rates)
+    write_result("recovery", [
+        "# Crash recovery: WAL replay throughput (reopen of an",
+        f"# unclean snapshot; {num_txns} txns x {ops_per_txn} ops, "
+        f"best of {rounds})",
+        "",
+        f"replay throughput   {best:10.0f} txns/s",
+        f"replay latency      {num_txns / best * 1e3:10.1f} ms "
+        f"for the full tail",
+    ])
+    write_json("recovery", {
+        "num_txns": num_txns,
+        "ops_per_txn": ops_per_txn,
+        "recovery": {
+            "replay_txns_per_sec": best,
+            "rounds": rounds,
+            "all_rates": rates,
+        },
+    })
+
+
+if __name__ == "__main__":
+    main()

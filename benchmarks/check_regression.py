@@ -7,6 +7,7 @@ fails if any throughput series regressed by more than the tolerance.
 Usage::
 
     python check_regression.py BASELINE.json CURRENT.json [--tolerance 0.15]
+    python check_regression.py --recovery BENCH_recovery.json
 
 The compared series are queries/sec figures, so *lower is worse*:
 
@@ -19,6 +20,11 @@ On top of the relative series, ``end_to_end.cascade_speedup`` (batched
 cascade vs exact per-candidate ranking) is held to an absolute floor of
 2.0x — the ranking-cascade PR's headline claim — independent of the
 baseline.
+
+``--recovery`` switches to the crash-recovery gate: a single
+``BENCH_recovery.json`` (from ``python bench_recovery.py``) is held to
+the absolute floors in ``RECOVERY_FLOOR_KEYS`` — no baseline, because
+the WAL-replay rate is asserted outright, not relative to a prior run.
 
 Machine-size drift is the obvious failure mode of comparing absolute
 qps across runs, which is why the default tolerance is a generous 15%
@@ -46,6 +52,11 @@ SHAPE_KEYS = ("num_objects", "num_queries", "n_bits")
 # these do not compare against the baseline — they assert the current
 # run still delivers the claimed ratio on its own.
 FLOOR_KEYS = (("end_to_end.cascade_speedup", 2.0),)
+
+# Crash-recovery floors (--recovery mode).  Local runs replay ~14k
+# txns/s; 1k leaves an order of magnitude of headroom for loaded CI
+# boxes while still catching an accidentally quadratic replay path.
+RECOVERY_FLOOR_KEYS = (("recovery.replay_txns_per_sec", 1000.0),)
 
 
 def _lookup(payload: dict, dotted: str) -> Optional[float]:
@@ -99,17 +110,71 @@ def check(baseline: dict, current: dict, tolerance: float) -> list:
     return failures
 
 
+def check_recovery(current: dict) -> list:
+    """Absolute-floor check of a BENCH_recovery.json payload."""
+    failures = []
+    for key, floor in RECOVERY_FLOOR_KEYS:
+        cur = _lookup(current, key)
+        if cur is None:
+            failures.append(f"current run missing series {key!r}")
+        elif cur < floor:
+            failures.append(
+                f"{key}: {cur:.0f} is below the absolute floor {floor:.0f}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on query-throughput regression vs a baseline run"
     )
-    parser.add_argument("baseline", help="baseline BENCH_query_throughput.json")
-    parser.add_argument("current", help="current BENCH_query_throughput.json")
+    parser.add_argument(
+        "baseline",
+        help="baseline BENCH_query_throughput.json "
+        "(with --recovery: the BENCH_recovery.json to gate)",
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None,
+        help="current BENCH_query_throughput.json (omit with --recovery)",
+    )
     parser.add_argument(
         "--tolerance", type=float, default=0.15,
         help="allowed fractional drop per series (default 0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--recovery", action="store_true",
+        help="gate a BENCH_recovery.json against the absolute "
+        "crash-recovery floors instead of comparing throughput runs",
+    )
     args = parser.parse_args(argv)
+
+    if args.recovery:
+        if args.current is not None:
+            print(
+                "error: --recovery takes a single BENCH_recovery.json",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                current = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_recovery(current)
+        if failures:
+            print("RECOVERY REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        for key, floor in RECOVERY_FLOOR_KEYS:
+            cur = _lookup(current, key)
+            print(f"ok  {key}: {cur:.0f} (floor {floor:.0f})")
+        return 0
+
+    if args.current is None:
+        print("error: CURRENT.json is required without --recovery", file=sys.stderr)
+        return 2
     if not 0.0 <= args.tolerance < 1.0:
         print("error: --tolerance must be in [0, 1)", file=sys.stderr)
         return 2

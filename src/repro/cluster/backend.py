@@ -1,0 +1,88 @@
+"""Backend subprocess entry point for the cluster drills and demos.
+
+``python -m repro.cluster.backend --index I --backends B --shards S
+--replication R [--datatype ...] [--size ...] [--seed ...]`` builds the
+*same* deterministic synthetic corpus on every backend
+(:func:`~repro.datatypes.build_demo_engine` with a shared seed), then
+drops every object the backend does not host under the shared
+:class:`~repro.cluster.topology.ShardMap` — object ids stay global, so
+replicas of a shard hold bit-identical data without any transfer
+protocol.  Prints ``READY <port>`` on stdout once the server is bound;
+supervisors block on that line.
+
+This process is the unit the node-kill drills operate on: the
+supervisor SIGKILLs, SIGSTOPs, and restarts *real* instances of it
+mid-query (see :mod:`repro.cluster.supervisor`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..datatypes import build_demo_engine
+from ..server.commands import CommandProcessor
+from ..server.server import FerretServer
+from .topology import ShardMap
+
+__all__ = ["build_backend_processor", "main"]
+
+
+def build_backend_processor(
+    index: int,
+    shard_map: ShardMap,
+    datatype: str = "sensor",
+    size: int = 48,
+    seed: int = 42,
+) -> CommandProcessor:
+    """An engine holding exactly this backend's replicas of the corpus.
+
+    Every backend builds the full corpus deterministically and removes
+    the objects it does not own; global object ids are preserved, which
+    is what makes ``shard_of(id)`` the only routing state the
+    coordinator needs.
+    """
+    engine, _bench = build_demo_engine(datatype, size=size, seed=seed)
+    for object_id in list(engine.objects):
+        if not shard_map.owns(index, object_id):
+            engine.remove(object_id)
+    return CommandProcessor(engine)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Ferret cluster backend")
+    parser.add_argument("--index", type=int, required=True)
+    parser.add_argument("--backends", type=int, required=True)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--datatype", default="sensor")
+    parser.add_argument("--size", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    shard_map = ShardMap(
+        args.shards if args.shards is not None else args.backends,
+        args.backends,
+        args.replication,
+    )
+    processor = build_backend_processor(
+        args.index, shard_map,
+        datatype=args.datatype, size=args.size, seed=args.seed,
+    )
+    server = FerretServer(processor, args.host, args.port)
+    _, port = server.server_address
+    # The supervisor parses exactly this line; keep stdout otherwise
+    # silent.
+    print(f"READY {port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Per-backend circuit breaker: closed → open → half-open.
+
+One :class:`CircuitBreaker` guards one backend server.  It consumes the
+coordinator's error/timeout telemetry (every failed round-trip is a
+``record_failure``) and decides whether the backend may be sent traffic:
+
+- **closed** — healthy; requests flow.  ``failure_threshold``
+  *consecutive* failures trip the breaker open (a single success resets
+  the run, so sporadic timeouts under load do not eject a backend).
+- **open** — the backend gets no traffic at all for ``cooldown_seconds``;
+  every request that would have gone there fails over immediately
+  instead of paying the timeout again.
+- **half-open** — after the cooldown, exactly one *probe* request is let
+  through at a time.  Success closes the breaker (the backend is
+  re-admitted); failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests drive transitions deterministically
+without sleeping, and an optional ``on_transition(old, new)`` callback
+lets the owner mirror state changes into metrics/logs (the coordinator
+sets ``cluster.backend.<i>.breaker_state`` gauges from it).
+Thread-safe: the coordinator's scatter threads, its prober, and its
+command handlers all share one breaker per backend.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    @property
+    def gauge_value(self) -> int:
+        """Stable numeric encoding for metrics (0 closed, 1 half, 2 open)."""
+        return {"closed": 0, "half_open": 1, "open": 2}[self.value]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with single-probe half-open state."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[BreakerState, BreakerState], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Transitions recorded under the lock, fired after release: the
+        #: callback is allowed to read ``state`` (the coordinator's does,
+        #: to refresh the availability gauge), which would deadlock on
+        #: this non-reentrant lock if fired inline.
+        self._pending: list = []
+        #: Counters for the ``cluster`` status command.
+        self.total_failures = 0
+        self.times_opened = 0
+
+    # -- state ------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        """Current state; an elapsed cooldown reports (and becomes) half-open."""
+        with self._lock:
+            self._maybe_half_open()
+            state = self._state
+        self._fire_pending()
+        return state
+
+    def _transition(self, new: BreakerState) -> None:
+        """Move to ``new``; caller holds the lock.  The callback fires
+        later, outside the lock, via :meth:`_fire_pending`."""
+        old = self._state
+        if old is new:
+            return
+        self._state = new
+        if self._on_transition is not None:
+            self._pending.append((old, new))
+
+    def _fire_pending(self) -> None:
+        """Fire queued transition callbacks without holding the lock.
+
+        FIFO across threads: whichever thread gets there first delivers
+        the oldest transition, so observers see state changes in order.
+        """
+        if self._on_transition is None:
+            return
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                old, new = self._pending.pop(0)
+            self._on_transition(old, new)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probe_in_flight = False
+
+    # -- decisions --------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request go to this backend right now?
+
+        Closed: always.  Open: never (until the cooldown elapses).
+        Half-open: only the first caller — that request is the probe; its
+        outcome (``record_success`` / ``record_failure``) decides whether
+        the backend is re-admitted.
+        """
+        try:
+            with self._lock:
+                self._maybe_half_open()
+                if self._state is BreakerState.CLOSED:
+                    return True
+                if self._state is BreakerState.OPEN:
+                    return False
+                if self._probe_in_flight:
+                    return False
+                self._probe_in_flight = True
+                return True
+        finally:
+            self._fire_pending()
+
+    # -- telemetry --------------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+        self._fire_pending()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self.total_failures += 1
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._state is BreakerState.HALF_OPEN or (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self.times_opened += 1
+                self._transition(BreakerState.OPEN)
+        self._fire_pending()
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (a vanished connection on a
+        request that *must not* wait out the threshold, e.g. ECONNREFUSED
+        — the process is gone, not slow)."""
+        with self._lock:
+            self.total_failures += 1
+            self._consecutive_failures = self.failure_threshold
+            self._probe_in_flight = False
+            if self._state is not BreakerState.OPEN:
+                self._opened_at = self._clock()
+                self.times_opened += 1
+                self._transition(BreakerState.OPEN)
+        self._fire_pending()

@@ -1,0 +1,745 @@
+"""FerretCoordinator: health-aware scatter-gather over sharded backends.
+
+One coordinator owns a cluster of backend ``FerretServer`` processes.
+The corpus is object-id-sharded (:class:`~repro.cluster.topology.
+ShardMap`); every query is scattered to one live replica per shard and
+the per-shard top-k lists are merged through the engine's own
+deterministic ``select_k_smallest`` tie-breaking rule, so cluster
+answers are bit-identical to a serial merge of the backends' answers no
+matter which replica served each shard.
+
+Failure handling (docs/ROBUSTNESS.md §5):
+
+- every backend round-trip runs through that backend's
+  :class:`~repro.cluster.breaker.CircuitBreaker`; connection loss,
+  timeouts, and ``ServerDegraded`` answers count as failures and
+  eventually stop traffic to the backend entirely;
+- a failed shard call retries the next replica (*failover*), optionally
+  launching the retry early while the first attempt is still pending
+  (*hedged read*, ``hedge_delay``);
+- a shard whose every replica is down makes the query **partial**, not
+  failed: the merged answer of the live shards is returned with the
+  missing shard ids attached;
+- a background prober pings non-closed backends and re-admits them the
+  moment they answer again.
+
+Everything is observable: ``cluster.*`` counters/gauges, per-backend
+``cluster.backend.<i>.*`` series, a reused :class:`~repro.system.
+HealthState` ledger, and per-query ``span.scatter`` / ``span.gather``
+trace spans through the standard :class:`~repro.observability.tracing.
+TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.filtering import select_k_smallest
+from ..core.ranking import SearchResult
+from ..observability import metrics as _metrics
+from ..observability.log import get_logger
+from ..observability.tracing import TraceRecorder
+from ..server.client import (
+    ClientError,
+    ClientTimeout,
+    ConnectionLost,
+    FerretClient,
+    ServerDegraded,
+)
+from ..server.protocol import quote
+from ..system import HealthState
+from .breaker import BreakerState, CircuitBreaker
+from .topology import ShardMap
+
+__all__ = [
+    "BackendHandle",
+    "BackendUnavailable",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterResult",
+    "FerretCoordinator",
+    "ShardUnavailable",
+]
+
+_LOG = get_logger("cluster")
+
+_M_QUERIES = _metrics.counter("cluster.queries")
+_M_QUERY_SECONDS = _metrics.histogram("cluster.query_seconds")
+_M_SCATTER_SECONDS = _metrics.histogram("cluster.scatter_seconds")
+_M_GATHER_SECONDS = _metrics.histogram("cluster.gather_seconds")
+_M_PARTIAL = _metrics.counter("cluster.partial_results")
+_M_MISSING_SHARDS = _metrics.counter("cluster.missing_shards")
+_M_FAILOVERS = _metrics.counter("cluster.failovers")
+_M_HEDGED = _metrics.counter("cluster.hedged_reads")
+_M_PROBES = _metrics.counter("cluster.probes")
+_M_READMITTED = _metrics.counter("cluster.backends_readmitted")
+_M_WRITES = _metrics.counter("cluster.writes")
+_M_UNDER_REPLICATED = _metrics.counter("cluster.under_replicated_writes")
+_M_AVAILABLE = _metrics.gauge("cluster.backends_available")
+
+
+class ClusterError(RuntimeError):
+    """The cluster could not answer at all (e.g. the seed's shard is gone)."""
+
+
+class BackendUnavailable(ClientError):
+    """The backend's circuit breaker refused the request (no I/O done)."""
+
+    def __init__(self, backend_id: int, state: BreakerState) -> None:
+        super().__init__(f"backend {backend_id} unavailable (breaker {state.value})")
+        self.backend_id = backend_id
+        self.state = state
+
+
+class ShardUnavailable(ClusterError):
+    """Every replica of one shard failed or was refused."""
+
+    def __init__(self, shard: int, failures: Sequence[Tuple[int, Exception]]) -> None:
+        detail = "; ".join(
+            f"backend {bid}: {type(exc).__name__}: {exc}" for bid, exc in failures
+        )
+        super().__init__(f"shard {shard} unavailable ({detail or 'no replicas'})")
+        self.shard = shard
+        self.failures = list(failures)
+
+
+#: Exception types that mean "this backend failed us" — eligible for
+#: failover to a replica and counted against the breaker.  A plain
+#: :class:`ClientError` outside this set is a well-formed ``ERR`` answer
+#: (bad request, unknown object): the backend is healthy and the error
+#: propagates to the caller instead of being retried elsewhere.
+FAILOVER_ERRORS = (BackendUnavailable, ClientTimeout, ConnectionLost, ServerDegraded)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Coordinator tuning knobs (all robustness-relevant)."""
+
+    replication: int = 2
+    backend_timeout: float = 5.0
+    #: Breaker: consecutive failures to open, and open-state cooldown.
+    breaker_failures: int = 2
+    breaker_cooldown: float = 1.0
+    #: Background prober cadence and per-probe budget.
+    probe_interval: float = 0.25
+    probe_timeout: float = 1.0
+    #: Hedged reads: start the next replica after this many seconds with
+    #: the first attempt still pending (None disables hedging).
+    hedge_delay: Optional[float] = None
+
+
+@dataclass
+class ClusterResult:
+    """One cluster query's answer plus its degradation facts."""
+
+    results: List[SearchResult]
+    #: Shards whose every replica failed; empty means a full answer.
+    missing_shards: Tuple[int, ...] = ()
+    #: shard -> backend id that served it (live shards only).
+    served_by: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.missing_shards)
+
+
+class BackendHandle:
+    """One backend endpoint: pooled connections plus its circuit breaker.
+
+    :class:`~repro.server.client.FerretClient` is a blocking
+    single-connection client, so concurrent scatter threads each borrow
+    a pooled connection (created on demand) and return it after a clean
+    round trip.  A connection that failed mid-flight is closed, not
+    pooled — it may be desynchronized.
+    """
+
+    def __init__(
+        self,
+        backend_id: int,
+        host: str,
+        port: int,
+        timeout: float,
+        breaker: CircuitBreaker,
+    ) -> None:
+        self.backend_id = backend_id
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.breaker = breaker
+        self._lock = threading.Lock()
+        self._idle: List[FerretClient] = []
+        self.requests = _metrics.counter(f"cluster.backend.{backend_id}.requests")
+        self.errors = _metrics.counter(f"cluster.backend.{backend_id}.errors")
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _checkout(self) -> FerretClient:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return FerretClient(self.host, self.port, timeout=self.timeout)
+
+    def _checkin(self, client: FerretClient) -> None:
+        with self._lock:
+            self._idle.append(client)
+
+    def send(self, line: str, timeout: Optional[float] = None) -> List[str]:
+        """One round trip on a pooled connection; never retries itself
+        (failover policy lives in the coordinator)."""
+        self.requests.inc()
+        client = self._checkout()
+        try:
+            lines = client.send(line, timeout=timeout)
+        except (ServerDegraded, ClientError) as exc:
+            # A still-connected client produced a complete response
+            # (ERR/DEGRADED): the connection is clean, keep it pooled.
+            if client.connected:
+                self._checkin(client)
+            else:
+                client.close()
+            raise exc
+        self._checkin(client)
+        return lines
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+
+class FerretCoordinator:
+    """Sharded, replicated, health-aware front end for backend servers.
+
+    Parameters
+    ----------
+    endpoints:
+        ``[(host, port), ...]`` — one entry per backend, in backend-id
+        order (the order must match the shard layout the backends were
+        loaded with; see :class:`~repro.cluster.topology.ShardMap`).
+    num_shards:
+        Defaults to one shard per backend.
+    config:
+        Robustness tuning; see :class:`ClusterConfig`.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        num_shards: Optional[int] = None,
+        config: Optional[ClusterConfig] = None,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("a cluster needs at least one backend")
+        self.config = config or ClusterConfig()
+        self.shard_map = ShardMap(
+            num_shards if num_shards is not None else len(endpoints),
+            len(endpoints),
+            self.config.replication,
+        )
+        self.health = HealthState()
+        self.tracer = TraceRecorder()
+        self.handles: List[BackendHandle] = []
+        for backend_id, (host, port) in enumerate(endpoints):
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_failures,
+                cooldown_seconds=self.config.breaker_cooldown,
+                on_transition=self._transition_recorder(backend_id),
+            )
+            self.handles.append(
+                BackendHandle(
+                    backend_id, host, int(port), self.config.backend_timeout, breaker
+                )
+            )
+            _metrics.gauge(f"cluster.backend.{backend_id}.breaker_state").set(0)
+        _M_AVAILABLE.set(len(self.handles))
+        self._id_lock = threading.Lock()
+        self._next_id: Optional[int] = None
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Breaker bookkeeping
+    # ------------------------------------------------------------------
+    def _transition_recorder(self, backend_id: int):
+        gauge = _metrics.gauge(f"cluster.backend.{backend_id}.breaker_state")
+
+        def on_transition(old: BreakerState, new: BreakerState) -> None:
+            gauge.set(new.gauge_value)
+            _LOG.warning(
+                "breaker_transition",
+                backend=backend_id,
+                old=old.value,
+                new=new.value,
+            )
+            self._refresh_available()
+
+        return on_transition
+
+    def _refresh_available(self) -> None:
+        _M_AVAILABLE.set(
+            sum(
+                1
+                for handle in self.handles
+                if handle.breaker.state is BreakerState.CLOSED
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Backend calls
+    # ------------------------------------------------------------------
+    def _call_backend(
+        self, backend_id: int, line: str, timeout: Optional[float] = None
+    ) -> List[str]:
+        """One breaker-gated round trip to a specific backend.
+
+        Raises one of :data:`FAILOVER_ERRORS` when the backend failed
+        (recorded against its breaker), or a plain :class:`ClientError`
+        when the backend *answered* with ``ERR`` (recorded as success:
+        a backend that rejects a malformed request is healthy).
+        """
+        handle = self.handles[backend_id]
+        breaker = handle.breaker
+        if not breaker.allow():
+            raise BackendUnavailable(backend_id, breaker.state)
+        try:
+            lines = handle.send(line, timeout=timeout)
+        except FAILOVER_ERRORS as exc:
+            handle.errors.inc()
+            breaker.record_failure()
+            self.health.record_error(f"backend.{backend_id}", exc)
+            raise
+        except ClientError as exc:
+            if isinstance(exc, ConnectionLost):  # pragma: no cover - ordered above
+                raise
+            breaker.record_success()
+            raise
+        breaker.record_success()
+        self.health.mark_healthy(f"backend.{backend_id}")
+        return lines
+
+    def _shard_call(self, shard: int, line: str) -> Tuple[int, List[str]]:
+        """Send ``line`` to ``shard``, failing over across its replicas.
+
+        Returns ``(backend_id, response_lines)``.  With ``hedge_delay``
+        configured, the next replica is started while the current
+        attempt is still pending once the delay elapses; the first
+        successful answer wins.  Raises :class:`ShardUnavailable` when
+        every replica failed, or the first non-failover
+        :class:`ClientError` (a real answer) immediately.
+        """
+        replicas = self.shard_map.replicas(shard)
+        hedge = self.config.hedge_delay
+        answers: "queue.Queue[Tuple[int, Optional[List[str]], Optional[Exception]]]" = (
+            queue.Queue()
+        )
+
+        def attempt(backend_id: int) -> None:
+            try:
+                answers.put((backend_id, self._call_backend(backend_id, line), None))
+            except Exception as exc:  # classified by the gather loop
+                answers.put((backend_id, None, exc))
+
+        started = 0
+        outstanding = 0
+        hedged = False
+        failures: List[Tuple[int, Exception]] = []
+        while started < len(replicas) or outstanding:
+            if started < len(replicas) and outstanding == 0:
+                threading.Thread(
+                    target=attempt, args=(replicas[started],), daemon=True
+                ).start()
+                started += 1
+                outstanding += 1
+            wait = hedge if (hedge is not None and started < len(replicas)) else None
+            try:
+                backend_id, lines, exc = answers.get(timeout=wait)
+            except queue.Empty:
+                # Hedge timer fired with the attempt still pending: race
+                # the next replica against it.
+                _M_HEDGED.inc()
+                hedged = True
+                threading.Thread(
+                    target=attempt, args=(replicas[started],), daemon=True
+                ).start()
+                started += 1
+                outstanding += 1
+                continue
+            outstanding -= 1
+            if exc is None:
+                if backend_id != replicas[0] and not hedged:
+                    _M_FAILOVERS.inc()
+                return backend_id, lines
+            if not isinstance(exc, FAILOVER_ERRORS):
+                raise exc  # a well-formed ERR answer: propagate, don't mask
+            failures.append((backend_id, exc))
+        raise ShardUnavailable(shard, failures)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_results(lines: Sequence[str]) -> List[Tuple[int, float]]:
+        out = []
+        for line in lines:
+            oid, _, dist = line.partition(" ")
+            out.append((int(oid), float(dist)))
+        return out
+
+    @staticmethod
+    def merge_ranked(
+        shard_results: Sequence[Sequence[Tuple[int, float]]], top_k: int
+    ) -> List[SearchResult]:
+        """Merge per-shard top-k lists under the engine's tie-break rule.
+
+        Shards are disjoint id spaces, so the merge is a pure selection:
+        ``select_k_smallest`` admits boundary ties in ascending-id order
+        — the same rule every in-process filter path uses — which makes
+        the merged set independent of shard count and arrival order.
+        """
+        flat = [pair for results in shard_results for pair in results]
+        if not flat:
+            return []
+        ids = np.array([oid for oid, _ in flat], dtype=np.uint64)
+        dists = np.array([dist for _, dist in flat], dtype=np.float64)
+        cols = select_k_smallest(dists[None, :], top_k, ids=ids[None, :])[0]
+        chosen = sorted((dists[c], int(ids[c])) for c in cols)
+        return [SearchResult(distance=d, object_id=oid) for d, oid in chosen]
+
+    def _fetch_signature(self, object_id: int) -> str:
+        """The base64 signature of ``object_id`` from its owning shard."""
+        shard = self.shard_map.shard_of(object_id)
+        try:
+            _, lines = self._shard_call(shard, f"getsig {object_id}")
+        except ShardUnavailable as exc:
+            raise ClusterError(
+                f"cannot fetch seed {object_id}: {exc}"
+            ) from exc
+        return lines[0]
+
+    def _scatter(
+        self,
+        line_for_shard,
+        parse,
+        trace,
+    ) -> Tuple[Dict[int, object], Tuple[int, ...], Dict[int, int]]:
+        """Run one request per shard concurrently; collect live answers.
+
+        ``line_for_shard(shard)`` builds the wire line; ``parse(lines)``
+        decodes one backend's response.  Returns ``(per_shard_payload,
+        missing_shards, served_by)``.
+        """
+        results: Dict[int, object] = {}
+        served_by: Dict[int, int] = {}
+        missing: List[int] = []
+        lock = threading.Lock()
+
+        def run(shard: int) -> None:
+            shard_started = time.perf_counter()
+            try:
+                backend_id, lines = self._shard_call(shard, line_for_shard(shard))
+            except ShardUnavailable:
+                with lock:
+                    missing.append(shard)
+                return
+            payload = parse(lines)
+            with lock:
+                results[shard] = payload
+                served_by[shard] = backend_id
+            if trace is not None:
+                trace.add_span(
+                    f"scatter.shard.{shard}",
+                    seconds=time.perf_counter() - shard_started,
+                )
+
+        threads = [
+            threading.Thread(target=run, args=(shard,), daemon=True)
+            for shard in range(self.shard_map.num_shards)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results, tuple(sorted(missing)), served_by
+
+    def _account_missing(self, missing: Tuple[int, ...]) -> None:
+        if missing:
+            _M_PARTIAL.inc()
+            _M_MISSING_SHARDS.inc(len(missing))
+            self.health.record_fallback(
+                "cluster", f"partial result, shards {missing} unreachable"
+            )
+        else:
+            self.health.mark_healthy("cluster")
+
+    def query(
+        self, object_id: int, top_k: int = 10, method: str = "filtering"
+    ) -> ClusterResult:
+        """Cluster-wide similarity search seeded by an indexed object.
+
+        The seed signature is fetched from its owning shard, the query
+        is scattered to one live replica per shard, and the per-shard
+        top-k lists are merged deterministically.  Shards that are
+        entirely unreachable are reported in ``missing_shards`` rather
+        than failing the query; losing the *seed's* shard (no replica
+        can even produce the signature) raises :class:`ClusterError`.
+        """
+        started = time.perf_counter()
+        _M_QUERIES.inc()
+        trace = self.tracer.begin("cluster", 1)
+        seed_b64 = self._fetch_signature(object_id)
+        line = (
+            f"querysig {seed_b64} top={int(top_k)} method={quote(method)} "
+            f"exclude={object_id}"
+        )
+        scatter_started = time.perf_counter()
+        # mod/residue restricts each backend's answer to the target
+        # shard's objects: a backend hosts R shards, and without the
+        # restriction every replica would answer with overlapping sets.
+        per_shard, missing, served_by = self._scatter(
+            lambda shard: f"{line} mod={self.shard_map.num_shards} residue={shard}",
+            self._parse_results,
+            trace,
+        )
+        scatter_seconds = time.perf_counter() - scatter_started
+        _M_SCATTER_SECONDS.observe(scatter_seconds)
+        gather_started = time.perf_counter()
+        merged = self.merge_ranked(list(per_shard.values()), top_k)
+        gather_seconds = time.perf_counter() - gather_started
+        _M_GATHER_SECONDS.observe(gather_seconds)
+        self._account_missing(missing)
+        elapsed = time.perf_counter() - started
+        _M_QUERY_SECONDS.observe(elapsed)
+        if trace is not None:
+            trace.add_span("scatter", seconds=scatter_seconds)
+            trace.add_span("gather", seconds=gather_seconds)
+            trace.add_count("shards_answered", len(per_shard))
+            trace.add_count("shards_missing", len(missing))
+            self.tracer.finish(trace, elapsed)
+        else:
+            self.tracer.observe_total("cluster", 1, elapsed)
+        return ClusterResult(merged, missing, served_by)
+
+    def query_many(
+        self,
+        object_ids: Sequence[int],
+        top_k: int = 10,
+        method: str = "filtering",
+    ) -> List[ClusterResult]:
+        """Batch cluster search through the backends' fused pipeline.
+
+        All seed signatures are fetched first (each from its owning
+        shard), then every shard receives *one* ``querysigmany`` call
+        carrying the whole batch, so the per-command overhead is paid
+        per shard, not per query.
+        """
+        object_ids = list(object_ids)
+        if not object_ids:
+            return []
+        started = time.perf_counter()
+        _M_QUERIES.inc()
+        trace = self.tracer.begin("cluster", len(object_ids))
+        seeds = [self._fetch_signature(oid) for oid in object_ids]
+        line = (
+            f"querysigmany {','.join(seeds)} top={int(top_k)} "
+            f"method={quote(method)} "
+            f"exclude={','.join(str(oid) for oid in object_ids)}"
+        )
+
+        def parse(lines: Sequence[str]) -> List[List[Tuple[int, float]]]:
+            batches: List[List[Tuple[int, float]]] = [[] for _ in object_ids]
+            for raw in lines:
+                index, oid, dist = raw.split()
+                batches[int(index)].append((int(oid), float(dist)))
+            return batches
+
+        scatter_started = time.perf_counter()
+        per_shard, missing, served_by = self._scatter(
+            lambda shard: f"{line} mod={self.shard_map.num_shards} residue={shard}",
+            parse,
+            trace,
+        )
+        scatter_seconds = time.perf_counter() - scatter_started
+        _M_SCATTER_SECONDS.observe(scatter_seconds)
+        gather_started = time.perf_counter()
+        out = []
+        for qi in range(len(object_ids)):
+            merged = self.merge_ranked(
+                [batches[qi] for batches in per_shard.values()], top_k
+            )
+            out.append(ClusterResult(merged, missing, dict(served_by)))
+        gather_seconds = time.perf_counter() - gather_started
+        _M_GATHER_SECONDS.observe(gather_seconds)
+        self._account_missing(missing)
+        elapsed = time.perf_counter() - started
+        _M_QUERY_SECONDS.observe(elapsed)
+        if trace is not None:
+            trace.add_span("scatter", seconds=scatter_seconds)
+            trace.add_span("gather", seconds=gather_seconds)
+            trace.add_count("shards_answered", len(per_shard))
+            trace.add_count("shards_missing", len(missing))
+            self.tracer.finish(trace, elapsed)
+        else:
+            self.tracer.observe_total("cluster", len(object_ids), elapsed)
+        return out
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _seed_next_id(self) -> int:
+        """Initialize the global id counter from the backends' maxima."""
+        next_id = 0
+        for handle in self.handles:
+            try:
+                lines = self._call_backend(handle.backend_id, "maxid")
+            except FAILOVER_ERRORS:
+                continue
+            next_id = max(next_id, int(lines[0]))
+        return next_id
+
+    def insert_file(
+        self, path: str, attributes: Optional[Dict[str, str]] = None
+    ) -> int:
+        """Ingest a file: assign the next global id, write to the owning
+        shard's replicas.
+
+        The write succeeds if at least one replica acknowledged; fewer
+        than R acks counts an under-replicated write and records a
+        degradation (the shard survives only R-1 further failures).
+        """
+        with self._id_lock:
+            if self._next_id is None:
+                self._next_id = self._seed_next_id()
+            object_id = self._next_id
+            self._next_id += 1
+        shard = self.shard_map.shard_of(object_id)
+        parts = [f"insertfile {quote(path)} id={object_id}"]
+        for key, value in (attributes or {}).items():
+            parts.append(f"attr.{key}={quote(value)}")
+        line = " ".join(parts)
+        acks = 0
+        failures: List[Tuple[int, Exception]] = []
+        for backend_id in self.shard_map.replicas(shard):
+            try:
+                self._call_backend(backend_id, line)
+            except FAILOVER_ERRORS as exc:
+                failures.append((backend_id, exc))
+                continue
+            acks += 1
+        if acks == 0:
+            raise ShardUnavailable(shard, failures)
+        _M_WRITES.inc()
+        if acks < self.shard_map.replication:
+            _M_UNDER_REPLICATED.inc()
+            self.health.record_fallback(
+                "replication",
+                f"object {object_id} on {acks}/{self.shard_map.replication} replicas",
+            )
+        return object_id
+
+    # ------------------------------------------------------------------
+    # Cluster introspection
+    # ------------------------------------------------------------------
+    def count(self) -> Tuple[int, Tuple[int, ...]]:
+        """Total objects across shards (replicas counted once) plus the
+        shards that could not be counted."""
+        per_shard, missing, _ = self._scatter(
+            lambda shard: f"countmod {self.shard_map.num_shards} {shard}",
+            lambda lines: int(lines[0]),
+            None,
+        )
+        return sum(per_shard.values()), missing
+
+    def status_lines(self) -> List[str]:
+        """``key value`` lines for the ``cluster`` protocol command."""
+        lines = [
+            f"shards {self.shard_map.num_shards}",
+            f"replication {self.shard_map.replication}",
+            f"backends {len(self.handles)}",
+            f"partial_results {_M_PARTIAL.value}",
+            f"failovers {_M_FAILOVERS.value}",
+            f"hedged_reads {_M_HEDGED.value}",
+        ]
+        for handle in self.handles:
+            breaker = handle.breaker
+            shards = ",".join(
+                str(s) for s in self.shard_map.shards_on(handle.backend_id)
+            )
+            lines.append(
+                f"backend.{handle.backend_id} {handle.address} "
+                f"state={breaker.state.value} shards={shards} "
+                f"failures={breaker.total_failures} opens={breaker.times_opened}"
+            )
+        return lines
+
+    # ------------------------------------------------------------------
+    # Health probing
+    # ------------------------------------------------------------------
+    def probe_once(self) -> int:
+        """Probe every non-closed backend once; returns re-admissions.
+
+        Success flows through the breaker's half-open gate, so a probe
+        is only sent when the breaker permits one; a succeeding probe
+        closes the breaker and the backend immediately takes traffic
+        again.
+        """
+        readmitted = 0
+        for handle in self.handles:
+            breaker = handle.breaker
+            if breaker.state is BreakerState.CLOSED:
+                continue
+            if not breaker.allow():
+                continue
+            _M_PROBES.inc()
+            try:
+                handle.send("ping", timeout=self.config.probe_timeout)
+            except ClientError:
+                breaker.record_failure()
+                continue
+            breaker.record_success()
+            self.health.mark_healthy(f"backend.{handle.backend_id}")
+            _M_READMITTED.inc()
+            readmitted += 1
+            _LOG.info(
+                "backend_readmitted",
+                backend=handle.backend_id,
+                address=handle.address,
+            )
+        return readmitted
+
+    def start_probes(self) -> None:
+        """Start the background health prober (idempotent)."""
+        if self._prober is not None and self._prober.is_alive():
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.config.probe_interval):
+                self.probe_once()
+
+        self._prober = threading.Thread(
+            target=loop, name="cluster-prober", daemon=True
+        )
+        self._prober.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=2.0)
+            self._prober = None
+        for handle in self.handles:
+            handle.close()
+
+    def __enter__(self) -> "FerretCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

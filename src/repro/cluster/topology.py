@@ -1,0 +1,69 @@
+"""Cluster topology: object-id sharding and replica placement.
+
+The corpus is partitioned by object id — object ``i`` belongs to shard
+``i % num_shards`` — and each shard is hosted on ``replication``
+backends, assigned round-robin: shard ``s`` lives on backends
+``s % B, (s+1) % B, ..., (s+R-1) % B``.  The first replica is the
+shard's *primary* (preferred for reads and for seed-signature fetches);
+the rest are failover targets.  Writes go to **every** replica of the
+owning shard, which is what lets any single replica die without losing
+the shard.
+
+The layout is a pure function of ``(num_shards, num_backends,
+replication)``, so the coordinator, the backend launcher, and the tests
+all derive the same placement without exchanging state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ShardMap"]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Deterministic shard → backend placement."""
+
+    num_shards: int
+    num_backends: int
+    replication: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.num_backends < 1:
+            raise ValueError("num_backends must be >= 1")
+        if not 1 <= self.replication <= self.num_backends:
+            raise ValueError(
+                f"replication must be in [1, {self.num_backends}], "
+                f"got {self.replication}"
+            )
+
+    def shard_of(self, object_id: int) -> int:
+        """The shard that owns ``object_id``."""
+        if object_id < 0:
+            raise ValueError(f"object ids are non-negative, got {object_id}")
+        return object_id % self.num_shards
+
+    def replicas(self, shard: int) -> Tuple[int, ...]:
+        """Backends hosting ``shard``, primary first."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        return tuple(
+            (shard + r) % self.num_backends for r in range(self.replication)
+        )
+
+    def shards_on(self, backend: int) -> Tuple[int, ...]:
+        """Shards hosted by ``backend``, ascending."""
+        if not 0 <= backend < self.num_backends:
+            raise ValueError(
+                f"backend {backend} out of range [0, {self.num_backends})"
+            )
+        return tuple(
+            s for s in range(self.num_shards) if backend in self.replicas(s)
+        )
+
+    def owns(self, backend: int, object_id: int) -> bool:
+        return backend in self.replicas(self.shard_of(object_id))

@@ -1003,6 +1003,16 @@ class SimilaritySearchEngine:
     def objects(self) -> Mapping[int, ObjectSignature]:
         return self._objects
 
+    @property
+    def next_id(self) -> int:
+        """The id the next auto-assigned insert would take.
+
+        A cluster coordinator routing writes by object id seeds its
+        global id counter from the maximum of its backends' ``next_id``
+        so coordinator-assigned ids never collide with existing objects.
+        """
+        return self._next_id
+
     def stats(self) -> EngineStats:
         num_segments = len(self._store)
         dim = self.plugin.meta.dim

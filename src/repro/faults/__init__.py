@@ -15,9 +15,17 @@ supplies:
   point, reopens the store, and checks the recovery invariant:
   *committed transactions are atomic and form a prefix of commit order;
   anything durably committed is fully visible; nothing uncommitted is.*
+- :mod:`repro.faults.oracle` — that invariant, factored out (prefix
+  matching + durability floor) so any harness can apply it.
+- :mod:`repro.faults.nodes` — process-level :class:`NodeFaultPlan`
+  schedules (kill / hang / resume / restart of real backend
+  subprocesses, addressed by workload-operation index) whose ledger
+  feeds the same oracle; the cluster node-kill drills run on it.
 """
 
 from .fs import FaultyFile, FaultyFilesystem
+from .nodes import NodeFault, NodeFaultPlan, ShardLedger
+from .oracle import InvariantViolation
 from .plan import Fault, FaultKind, FaultPlan, SimulatedCrash
 from .torture import TortureResult, TortureRunner, WorkloadSpec
 
@@ -27,6 +35,10 @@ __all__ = [
     "FaultPlan",
     "FaultyFile",
     "FaultyFilesystem",
+    "InvariantViolation",
+    "NodeFault",
+    "NodeFaultPlan",
+    "ShardLedger",
     "SimulatedCrash",
     "TortureResult",
     "TortureRunner",

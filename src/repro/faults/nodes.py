@@ -1,0 +1,191 @@
+"""Process-level node fault plans for the cluster drills.
+
+The filesystem torture driver addresses faults by I/O-operation index;
+this module does the same at the *node* level: a :class:`NodeFaultPlan`
+is a deterministic schedule of kill / hang / resume / restart actions
+addressed by workload-operation index, executed against the real
+backend subprocesses of a
+:class:`~repro.cluster.supervisor.ClusterSupervisor` mid-workload.
+
+Invariant checking reuses the recovery oracle
+(:mod:`repro.faults.oracle`) verbatim: each shard is a tree, each
+acknowledged cluster insert is a single-op transaction, and the set of
+inserts still visible after the drill must be a prefix of the
+acknowledged sequence — with the durability floor covering every acked
+insert on shards that kept at least one replica alive throughout
+(:func:`verify_shard_inserts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..observability.log import get_logger
+from .oracle import InvariantViolation, check_durable_floor, match_prefix
+
+__all__ = [
+    "NodeFault",
+    "NodeFaultPlan",
+    "ShardLedger",
+    "verify_shard_inserts",
+]
+
+_LOG = get_logger("faults.nodes")
+
+_ACTIONS = ("kill", "hang", "resume", "restart")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One scheduled process-level action.
+
+    ``at_op`` addresses the workload operation *before* which the fault
+    fires (operation 0 = before anything runs), mirroring the I/O-op
+    addressing of :class:`~repro.faults.plan.FaultPlan`.
+    """
+
+    at_op: int
+    action: str
+    backend: int
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"action must be one of {_ACTIONS}, got {self.action!r}"
+            )
+        if self.at_op < 0:
+            raise ValueError("at_op must be >= 0")
+
+
+class NodeFaultPlan:
+    """Deterministic schedule of node faults, fired by operation index."""
+
+    def __init__(self, faults: Iterable[NodeFault]) -> None:
+        self.faults = sorted(faults, key=lambda f: f.at_op)
+        self.fired: List[NodeFault] = []
+        self._cursor = 0
+
+    def fire_due(self, op_index: int, supervisor) -> List[NodeFault]:
+        """Execute every fault scheduled at or before ``op_index``.
+
+        ``supervisor`` duck-types
+        :class:`~repro.cluster.supervisor.ClusterSupervisor`: its
+        ``backends[i]`` must offer kill/hang/resume/restart.
+        """
+        fired_now: List[NodeFault] = []
+        while (
+            self._cursor < len(self.faults)
+            and self.faults[self._cursor].at_op <= op_index
+        ):
+            fault = self.faults[self._cursor]
+            self._cursor += 1
+            backend = supervisor.backends[fault.backend]
+            _LOG.info(
+                "node_fault",
+                op=op_index,
+                action=fault.action,
+                backend=fault.backend,
+            )
+            getattr(backend, fault.action)()
+            self.fired.append(fault)
+            fired_now.append(fault)
+        return fired_now
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self.faults)
+
+    def disturbed_backends(self) -> frozenset:
+        """Backends that were killed or hung at any point (their
+        replicas' durability promises are void for floor purposes)."""
+        return frozenset(
+            f.backend for f in self.fired if f.action in ("kill", "hang")
+        )
+
+
+@dataclass
+class ShardLedger:
+    """Acknowledged cluster inserts, per shard, in acknowledgement order.
+
+    The drill records every ``insert_file`` acknowledgement here; the
+    ledger then phrases visibility checking in the recovery oracle's
+    vocabulary (shard = tree, acked insert = committed single-op txn).
+    """
+
+    num_shards: int
+    acked: Dict[int, List[int]] = field(default_factory=dict)
+    #: Insert whose ack never returned when a fault hit, if any.
+    in_flight: Optional[int] = None
+
+    def record_ack(self, object_id: int) -> None:
+        shard = object_id % self.num_shards
+        self.acked.setdefault(shard, []).append(object_id)
+
+    def verify(
+        self,
+        visible_ids: Sequence[int],
+        undisturbed_shards: Iterable[int],
+    ) -> Dict[int, int]:
+        """Check visibility of acked inserts shard by shard.
+
+        ``visible_ids`` — inserted object ids observable through the
+        cluster right now.  ``undisturbed_shards`` — shards with at
+        least one replica alive continuously since before the first
+        insert: their floor is *every* acked insert; a shard that lost
+        replicas may legally have lost a suffix (prefix rule still
+        applies).  Returns ``{shard: matched_prefix_length}``; raises
+        :class:`InvariantViolation` on any wrong state.
+        """
+        undisturbed = set(undisturbed_shards)
+        visible = set(visible_ids)
+        matched_by_shard: Dict[int, int] = {}
+        for shard, sequence in sorted(self.acked.items()):
+            matched = verify_shard_inserts(
+                shard,
+                sequence,
+                [oid for oid in visible if oid % self.num_shards == shard],
+                in_flight=(
+                    self.in_flight
+                    if self.in_flight is not None
+                    and self.in_flight % self.num_shards == shard
+                    else None
+                ),
+                require_all=shard in undisturbed,
+            )
+            matched_by_shard[shard] = matched
+        return matched_by_shard
+
+
+def verify_shard_inserts(
+    shard: int,
+    acked_ids: Sequence[int],
+    visible_ids: Sequence[int],
+    in_flight: Optional[int] = None,
+    require_all: bool = True,
+) -> int:
+    """One shard's insert visibility through the recovery oracle.
+
+    The acked sequence becomes single-op transactions on tree
+    ``shard<k>``; the visible set must equal the state after some prefix
+    (plus optionally the in-flight insert).  ``require_all`` sets the
+    durability floor to the whole sequence — the shard never lost all
+    its custody, so losing *any* acked insert is a durability violation,
+    not a legal truncation.
+    """
+    tree = f"shard{shard}"
+    txns: List[List] = [
+        [(tree, str(oid).encode(), b"1")] for oid in acked_ids
+    ]
+    if in_flight is not None:
+        txns.append([(tree, str(in_flight).encode(), b"1")])
+    recovered = {tree: {str(oid).encode(): b"1" for oid in visible_ids}}
+    matched = match_prefix(
+        recovered,
+        txns,
+        list(range(len(acked_ids))),
+        in_flight=len(acked_ids) if in_flight is not None else None,
+    )
+    if require_all:
+        check_durable_floor(matched, len(acked_ids))
+    return matched

@@ -1,0 +1,102 @@
+"""The recovery oracle: prefix matching and durability floors.
+
+Factored out of the crash-recovery torture driver so every fault harness
+— the in-process filesystem torture (:mod:`repro.faults.torture`) and
+the process-level node-kill drills (:mod:`repro.faults.nodes`) — judges
+recovered state by the *same* invariant:
+
+    The recovered state equals the state after some prefix of the
+    acknowledged-commit sequence, optionally extended by the single
+    transaction whose acknowledgement was in flight when the failure
+    hit.  Atomicity: nothing is half-visible; nothing unacknowledged
+    (beyond the in-flight one) is visible.  Durability: the matched
+    prefix covers at least every transaction the system *promised* to
+    keep (the ``floor``).
+
+State is modelled as ``{tree: {key: value}}``; a transaction is a list
+of ``(tree, key, value)`` ops with ``value=None`` meaning delete.  The
+node drills reuse the model directly by treating each shard as a tree
+and each acknowledged insert as a single-op transaction, which is what
+makes "no acked insert lost while a replica survives" literally the same
+check as "no committed transaction lost across a crash".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "InvariantViolation",
+    "Op",
+    "apply_ops",
+    "match_prefix",
+    "check_durable_floor",
+]
+
+
+class InvariantViolation(AssertionError):
+    """The recovered state broke the recovery invariant."""
+
+
+# One logical operation: (tree, key, value) — value None means delete.
+Op = Tuple[str, bytes, Optional[bytes]]
+
+State = Dict[str, Dict[bytes, bytes]]
+
+
+def apply_ops(state: State, ops: Sequence[Op]) -> None:
+    """Apply one transaction's ops to ``state`` in place."""
+    for tree, key, value in ops:
+        if value is None:
+            state.setdefault(tree, {}).pop(key, None)
+        else:
+            state.setdefault(tree, {})[key] = value
+
+
+def _live(state: State) -> State:
+    """Copy of ``state`` without empty trees (a fully-deleted tree and a
+    never-created one are indistinguishable after recovery)."""
+    return {tree: dict(kv) for tree, kv in state.items() if kv}
+
+
+def match_prefix(
+    recovered: State,
+    txns: Sequence[Sequence[Op]],
+    sequence: Sequence[int],
+    in_flight: Optional[int] = None,
+) -> int:
+    """The longest ``k`` such that ``recovered`` equals the state after
+    the first ``k`` transactions of ``sequence`` (indices into ``txns``).
+
+    ``in_flight`` — a transaction whose acknowledgement never returned —
+    is legal as a one-past extension: durable-but-unacknowledged.
+    Raises :class:`InvariantViolation` when no prefix matches (a torn,
+    reordered, or phantom state).
+    """
+    candidates = list(sequence)
+    if in_flight is not None:
+        candidates.append(in_flight)
+    recovered_live = _live(dict(recovered))
+    state: State = {}
+    matched = -1
+    for k in range(len(candidates) + 1):
+        if k > 0:
+            apply_ops(state, txns[candidates[k - 1]])
+        if _live(state) == recovered_live:
+            matched = k  # keep scanning: prefer the longest match
+    if matched < 0:
+        raise InvariantViolation(
+            f"recovered state matches no acknowledged prefix "
+            f"(acknowledged={len(sequence)}, recovered keys="
+            f"{ {t: len(kv) for t, kv in recovered_live.items()} })"
+        )
+    return matched
+
+
+def check_durable_floor(matched: int, floor: int) -> None:
+    """Durability: the matched prefix must cover every promised commit."""
+    if matched < floor:
+        raise InvariantViolation(
+            f"durability violated: {floor} commits were promised, "
+            f"recovered only a {matched}-commit prefix"
+        )

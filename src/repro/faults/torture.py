@@ -44,6 +44,12 @@ from ..storage.errors import CorruptionError, StorageError
 from ..storage.kvstore import KVStore
 from ..storage.recovery import RecoveryReport
 from .fs import FaultyFilesystem
+from .oracle import (
+    InvariantViolation,
+    Op,
+    check_durable_floor,
+    match_prefix,
+)
 from .plan import FaultKind, FaultPlan, SimulatedCrash
 
 __all__ = [
@@ -54,10 +60,6 @@ __all__ = [
     "InvariantViolation",
     "generate_workload",
 ]
-
-
-class InvariantViolation(AssertionError):
-    """The recovered state broke the recovery invariant."""
 
 
 @dataclass(frozen=True)
@@ -77,10 +79,6 @@ class WorkloadSpec:
     page_size: int = 4096
 
 
-# One logical operation: (tree, key, value) — value None means delete.
-Op = Tuple[str, bytes, Optional[bytes]]
-
-
 def generate_workload(spec: WorkloadSpec, seed: int) -> List[List[Op]]:
     """The seeded transaction list: ``txns[i]`` is a list of ops."""
     rng = random.Random(seed)
@@ -97,14 +95,6 @@ def generate_workload(spec: WorkloadSpec, seed: int) -> List[List[Op]]:
                 ops.append((tree, key, value))
         txns.append(ops)
     return txns
-
-
-def _apply(state: Dict[str, Dict[bytes, bytes]], ops: List[Op]) -> None:
-    for tree, key, value in ops:
-        if value is None:
-            state.setdefault(tree, {}).pop(key, None)
-        else:
-            state.setdefault(tree, {})[key] = value
 
 
 @dataclass
@@ -249,40 +239,21 @@ class TortureRunner:
     def _verify(
         self, directory: str, seed: int, trace: WorkloadTrace, floor: int
     ) -> Tuple[int, Optional[RecoveryReport]]:
-        """Reopen on the real filesystem and match a committed prefix."""
+        """Reopen on the real filesystem and match a committed prefix.
+
+        The actual judgement lives in :mod:`repro.faults.oracle` so the
+        node-kill drills apply the identical prefix + durability rule.
+        """
         txns = generate_workload(self.spec, seed)
         with KVStore(directory, auto_checkpoint_ops=0) as store:
             report = store.last_recovery
             recovered: Dict[str, Dict[bytes, bytes]] = {
                 tree: dict(store.items(tree)) for tree in store.tree_names()
             }
-        recovered = {t: kv for t, kv in recovered.items() if kv}
-
-        # Candidate end-states: every prefix of the acknowledged-commit
-        # sequence, plus the one-past state including the in-flight
-        # commit (durable-but-unacknowledged is legal).
-        sequence = list(trace.committed_txns)
-        if trace.in_flight is not None:
-            sequence.append(trace.in_flight)
-        state: Dict[str, Dict[bytes, bytes]] = {}
-        matched = -1
-        for k in range(len(sequence) + 1):
-            if k > 0:
-                _apply(state, txns[sequence[k - 1]])
-            live = {t: dict(kv) for t, kv in state.items() if kv}
-            if live == recovered:
-                matched = k  # keep scanning: prefer the longest match
-        if matched < 0:
-            raise InvariantViolation(
-                f"recovered state matches no committed prefix "
-                f"(committed={len(trace.committed_txns)}, recovered keys="
-                f"{ {t: len(kv) for t, kv in recovered.items()} })"
-            )
-        if matched < floor:
-            raise InvariantViolation(
-                f"durability violated: store promised {floor} commits, "
-                f"recovered only a {matched}-commit prefix"
-            )
+        matched = match_prefix(
+            recovered, txns, trace.committed_txns, in_flight=trace.in_flight
+        )
+        check_durable_floor(matched, floor)
         return matched, report
 
     # ------------------------------------------------------------------

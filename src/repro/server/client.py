@@ -11,10 +11,24 @@ use:
 - **Automatic reconnect + retry** — with a :class:`RetryPolicy`, broken
   connections and timeouts are retried with exponential backoff and
   deterministic jitter, but only for *idempotent* commands (queries,
-  stats, health): an ``insertfile`` is never replayed blindly.
+  stats, health): an ``insertfile`` is never replayed blindly.  Even
+  without a policy, a torn connection (ECONNRESET / BrokenPipeError —
+  typically a restarted server or an idle-timeout disconnect) earns one
+  free immediate reconnect for idempotent commands, counted in
+  ``errors_absorbed.client_reconnect``.
 - **Degradation awareness** — an ``ERR DEGRADED <reason>`` response
   (see ``docs/ROBUSTNESS.md``) raises :class:`ServerDegraded`, again
   distinguishable from plain command failures.
+- **Multi-endpoint awareness** — constructed with
+  ``endpoints=[(host, port), ...]`` the client cycles to the next
+  endpoint on reconnect, so a coordinator replica set behind it keeps
+  answering while one address is down.
+- **Partial-result surfacing** — a coordinator answer whose first data
+  line is ``PARTIAL <shards>`` (some shards unreachable; see
+  :mod:`repro.cluster`) is stripped, recorded in
+  ``last_partial_shards`` and reported as a
+  :class:`PartialResultWarning` rather than silently mistaken for a
+  complete answer.
 """
 
 from __future__ import annotations
@@ -22,19 +36,25 @@ from __future__ import annotations
 import random
 import socket
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..observability import metrics as _metrics
 from .protocol import quote
 
 __all__ = [
     "ClientError",
     "ClientTimeout",
+    "ConnectionLost",
     "ServerDegraded",
+    "PartialResultWarning",
     "RetryPolicy",
     "FerretClient",
     "IDEMPOTENT_COMMANDS",
 ]
+
+_M_RECONNECTS = _metrics.counter("errors_absorbed.client_reconnect")
 
 
 class ClientError(RuntimeError):
@@ -43,6 +63,35 @@ class ClientError(RuntimeError):
 
 class ClientTimeout(ClientError):
     """A command exceeded its deadline (retryable for idempotent commands)."""
+
+
+class ConnectionLost(ClientError, ConnectionError):
+    """The transport failed: connect refused, reset, or desynchronized.
+
+    Distinct from a plain :class:`ClientError` (a well-formed ``ERR``
+    answer over a healthy connection): a :class:`ConnectionLost` means
+    no answer arrived at all, so the command *may* be replayed if it is
+    idempotent, and cluster routing treats the backend as suspect.
+    Subclasses :class:`ConnectionError` too, so pre-existing ``except
+    OSError`` connect handling keeps working.
+    """
+
+
+class PartialResultWarning(UserWarning):
+    """A cluster answer omitted one or more unreachable shards.
+
+    The results returned are still correct — they are the deterministic
+    merge of every *live* shard — but objects owned by the missing
+    shards could not be considered.
+    """
+
+    def __init__(self, missing_shards: Sequence[int]) -> None:
+        self.missing_shards = tuple(missing_shards)
+        super().__init__(
+            "partial result: shard(s) "
+            + ",".join(str(s) for s in self.missing_shards)
+            + " unreachable"
+        )
 
 
 class ServerDegraded(ClientError):
@@ -70,6 +119,12 @@ IDEMPOTENT_COMMANDS = frozenset(
         "metrics",
         "trace",
         "profile",
+        "getsig",
+        "querysig",
+        "querysigmany",
+        "countmod",
+        "maxid",
+        "cluster",
     }
 )
 
@@ -116,22 +171,50 @@ class FerretClient:
         port: int = 7878,
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
     ) -> None:
-        self.host = host
-        self.port = port
+        if endpoints:
+            self._endpoints: List[Tuple[str, int]] = list(endpoints)
+        else:
+            self._endpoints = [(host, port)]
+        self._endpoint_index = 0
+        self.host, self.port = self._endpoints[0]
         self.timeout = timeout
         self.retry = retry
         self._sock: Optional[socket.socket] = None
         self._reader = None
+        #: Shards missing from the most recent cluster answer (empty
+        #: tuple when the last answer was complete).
+        self.last_partial_shards: Tuple[int, ...] = ()
         self._connect()
 
     # -- connection management -------------------------------------------
     def _connect(self) -> None:
+        """Connect to the current endpoint, cycling through alternates.
+
+        Raises :class:`ConnectionLost` (not a raw ``OSError``) when every
+        configured endpoint refuses, so callers see one exception family
+        for all transport failures.
+        """
         self._teardown()
-        self._sock = socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
-        )
-        self._reader = self._sock.makefile("r", encoding="utf-8")
+        last_exc: Optional[OSError] = None
+        for offset in range(len(self._endpoints)):
+            index = (self._endpoint_index + offset) % len(self._endpoints)
+            host, port = self._endpoints[index]
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=self.timeout
+                )
+            except OSError as exc:
+                last_exc = exc
+                continue
+            self._endpoint_index = index
+            self.host, self.port = host, port
+            self._reader = self._sock.makefile("r", encoding="utf-8")
+            return
+        raise ConnectionLost(
+            f"connect failed for all {len(self._endpoints)} endpoint(s): {last_exc}"
+        ) from last_exc
 
     def _teardown(self) -> None:
         if self._reader is not None:
@@ -176,11 +259,7 @@ class FerretClient:
                 f"deadline expired before {command_word!r} was sent"
             )
         if self._sock is None:
-            try:
-                self._connect()
-            except OSError as exc:
-                self._teardown()
-                raise ClientError(f"connect failed: {exc}") from exc
+            self._connect()  # raises ConnectionLost if every endpoint refuses
 
         def remaining() -> Optional[float]:
             if deadline is None:
@@ -198,7 +277,7 @@ class FerretClient:
             self._sock.settimeout(remaining())
             header = self._reader.readline()
             if not header:
-                raise ClientError("connection closed by server")
+                raise ConnectionLost("connection closed by server")
             header = header.rstrip("\n")
             if header.startswith("ERR"):
                 message = header[4:] or "unknown server error"
@@ -206,7 +285,7 @@ class FerretClient:
                     raise ServerDegraded(message[len("DEGRADED"):].strip() or "degraded")
                 raise ClientError(message)
             if not header.startswith("OK "):
-                raise ClientError(f"malformed response header {header!r}")
+                raise ConnectionLost(f"malformed response header {header!r}")
             count = int(header[3:])
             lines = []
             for _ in range(count):
@@ -218,17 +297,18 @@ class FerretClient:
             # still arrive): drop it so the next command starts clean.
             self._teardown()
             raise ClientTimeout(f"command timed out: {command_word!r}") from exc
-        except (OSError, ValueError) as exc:
-            self._teardown()
-            raise ClientError(f"connection failed: {exc}") from exc
         except ClientError as exc:
-            if isinstance(exc, ServerDegraded):
-                raise  # a complete, well-formed response: connection is fine
-            if isinstance(exc, ClientTimeout) or str(exc).startswith(
-                ("connection closed", "malformed response")
-            ):
+            # Ordered before OSError: ConnectionLost is both.  A plain
+            # ERR answer (and ServerDegraded) is a complete, well-formed
+            # response — the connection stays up; everything else is
+            # torn down because a half-exchanged response would
+            # desynchronize the line protocol.
+            if isinstance(exc, (ConnectionLost, ClientTimeout)):
                 self._teardown()
             raise
+        except (OSError, ValueError) as exc:
+            self._teardown()
+            raise ConnectionLost(f"connection failed: {exc}") from exc
 
     def send(self, line: str, timeout: Optional[float] = None) -> List[str]:
         """Send one command line; returns the response data lines.
@@ -240,10 +320,15 @@ class FerretClient:
         """
         budget = timeout if timeout is not None else self.timeout
         command = line.strip().split(" ", 1)[0].lower() if line.strip() else ""
+        idempotent = command in IDEMPOTENT_COMMANDS
         policy = self.retry
-        retryable = policy is not None and command in IDEMPOTENT_COMMANDS
-        delays = policy.delays() if retryable else []
+        delays = policy.delays() if (policy is not None and idempotent) else []
         attempt = 0
+        # One free immediate reconnect per call: a torn connection
+        # (restarted server, idle-timeout disconnect, stale pooled
+        # socket) costs exactly one resend for idempotent commands even
+        # without a RetryPolicy.  Counted, never silent.
+        free_reconnect = idempotent
         while True:
             deadline = time.monotonic() + budget if budget is not None else None
             try:
@@ -251,15 +336,17 @@ class FerretClient:
             except ServerDegraded:
                 raise  # the server answered; retrying won't help
             except ClientTimeout:
-                if not retryable or not policy.retry_timeouts or attempt >= len(delays):
+                if not delays or not policy.retry_timeouts or attempt >= len(delays):
                     raise
-            except ClientError:
-                # Protocol-level ERR responses are answers, not failures:
-                # they leave the connection intact and are never retried.
-                if self.connected:
+            except ConnectionLost:
+                if free_reconnect:
+                    free_reconnect = False
+                    _M_RECONNECTS.inc()
+                    continue
+                if attempt >= len(delays):
                     raise
-                if not retryable or attempt >= len(delays):
-                    raise
+            # Plain ClientError (an ERR answer over a live connection)
+            # propagates above: it is an answer, not a failure.
             time.sleep(delays[attempt])
             attempt += 1
             # Reconnection happens lazily inside the next _send_once.
@@ -317,6 +404,28 @@ class FerretClient:
             out[key] = value
         return out
 
+    def _strip_partial(self, lines: List[str]) -> List[str]:
+        """Record and strip a leading ``PARTIAL <shards>`` tag.
+
+        Coordinator answers prepend ``PARTIAL s1,s2`` when one or more
+        shards were unreachable (see :mod:`repro.cluster`); the
+        remaining lines are the merged answer over the live shards.
+        Updates ``last_partial_shards`` either way and warns with
+        :class:`PartialResultWarning` so callers cannot mistake a
+        partial answer for a complete one.
+        """
+        if lines and lines[0].startswith("PARTIAL"):
+            tail = lines[0][len("PARTIAL"):].strip()
+            self.last_partial_shards = tuple(
+                int(s) for s in tail.split(",") if s
+            )
+            warnings.warn(
+                PartialResultWarning(self.last_partial_shards), stacklevel=3
+            )
+            return lines[1:]
+        self.last_partial_shards = ()
+        return lines
+
     def query(
         self,
         object_id: int,
@@ -330,12 +439,47 @@ class FerretClient:
             parts.append(f"attr={quote(attr)}")
         if include_self:
             parts.append("self=yes")
-        lines = self.send(" ".join(parts))
+        lines = self._strip_partial(self.send(" ".join(parts)))
         results = []
         for line in lines:
             oid, _, dist = line.partition(" ")
             results.append((int(oid), float(dist)))
         return results
+
+    def querymany(
+        self,
+        object_ids: Sequence[int],
+        top: int = 10,
+        method: str = "filtering",
+    ) -> List[List[Tuple[int, float]]]:
+        """Batched similarity search: one result list per seed id.
+
+        Response lines are ``<query_index-or-id> <oid> <dist>`` grouped
+        by the first field in the order first seen, which both the
+        single-server ``querymany`` (keyed by object id) and the
+        coordinator (keyed by query index) satisfy.
+        """
+        ids = " ".join(str(int(i)) for i in object_ids)
+        lines = self._strip_partial(
+            self.send(f"querymany {ids} top={top} method={method}")
+        )
+        groups: Dict[str, List[Tuple[int, float]]] = {}
+        order: List[str] = []
+        for line in lines:
+            key, oid, dist = line.split()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((int(oid), float(dist)))
+        return [groups[key] for key in order]
+
+    def cluster_status(self) -> Dict[str, str]:
+        """Coordinator topology/health summary (``cluster`` command)."""
+        out: Dict[str, str] = {}
+        for line in self.send("cluster"):
+            key, _, value = line.partition(" ")
+            out[key] = value
+        return out
 
     def attrquery(self, expression: str) -> List[int]:
         return [int(line) for line in self.send(f"attrquery {quote(expression)}")]
@@ -357,8 +501,15 @@ class FerretClient:
             results.append((int(oid), float(dist)))
         return results
 
-    def insert_file(self, path: str, attributes: Optional[Dict[str, str]] = None) -> int:
+    def insert_file(
+        self,
+        path: str,
+        attributes: Optional[Dict[str, str]] = None,
+        object_id: Optional[int] = None,
+    ) -> int:
         parts = [f"insertfile {quote(path)}"]
+        if object_id is not None:
+            parts.append(f"id={int(object_id)}")
         for key, value in (attributes or {}).items():
             parts.append(f"attr.{key}={quote(value)}")
         return int(self.send(" ".join(parts))[0])

@@ -18,8 +18,31 @@ number of results to return, filter parameters, and attributes"):
   for the whole batch, concurrent ranking) and answers one
   ``<query_id> <object_id> <distance>`` line per result.
 - ``attrquery <expr>`` — attribute-only search; returns object ids.
-- ``insertfile <path> [attr.key=value ...]`` — ingest a file through the
-  plug-in's segmentation/extraction module.
+- ``insertfile <path> [id=<object_id>] [attr.key=value ...]`` — ingest a
+  file through the plug-in's segmentation/extraction module; ``id=``
+  pins the object id (used by the cluster coordinator, which owns the
+  global id space so ids land on their owning shard).
+- ``getsig <object_id>`` — the object's signature, base64-encoded in the
+  metadata wire format (``repro.metadata.serialization.encode_object``).
+  This is how a cluster coordinator fetches a query seed from the shard
+  that owns it before scattering the query to the other shards.
+- ``querysig <b64> [top=10] [method=filtering] [attr=<expr>]
+  [exclude=<id>]`` — similarity search seeded by a base64-encoded
+  signature (the scatter half of a cluster query; every backend can
+  answer it without holding the seed object).  ``exclude=`` drops one
+  object id from the results (the seed itself, on its owning shard).
+- ``querysigmany <b64,b64,...> [top=] [method=] [attr=]
+  [exclude=id1,id2,...]`` — batch form of ``querysig`` through the
+  engine's fused multi-query pipeline; answers one
+  ``<query_index> <object_id> <distance>`` line per result.
+  ``exclude=`` gives one id per query (a blank entry excludes nothing).
+- ``countmod <modulus> <residue>`` — number of indexed objects whose id
+  is ``residue (mod modulus)`` (a shard's share of this backend's
+  corpus; lets the coordinator count the cluster without double-counting
+  replicas).
+- ``maxid`` — the id the next auto-assigned insert would take
+  (coordinators seed their global id counter from the max across
+  backends).
 - ``queryfile <path> [top=10] [method=filtering] [attr=<expr>]`` —
   similarity search seeded by an external file (extracted through the
   plug-in, not inserted).
@@ -54,13 +77,17 @@ path instead of failing the command.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import time
+from struct import error as struct_error
 from typing import Dict, List, Optional
 
 from ..attrsearch.index import InvertedIndex, MemoryIndex
 from ..attrsearch.query import AttributeSearcher, QueryError
 from ..core.engine import LSHIndexError, SearchMethod, SimilaritySearchEngine
 from ..core.filtering import FilterParams, get_threshold_fn
+from ..metadata.serialization import decode_object, encode_object
 from ..observability import metrics as _metrics
 from ..storage.errors import StorageError
 from ..system import HealthState
@@ -390,6 +417,154 @@ class CommandProcessor:
             for r in results
         ]
 
+    # -- cluster scatter/gather support ---------------------------------
+    def _restrict_from(self, command: Command) -> Optional[List[int]]:
+        """Candidate restriction from ``attr=`` and/or ``mod=/residue=``.
+
+        ``mod=S residue=s`` restricts to objects of shard ``s`` under
+        id-mod-``S`` sharding: a backend hosting several shards must
+        answer a per-shard scatter with *only* that shard's objects, or
+        the coordinator's merge would double-count objects that other
+        replicas also answered (the shards are disjoint; the backends'
+        holdings are not).
+        """
+        restrict: Optional[set] = None
+        attr_expr = command.get("attr")
+        if attr_expr:
+            try:
+                restrict = set(self.searcher.search(attr_expr))
+            except QueryError as exc:
+                raise ProtocolError(f"bad attribute query: {exc}") from exc
+        mod = command.get("mod")
+        if mod is not None:
+            try:
+                modulus = int(mod)
+                residue = int(command.get("residue", "0"))
+            except ValueError:
+                raise ProtocolError(
+                    f"bad mod/residue {mod!r}/{command.get('residue')!r}"
+                ) from None
+            if modulus < 1 or not 0 <= residue < modulus:
+                raise ProtocolError(f"bad shard restriction mod={modulus} residue={residue}")
+            owned = {
+                oid for oid in self.engine.objects if oid % modulus == residue
+            }
+            restrict = owned if restrict is None else restrict & owned
+        return sorted(restrict) if restrict is not None else None
+
+    @staticmethod
+    def _decode_signature(b64: str, exclude: Optional[int]):
+        try:
+            raw = base64.b64decode(b64.encode("ascii"), validate=True)
+        except (binascii.Error, UnicodeEncodeError) as exc:
+            raise ProtocolError(f"bad base64 signature: {exc}") from exc
+        try:
+            return decode_object(raw, object_id=exclude)
+        except (ValueError, struct_error) as exc:
+            raise ProtocolError(f"bad signature payload: {exc}") from exc
+
+    def _cmd_getsig(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError("usage: getsig <object_id>")
+        try:
+            object_id = int(command.args[0])
+        except ValueError:
+            raise ProtocolError(f"bad object id {command.args[0]!r}") from None
+        if object_id not in self.engine:
+            raise ProtocolError(f"unknown object {object_id}")
+        raw = encode_object(self.engine.get_object(object_id))
+        return [base64.b64encode(raw).decode("ascii")]
+
+    def _cmd_querysig(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError(
+                "usage: querysig <b64sig> [top=] [method=] [attr=] [exclude=]"
+            )
+        exclude = command.get("exclude")
+        try:
+            exclude_id = int(exclude) if exclude is not None else None
+        except ValueError:
+            raise ProtocolError(f"bad exclude id {exclude!r}") from None
+        signature = self._decode_signature(command.args[0], exclude_id)
+        top_k = int(command.get("top", "10"))
+        method = SearchMethod.parse(command.get("method", "filtering"))
+        restrict = self._restrict_from(command)
+        results = self._run_query(
+            method,
+            lambda m: self.engine.query(
+                signature,
+                top_k=top_k,
+                method=m,
+                exclude_self=exclude_id is not None,
+                restrict_to=restrict,
+            ),
+        )
+        return [f"{r.object_id} {r.distance:.6f}" for r in results]
+
+    def _cmd_querysigmany(self, command: Command) -> List[str]:
+        if len(command.args) != 1:
+            raise ProtocolError(
+                "usage: querysigmany <b64,b64,...> [top=] [method=] [attr=] "
+                "[exclude=id1,id2,...]"
+            )
+        blobs = [b for b in command.args[0].split(",") if b != ""]
+        if not blobs:
+            raise ProtocolError("querysigmany needs at least one signature")
+        exclude = command.get("exclude")
+        excludes: List[Optional[int]] = [None] * len(blobs)
+        if exclude is not None:
+            parts = exclude.split(",")
+            if len(parts) != len(blobs):
+                raise ProtocolError(
+                    f"exclude= lists {len(parts)} ids for {len(blobs)} queries"
+                )
+            try:
+                excludes = [int(p) if p != "" else None for p in parts]
+            except ValueError:
+                raise ProtocolError(f"bad exclude ids {exclude!r}") from None
+        signatures = [
+            self._decode_signature(blob, excl)
+            for blob, excl in zip(blobs, excludes)
+        ]
+        top_k = int(command.get("top", "10"))
+        method = SearchMethod.parse(command.get("method", "filtering"))
+        restrict = self._restrict_from(command)
+        # exclude_self applies per-query via each signature's object_id;
+        # queries without an exclude id carry object_id=None, which the
+        # ranking path never matches.
+        batches = self._run_query(
+            method,
+            lambda m: self.engine.query_many(
+                signatures,
+                top_k=top_k,
+                method=m,
+                exclude_self=True,
+                restrict_to=restrict,
+            ),
+        )
+        return [
+            f"{index} {r.object_id} {r.distance:.6f}"
+            for index, results in enumerate(batches)
+            for r in results
+        ]
+
+    def _cmd_countmod(self, command: Command) -> List[str]:
+        if len(command.args) != 2:
+            raise ProtocolError("usage: countmod <modulus> <residue>")
+        try:
+            modulus, residue = int(command.args[0]), int(command.args[1])
+        except ValueError:
+            raise ProtocolError("usage: countmod <modulus> <residue>") from None
+        if modulus < 1 or not 0 <= residue < modulus:
+            raise ProtocolError("need modulus >= 1 and 0 <= residue < modulus")
+        count = sum(
+            1 for oid in self.engine.objects if oid % modulus == residue
+        )
+        return [str(count)]
+
+    def _cmd_maxid(self, command: Command) -> List[str]:
+        return [str(self.engine.next_id)]
+
     def _cmd_attrquery(self, command: Command) -> List[str]:
         if not command.args:
             raise ProtocolError("usage: attrquery <expression>")
@@ -402,14 +577,25 @@ class CommandProcessor:
 
     def _cmd_insertfile(self, command: Command) -> List[str]:
         if len(command.args) != 1:
-            raise ProtocolError("usage: insertfile <path> [attr.key=value ...]")
+            raise ProtocolError(
+                "usage: insertfile <path> [id=<object_id>] [attr.key=value ...]"
+            )
         attrs = {
             key[len("attr."):]: value
             for key, value in command.kwargs
             if key.startswith("attr.")
         }
+        pinned = command.get("id")
         try:
-            object_id = self.engine.insert_file(command.args[0], attributes=attrs)
+            pinned_id = int(pinned) if pinned is not None else None
+        except ValueError:
+            raise ProtocolError(f"bad object id {pinned!r}") from None
+        try:
+            object_id = self.engine.insert_file(
+                command.args[0], attributes=attrs, object_id=pinned_id
+            )
+        except KeyError as exc:
+            raise ProtocolError(f"insert failed: {exc.args[0]}") from exc
         except (OSError, NotImplementedError, ValueError) as exc:
             raise ProtocolError(f"insert failed: {exc}") from exc
         self.register_attributes(object_id, attrs)

@@ -12,8 +12,11 @@ threading TCP server speaking the line protocol of
 from __future__ import annotations
 
 import argparse
+import errno
+import socket
 import socketserver
 import threading
+import time
 from typing import Optional, Sequence
 
 from ..observability import metrics as _metrics
@@ -25,11 +28,23 @@ __all__ = ["FerretServer", "serve_background", "main", "MAX_LINE_BYTES"]
 
 _LOG = get_logger("server")
 _M_UNHANDLED = _metrics.counter("server.unhandled_errors")
+_M_ACCEPT_OVERLOAD = _metrics.counter("errors_absorbed.server.accept_overload")
+_M_IDLE_DISCONNECTS = _metrics.counter("server.idle_disconnects")
 
 #: Upper bound on one request line.  A client that streams an unbounded
 #: "line" would otherwise grow the server-side buffer without limit; at
 #: the cap the server answers ERR, drains nothing, and closes.
 MAX_LINE_BYTES = 1 << 20
+
+#: ``accept()`` errnos that mean resource exhaustion, not a dead socket:
+#: out of fds (per-process or system-wide) or transient kernel memory
+#: pressure.  Backing off briefly sheds load; crashing the accept loop
+#: would turn "too many clients" into "no clients".
+_OVERLOAD_ERRNOS = frozenset(
+    getattr(errno, name)
+    for name in ("EMFILE", "ENFILE", "ENOBUFS", "ENOMEM")
+    if hasattr(errno, name)
+)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -48,9 +63,20 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         processor: CommandProcessor = self.server.processor  # type: ignore[attr-defined]
+        idle_timeout = self.server.idle_timeout  # type: ignore[attr-defined]
+        if idle_timeout is not None:
+            # Per-connection idle cap: a client that connects and then
+            # holds the fd without speaking would otherwise pin a
+            # handler thread and a file descriptor forever — exactly the
+            # exhaustion the accept-loop guard below then has to absorb.
+            self.connection.settimeout(idle_timeout)
         while True:
             try:
                 raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except socket.timeout:
+                _M_IDLE_DISCONNECTS.inc()
+                self._reply(format_error(f"idle for {self.server.idle_timeout:.0f}s, closing"))
+                return
             except OSError:
                 return
             if not raw:
@@ -104,14 +130,51 @@ class FerretServer(socketserver.ThreadingTCPServer):
 
     ``port=0`` picks an ephemeral port; read ``server_address`` after
     construction.
+
+    Two resource-exhaustion guards (docs/ROBUSTNESS.md §4):
+
+    - ``idle_timeout`` disconnects connections with no traffic for that
+      many seconds (``server.idle_disconnects`` counts them), so idle
+      clients cannot pin handler threads and file descriptors;
+    - an ``accept()`` that fails with EMFILE/ENFILE/ENOBUFS/ENOMEM
+      backs off ``accept_backoff`` seconds instead of looping hot (or
+      dying), counted in ``errors_absorbed.server.accept_overload`` —
+      the listener survives fd exhaustion and resumes as soon as
+      connections (hopefully idle-timed-out ones) free up.
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, processor: CommandProcessor, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        processor: CommandProcessor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: Optional[float] = 300.0,
+        accept_backoff: float = 0.05,
+    ) -> None:
         super().__init__((host, port), _Handler)
         self.processor = processor
+        self.idle_timeout = idle_timeout
+        self.accept_backoff = accept_backoff
+
+    def get_request(self):
+        try:
+            return super().get_request()
+        except OSError as exc:
+            if exc.errno in _OVERLOAD_ERRNOS:
+                _M_ACCEPT_OVERLOAD.inc()
+                _LOG.warning(
+                    "accept_overload",
+                    error=f"{type(exc).__name__}: {exc}",
+                    backoff_seconds=self.accept_backoff,
+                )
+                time.sleep(self.accept_backoff)
+            # Re-raised either way: serve_forever's selector loop treats
+            # a get_request failure as "no request" and keeps serving,
+            # so the backoff above is the only pacing needed.
+            raise
 
 
 def serve_background(processor: CommandProcessor, host: str = "127.0.0.1", port: int = 0) -> FerretServer:

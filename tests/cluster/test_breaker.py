@@ -1,0 +1,164 @@
+"""Circuit breaker state machine, driven by an injectable clock."""
+
+import threading
+
+import pytest
+
+from repro.cluster import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, cooldown=2.0, transitions=None):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_seconds=cooldown,
+        clock=clock,
+        on_transition=(
+            None
+            if transitions is None
+            else lambda old, new: transitions.append((old, new))
+        ),
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make(clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_sporadic_failures_do_not_trip(self, clock):
+        breaker = make(clock, threshold=3)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # resets the consecutive run
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_consecutive_failures_trip_open(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+
+class TestOpenToHalfOpen:
+    def test_cooldown_elapses_to_half_open(self, clock):
+        breaker = make(clock, threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_grants_single_probe(self, clock):
+        breaker = make(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent request: refused
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, clock):
+        breaker = make(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow() and breaker.allow()  # traffic flows again
+
+    def test_probe_failure_reopens_and_rearms_cooldown(self, clock):
+        breaker = make(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert not breaker.allow()  # cooldown restarted at re-open
+        clock.advance(0.6)
+        assert breaker.allow()
+
+
+class TestForceOpen:
+    def test_force_open_skips_threshold(self, clock):
+        breaker = make(clock, threshold=5)
+        breaker.force_open()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+
+class TestTransitions:
+    def test_callback_sees_ordered_transitions(self, clock):
+        transitions = []
+        breaker = make(clock, threshold=1, cooldown=1.0, transitions=transitions)
+        breaker.record_failure()
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record_success()
+        assert transitions == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+    def test_callback_may_read_state_without_deadlock(self, clock):
+        # Regression: the coordinator's callback reads .state to refresh
+        # an availability gauge; fired under the lock this deadlocks.
+        seen = []
+        breaker = None
+
+        def callback(old, new):
+            seen.append(breaker.state)  # re-enters the breaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=1.0,
+            clock=clock, on_transition=callback,
+        )
+        finished = threading.Event()
+
+        def trip():
+            breaker.record_failure()
+            finished.set()
+
+        thread = threading.Thread(target=trip, daemon=True)
+        thread.start()
+        assert finished.wait(5.0), "breaker deadlocked firing its callback"
+        assert seen and seen[0] is BreakerState.OPEN
+
+    def test_gauge_values_stable(self):
+        assert BreakerState.CLOSED.gauge_value == 0
+        assert BreakerState.HALF_OPEN.gauge_value == 1
+        assert BreakerState.OPEN.gauge_value == 2
+
+
+class TestValidation:
+    def test_bad_threshold(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+    def test_bad_cooldown(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0, clock=clock)

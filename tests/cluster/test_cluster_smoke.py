@@ -1,0 +1,58 @@
+"""Minimal end-to-end cluster drill for CI (``make cluster-smoke``).
+
+Three real backend subprocesses at R=1 — so killing one provably
+removes a whole shard — must produce: full answers, then a PARTIAL
+answer naming exactly the dead shard, then full answers again after the
+backend restarts and the prober re-admits it.
+"""
+
+import time
+
+from repro.cluster import (
+    BreakerState,
+    ClusterConfig,
+    ClusterSupervisor,
+    FerretCoordinator,
+)
+
+
+def test_kill_partial_restart_full():
+    with ClusterSupervisor(3, replication=1, size=48) as supervisor:
+        coordinator = FerretCoordinator(
+            supervisor.endpoints,
+            num_shards=3,
+            config=ClusterConfig(
+                replication=1,
+                backend_timeout=10.0,
+                breaker_failures=1,
+                breaker_cooldown=0.2,
+                probe_interval=0.1,
+            ),
+        )
+        try:
+            full = coordinator.query(0, top_k=5)
+            assert not full.partial and len(full.results) == 5
+
+            supervisor.backends[1].kill()
+            partial = coordinator.query(0, top_k=5)
+            assert partial.partial
+            assert partial.missing_shards == (1,)
+            assert all(r.object_id % 3 != 1 for r in partial.results)
+
+            supervisor.backends[1].restart()
+            coordinator.start_probes()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if all(
+                    handle.breaker.state is BreakerState.CLOSED
+                    for handle in coordinator.handles
+                ):
+                    break
+                time.sleep(0.1)
+            recovered = coordinator.query(0, top_k=5)
+            assert not recovered.partial
+            assert [r.object_id for r in recovered.results] == [
+                r.object_id for r in full.results
+            ]
+        finally:
+            coordinator.close()

@@ -1,0 +1,408 @@
+"""Coordinator correctness and robustness over in-process backends.
+
+These tests run real ``FerretServer`` instances (threaded, ephemeral
+ports) but in-process, so they are fast and deterministic; the
+process-level kill/hang drills live in ``test_node_faults.py``.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster import (
+    BreakerState,
+    ClusterConfig,
+    ClusterError,
+    FerretCoordinator,
+    ShardMap,
+)
+from repro.cluster.backend import build_backend_processor
+from repro.cluster.coordinator import BackendHandle
+from repro.cluster.service import ClusterCommandProcessor
+from repro.datatypes import build_demo_engine
+from repro.observability import metrics as _metrics
+from repro.server.client import ClientError, FerretClient, PartialResultWarning
+from repro.server.server import FerretServer, serve_background
+
+DATATYPE, SIZE, SEED = "sensor", 48, 42
+
+
+@pytest.fixture(scope="module")
+def full_engine():
+    engine, _bench = build_demo_engine(DATATYPE, size=SIZE, seed=SEED)
+    return engine
+
+
+class _Server(FerretServer):
+    """FerretServer that remembers live connections so ``stop`` can
+    sever them — closing only the listener would leave the
+    coordinator's pooled connections answering from handler threads."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._conns = []
+
+    def process_request(self, request, client_address):
+        self._conns.append(request)
+        super().process_request(request, client_address)
+
+
+def serve(processor, host="127.0.0.1", port=0):
+    server = _Server(processor, host, port)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def start_cluster(num_backends=3, num_shards=3, replication=2):
+    smap = ShardMap(num_shards, num_backends, replication)
+    servers = []
+    for index in range(num_backends):
+        processor = build_backend_processor(
+            index, smap, datatype=DATATYPE, size=SIZE, seed=SEED
+        )
+        servers.append(serve(processor))
+    return smap, servers, [s.server_address for s in servers]
+
+
+def stop(server):
+    server.shutdown()
+    for conn in getattr(server, "_conns", []):
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+    server.server_close()
+
+
+@pytest.fixture()
+def cluster():
+    smap, servers, endpoints = start_cluster()
+    coordinator = FerretCoordinator(
+        endpoints,
+        num_shards=smap.num_shards,
+        config=ClusterConfig(
+            replication=smap.replication,
+            backend_timeout=10.0,
+            breaker_failures=2,
+            breaker_cooldown=0.2,
+        ),
+    )
+    yield smap, servers, coordinator
+    coordinator.close()
+    for server in servers:
+        try:
+            stop(server)
+        except OSError:
+            pass
+
+
+class TestMerge:
+    def test_merge_is_deterministic_on_ties(self):
+        shard_a = [(3, 1.0), (7, 2.0)]
+        shard_b = [(5, 2.0), (9, 2.0)]
+        merged = FerretCoordinator.merge_ranked([shard_a, shard_b], 3)
+        # Boundary ties at 2.0 admit ascending ids: 5 and 7, never 9.
+        assert [r.object_id for r in merged] == [3, 5, 7]
+
+    def test_merge_independent_of_shard_split(self):
+        pairs = [(i, float((i * 7) % 5)) for i in range(20)]
+        split_a = [pairs[:10], pairs[10:]]
+        split_b = [pairs[::2], pairs[1::2]]
+        merged_a = FerretCoordinator.merge_ranked(split_a, 6)
+        merged_b = FerretCoordinator.merge_ranked(split_b, 6)
+        assert [(r.object_id, r.distance) for r in merged_a] == [
+            (r.object_id, r.distance) for r in merged_b
+        ]
+
+    def test_merge_empty(self):
+        assert FerretCoordinator.merge_ranked([], 5) == []
+
+
+class TestQueries:
+    def test_query_matches_single_engine(self, cluster, full_engine):
+        _, _, coordinator = cluster
+        for seed_id in (0, 7, 13):
+            got = coordinator.query(seed_id, top_k=5)
+            assert not got.partial
+            want = full_engine.query(
+                full_engine.get_object(seed_id), top_k=5, exclude_self=True
+            )
+            assert [r.object_id for r in got.results] == [
+                r.object_id for r in want
+            ]
+            for a, b in zip(got.results, want):
+                assert a.distance == pytest.approx(b.distance, abs=1e-4)
+
+    def test_query_many_matches_single_engine(self, cluster, full_engine):
+        _, _, coordinator = cluster
+        seeds = [1, 2, 5, 8]
+        batch = coordinator.query_many(seeds, top_k=4)
+        assert len(batch) == len(seeds)
+        for seed_id, got in zip(seeds, batch):
+            want = full_engine.query(
+                full_engine.get_object(seed_id), top_k=4, exclude_self=True
+            )
+            assert [r.object_id for r in got.results] == [
+                r.object_id for r in want
+            ]
+
+    def test_count_does_not_double_count_replicas(self, cluster, full_engine):
+        _, _, coordinator = cluster
+        total, missing = coordinator.count()
+        assert missing == ()
+        assert total == len(full_engine)
+
+    def test_served_by_maps_every_shard(self, cluster):
+        smap, _, coordinator = cluster
+        result = coordinator.query(0, top_k=3)
+        assert sorted(result.served_by) == list(range(smap.num_shards))
+
+
+class TestFailover:
+    def test_replica_serves_when_primary_dies(self, cluster, full_engine):
+        smap, servers, coordinator = cluster
+        failovers = _metrics.counter("cluster.failovers")
+        before = failovers.value
+        want = coordinator.query(0, top_k=5)
+        stop(servers[0])
+        got = coordinator.query(0, top_k=5)
+        # Full answer, zero missing shards: every shard backend 0
+        # hosted has a live replica at R=2.
+        assert not got.partial
+        assert [r.object_id for r in got.results] == [
+            r.object_id for r in want.results
+        ]
+        assert failovers.value > before
+
+    def test_breaker_opens_and_sheds_dead_backend(self, cluster):
+        _, servers, coordinator = cluster
+        stop(servers[0])
+        for _ in range(3):  # breaker_failures=2
+            coordinator.query(0, top_k=3)
+        assert coordinator.handles[0].breaker.state is not BreakerState.CLOSED
+        gauge = _metrics.gauge("cluster.backend.0.breaker_state")
+        assert gauge.value == 2.0  # open
+        available = _metrics.gauge("cluster.backends_available")
+        assert available.value == 2.0
+
+    def test_readmission_after_restart(self, cluster):
+        smap, servers, coordinator = cluster
+        host, port = servers[0].server_address
+        stop(servers[0])
+        for _ in range(3):
+            coordinator.query(0, top_k=3)
+        assert coordinator.handles[0].breaker.state is BreakerState.OPEN
+
+        processor = build_backend_processor(
+            0, smap, datatype=DATATYPE, size=SIZE, seed=SEED
+        )
+        servers[0] = serve(processor, host, port)
+        readmitted = 0
+        deadline = 50
+        while readmitted == 0 and deadline > 0:
+            import time
+
+            time.sleep(0.05)  # wait out breaker_cooldown=0.2
+            readmitted = coordinator.probe_once()
+            deadline -= 1
+        assert readmitted == 1
+        assert coordinator.handles[0].breaker.state is BreakerState.CLOSED
+        result = coordinator.query(0, top_k=3)
+        assert not result.partial
+
+
+class TestPartialResults:
+    def test_losing_every_replica_tags_partial(self, full_engine):
+        smap, servers, endpoints = start_cluster(
+            num_backends=3, num_shards=3, replication=1
+        )
+        coordinator = FerretCoordinator(
+            endpoints,
+            num_shards=3,
+            config=ClusterConfig(
+                replication=1, backend_timeout=10.0,
+                breaker_failures=2, breaker_cooldown=60.0,
+            ),
+        )
+        try:
+            stop(servers[1])  # R=1: shard 1 now has no replica at all
+            result = coordinator.query(0, top_k=10)
+            assert result.partial
+            assert result.missing_shards == (1,)
+            # Still correct for live shards: equals the single-engine
+            # answer restricted to objects of shards 0 and 2.
+            live = [
+                oid for oid in full_engine.objects if oid % 3 != 1
+            ]
+            want = full_engine.query(
+                full_engine.get_object(0),
+                top_k=10,
+                exclude_self=True,
+                restrict_to=sorted(live),
+            )
+            assert [r.object_id for r in result.results] == [
+                r.object_id for r in want
+            ]
+        finally:
+            coordinator.close()
+            for index, server in enumerate(servers):
+                if index != 1:
+                    stop(server)
+
+    def test_losing_seed_shard_raises(self):
+        smap, servers, endpoints = start_cluster(
+            num_backends=3, num_shards=3, replication=1
+        )
+        coordinator = FerretCoordinator(
+            endpoints,
+            num_shards=3,
+            config=ClusterConfig(
+                replication=1, backend_timeout=10.0,
+                breaker_failures=1, breaker_cooldown=60.0,
+            ),
+        )
+        try:
+            stop(servers[0])
+            with pytest.raises(ClusterError):
+                coordinator.query(0, top_k=5)  # object 0 lives on shard 0
+        finally:
+            coordinator.close()
+            for index, server in enumerate(servers):
+                if index != 0:
+                    stop(server)
+
+
+class TestWrites:
+    @pytest.fixture()
+    def recording_file(self, tmp_path):
+        import numpy as np
+
+        from repro.datatypes.sensor.synthetic import (
+            random_recording,
+            random_subject,
+            synthesize_recording,
+        )
+
+        rng = np.random.default_rng(7)
+        signal, _spans = synthesize_recording(
+            random_recording(rng), random_subject(rng), rng
+        )
+        path = tmp_path / "recording.npy"
+        np.save(path, signal)
+        return str(path)
+
+    def test_insert_goes_to_every_replica(self, cluster, recording_file):
+        smap, servers, coordinator = cluster
+        object_id = coordinator.insert_file(recording_file)
+        shard = smap.shard_of(object_id)
+        for backend_id in range(smap.num_backends):
+            engine = servers[backend_id].processor.engine
+            if backend_id in smap.replicas(shard):
+                assert object_id in engine
+            else:
+                assert object_id not in engine
+        # The new object is immediately searchable cluster-wide.
+        result = coordinator.query(object_id, top_k=3)
+        assert not result.partial
+
+    def test_under_replicated_write_is_acked_and_counted(
+        self, cluster, recording_file
+    ):
+        smap, servers, coordinator = cluster
+        under = _metrics.counter("cluster.under_replicated_writes")
+        before = under.value
+        # The next id's shard has replicas; kill the *second* one so the
+        # primary still acks.
+        next_id = coordinator._seed_next_id()
+        shard = smap.shard_of(next_id)
+        stop(servers[smap.replicas(shard)[1]])
+        object_id = coordinator.insert_file(recording_file)
+        assert object_id == next_id
+        assert under.value == before + 1
+        assert coordinator.health.degraded_components().get("replication")
+
+
+class TestServiceFrontEnd:
+    def test_wire_contract_full_and_partial(self, full_engine):
+        smap, servers, endpoints = start_cluster(
+            num_backends=3, num_shards=3, replication=1
+        )
+        coordinator = FerretCoordinator(
+            endpoints,
+            num_shards=3,
+            config=ClusterConfig(
+                replication=1, backend_timeout=10.0,
+                breaker_failures=2, breaker_cooldown=60.0,
+            ),
+        )
+        front = serve_background(ClusterCommandProcessor(coordinator))
+        client = FerretClient(*front.server_address, timeout=10.0)
+        try:
+            assert client.ping()
+            status = client.cluster_status()
+            assert status["shards"] == "3"
+            assert status["backends"] == "3"
+
+            results = client.query(0, top=5)
+            assert client.last_partial_shards == ()
+            want = full_engine.query(
+                full_engine.get_object(0), top_k=5, exclude_self=True
+            )
+            assert [oid for oid, _ in results] == [r.object_id for r in want]
+
+            stop(servers[1])
+            with pytest.warns(PartialResultWarning) as record:
+                partial = client.query(0, top=5)
+            assert client.last_partial_shards == (1,)
+            assert record[0].message.missing_shards == (1,)
+            assert all(oid % 3 != 1 for oid, _ in partial)
+
+            # querymany carries the same tag once, before all groups.
+            with pytest.warns(PartialResultWarning):
+                groups = client.querymany([0, 3], top=4)
+            assert len(groups) == 2
+        finally:
+            client.close()
+            coordinator.close()
+            stop(front)
+            for index, server in enumerate(servers):
+                if index != 1:
+                    stop(server)
+
+    def test_bad_requests_answer_err_not_failure(self, cluster):
+        _, _, coordinator = cluster
+        front = serve_background(ClusterCommandProcessor(coordinator))
+        client = FerretClient(*front.server_address, timeout=10.0)
+        try:
+            with pytest.raises(ClientError):
+                client.send("query notanid")
+            with pytest.raises(ClientError):
+                client.send("nosuchcommand")
+            with pytest.raises(ClientError):
+                client.send("query 999999 top=3")  # unknown object
+            # The connection survives well-formed ERR answers.
+            assert client.ping()
+            # And bad requests never tripped a breaker.
+            assert all(
+                handle.breaker.state is BreakerState.CLOSED
+                for handle in coordinator.handles
+            )
+        finally:
+            client.close()
+            stop(front)
+
+
+class TestPooling:
+    def test_handle_reuses_clean_connections(self, cluster):
+        _, _, coordinator = cluster
+        handle = coordinator.handles[0]
+        assert handle.send("ping") == ["pong"]
+        pooled = len(handle._idle)
+        assert pooled >= 1
+        assert handle.send("ping") == ["pong"]
+        assert len(handle._idle) == pooled  # reused, not regrown

@@ -1,0 +1,72 @@
+"""Shard placement: deterministic, disjoint, replica-consistent."""
+
+import pytest
+
+from repro.cluster import ShardMap
+
+
+class TestPlacement:
+    def test_shard_of_is_mod(self):
+        smap = ShardMap(4, 4, 2)
+        assert [smap.shard_of(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_replicas_primary_first_round_robin(self):
+        smap = ShardMap(3, 3, 2)
+        assert smap.replicas(0) == (0, 1)
+        assert smap.replicas(1) == (1, 2)
+        assert smap.replicas(2) == (2, 0)
+
+    def test_every_shard_has_r_distinct_replicas(self):
+        smap = ShardMap(5, 4, 3)
+        for shard in range(5):
+            replicas = smap.replicas(shard)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_shards_on_inverts_replicas(self):
+        smap = ShardMap(6, 4, 2)
+        for backend in range(4):
+            for shard in smap.shards_on(backend):
+                assert backend in smap.replicas(shard)
+        for shard in range(6):
+            for backend in smap.replicas(shard):
+                assert shard in smap.shards_on(backend)
+
+    def test_owns(self):
+        smap = ShardMap(3, 3, 2)
+        # object 4 -> shard 1 -> backends (1, 2)
+        assert not smap.owns(0, 4)
+        assert smap.owns(1, 4)
+        assert smap.owns(2, 4)
+
+    def test_layout_is_pure_function(self):
+        # Two independently constructed maps agree everywhere — the
+        # property that lets coordinator, backends, and tests derive
+        # placement without exchanging state.
+        a, b = ShardMap(7, 5, 2), ShardMap(7, 5, 2)
+        for shard in range(7):
+            assert a.replicas(shard) == b.replicas(shard)
+
+
+class TestValidation:
+    def test_replication_cannot_exceed_backends(self):
+        with pytest.raises(ValueError):
+            ShardMap(3, 2, 3)
+
+    def test_replication_one_allowed(self):
+        assert ShardMap(3, 3, 1).replicas(0) == (0,)
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            ShardMap(0, 3)
+        with pytest.raises(ValueError):
+            ShardMap(3, 0)
+
+    def test_range_checks(self):
+        smap = ShardMap(3, 3, 2)
+        with pytest.raises(ValueError):
+            smap.shard_of(-1)
+        with pytest.raises(ValueError):
+            smap.replicas(3)
+        with pytest.raises(ValueError):
+            smap.shards_on(5)

@@ -1,0 +1,142 @@
+"""The recovery oracle in isolation: prefix matching, durability
+floors, and the shard-insert phrasing the node drills use."""
+
+import pytest
+
+from repro.faults import InvariantViolation, ShardLedger
+from repro.faults.nodes import verify_shard_inserts
+from repro.faults.oracle import apply_ops, check_durable_floor, match_prefix
+
+
+def txn(tree, key, value):
+    return [(tree, key, value)]
+
+
+class TestApplyOps:
+    def test_insert_and_overwrite(self):
+        state = {}
+        apply_ops(state, [("t", b"a", b"1"), ("t", b"a", b"2")])
+        assert state == {"t": {b"a": b"2"}}
+
+    def test_delete_missing_key_is_noop(self):
+        state = {}
+        apply_ops(state, [("t", b"gone", None)])
+        assert state == {"t": {}}
+
+
+class TestMatchPrefix:
+    TXNS = [
+        txn("t", b"a", b"1"),
+        txn("t", b"b", b"2"),
+        txn("t", b"c", b"3"),
+    ]
+    SEQ = [0, 1, 2]
+
+    def test_empty_state_matches_empty_prefix(self):
+        assert match_prefix({}, self.TXNS, self.SEQ) == 0
+
+    def test_full_state_matches_full_sequence(self):
+        recovered = {"t": {b"a": b"1", b"b": b"2", b"c": b"3"}}
+        assert match_prefix(recovered, self.TXNS, self.SEQ) == 3
+
+    def test_partial_state_matches_proper_prefix(self):
+        recovered = {"t": {b"a": b"1", b"b": b"2"}}
+        assert match_prefix(recovered, self.TXNS, self.SEQ) == 2
+
+    def test_hole_in_sequence_is_a_violation(self):
+        # a and c present but b missing: no prefix produces this.
+        recovered = {"t": {b"a": b"1", b"c": b"3"}}
+        with pytest.raises(InvariantViolation):
+            match_prefix(recovered, self.TXNS, self.SEQ)
+
+    def test_phantom_key_is_a_violation(self):
+        recovered = {"t": {b"a": b"1", b"z": b"9"}}
+        with pytest.raises(InvariantViolation):
+            match_prefix(recovered, self.TXNS, self.SEQ)
+
+    def test_in_flight_extends_one_past(self):
+        recovered = {"t": {b"a": b"1", b"b": b"2", b"c": b"3"}}
+        # Only a and b were acked; c's ack never returned — legal.
+        assert (
+            match_prefix(recovered, self.TXNS, [0, 1], in_flight=2) == 3
+        )
+
+    def test_longest_match_wins_when_a_txn_is_a_noop(self):
+        # Overwriting a key with its current value makes consecutive
+        # prefixes indistinguishable; the oracle must report the longer
+        # one so durability floors pass.
+        txns = [txn("t", b"a", b"1"), txn("t", b"a", b"1")]
+        recovered = {"t": {b"a": b"1"}}
+        assert match_prefix(recovered, txns, [0, 1]) == 2
+
+    def test_fully_deleted_tree_equals_absent_tree(self):
+        txns = [txn("t", b"a", b"1"), txn("t", b"a", None)]
+        assert match_prefix({}, txns, [0, 1]) == 2
+        assert match_prefix({"t": {}}, txns, [0, 1]) == 2
+
+
+class TestDurableFloor:
+    def test_floor_met(self):
+        check_durable_floor(3, 3)
+        check_durable_floor(4, 3)
+
+    def test_floor_violated(self):
+        with pytest.raises(InvariantViolation):
+            check_durable_floor(2, 3)
+
+
+class TestShardInserts:
+    def test_all_visible_passes(self):
+        assert verify_shard_inserts(0, [3, 6, 9], [3, 6, 9]) == 3
+
+    def test_lost_suffix_fails_when_custody_never_lapsed(self):
+        with pytest.raises(InvariantViolation):
+            verify_shard_inserts(0, [3, 6, 9], [3])
+
+    def test_lost_suffix_legal_when_custody_lapsed(self):
+        matched = verify_shard_inserts(
+            0, [3, 6, 9], [3], require_all=False
+        )
+        assert matched == 1
+
+    def test_lost_middle_is_always_a_violation(self):
+        with pytest.raises(InvariantViolation):
+            verify_shard_inserts(0, [3, 6, 9], [3, 9], require_all=False)
+
+    def test_in_flight_insert_may_be_visible(self):
+        assert (
+            verify_shard_inserts(0, [3, 6], [3, 6, 9], in_flight=9) == 3
+        )
+
+
+class TestShardLedger:
+    def test_routes_acks_by_shard(self):
+        ledger = ShardLedger(3)
+        for oid in (30, 31, 32, 33):
+            ledger.record_ack(oid)
+        assert ledger.acked == {0: [30, 33], 1: [31], 2: [32]}
+
+    def test_verify_all_shards(self):
+        ledger = ShardLedger(3)
+        for oid in (30, 31, 32, 33):
+            ledger.record_ack(oid)
+        matched = ledger.verify([30, 31, 32, 33], undisturbed_shards=[0, 1, 2])
+        assert matched == {0: 2, 1: 1, 2: 1}
+
+    def test_disturbed_shard_may_lose_a_suffix(self):
+        ledger = ShardLedger(3)
+        for oid in (30, 33, 36):
+            ledger.record_ack(oid)  # all shard 0
+        # Shard 0 lost custody at some point: losing 36 is legal...
+        assert ledger.verify([30, 33], undisturbed_shards=[]) == {0: 2}
+        # ...but not when a replica was alive throughout.
+        with pytest.raises(InvariantViolation):
+            ledger.verify([30, 33], undisturbed_shards=[0])
+
+    def test_in_flight_routed_to_its_shard(self):
+        ledger = ShardLedger(3)
+        ledger.record_ack(30)
+        ledger.record_ack(31)
+        ledger.in_flight = 33  # shard 0; ack never returned
+        matched = ledger.verify([30, 31, 33], undisturbed_shards=[0, 1])
+        assert matched == {0: 2, 1: 1}

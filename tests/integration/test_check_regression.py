@@ -144,3 +144,41 @@ class TestMain:
     def test_committed_baseline_compares_to_itself(self, gate):
         baseline = _SCRIPT.parents[1] / "BENCH_query_throughput.json"
         assert gate.main([str(baseline), str(baseline)]) == 0
+
+    def test_missing_current_without_recovery_exit_two(self, gate, tmp_path):
+        base = self._write(tmp_path, "base.json", _payload())
+        assert gate.main([base]) == 2
+
+
+class TestRecoveryGate:
+    def _write(self, tmp_path, rate):
+        payload = {
+            "num_txns": 800,
+            "ops_per_txn": 4,
+            "recovery": {"replay_txns_per_sec": rate, "rounds": 5},
+        }
+        path = tmp_path / "recovery.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_above_floor_passes(self, gate, tmp_path, capsys):
+        path = self._write(tmp_path, 14000.0)
+        assert gate.main(["--recovery", path]) == 0
+        assert "ok  recovery.replay_txns_per_sec" in capsys.readouterr().out
+
+    def test_below_floor_fails(self, gate, tmp_path, capsys):
+        path = self._write(tmp_path, 10.0)
+        assert gate.main(["--recovery", path]) == 1
+        assert "RECOVERY REGRESSION" in capsys.readouterr().out
+
+    def test_missing_series_fails(self, gate, tmp_path):
+        path = tmp_path / "recovery.json"
+        path.write_text(json.dumps({"num_txns": 800}), encoding="utf-8")
+        assert gate.main(["--recovery", str(path)]) == 1
+
+    def test_two_paths_with_recovery_exit_two(self, gate, tmp_path):
+        path = self._write(tmp_path, 14000.0)
+        assert gate.main(["--recovery", path, path]) == 2
+
+    def test_unreadable_recovery_input_exit_two(self, gate, tmp_path):
+        assert gate.main(["--recovery", str(tmp_path / "missing.json")]) == 2

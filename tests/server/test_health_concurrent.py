@@ -1,0 +1,185 @@
+"""HealthState under concurrent transitions (ISSUE: the cluster tier
+hammers one ledger from scatter threads, the prober, and write paths).
+
+The guarantees checked here:
+
+- no lost updates: error/fallback counts equal the number of calls even
+  when many threads race on the same component;
+- the ledger never tears: ``status_lines`` snapshots are internally
+  consistent at any interleaving;
+- terminal states are deterministic: a component whose last transition
+  was ``mark_healthy`` is not degraded, and vice versa;
+- the ``health.*`` metric mirrors (``health.errors``,
+  ``health.fallbacks``, ``health.degraded_components``) track the
+  ledger.
+"""
+
+import threading
+
+import pytest
+
+from repro.observability import metrics as _metrics
+from repro.system import HealthState
+
+THREADS = 8
+ROUNDS = 200
+
+
+def run_threads(worker):
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def wrapped(i):
+        barrier.wait()
+        try:
+            worker(i)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+class TestNoLostUpdates:
+    def test_error_counts_exact_under_contention(self):
+        health = HealthState()
+        mirror = _metrics.counter("health.errors")
+        mirror_before = mirror.value
+
+        def worker(i):
+            for _ in range(ROUNDS):
+                health.record_error("shared", RuntimeError("boom"))
+
+        run_threads(worker)
+        lines = dict(
+            line.split(" ", 1) for line in health.status_lines()
+        )
+        assert lines["errors.shared"] == str(THREADS * ROUNDS)
+        assert mirror.value == mirror_before + THREADS * ROUNDS
+
+    def test_fallback_counts_exact_under_contention(self):
+        health = HealthState()
+        mirror = _metrics.counter("health.fallbacks")
+        mirror_before = mirror.value
+
+        def worker(i):
+            for _ in range(ROUNDS):
+                health.record_fallback(f"comp{i % 4}", "degraded path")
+
+        run_threads(worker)
+        lines = dict(line.split(" ", 1) for line in health.status_lines())
+        per_component = THREADS // 4 * ROUNDS
+        for c in range(4):
+            assert lines[f"fallbacks.comp{c}"] == str(per_component)
+        assert mirror.value == mirror_before + THREADS * ROUNDS
+
+
+class TestConsistentSnapshots:
+    def test_status_lines_never_tear(self):
+        health = HealthState()
+        stop = threading.Event()
+        bad = []
+
+        def mutate(i):
+            component = f"comp{i}"
+            for _ in range(ROUNDS):
+                health.record_error(component, RuntimeError("x"))
+                health.mark_healthy(component)
+
+        def observe():
+            while not stop.is_set():
+                lines = health.status_lines()
+                status = lines[0].split()[1]
+                n_degraded = sum(
+                    1 for line in lines if line.startswith("degraded.")
+                )
+                # status and the degraded.* lines come from one locked
+                # snapshot: they must agree.
+                if status == "ok" and n_degraded:
+                    bad.append(lines)
+                if status == "degraded" and not n_degraded:
+                    bad.append(lines)
+
+        observer = threading.Thread(target=observe)
+        observer.start()
+        try:
+            run_threads(mutate)
+        finally:
+            stop.set()
+            observer.join()
+        assert not bad
+
+    def test_degraded_flag_matches_components(self):
+        health = HealthState()
+
+        def worker(i):
+            component = f"comp{i}"
+            for _ in range(ROUNDS):
+                health.record_error(component, RuntimeError("x"))
+                assert health.degraded
+                health.mark_healthy(component)
+
+        run_threads(worker)
+        # Every thread's last transition was mark_healthy.
+        assert not health.degraded
+        assert health.degraded_components() == {}
+        assert health.reason() == ""
+
+
+class TestTerminalState:
+    def test_last_writer_wins_per_component(self):
+        health = HealthState()
+
+        def worker(i):
+            component = f"comp{i}"
+            for _ in range(ROUNDS):
+                health.record_error(component, RuntimeError("flap"))
+                health.record_fallback(component, "fallback reason")
+                health.mark_healthy(component)
+            if i % 2:
+                health.record_error(component, RuntimeError("final"))
+
+        run_threads(worker)
+        components = health.degraded_components()
+        for i in range(THREADS):
+            if i % 2:
+                assert f"comp{i}" in components
+                assert "final" in components[f"comp{i}"]
+            else:
+                assert f"comp{i}" not in components
+
+    def test_degraded_gauge_mirror_settles(self):
+        health = HealthState()
+        gauge = _metrics.gauge("health.degraded_components")
+
+        def worker(i):
+            for _ in range(ROUNDS):
+                health.record_error(f"comp{i}", RuntimeError("x"))
+                health.mark_healthy(f"comp{i}")
+
+        run_threads(worker)
+        # All components healthy: the ledger is empty.  The gauge mirror
+        # is advisory (set outside the ledger lock) but must settle once
+        # the threads are done and this ledger is the only writer.
+        health.record_error("settle", RuntimeError("x"))
+        assert gauge.value == 1.0
+        health.mark_healthy("settle")
+        assert gauge.value == 0.0
+        assert not health.degraded
+
+    def test_recovery_is_idempotent(self):
+        health = HealthState()
+
+        def worker(i):
+            for _ in range(ROUNDS):
+                health.mark_healthy("never_degraded")
+
+        run_threads(worker)
+        assert not health.degraded
+        assert health.status_lines()[0] == "status ok"

@@ -278,9 +278,15 @@ class TestResilientClient:
             server.force_stop()
             server = _serve_tracking(proc, host, port)
 
-            # The plain client's connection is dead and stays dead.
-            with pytest.raises(ClientError):
-                plain_client.query(batch[1], top=3)
+            # Even the plain client recovers idempotent commands: a torn
+            # connection earns one free immediate reconnect, counted in
+            # errors_absorbed.client_reconnect.
+            from repro.observability import metrics as _metrics
+
+            reconnects = _metrics.counter("errors_absorbed.client_reconnect")
+            before = reconnects.value
+            assert len(plain_client.query(batch[1], top=3)) == 3
+            assert reconnects.value > before
 
             # The retry client finishes the batch across the restart.
             for object_id in batch[1:]:
