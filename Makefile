@@ -47,8 +47,12 @@ perf:
 torture:
 	$(PYTHON) -m pytest -q -m torture
 
+# Parallel-scan gate: run the backend bench, then assert identical
+# candidate sets, the one-round-trip dispatch bound, and the >=2x
+# speedup floor (or an explicit skip reason on hosts without cores).
 bench-parallel:
 	cd benchmarks && $(PYTHON) bench_parallel_scan.py
+	$(PYTHON) benchmarks/check_regression.py --parallel BENCH_parallel_scan.json
 
 bench-throughput:
 	cd benchmarks && $(PYTHON) bench_query_throughput.py

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.filtering import select_k_smallest
+from ..core.parallel import QueryResultCache
 from ..core.ranking import SearchResult
 from ..observability import metrics as _metrics
 from ..observability.log import get_logger
@@ -132,6 +133,12 @@ class ClusterConfig:
     #: Hedged reads: start the next replica after this many seconds with
     #: the first attempt still pending (None disables hedging).
     hedge_delay: Optional[float] = None
+    #: Coordinator-side query-result LRU capacity (0 disables).  Entries
+    #: are invalidated by the coordinator's write epoch (every
+    #: acknowledged insert) *and* its topology epoch (every breaker
+    #: transition — a different replica may serve the next scatter);
+    #: PARTIAL results are never cached.
+    cache_entries: int = 128
 
 
 @dataclass
@@ -265,6 +272,17 @@ class FerretCoordinator:
         self._next_id: Optional[int] = None
         self._stop = threading.Event()
         self._prober: Optional[threading.Thread] = None
+        # Result cache: epoch = (write, topology).  Writes move the
+        # write epoch; breaker transitions move the topology epoch, so a
+        # failover or re-admission (which may change which replica — and
+        # therefore exactly which objects — answers a shard) flushes
+        # every cached result.  Reuses the engine's QueryResultCache
+        # under the ``cluster.cache.*`` metric series.
+        self._write_epoch = 0
+        self._topology_epoch = 0
+        self._cache = QueryResultCache(
+            self.config.cache_entries, metrics_prefix="cluster.cache"
+        )
 
     # ------------------------------------------------------------------
     # Breaker bookkeeping
@@ -274,6 +292,7 @@ class FerretCoordinator:
 
         def on_transition(old: BreakerState, new: BreakerState) -> None:
             gauge.set(new.gauge_value)
+            self._topology_epoch += 1
             _LOG.warning(
                 "breaker_transition",
                 backend=backend_id,
@@ -283,6 +302,11 @@ class FerretCoordinator:
             self._refresh_available()
 
         return on_transition
+
+    def _cache_epoch(self) -> Tuple[int, int]:
+        """Validity token of the result cache: any write or any breaker
+        transition produces a new epoch and flushes it."""
+        return (self._write_epoch, self._topology_epoch)
 
     def _refresh_available(self) -> None:
         _M_AVAILABLE.set(
@@ -494,6 +518,15 @@ class FerretCoordinator:
         """
         started = time.perf_counter()
         _M_QUERIES.inc()
+        cache_key = ("query", int(object_id), int(top_k), method)
+        epoch = self._cache_epoch()
+        hit = self._cache.lookup(epoch, cache_key)
+        if hit is not None:
+            merged, served_by = hit
+            self.tracer.observe_total(
+                "cluster", 1, time.perf_counter() - started
+            )
+            return ClusterResult(list(merged), (), dict(served_by))
         trace = self.tracer.begin("cluster", 1)
         seed_b64 = self._fetch_signature(object_id)
         line = (
@@ -516,6 +549,13 @@ class FerretCoordinator:
         gather_seconds = time.perf_counter() - gather_started
         _M_GATHER_SECONDS.observe(gather_seconds)
         self._account_missing(missing)
+        # Cache only full answers, and only if neither a write nor a
+        # breaker transition moved the epoch mid-flight (a moved epoch
+        # means this answer may already be stale).
+        if not missing and self._cache_epoch() == epoch:
+            self._cache.store(
+                epoch, cache_key, (tuple(merged), dict(served_by))
+            )
         elapsed = time.perf_counter() - started
         _M_QUERY_SECONDS.observe(elapsed)
         if trace is not None:
@@ -546,16 +586,31 @@ class FerretCoordinator:
             return []
         started = time.perf_counter()
         _M_QUERIES.inc()
-        trace = self.tracer.begin("cluster", len(object_ids))
-        seeds = [self._fetch_signature(oid) for oid in object_ids]
+        epoch = self._cache_epoch()
+        keys = [("query", int(oid), int(top_k), method) for oid in object_ids]
+        out: List[Optional[ClusterResult]] = [None] * len(object_ids)
+        for i, key in enumerate(keys):
+            hit = self._cache.lookup(epoch, key)
+            if hit is not None:
+                merged, served_by = hit
+                out[i] = ClusterResult(list(merged), (), dict(served_by))
+        miss = [i for i in range(len(object_ids)) if out[i] is None]
+        if not miss:
+            self.tracer.observe_total(
+                "cluster", len(object_ids), time.perf_counter() - started
+            )
+            return out  # type: ignore[return-value]
+        miss_ids = [object_ids[i] for i in miss]
+        trace = self.tracer.begin("cluster", len(miss_ids))
+        seeds = [self._fetch_signature(oid) for oid in miss_ids]
         line = (
             f"querysigmany {','.join(seeds)} top={int(top_k)} "
             f"method={quote(method)} "
-            f"exclude={','.join(str(oid) for oid in object_ids)}"
+            f"exclude={','.join(str(oid) for oid in miss_ids)}"
         )
 
         def parse(lines: Sequence[str]) -> List[List[Tuple[int, float]]]:
-            batches: List[List[Tuple[int, float]]] = [[] for _ in object_ids]
+            batches: List[List[Tuple[int, float]]] = [[] for _ in miss_ids]
             for raw in lines:
                 index, oid, dist = raw.split()
                 batches[int(index)].append((int(oid), float(dist)))
@@ -570,12 +625,16 @@ class FerretCoordinator:
         scatter_seconds = time.perf_counter() - scatter_started
         _M_SCATTER_SECONDS.observe(scatter_seconds)
         gather_started = time.perf_counter()
-        out = []
-        for qi in range(len(object_ids)):
+        cacheable = not missing and self._cache_epoch() == epoch
+        for pos, i in enumerate(miss):
             merged = self.merge_ranked(
-                [batches[qi] for batches in per_shard.values()], top_k
+                [batches[pos] for batches in per_shard.values()], top_k
             )
-            out.append(ClusterResult(merged, missing, dict(served_by)))
+            out[i] = ClusterResult(merged, missing, dict(served_by))
+            if cacheable:
+                self._cache.store(
+                    epoch, keys[i], (tuple(merged), dict(served_by))
+                )
         gather_seconds = time.perf_counter() - gather_started
         _M_GATHER_SECONDS.observe(gather_seconds)
         self._account_missing(missing)
@@ -589,7 +648,7 @@ class FerretCoordinator:
             self.tracer.finish(trace, elapsed)
         else:
             self.tracer.observe_total("cluster", len(object_ids), elapsed)
-        return out
+        return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Writes
@@ -636,6 +695,9 @@ class FerretCoordinator:
             acks += 1
         if acks == 0:
             raise ShardUnavailable(shard, failures)
+        # Any acknowledged write may change any query's answer: move the
+        # write epoch so the result cache flushes on its next access.
+        self._write_epoch += 1
         _M_WRITES.inc()
         if acks < self.shard_map.replication:
             _M_UNDER_REPLICATED.inc()
@@ -660,6 +722,7 @@ class FerretCoordinator:
 
     def status_lines(self) -> List[str]:
         """``key value`` lines for the ``cluster`` protocol command."""
+        cache = self._cache.stats()
         lines = [
             f"shards {self.shard_map.num_shards}",
             f"replication {self.shard_map.replication}",
@@ -667,6 +730,10 @@ class FerretCoordinator:
             f"partial_results {_M_PARTIAL.value}",
             f"failovers {_M_FAILOVERS.value}",
             f"hedged_reads {_M_HEDGED.value}",
+            f"cache_entries {cache['entries']}/{cache['capacity']}",
+            f"cache_hits {cache['hits']}",
+            f"cache_misses {cache['misses']}",
+            f"cache_invalidations {cache['invalidations']}",
         ]
         for handle in self.handles:
             breaker = handle.breaker

@@ -42,10 +42,15 @@ from .filtering import (
 )
 from .lshindex import LSHIndex, LSHParams
 from .parallel import (
+    BACKEND_GAUGE_VALUES,
+    BACKENDS,
+    FilterPool,
     ParallelConfig,
     ParallelFilterPool,
     ParallelScanError,
     QueryResultCache,
+    choose_backend,
+    make_pool,
     parallel_filter_candidates,
 )
 from .plugin import DataTypePlugin
@@ -91,6 +96,15 @@ _M_POOL_FALLBACKS = _metrics.counter("engine.pool_fallbacks")
 _M_CACHE_RACE_SKIPS = _metrics.counter("query_cache.stale_store_skips")
 _M_ERR_POOL_SCAN = _metrics.counter("errors_absorbed.engine.pool_scan")
 _M_ERR_POOL_CLOSE = _metrics.counter("errors_absorbed.engine.pool_close")
+# A worker process dying mid-batch is worth its own series on top of the
+# generic pool_scan absorption: crashes point at OOM kills / segfaults,
+# timeouts and protocol errors at overload or version skew.
+_M_ERR_WORKER_CRASH = _metrics.counter(
+    "errors_absorbed.parallel_worker_crash"
+)
+# Resolved scan backend of the most recent filtering batch
+# (0 = serial, 1 = thread, 2 = process; see BACKEND_GAUGE_VALUES).
+_M_PARALLEL_BACKEND = _metrics.gauge("parallel.backend")
 
 
 class LSHIndexError(ValueError):
@@ -211,7 +225,7 @@ class SimilaritySearchEngine:
         )
         self._next_id = 0
         self._parallel_cfg = parallel if parallel is not None else ParallelConfig()
-        self._pool: Optional[ParallelFilterPool] = None
+        self._pool: Optional[FilterPool] = None
         self._pool_broken = False
         self._filter_cache = QueryResultCache(self._parallel_cfg.cache_entries)
         # Per-engine tracing state: opt-in stage traces plus the always
@@ -364,21 +378,34 @@ class SimilaritySearchEngine:
     # ------------------------------------------------------------------
     # Parallel scan + result cache
     # ------------------------------------------------------------------
-    def _parallel_ready(self) -> bool:
-        """Should the next filtering scan go through the shard pool?"""
-        cfg = self._parallel_cfg
-        return (
-            cfg.enabled
-            and not self._pool_broken
-            and cfg.effective_workers() > 1
-            and len(self._store) >= cfg.min_segments
-        )
+    def _choose_backend(self, batch_rows: int = 1) -> str:
+        """Resolve the scan backend for the next filtering batch.
 
-    def _ensure_pool(self) -> ParallelFilterPool:
-        """Spin the pool up / reshard it to the store's current epoch."""
+        Wraps :func:`~repro.core.parallel.choose_backend` (the ``auto``
+        cost model over arena rows, batch size, and available cores)
+        with the engine's own vetoes: a broken pool or a resolved worker
+        count of 1 always means serial, whatever the configured backend.
+        """
         cfg = self._parallel_cfg
+        if self._pool_broken or cfg.effective_workers() < 2:
+            return "serial"
+        return choose_backend(cfg, len(self._store), batch_rows)
+
+    def _ensure_pool(self, backend: str) -> FilterPool:
+        """Spin up the pool for ``backend`` / reshard to the store's
+        current epoch.  A live pool of a different backend (the cost
+        model changed its mind, or the operator forced a backend) is
+        torn down and replaced."""
+        cfg = self._parallel_cfg
+        if self._pool is not None and self._pool.backend != backend:
+            pool, self._pool = self._pool, None
+            try:
+                pool.close()
+            except OSError:
+                _M_ERR_POOL_CLOSE.inc()
         if self._pool is None:
-            self._pool = ParallelFilterPool(
+            self._pool = make_pool(
+                backend,
                 num_workers=cfg.effective_workers(),
                 shard_rows=cfg.shard_rows,
                 start_method=cfg.start_method,
@@ -393,6 +420,7 @@ class SimilaritySearchEngine:
         """Pool failure: disable it and notify; queries stay serial."""
         _M_POOL_FALLBACKS.inc()
         self._pool_broken = True
+        _M_PARALLEL_BACKEND.set(BACKEND_GAUGE_VALUES["serial"])
         pool, self._pool = self._pool, None
         if pool is not None:
             try:
@@ -421,13 +449,37 @@ class SimilaritySearchEngine:
             if pool is not None:
                 pool.close()
 
+    def set_parallel_backend(self, backend: str) -> None:
+        """Live backend override (``setparam parallel backend=...``).
+
+        Accepts any of :data:`~repro.core.parallel.BACKENDS` — ``auto``
+        hands the choice back to the cost model, ``serial`` pins the
+        in-process scan, ``thread``/``process`` pin a pool
+        implementation.  Clears the broken flag (an operator override is
+        an explicit re-arm) and tears down any live pool so the next
+        scan rebuilds under the new policy.
+        """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        self._parallel_cfg.backend = backend
+        self._pool_broken = False
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
     def parallel_info(self) -> Dict[str, object]:
         """Pool/cache observability snapshot (the server's ``stat``)."""
         cfg = self._parallel_cfg
+        pool = self._pool
         return {
             "enabled": cfg.enabled,
             "broken": self._pool_broken,
-            "active": self._pool is not None,
+            "active": pool is not None,
+            "backend": cfg.backend,
+            "backend_active": pool.backend if pool is not None else "serial",
             "workers": cfg.effective_workers(),
             "min_segments": cfg.min_segments,
             "cache": self._filter_cache.stats(),
@@ -509,9 +561,13 @@ class SimilaritySearchEngine:
         computed: Optional[List[Set[int]]] = None
         computed_epoch: Optional[object] = None
         scan_path = "serial"
-        if self._parallel_ready():
+        backend = self._choose_backend(
+            batch_rows=len(miss_queries) * params.num_query_segments
+        )
+        _M_PARALLEL_BACKEND.set(BACKEND_GAUGE_VALUES.get(backend, 0))
+        if backend != "serial":
             try:
-                pool = self._ensure_pool()
+                pool = self._ensure_pool(backend)
                 computed_epoch = pool.loaded_epoch
                 scan_started = time.perf_counter()
                 computed = parallel_filter_candidates(
@@ -520,6 +576,7 @@ class SimilaritySearchEngine:
                 )
                 scan_path = "parallel"
                 if trace is not None:
+                    trace.note("backend", backend)
                     trace.add_stage(
                         "parallel_scan", time.perf_counter() - scan_started
                     )
@@ -529,6 +586,11 @@ class SimilaritySearchEngine:
                 # silent serial fallback; any other exception is a bug
                 # in the scan itself and propagates to the caller.
                 _M_ERR_POOL_SCAN.inc()
+                if (
+                    isinstance(exc, ParallelScanError)
+                    and exc.kind == "crash"
+                ):
+                    _M_ERR_WORKER_CRASH.inc()
                 self._abandon_pool(f"{type(exc).__name__}: {exc}")
                 computed = None
                 scan_path = "parallel_fallback"

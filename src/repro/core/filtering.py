@@ -567,6 +567,39 @@ def sketch_filter_reference(
     return candidates
 
 
+def _stack_query_rows(
+    queries: Sequence[ObjectSignature],
+    query_sketches_list: Sequence[np.ndarray],
+    params: FilterParams,
+    n_bits: int,
+) -> Tuple[List[np.ndarray], np.ndarray, Optional[np.ndarray]]:
+    """Stack a query batch into one scan-ready row matrix.
+
+    Returns ``(tops, stacked, thresholds)``: each query's top-``r``
+    segment indices, their sketch rows concatenated into a single
+    ``(sum_of_r, n_words)`` matrix, and the per-row distance thresholds
+    (``None`` when thresholding is disabled).  Shared by the serial
+    fused scan and the parallel pool entry points so both paths
+    threshold identically.
+    """
+    tops = [q.top_segments(params.num_query_segments) for q in queries]
+    stacked = np.concatenate(
+        [qs[top] for qs, top in zip(query_sketches_list, tops)], axis=0
+    )
+    if params.threshold_fraction is not None:
+        thresholds = np.concatenate(
+            [
+                _segment_thresholds(
+                    q, top, params, np.full(len(top), float(n_bits))
+                )
+                for q, top in zip(queries, tops)
+            ]
+        )
+    else:
+        thresholds = None
+    return tops, stacked, thresholds
+
+
 def sketch_filter_many(
     queries: Sequence[ObjectSignature],
     query_sketches_list: Sequence[np.ndarray],
@@ -590,9 +623,8 @@ def sketch_filter_many(
     owners, sketch_matrix = store.snapshot()
     if owners.shape[0] == 0:
         return [set() for _ in queries]
-    tops = [q.top_segments(params.num_query_segments) for q in queries]
-    stacked = np.concatenate(
-        [qs[top] for qs, top in zip(query_sketches_list, tops)], axis=0
+    tops, stacked, thresholds = _stack_query_rows(
+        queries, query_sketches_list, params, n_bits
     )
     dists = hamming_many_to_many(stacked, sketch_matrix)
     total = dists.shape[1]
@@ -602,17 +634,6 @@ def sketch_filter_many(
         return [set() for _ in queries]
     if dead.any():
         dists[:, dead] = _dead_sentinel(dists.dtype)
-    if params.threshold_fraction is not None:
-        thresholds = np.concatenate(
-            [
-                _segment_thresholds(
-                    q, top, params, np.full(len(top), float(n_bits))
-                )
-                for q, top in zip(queries, tops)
-            ]
-        )
-    else:
-        thresholds = None
     k = min(params.candidates_per_segment, n_alive)
     nearest = select_k_smallest(dists, k)
     within = (

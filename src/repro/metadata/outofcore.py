@@ -13,10 +13,14 @@ Layout: table ``segment_sketches``, key ``object_key || segment index``
 is deterministic), value = packed sketch words.  The key embeds the
 owner, so the scan needs no side lookup.
 
-A :class:`~repro.core.parallel.ParallelFilterPool` can be attached to
-the sketch store: the table is streamed once into the pool's shared-
-memory arena (in scan order, so global row number == scan position) and
-subsequent scans fan out across the pool's workers.  Per-query
+A filter pool — either backend,
+:class:`~repro.core.parallel.ParallelFilterPool` (worker processes over
+a shared-memory arena) or
+:class:`~repro.core.parallel.ThreadFilterPool` (worker threads over an
+in-process copy) — can be attached to the sketch store: the table is
+streamed once into the pool's arena (in scan order, so global row
+number == scan position) and subsequent scans fan out across the
+pool's workers as one fused batch message per worker.  Per-query
 thresholds are pushed into the workers — masked before selection — so
 the parallel scan keeps this module's threshold-then-top-k semantics,
 and the deterministic tie rule (smallest scan position wins at the kth
@@ -36,7 +40,7 @@ import numpy as np
 
 from ..core.bitvector import hamming_many_to_many
 from ..core.filtering import FilterParams
-from ..core.parallel import _SENTINEL, ParallelFilterPool, ParallelScanError
+from ..core.parallel import _SENTINEL, FilterPool, ParallelScanError
 from ..core.ranking import SearchResult, rank_candidates
 from ..core.types import ObjectSignature
 from ..observability import metrics as _metrics
@@ -68,7 +72,7 @@ class OutOfCoreSketchStore:
         # arena (tagged with the epoch it was loaded from) can be
         # detected as stale and reloaded before the next scan.
         self._epoch = 0
-        self._pool: Optional[ParallelFilterPool] = None
+        self._pool: Optional[FilterPool] = None
 
     @property
     def epoch(self) -> int:
@@ -123,7 +127,7 @@ class OutOfCoreSketchStore:
                 break
 
     # -- parallel scan attachment ---------------------------------------
-    def attach_pool(self, pool: ParallelFilterPool) -> None:
+    def attach_pool(self, pool: FilterPool) -> None:
         """Serve scans from ``pool``'s worker shards instead of in-process.
 
         The table is streamed into the pool's shared-memory arena on the
@@ -134,7 +138,7 @@ class OutOfCoreSketchStore:
         self._pool = pool
         self._sync_pool()
 
-    def detach_pool(self) -> Optional[ParallelFilterPool]:
+    def detach_pool(self) -> Optional[FilterPool]:
         """Stop using the attached pool and return it (not closed)."""
         pool, self._pool = self._pool, None
         return pool

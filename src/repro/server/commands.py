@@ -225,7 +225,11 @@ class CommandProcessor:
             f"compression_ratio {stats.compression_ratio:.2f}",
             f"parallel_enabled {'yes' if par['enabled'] else 'no'}",
             f"parallel_active {'yes' if par['active'] else 'no'}",
+            f"parallel_backend {par['backend']}",
+            f"parallel_backend_active {par['backend_active']}",
             f"parallel_workers {par['workers']}",
+            f"parallel_dispatch_round_trips "
+            f"{self._rank_counter('parallel.dispatch_round_trips')}",
             f"cache_entries {cache['entries']}/{cache['capacity']}",
             f"cache_hits {cache['hits']}",
             f"cache_misses {cache['misses']}",
@@ -632,6 +636,19 @@ class CommandProcessor:
         return [f"{quote(k)}={quote(v)}" for k, v in sorted(attrs.items())]
 
     def _cmd_setparam(self, command: Command) -> List[str]:
+        # `setparam parallel backend=thread`: the backend=... token
+        # parses as a keyword argument, not a positional, so handle it
+        # before the positional arity check.
+        if (
+            command.args == ["parallel"]
+            and command.get("backend") is not None
+        ):
+            backend = command.get("backend").lower()
+            try:
+                self.engine.set_parallel_backend(backend)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+            return [f"parallel_backend={backend}"]
         if len(command.args) != 2:
             raise ProtocolError("usage: setparam <name> <value>")
         name, raw = command.args

@@ -27,6 +27,9 @@ def test_kill_partial_restart_full():
                 breaker_failures=1,
                 breaker_cooldown=0.2,
                 probe_interval=0.1,
+                # This drill re-asks the same seed across a kill; a
+                # cached full answer would mask the PARTIAL under test.
+                cache_entries=0,
             ),
         )
         try:

@@ -90,6 +90,11 @@ def cluster():
             backend_timeout=10.0,
             breaker_failures=2,
             breaker_cooldown=0.2,
+            # These tests re-ask the same seeds across induced failures;
+            # the result cache would mask the failover/PARTIAL paths
+            # under test (cache behavior has its own suite in
+            # test_coordinator_cache.py).
+            cache_entries=0,
         ),
     )
     yield smap, servers, coordinator
@@ -338,6 +343,9 @@ class TestServiceFrontEnd:
             config=ClusterConfig(
                 replication=1, backend_timeout=10.0,
                 breaker_failures=2, breaker_cooldown=60.0,
+                # The same seed is re-asked after a backend stop; a
+                # cached full answer would suppress the PARTIAL warning.
+                cache_entries=0,
             ),
         )
         front = serve_background(ClusterCommandProcessor(coordinator))

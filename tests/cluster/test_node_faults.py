@@ -57,6 +57,10 @@ def make_coordinator(supervisor, **overrides):
         breaker_cooldown=0.3,
         probe_interval=0.1,
         probe_timeout=2.0,
+        # Fault drills re-ask the same seeds across kills/restarts; the
+        # result cache would answer from before the fault and mask the
+        # degradation these tests assert on.
+        cache_entries=0,
     )
     settings.update(overrides)
     return FerretCoordinator(

@@ -1,0 +1,412 @@
+"""Thread backend, batched dispatch, and the adaptive backend chooser.
+
+The contract under test: ``serial == threads == batched-processes`` —
+not just equal candidate sets but identical ``(distance, row)`` top-k
+matrices including tie order, under duplicate-sketch stores, tombstones,
+empty shards, and the spawn start method.  Plus the cost model
+(:func:`choose_backend`), the one-round-trip dispatch accounting, the
+worker-crash classification, and thread-pool teardown under load.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FeatureMeta,
+    FilterParams,
+    ObjectSignature,
+    ParallelConfig,
+    ParallelFilterPool,
+    ParallelScanError,
+    QueryResultCache,
+    SegmentStore,
+    SimilaritySearchEngine,
+    SketchConstructor,
+    SketchParams,
+    ThreadFilterPool,
+    choose_backend,
+    make_pool,
+    parallel_sketch_filter_many,
+    sketch_filter_many,
+)
+from repro.core.parallel import hamming_kernel_releases_gil
+from repro.observability import metrics as _metrics
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+# ----------------------------------------------------------------------
+# Store builders (same tie-heavy shapes as test_parallel.py)
+# ----------------------------------------------------------------------
+def _seeded_store(seed, num_objects=40, segs=3, dim=8, n_bits=64,
+                  dup_frac=0.35, tombstones=()):
+    """Random store with deliberate duplicate segments (=> distance ties)."""
+    meta = FeatureMeta(dim, np.zeros(dim), np.ones(dim))
+    sk = SketchConstructor(SketchParams(n_bits, meta, seed=seed))
+    store = SegmentStore(sk.n_words, dim)
+    rng = np.random.default_rng(seed)
+    pool_feats = rng.random((6, dim))
+    objects = {}
+    for oid in range(num_objects):
+        feats = rng.random((segs, dim))
+        for s in range(segs):
+            if rng.random() < dup_frac:
+                feats[s] = pool_feats[rng.integers(0, len(pool_feats))]
+        objects[oid] = ObjectSignature(
+            feats, rng.random(segs) + 0.1, object_id=oid
+        )
+        store.add_object(oid, sk.sketch_many(feats), feats)
+    for oid in tombstones:
+        store.remove_object(oid)
+    return sk, store, objects
+
+
+def _load_pool(pool, store):
+    epoch, owners, sketches = store.versioned_snapshot()
+    pool.load(owners, sketches, epoch=epoch)
+
+
+def _value(name):
+    return _metrics.get_registry().value(name)
+
+
+PARAMS_VARIANTS = [
+    FilterParams(num_query_segments=3, candidates_per_segment=8),
+    FilterParams(num_query_segments=2, candidates_per_segment=4,
+                 threshold_fraction=0.35),
+    FilterParams(num_query_segments=1, candidates_per_segment=1000,
+                 threshold_fraction=0.5, threshold_fn="constant"),
+]
+
+
+# ----------------------------------------------------------------------
+# Property: serial == threads == batched-processes, ties included
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    shard_rows=st.sampled_from([None, 3, 17]),
+    variant=st.integers(0, len(PARAMS_VARIANTS) - 1),
+    workers=st.sampled_from([1, 2, 3]),
+)
+def test_backends_equivalent_randomized(seed, shard_rows, variant, workers):
+    """Candidate sets AND raw top-k matrices (tie order) agree between
+    the serial scan, the thread pool, and the batched process pool."""
+    params = PARAMS_VARIANTS[variant]
+    sk, store, objects = _seeded_store(seed, tombstones=range(5, 12))
+    queries = [objects[0], objects[20], objects[7]]
+    sketches = [sk.sketch_many(q.features) for q in queries]
+    serial = sketch_filter_many(queries, sketches, store, params, sk.n_bits)
+    raw = {}
+    for cls in (ThreadFilterPool, ParallelFilterPool):
+        with cls(num_workers=workers, shard_rows=shard_rows) as p:
+            _load_pool(p, store)
+            got = parallel_sketch_filter_many(
+                queries, sketches, params, sk.n_bits, p
+            )
+            assert got == serial, cls.__name__
+            stacked = np.concatenate(
+                [qs[q.top_segments(params.num_query_segments)]
+                 for q, qs in zip(queries, sketches)],
+                axis=0,
+            )
+            d, rows = p.scan_topk(stacked, k=5)
+            raw[cls.__name__] = (np.asarray(d, dtype=np.int64), rows)
+    # Bit-identical selection including order at tied distances.
+    np.testing.assert_array_equal(
+        raw["ThreadFilterPool"][0], raw["ParallelFilterPool"][0]
+    )
+    np.testing.assert_array_equal(
+        raw["ThreadFilterPool"][1], raw["ParallelFilterPool"][1]
+    )
+
+
+def test_empty_shards_more_workers_than_rows():
+    """A 6-worker pool over 4 rows leaves workers with zero shards."""
+    sk, store, objects = _seeded_store(5, num_objects=2, segs=2)
+    queries = [objects[0]]
+    sketches = [sk.sketch_many(q.features) for q in queries]
+    params = PARAMS_VARIANTS[0]
+    serial = sketch_filter_many(queries, sketches, store, params, sk.n_bits)
+    for cls in (ThreadFilterPool, ParallelFilterPool):
+        with cls(num_workers=6) as p:
+            _load_pool(p, store)
+            assert parallel_sketch_filter_many(
+                queries, sketches, params, sk.n_bits, p
+            ) == serial, cls.__name__
+
+
+def test_thread_pool_matches_under_spawn_process_pool():
+    """Thread results equal a spawn-start-method process pool's."""
+    import multiprocessing
+
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    sk, store, objects = _seeded_store(77, tombstones=(1, 2))
+    queries = [objects[0], objects[9]]
+    sketches = [sk.sketch_many(q.features) for q in queries]
+    params = PARAMS_VARIANTS[1]
+    with ThreadFilterPool(num_workers=2) as tp, ParallelFilterPool(
+        num_workers=2, start_method="spawn"
+    ) as pp:
+        _load_pool(tp, store)
+        _load_pool(pp, store)
+        assert parallel_sketch_filter_many(
+            queries, sketches, params, sk.n_bits, tp
+        ) == parallel_sketch_filter_many(
+            queries, sketches, params, sk.n_bits, pp
+        )
+
+
+def test_thread_pool_copies_arena():
+    """The thread pool must freeze its own copy: in-place mutation of the
+    source arrays (tombstoning mutates the store's owners) must not leak
+    into an already-loaded arena."""
+    owners = np.arange(8, dtype=np.int64)
+    sketches = np.arange(16, dtype=np.uint64).reshape(8, 2)
+    pool = ThreadFilterPool(num_workers=2)
+    with pool:
+        pool.load(owners, sketches, epoch=1)
+        owners[:] = -1  # simulate remove_object tombstoning in place
+        sketches[:] = 0
+        assert pool.n_alive == 8
+        d, rows = pool.scan_topk(np.zeros((1, 2), dtype=np.uint64), 8)
+        # All 8 rows still alive and distances reflect the original data.
+        assert rows.shape == (1, 8)
+        assert pool.owners_of(rows[0]).min() >= 0
+
+
+def test_thread_pool_teardown_under_load():
+    """close() during concurrent scans: every scan either completes with
+    correct results or raises ParallelScanError(kind='closed') — never a
+    wrong answer, never a foreign exception."""
+    sk, store, objects = _seeded_store(11, num_objects=80, segs=3)
+    epoch, owners, sketches = store.versioned_snapshot()
+    expect_rows = None
+    query = np.zeros((2, sk.n_words), dtype=np.uint64)
+    pool = ThreadFilterPool(num_workers=3)
+    pool.load(owners, sketches, epoch=epoch)
+    expect_d, expect_rows = pool.scan_topk(query, 12)
+    errors, mismatches = [], []
+    start = threading.Barrier(5)
+
+    def hammer():
+        start.wait()
+        for _ in range(25):
+            try:
+                d, rows = pool.scan_topk(query, 12)
+            except ParallelScanError as exc:
+                if exc.kind != "closed":
+                    errors.append(exc)
+                return
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+                return
+            if not (
+                np.array_equal(d, expect_d)
+                and np.array_equal(rows, expect_rows)
+            ):
+                mismatches.append((d, rows))
+                return
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    start.wait()
+    pool.close()
+    for t in threads:
+        t.join()
+    assert not errors and not mismatches
+    with pytest.raises(ParallelScanError) as exc_info:
+        pool.scan_topk(query, 12)
+    assert exc_info.value.kind == "closed"
+
+
+# ----------------------------------------------------------------------
+# choose_backend cost model
+# ----------------------------------------------------------------------
+class TestChooseBackend:
+    def test_disabled_is_serial(self):
+        cfg = ParallelConfig(enabled=False, num_workers=8, min_segments=1)
+        assert choose_backend(cfg, n_rows=10**6, batch_rows=64) == "serial"
+
+    def test_single_core_is_serial(self):
+        cfg = ParallelConfig(min_segments=1)
+        assert choose_backend(cfg, n_rows=10**6, cores=1) == "serial"
+
+    def test_below_min_segments_is_serial(self):
+        cfg = ParallelConfig(num_workers=4, min_segments=50_000)
+        assert choose_backend(cfg, n_rows=49_999) == "serial"
+
+    def test_explicit_backend_wins(self):
+        for name in ("serial", "thread", "process"):
+            cfg = ParallelConfig(num_workers=4, min_segments=1, backend=name)
+            assert choose_backend(cfg, n_rows=10) == name
+
+    def test_auto_prefers_threads_with_gil_releasing_kernel(self):
+        if not hamming_kernel_releases_gil():
+            pytest.skip("LUT popcount build: thread backend not preferred")
+        cfg = ParallelConfig(num_workers=4, min_segments=1)
+        assert choose_backend(cfg, n_rows=100_000, batch_rows=8) == "thread"
+
+    def test_explicit_worker_count_implies_cores(self):
+        # num_workers is an operator statement that parallelism exists:
+        # the model must not fall back to the (possibly 1-core) host
+        # affinity mask.
+        cfg = ParallelConfig(num_workers=2, min_segments=1)
+        # Enough work that both the thread and the process branch
+        # qualify — the pick must be parallel on any popcount build.
+        assert choose_backend(cfg, n_rows=2_000_000, batch_rows=4) != "serial"
+
+    def test_unknown_backend_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(backend="gpu")
+
+    def test_make_pool_backends(self):
+        assert isinstance(make_pool("thread", num_workers=1), ThreadFilterPool)
+        p = make_pool("process", num_workers=1)
+        assert isinstance(p, ParallelFilterPool)
+        p.close()
+        with pytest.raises(ValueError):
+            make_pool("auto")
+        with pytest.raises(ValueError):
+            make_pool("serial")
+
+
+# ----------------------------------------------------------------------
+# Batched dispatch accounting
+# ----------------------------------------------------------------------
+def test_one_dispatch_round_trip_per_worker_per_batch():
+    """A whole batch costs exactly num_workers round trips — independent
+    of how many queries it stacks — and never more than the shard count."""
+    sk, store, objects = _seeded_store(3, num_objects=60, segs=3)
+    queries = [objects[i] for i in (0, 5, 10, 15, 20, 25)]
+    sketches = [sk.sketch_many(q.features) for q in queries]
+    params = FilterParams(num_query_segments=3, candidates_per_segment=8)
+    with ParallelFilterPool(num_workers=2) as p:
+        _load_pool(p, store)
+        before = _value("parallel.dispatch_round_trips")
+        parallel_sketch_filter_many(queries, sketches, params, sk.n_bits, p)
+        trips = _value("parallel.dispatch_round_trips") - before
+        assert trips == 2  # one fused message per worker, 6 queries
+        assert trips <= p.n_shards
+
+
+def test_thread_pool_books_no_dispatch_round_trips():
+    sk, store, objects = _seeded_store(3, num_objects=30)
+    with ThreadFilterPool(num_workers=2) as p:
+        _load_pool(p, store)
+        before = _value("parallel.dispatch_round_trips")
+        p.scan_topk(np.zeros((1, sk.n_words), dtype=np.uint64), 4)
+        assert _value("parallel.dispatch_round_trips") == before
+
+
+# ----------------------------------------------------------------------
+# Worker crash classification
+# ----------------------------------------------------------------------
+def test_killed_worker_raises_crash_kind():
+    sk, store, objects = _seeded_store(9, num_objects=30)
+    with ParallelFilterPool(num_workers=2) as p:
+        _load_pool(p, store)
+        p._workers[0][0].kill()
+        p._workers[0][0].join(timeout=5.0)
+        with pytest.raises(ParallelScanError) as exc_info:
+            p.scan_topk(np.zeros((1, sk.n_words), dtype=np.uint64), 4)
+        assert exc_info.value.kind == "crash"
+
+
+def _image_engine(parallel, n=60):
+    from repro.datatypes.bulk import bulk_image_dataset
+    from repro.datatypes.image import make_image_plugin
+
+    plugin = make_image_plugin()
+    engine = SimilaritySearchEngine(
+        plugin,
+        SketchParams(64, plugin.meta, seed=0),
+        FilterParams(num_query_segments=3, candidates_per_segment=16),
+        parallel=parallel,
+    )
+    engine.insert_many(list(bulk_image_dataset(n, seed=3)))
+    return engine
+
+
+def test_engine_degrades_serially_on_worker_kill():
+    """A worker killed mid-service degrades the engine to the serial
+    scan with identical results and books the crash under
+    ``errors_absorbed.parallel_worker_crash``."""
+    cfg = ParallelConfig(
+        num_workers=2, min_segments=1, backend="process", cache_entries=0
+    )
+    with _image_engine(cfg) as engine:
+        expect = [r.object_id for r in engine.query_by_id(1, top_k=5)]
+        info = engine.parallel_info()
+        assert info["active"] and info["backend_active"] == "process"
+        engine._pool._workers[0][0].kill()
+        engine._pool._workers[0][0].join(timeout=5.0)
+        before = _value("errors_absorbed.parallel_worker_crash")
+        got = [r.object_id for r in engine.query_by_id(1, top_k=5)]
+        assert got == expect  # serial fallback, identical answer
+        assert _value("errors_absorbed.parallel_worker_crash") == before + 1
+        assert engine.parallel_info()["broken"]
+
+
+# ----------------------------------------------------------------------
+# Engine-level backend selection
+# ----------------------------------------------------------------------
+def test_engine_backend_switch_and_exclude_self_equivalence():
+    """Results (with exclude_self) are identical across all three
+    backends, live-switched through set_parallel_backend."""
+    serial_engine = _image_engine(ParallelConfig(enabled=False))
+    engine = _image_engine(
+        ParallelConfig(num_workers=2, min_segments=1, cache_entries=0)
+    )
+    with serial_engine, engine:
+        want = [
+            (r.object_id, r.distance)
+            for r in serial_engine.query_by_id(2, top_k=6)
+        ]
+        for backend in ("thread", "process", "serial", "auto"):
+            engine.set_parallel_backend(backend)
+            got = [
+                (r.object_id, r.distance)
+                for r in engine.query_by_id(2, top_k=6)
+            ]
+            assert got == want, backend
+            info = engine.parallel_info()
+            assert info["backend"] == backend
+            if backend in ("thread", "process"):
+                assert info["backend_active"] == backend
+            elif backend == "serial":
+                assert info["backend_active"] == "serial"
+        with pytest.raises(ValueError):
+            engine.set_parallel_backend("gpu")
+
+
+def test_engine_auto_picks_thread_backend():
+    if not hamming_kernel_releases_gil():
+        pytest.skip("LUT popcount build: auto does not pick threads")
+    cfg = ParallelConfig(num_workers=2, min_segments=1, cache_entries=0)
+    with _image_engine(cfg) as engine:
+        engine.query_by_id(0, top_k=3)
+        info = engine.parallel_info()
+        assert info["backend"] == "auto"
+        assert info["backend_active"] == "thread"
+        assert isinstance(engine._pool, ThreadFilterPool)
+
+
+# ----------------------------------------------------------------------
+# Cache metrics prefix (shared with the cluster coordinator)
+# ----------------------------------------------------------------------
+def test_query_result_cache_metrics_prefix():
+    before_hits = _value("cluster.cache.hits")
+    before_misses = _value("cluster.cache.misses")
+    cache = QueryResultCache(4, metrics_prefix="cluster.cache")
+    assert cache.lookup(1, "k") is None
+    cache.store(1, "k", "v")
+    assert cache.lookup(1, "k") == "v"
+    assert _value("cluster.cache.misses") == before_misses + 1
+    assert _value("cluster.cache.hits") == before_hits + 1

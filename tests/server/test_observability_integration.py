@@ -185,8 +185,12 @@ def served_parallel():
         DataTypePlugin("t", meta),
         SketchParams(128, meta, seed=0),
         FilterParams(num_query_segments=2, candidates_per_segment=8),
+        # Pin the process backend: this class tests *cross-process*
+        # telemetry (worker.* folding, queue-wait spans), which the
+        # thread backend that "auto" now prefers has no need for.
         parallel=ParallelConfig(
-            num_workers=2, min_segments=1, cache_entries=0
+            num_workers=2, min_segments=1, cache_entries=0,
+            backend="process",
         ),
     )
     rng = np.random.default_rng(5)
