@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke metrics-smoke rank-smoke cluster-smoke perf torture bench bench-parallel bench-throughput bench-check bench-recovery
+.PHONY: test smoke metrics-smoke rank-smoke cluster-smoke perf torture bench bench-parallel bench-throughput bench-check bench-recovery bench-churn
 
 # Tier-1 verification: the full fast suite (torture scans stay opt-in).
 test:
@@ -53,6 +53,14 @@ torture:
 bench-parallel:
 	cd benchmarks && $(PYTHON) bench_parallel_scan.py
 	$(PYTHON) benchmarks/check_regression.py --parallel BENCH_parallel_scan.json
+
+# Index-churn gate: run the insert/delete churn bench, then assert
+# every insert batch became visible through a delta load (never a full
+# snapshot reload) and that per-batch refresh cost does not scale with
+# total arena rows.
+bench-churn:
+	cd benchmarks && $(PYTHON) bench_index_churn.py
+	$(PYTHON) benchmarks/check_regression.py --churn BENCH_index_churn.json
 
 bench-throughput:
 	cd benchmarks && $(PYTHON) bench_query_throughput.py

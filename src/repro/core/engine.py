@@ -36,6 +36,7 @@ from ..observability import metrics as _metrics
 from ..observability.tracing import QueryTrace, TraceRecorder
 from .bitvector import hamming_many_to_many, hamming_to_many
 from .filtering import (
+    ArenaCompactor,
     FilterParams,
     SegmentStore,
     sketch_filter_many,
@@ -96,6 +97,9 @@ _M_POOL_FALLBACKS = _metrics.counter("engine.pool_fallbacks")
 _M_CACHE_RACE_SKIPS = _metrics.counter("query_cache.stale_store_skips")
 _M_ERR_POOL_SCAN = _metrics.counter("errors_absorbed.engine.pool_scan")
 _M_ERR_POOL_CLOSE = _metrics.counter("errors_absorbed.engine.pool_close")
+_M_ERR_BATCH_ROLLBACK = _metrics.counter(
+    "errors_absorbed.engine.batch_rollback"
+)
 # A worker process dying mid-batch is worth its own series on top of the
 # generic pool_scan absorption: crashes point at OOM kills / segfaults,
 # timeouts and protocol errors at overload or version skew.
@@ -224,6 +228,7 @@ class SimilaritySearchEngine:
             else None
         )
         self._next_id = 0
+        self._compactor: Optional[ArenaCompactor] = None
         self._parallel_cfg = parallel if parallel is not None else ParallelConfig()
         self._pool: Optional[FilterPool] = None
         self._pool_broken = False
@@ -268,32 +273,43 @@ class SimilaritySearchEngine:
             if _sketches is not None
             else self.sketcher.sketch_many(signature.features)
         )
+        # The store validates first (sketch shape, zero-segment objects)
+        # and goes first: a rejected object must not leave a ghost entry
+        # in the engine dicts, and a store failure leaves nothing to
+        # roll back beyond the id bookkeeping.
+        try:
+            self._store.add_object(object_id, sketches, signature.features)
+        except Exception:
+            self._next_id = prev_next_id
+            signature.object_id = prev_signature_id
+            raise
         self._objects[object_id] = signature
         self._object_sketches[object_id] = sketches
-        self._store.add_object(object_id, sketches, signature.features)
-        if self.lsh_index is not None:
-            self.lsh_index.add(object_id, sketches)
-        if self.metadata is not None:
-            try:
+        lsh_added = False
+        try:
+            if self.lsh_index is not None:
+                self.lsh_index.add(object_id, sketches)
+                lsh_added = True
+            if self.metadata is not None:
                 self.metadata.put_object(
                     object_id, signature, sketches, dict(attributes or {}),
                     filename=filename,
                 )
-            except Exception:
-                # Write-through failed: roll the in-memory insert back so
-                # queries cannot return an object that would vanish on
-                # restart (memory and store must agree on the object set).
-                # The id counter and the caller's signature are restored
-                # too — a failed insert must not consume an id or leave
-                # the signature claiming an id that was never assigned.
-                del self._objects[object_id]
-                del self._object_sketches[object_id]
-                self._store.remove_object(object_id)
-                if self.lsh_index is not None:
-                    self.lsh_index.remove(object_id, sketches)
-                self._next_id = prev_next_id
-                signature.object_id = prev_signature_id
-                raise
+        except Exception:
+            # Write-through failed: roll the in-memory insert back so
+            # queries cannot return an object that would vanish on
+            # restart (memory and store must agree on the object set).
+            # The id counter and the caller's signature are restored
+            # too — a failed insert must not consume an id or leave
+            # the signature claiming an id that was never assigned.
+            del self._objects[object_id]
+            del self._object_sketches[object_id]
+            self._store.remove_object(object_id)
+            if lsh_added:
+                self.lsh_index.remove(object_id, sketches)
+            self._next_id = prev_next_id
+            signature.object_id = prev_signature_id
+            raise
         return object_id
 
     def insert_file(
@@ -322,18 +338,64 @@ class SimilaritySearchEngine:
         (a few segments each) this makes insertion several times faster
         than the per-object loop it replaces, and the win grows with the
         batch size.
+
+        The batch is all-or-nothing: every signature is validated up
+        front (at least one segment, no id collisions with the engine or
+        within the batch), and if an insert still fails mid-batch the
+        already-applied prefix is rolled back before the error
+        propagates — a failed bulk load leaves the engine exactly as it
+        was.
         """
         signatures = list(signatures)
         if not signatures:
             return []
+        # Up-front validation: a zero-segment signature would raise
+        # inside the store after earlier batch members were applied, and
+        # a colliding id would raise in insert() the same way.  Reject
+        # the whole batch before touching any state.
+        batch_ids: Set[int] = set()
+        for pos, sig in enumerate(signatures):
+            if sig.num_segments == 0:
+                raise ValueError(
+                    f"insert_many: signature at batch position {pos} has no "
+                    "segments; objects must have at least one segment to be "
+                    "searchable (whole batch rejected)"
+                )
+            oid = sig.object_id
+            if oid is not None:
+                if oid in self._objects or oid in batch_ids:
+                    raise KeyError(
+                        f"insert_many: object id {oid} at batch position "
+                        f"{pos} already present (whole batch rejected)"
+                    )
+                batch_ids.add(oid)
         all_sketches = self.sketcher.sketch_many(
             np.concatenate([sig.features for sig in signatures], axis=0)
         )
         splits = np.cumsum([sig.num_segments for sig in signatures])[:-1]
-        return [
-            self.insert(sig, _sketches=rows)
-            for sig, rows in zip(signatures, np.split(all_sketches, splits))
-        ]
+        inserted: List[Tuple[int, ObjectSignature, Optional[int]]] = []
+        prev_next_id = self._next_id
+        try:
+            for sig, rows in zip(signatures, np.split(all_sketches, splits)):
+                prev_sig_id = sig.object_id
+                inserted.append(
+                    (self.insert(sig, _sketches=rows), sig, prev_sig_id)
+                )
+        except Exception:
+            # A failure the validation could not foresee (e.g. the
+            # metadata backend dying mid-batch): undo the applied
+            # prefix.  Rollback is best-effort — a second failure here
+            # must not mask the original error.
+            for oid, sig, prev_sig_id in reversed(inserted):
+                try:
+                    self.remove(oid)
+                except Exception:
+                    _M_ERR_BATCH_ROLLBACK.inc()
+                sig.object_id = prev_sig_id
+            # A failed batch must not consume ids either.
+            self._next_id = prev_next_id
+            raise
+        return [oid for oid, _sig, _prev in inserted]
 
     def remove(self, object_id: int) -> None:
         """Remove an object from the engine (and the metadata backend).
@@ -341,16 +403,33 @@ class SimilaritySearchEngine:
         The segment store tombstones the object's sketch rows and
         compacts lazily; the LSH index, when present, drops its bucket
         entries.
+
+        Exception-safe, mirroring :meth:`insert`'s rollback: the
+        in-memory structures are only committed once the metadata
+        backend acknowledged the delete.  If it fails, the store rows
+        and LSH entries are restored (the sketch rows re-append at the
+        arena tail — positions move, contents don't) and the object
+        stays fully searchable.
         """
         if object_id not in self._objects:
             raise KeyError(f"unknown object {object_id}")
-        sketches = self._object_sketches.pop(object_id)
-        del self._objects[object_id]
+        signature = self._objects[object_id]
+        sketches = self._object_sketches[object_id]
         self._store.remove_object(object_id)
-        if self.lsh_index is not None:
-            self.lsh_index.remove(object_id, sketches)
-        if self.metadata is not None:
-            self.metadata.delete_object(object_id)
+        lsh_removed = False
+        try:
+            if self.lsh_index is not None:
+                self.lsh_index.remove(object_id, sketches)
+                lsh_removed = True
+            if self.metadata is not None:
+                self.metadata.delete_object(object_id)
+        except Exception:
+            self._store.add_object(object_id, sketches, signature.features)
+            if lsh_removed:
+                self.lsh_index.add(object_id, sketches)
+            raise
+        del self._objects[object_id]
+        del self._object_sketches[object_id]
 
     def load(self) -> int:
         """Rebuild in-memory state from the metadata backend.
@@ -392,10 +471,18 @@ class SimilaritySearchEngine:
         return choose_backend(cfg, len(self._store), batch_rows)
 
     def _ensure_pool(self, backend: str) -> FilterPool:
-        """Spin up the pool for ``backend`` / reshard to the store's
+        """Spin up the pool for ``backend`` / refresh it to the store's
         current epoch.  A live pool of a different backend (the cost
         model changed its mind, or the operator forced a backend) is
-        torn down and replaced."""
+        torn down and replaced.
+
+        A stale pool is refreshed through the cheapest path that
+        applies: the arena's :meth:`~SegmentStore.delta_since` journal
+        ships only appended chunks + tombstones (``arena.delta_loads``),
+        and only when no delta is available — first load, compaction in
+        the window, journal trimmed — does the pool pay for a full
+        snapshot reload (``parallel.arena_loads``).
+        """
         cfg = self._parallel_cfg
         if self._pool is not None and self._pool.backend != backend:
             pool, self._pool = self._pool, None
@@ -411,10 +498,25 @@ class SimilaritySearchEngine:
                 start_method=cfg.start_method,
                 response_timeout=cfg.response_timeout,
             )
+        pool = self._pool
+        if pool.matches(self._store.epoch):
+            return pool
+        loaded = pool.loaded_epoch
+        if loaded is not None:
+            delta = self._store.delta_since(loaded)
+            if delta is not None and pool.load_delta(
+                delta.new_owners,
+                delta.new_sketches,
+                delta.from_epoch,
+                delta.to_epoch,
+                dead_rows=delta.dead_rows,
+                base_rows=delta.base_rows,
+            ):
+                return pool
         epoch, owners, sketches = self._store.versioned_snapshot()
-        if not self._pool.matches(epoch):
-            self._pool.load(owners, sketches, epoch=epoch)
-        return self._pool
+        if not pool.matches(epoch):
+            pool.load(owners, sketches, epoch=epoch)
+        return pool
 
     def _abandon_pool(self, reason: str) -> None:
         """Pool failure: disable it and notify; queries stay serial."""
@@ -469,6 +571,52 @@ class SimilaritySearchEngine:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.close()
+
+    def set_compaction(
+        self,
+        enabled: bool,
+        dead_fraction: Optional[float] = None,
+        interval: Optional[float] = None,
+    ) -> None:
+        """Toggle background arena compaction (``setparam compaction``).
+
+        Enabled: an :class:`~repro.core.filtering.ArenaCompactor` thread
+        takes over dead-row cleanup — removals no longer compact inline
+        on the mutation path.  Disabled (the default): the thread is
+        stopped and the store's inline 25%-dead threshold compaction is
+        restored.
+        """
+        if enabled:
+            if self._compactor is not None and self._compactor.running:
+                if dead_fraction is not None:
+                    self._compactor.dead_fraction = float(dead_fraction)
+                if interval is not None:
+                    self._compactor.interval = float(interval)
+                return
+            self._compactor = ArenaCompactor(
+                self._store,
+                dead_fraction=(
+                    0.25 if dead_fraction is None else float(dead_fraction)
+                ),
+                interval=0.05 if interval is None else float(interval),
+            )
+            self._compactor.start()
+        else:
+            compactor, self._compactor = self._compactor, None
+            if compactor is not None:
+                compactor.stop()
+
+    def compaction_info(self) -> Dict[str, object]:
+        """Arena + compactor observability snapshot (``stat``)."""
+        compactor = self._compactor
+        info: Dict[str, object] = {
+            "background": compactor is not None and compactor.running,
+        }
+        if compactor is not None:
+            info["dead_fraction"] = compactor.dead_fraction
+            info["interval"] = compactor.interval
+        info.update(self._store.arena_info())
+        return info
 
     def parallel_info(self) -> Dict[str, object]:
         """Pool/cache observability snapshot (the server's ``stat``)."""
@@ -1034,7 +1182,8 @@ class SimilaritySearchEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear down the parallel scan pool and release its arena.
+        """Tear down the parallel scan pool, release its arena, and stop
+        the background compactor if one is running.
 
         Idempotent; the engine keeps answering queries serially after
         (and will rebuild the pool on demand if still enabled).
@@ -1042,6 +1191,9 @@ class SimilaritySearchEngine:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.close()
+        compactor, self._compactor = self._compactor, None
+        if compactor is not None:
+            compactor.stop()
 
     def __enter__(self) -> "SimilaritySearchEngine":
         return self

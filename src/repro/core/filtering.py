@@ -15,15 +15,19 @@ vectors with the plug-in segment distance.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..observability import metrics as _metrics
 from .bitvector import hamming_many_to_many, hamming_to_many
 from .types import ObjectSignature
 
 __all__ = [
+    "ArenaCompactor",
+    "ArenaDelta",
     "FilterParams",
     "SegmentStore",
     "get_threshold_fn",
@@ -33,6 +37,16 @@ __all__ = [
     "sketch_filter_many",
     "sketch_filter_reference",
 ]
+
+# Arena telemetry (see docs/OBSERVABILITY.md).  Handles are created once
+# at import; the registry's reset() zeroes them in place.
+_M_ARENA_APPENDS = _metrics.counter("arena.appends")
+_M_ARENA_CHUNKS = _metrics.gauge("arena.chunks")
+_M_ARENA_COMPACTIONS = _metrics.counter("arena.compactions")
+_M_ARENA_ROWS = _metrics.gauge("arena.rows")
+_M_ARENA_DEAD_ROWS = _metrics.gauge("arena.dead_rows")
+_M_ARENA_COMPACT_SECONDS = _metrics.histogram("arena.compaction_seconds")
+_M_ARENA_COMPACT_ERRORS = _metrics.counter("errors_absorbed.arena_compactor")
 
 
 def default_threshold_fn(weight: float) -> float:
@@ -192,35 +206,99 @@ class FilterParams:
         )
 
 
-class SegmentStore:
-    """Flat, scan-friendly store of every segment in the system.
+@dataclass(frozen=True)
+class ArenaDelta:
+    """Changes to the arena between two epochs, shippable to a pool.
 
-    Keeps parallel arrays: packed sketch words, optional raw feature
-    vectors, and the owning object id of each segment.  Appends buffer in
-    Python lists and consolidate lazily so bulk inserts stay cheap while
-    scans run over contiguous numpy arrays.
+    ``new_owners``/``new_sketches`` are the rows appended after
+    ``base_rows`` (already carrying any tombstones that landed on them),
+    and ``dead_rows`` are the *global* row indices below ``base_rows``
+    that were tombstoned in the window.  Applying the delta to a copy of
+    the arena at ``from_epoch`` reproduces the arena at ``to_epoch``
+    bit-identically — compactions invalidate deltas entirely (the store
+    returns ``None`` and consumers full-reload).
+    """
+
+    from_epoch: int
+    to_epoch: int
+    base_rows: int
+    new_owners: np.ndarray
+    new_sketches: np.ndarray
+    dead_rows: np.ndarray
+
+    @property
+    def n_new(self) -> int:
+        return int(self.new_owners.shape[0])
+
+
+# Oldest retained entries of the append/removal delta logs; beyond this
+# the floor advances and stale consumers fall back to a full reload.
+_MAX_DELTA_LOG = 1024
+
+
+class SegmentStore:
+    """Segmented, append-only arena of every segment in the system.
+
+    Keeps parallel capacity-grown arrays: packed sketch words, optional
+    raw feature vectors, and the owning object id of each segment.
+    Inserts seal an immutable chunk by writing rows past the logical end
+    (``_n``) — amortized O(rows added), never a full-matrix copy — and
+    deletes tombstone in place (owner -1).  Every mutation is journaled
+    (chunk marks for appends, row-index lists for removals) so
+    :meth:`delta_since` can hand consumers exactly the rows that changed
+    between two epochs; compaction rewrites the arena and raises the
+    delta floor, forcing a one-time full reload.
     """
 
     def __init__(self, n_words: int, dim: int, keep_features: bool = True) -> None:
         self.n_words = n_words
         self.dim = dim
         self.keep_features = keep_features
+        self._cap = 0
+        self._n = 0
         self._sketches = np.empty((0, n_words), dtype=np.uint64)
         self._features = np.empty((0, dim), dtype=np.float64)
         self._owners = np.empty(0, dtype=np.int64)
-        self._pending_sketches: List[np.ndarray] = []
-        self._pending_features: List[np.ndarray] = []
-        self._pending_owners: List[np.ndarray] = []
         self._dead = 0
         # Mutation epoch: bumped on every logical change (insert, remove,
         # compact).  Consumers that hold derived state — the parallel
         # scan pool's shared-memory shards, the query-result cache —
         # compare epochs to detect staleness instead of diffing arrays.
         self._epoch = 0
+        # Delta journal.  ``_marks`` records (epoch, rows_after) per
+        # sealed append chunk — chunks are contiguous, so the row count
+        # at any epoch is the last mark at or before it.  ``_removals``
+        # records (epoch, tombstoned global row indices); a row is
+        # tombstoned at most once between compactions.  ``_delta_floor``
+        # is the oldest epoch a delta can still be served from; it jumps
+        # to the current epoch on compaction and advances when the logs
+        # are trimmed.
+        self._marks: List[Tuple[int, int]] = [(0, 0)]
+        self._removals: List[Tuple[int, np.ndarray]] = []
+        self._delta_floor = 0
+        self._compaction_epoch = 0
+        self._compactor: Optional["ArenaCompactor"] = None
         # The engine runs as one concurrent program (section 3): server
-        # threads scan while acquisition threads append, so buffer
-        # mutation and consolidation are serialized here.
+        # threads scan while acquisition threads append, so row writes
+        # and journal updates are serialized here.
         self._lock = threading.RLock()
+
+    def _grow(self, min_cap: int) -> None:
+        # Doubling keeps appends amortized O(1) per row.  The old
+        # allocations are left intact: snapshot views handed out earlier
+        # keep reading the (immutable) rows they were cut from.
+        new_cap = max(min_cap, max(64, self._cap * 2))
+        sk = np.empty((new_cap, self.n_words), dtype=np.uint64)
+        sk[: self._n] = self._sketches[: self._n]
+        self._sketches = sk
+        ow = np.full(new_cap, -1, dtype=np.int64)
+        ow[: self._n] = self._owners[: self._n]
+        self._owners = ow
+        if self.keep_features:
+            ft = np.empty((new_cap, self.dim), dtype=np.float64)
+            ft[: self._n] = self._features[: self._n]
+            self._features = ft
+        self._cap = new_cap
 
     def add_object(
         self,
@@ -251,59 +329,61 @@ class SegmentStore:
                     f"features must be ({count}, {self.dim}), got {feats.shape}"
                 )
         with self._lock:
-            self._pending_sketches.append(sketches)
-            self._pending_owners.append(np.full(count, object_id, dtype=np.int64))
+            start = self._n
+            end = start + count
+            if end > self._cap:
+                self._grow(end)
+            self._sketches[start:end] = sketches
+            self._owners[start:end] = object_id
             if self.keep_features:
-                self._pending_features.append(feats)
+                self._features[start:end] = feats
+            self._n = end
             self._epoch += 1
-
-    def _consolidate(self) -> None:
-        with self._lock:
-            if not self._pending_sketches:
-                return
-            self._sketches = np.concatenate(
-                [self._sketches] + self._pending_sketches, axis=0
-            )
-            self._owners = np.concatenate([self._owners] + self._pending_owners)
-            self._pending_sketches.clear()
-            self._pending_owners.clear()
-            if self.keep_features:
-                self._features = np.concatenate(
-                    [self._features] + self._pending_features, axis=0
-                )
-                self._pending_features.clear()
+            self._marks.append((self._epoch, end))
+            self._trim_delta_log()
+            _M_ARENA_APPENDS.inc()
+            _M_ARENA_ROWS.set(float(end))
+            _M_ARENA_CHUNKS.set(float(len(self._marks)))
 
     @property
     def sketches(self) -> np.ndarray:
-        self._consolidate()
-        return self._sketches
+        with self._lock:
+            return self._sketches[: self._n]
 
     @property
     def features(self) -> np.ndarray:
         if not self.keep_features:
             raise RuntimeError("this store was built without raw features")
-        self._consolidate()
-        return self._features
+        with self._lock:
+            return self._features[: self._n]
 
     @property
     def owners(self) -> np.ndarray:
-        self._consolidate()
-        return self._owners
+        with self._lock:
+            return self._owners[: self._n]
 
     def snapshot(self, with_features: bool = False):
         """Atomically consistent ``(owners, sketches[, features])`` views.
 
         Reading the properties separately races with concurrent inserts
-        (consolidation can grow one array between the two reads); scans
-        must take both from one locked snapshot.
+        (an append can grow one array between the two reads); scans must
+        take both from one locked snapshot.  The views are zero-copy
+        slices of the live arena: rows appended later fall outside the
+        slice, and capacity growth reallocates, so a snapshot's content
+        is frozen at cut time *except* for in-place tombstones, which
+        remain visible — exactly the pre-arena semantics the epoch
+        staleness checks are built on.
         """
         with self._lock:
-            self._consolidate()
             if with_features:
                 if not self.keep_features:
                     raise RuntimeError("this store was built without raw features")
-                return self._owners, self._sketches, self._features
-            return self._owners, self._sketches
+                return (
+                    self._owners[: self._n],
+                    self._sketches[: self._n],
+                    self._features[: self._n],
+                )
+            return self._owners[: self._n], self._sketches[: self._n]
 
     @property
     def epoch(self) -> int:
@@ -320,48 +400,302 @@ class SegmentStore:
         :attr:`epoch`.
         """
         with self._lock:
-            self._consolidate()
-            return self._epoch, self._owners, self._sketches
+            return self._epoch, self._owners[: self._n], self._sketches[: self._n]
+
+    def _rows_at(self, epoch: int) -> Optional[int]:
+        """Row count of the arena as of ``epoch`` (from the chunk marks)."""
+        rows: Optional[int] = None
+        for e, n in self._marks:
+            if e <= epoch:
+                rows = n
+            else:
+                break
+        return rows
+
+    def delta_since(self, from_epoch: int) -> Optional[ArenaDelta]:
+        """Changes between ``from_epoch`` and now, or ``None`` if a full
+        reload is required (unknown epoch, trimmed journal, or a
+        compaction rewrote row positions in the window)."""
+        with self._lock:
+            if from_epoch > self._epoch or from_epoch < self._delta_floor:
+                return None
+            base = self._rows_at(from_epoch)
+            if base is None:
+                return None
+            new_owners = self._owners[base : self._n].copy()
+            new_sketches = self._sketches[base : self._n].copy()
+            dead: List[np.ndarray] = []
+            for e, rows in self._removals:
+                if e > from_epoch:
+                    hit = rows[rows < base]
+                    if hit.size:
+                        dead.append(hit)
+            dead_rows = (
+                np.concatenate(dead) if dead else np.empty(0, dtype=np.int64)
+            )
+            return ArenaDelta(
+                from_epoch=from_epoch,
+                to_epoch=self._epoch,
+                base_rows=base,
+                new_owners=new_owners,
+                new_sketches=new_sketches,
+                dead_rows=dead_rows,
+            )
+
+    def _trim_delta_log(self) -> None:
+        # Bound journal growth: dropping an entry means consumers older
+        # than it can no longer be served a delta, so the floor advances
+        # past the dropped epoch.
+        while len(self._removals) > _MAX_DELTA_LOG:
+            epoch, _ = self._removals.pop(0)
+            self._delta_floor = max(self._delta_floor, epoch)
+        while len(self._marks) > _MAX_DELTA_LOG:
+            self._marks.pop(0)
+            self._delta_floor = max(self._delta_floor, self._marks[0][0])
+        # Marks entirely below the floor are unreachable except as the
+        # baseline row count; keep exactly one at or below it.
+        while len(self._marks) > 1 and self._marks[1][0] <= self._delta_floor:
+            self._marks.pop(0)
 
     def remove_object(self, object_id: int) -> int:
         """Drop an object's segments; returns how many were removed.
 
         Rows are tombstoned (owner set to -1) so removal is O(n) without
-        rebuilding; the store compacts itself once a quarter of its rows
-        are dead.  Scans skip tombstoned rows via the owner check.
+        rebuilding.  With no compactor attached the store compacts
+        itself inline once a quarter of its rows are dead; with an
+        attached :class:`ArenaCompactor` it wakes the background thread
+        instead.  Scans skip tombstoned rows via the owner check.
         """
         with self._lock:
-            self._consolidate()
-            mask = self._owners == object_id
-            removed = int(mask.sum())
+            live = self._owners[: self._n]
+            rows = np.nonzero(live == object_id)[0].astype(np.int64)
+            removed = int(rows.size)
             if removed:
-                self._owners[mask] = -1
+                live[rows] = -1
                 self._dead += removed
                 self._epoch += 1
-                if self._dead * 4 >= self._owners.shape[0]:
-                    self.compact()
+                self._removals.append((self._epoch, rows))
+                self._trim_delta_log()
+                _M_ARENA_DEAD_ROWS.set(float(self._dead))
+                if self._dead * 4 >= self._n:
+                    if self._compactor is not None:
+                        self._compactor.wake()
+                    else:
+                        self.compact()
             return removed
 
-    def compact(self) -> None:
-        """Physically drop tombstoned rows."""
+    def dead_fraction(self) -> float:
+        """Tombstoned share of physical rows (compaction trigger input)."""
         with self._lock:
-            self._consolidate()
-            alive = self._owners >= 0
-            self._sketches = self._sketches[alive]
-            self._owners = self._owners[alive]
-            if self.keep_features:
-                self._features = self._features[alive]
-            self._dead = 0
-            self._epoch += 1
+            return self._dead / self._n if self._n else 0.0
+
+    def attach_compactor(self, compactor: Optional["ArenaCompactor"]) -> None:
+        """Hand dead-row cleanup to a background compactor (``None`` to
+        restore inline threshold compaction)."""
+        with self._lock:
+            self._compactor = compactor
+
+    def _install_compacted(
+        self,
+        sketches: np.ndarray,
+        owners: np.ndarray,
+        features: Optional[np.ndarray],
+        dead: int,
+    ) -> None:
+        # Caller holds the lock.  Installs a rewritten arena and resets
+        # the delta journal: row positions moved, so every outstanding
+        # delta consumer must full-reload (floor = new epoch).
+        n = int(owners.shape[0])
+        self._sketches = np.ascontiguousarray(sketches, dtype=np.uint64)
+        self._owners = np.ascontiguousarray(owners, dtype=np.int64)
+        if self.keep_features:
+            self._features = np.ascontiguousarray(features, dtype=np.float64)
+        self._cap = n
+        self._n = n
+        self._dead = dead
+        self._epoch += 1
+        self._compaction_epoch = self._epoch
+        self._delta_floor = self._epoch
+        self._marks = [(self._epoch, n)]
+        self._removals = []
+        _M_ARENA_COMPACTIONS.inc()
+        _M_ARENA_ROWS.set(float(n))
+        _M_ARENA_DEAD_ROWS.set(float(dead))
+        _M_ARENA_CHUNKS.set(1.0)
+
+    def compact(self) -> None:
+        """Synchronously drop tombstoned rows (full rewrite under the lock).
+
+        The background path (:meth:`maintenance_compact`) does the heavy
+        row gather outside the lock; this inline variant serves explicit
+        calls and stores without an attached compactor.
+        """
+        with self._lock:
+            t0 = time.perf_counter()
+            n = self._n
+            alive = self._owners[:n] >= 0
+            self._install_compacted(
+                self._sketches[:n][alive],
+                self._owners[:n][alive],
+                self._features[:n][alive] if self.keep_features else None,
+                dead=0,
+            )
+            _M_ARENA_COMPACT_SECONDS.observe(time.perf_counter() - t0)
+
+    def maintenance_compact(self) -> bool:
+        """Background compaction under a live/maintenance epoch split.
+
+        Phase 1 (locked) marks the arena: epoch, row count, and an
+        owners copy.  Phase 2 (unlocked) gathers the alive rows — the
+        expensive part — reading the captured arrays' immutable prefix
+        while inserts, removes, and scans proceed.  Phase 3 (locked)
+        replays tombstones recorded after the mark onto the compacted
+        positions, appends rows that arrived during phase 2 verbatim,
+        and installs the rewrite.  Returns ``True`` if a rewrite was
+        installed, ``False`` if there was nothing to do or another
+        compaction landed first.
+        """
+        with self._lock:
+            if self._dead == 0:
+                return False
+            mark_epoch = self._epoch
+            base_compaction = self._compaction_epoch
+            n0 = self._n
+            owners0 = self._owners[:n0].copy()
+            sk_ref = self._sketches
+            ft_ref = self._features if self.keep_features else None
+        # Phase 2 — outside the lock.  Rows [0:n0] of the captured
+        # arrays are immutable (appends write past n0 or into a freshly
+        # grown allocation; tombstones touch only the owners array,
+        # which was copied), so the gather reads a stable prefix.
+        t0 = time.perf_counter()
+        alive = owners0 >= 0
+        pos_map = np.cumsum(alive, dtype=np.int64) - 1
+        new_sk = sk_ref[:n0][alive]
+        new_ow = owners0[alive]
+        new_ft = ft_ref[:n0][alive] if ft_ref is not None else None
+        with self._lock:
+            if self._compaction_epoch != base_compaction:
+                return False  # another compaction landed first; abandon
+            # Replay tombstones recorded after the mark: each hits a row
+            # that was alive in owners0 (rows tombstone at most once),
+            # so pos_map translates it to its compacted position.
+            dead_after = 0
+            for e, rows in self._removals:
+                if e <= mark_epoch:
+                    continue
+                hit = rows[rows < n0]
+                if hit.size:
+                    new_ow[pos_map[hit]] = -1
+                    dead_after += int(hit.size)
+            if self._n > n0:
+                tail = slice(n0, self._n)
+                tail_ow = self._owners[tail].copy()
+                dead_after += int((tail_ow < 0).sum())
+                new_ow = np.concatenate([new_ow, tail_ow])
+                new_sk = np.concatenate([new_sk, self._sketches[tail]])
+                if new_ft is not None:
+                    new_ft = np.concatenate([new_ft, self._features[tail]])
+            self._install_compacted(new_sk, new_ow, new_ft, dead=dead_after)
+            _M_ARENA_COMPACT_SECONDS.observe(time.perf_counter() - t0)
+            return True
+
+    def arena_info(self) -> Dict[str, int]:
+        """Structural counters for ``stat`` and the churn bench."""
+        with self._lock:
+            return {
+                "rows": self._n,
+                "alive_rows": self._n - self._dead,
+                "dead_rows": self._dead,
+                "capacity": self._cap,
+                "chunks": len(self._marks),
+                "epoch": self._epoch,
+                "compaction_epoch": self._compaction_epoch,
+                "delta_floor": self._delta_floor,
+            }
 
     def __len__(self) -> int:
-        self._consolidate()
-        return self._sketches.shape[0] - self._dead
+        with self._lock:
+            return self._n - self._dead
 
     @property
     def sketch_bytes(self) -> int:
         """Total bytes of packed sketch storage (the paper's metadata claim)."""
-        return len(self) * self.n_words * 8
+        with self._lock:
+            return (self._n - self._dead) * self.n_words * 8
+
+
+class ArenaCompactor:
+    """Background thread that merges arena chunks and drops dead rows.
+
+    Polls every ``interval`` seconds (and wakes immediately when the
+    store crosses its dead-row threshold) and runs
+    :meth:`SegmentStore.maintenance_compact` whenever the tombstoned
+    fraction reaches ``dead_fraction``.  While attached, the store's
+    inline threshold compaction is disabled — cleanup happens off the
+    mutation path.
+    """
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        dead_fraction: float = 0.25,
+        interval: float = 0.05,
+    ) -> None:
+        if not (0.0 < dead_fraction <= 1.0):
+            raise ValueError("dead_fraction must be in (0, 1]")
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        self._store = store
+        self.dead_fraction = float(dead_fraction)
+        self.interval = float(interval)
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._store.attach_compactor(self)
+        self._thread = threading.Thread(
+            target=self._run, name="arena-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def wake(self) -> None:
+        """Request a compaction check without waiting for the next poll."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._store.attach_compactor(None)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def run_once(self) -> bool:
+        """One compaction pass if the dead fraction warrants it."""
+        if self._store.dead_fraction() >= self.dead_fraction:
+            return self._store.maintenance_compact()
+        return False
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            try:
+                self.run_once()
+            except Exception:
+                _M_ARENA_COMPACT_ERRORS.inc()
 
 
 # Cap on the composite-key scratch of `select_k_smallest`'s integer fast

@@ -154,6 +154,42 @@ class LSHIndex:
     def num_segments(self) -> int:
         return self._num_segments
 
+    def verify_consistency(self) -> List[str]:
+        """Audit buckets against the stored sketches; [] when clean.
+
+        Rebuilds the expected bucket membership from ``_sketches`` (the
+        ground truth the mutation paths maintain) and diffs it against
+        the live tables.  Used by the churn tests to prove that
+        interleaved add/remove sequences — including the engine's
+        rollback paths — leave no stale or missing bucket entries, and
+        that ``num_segments`` still matches the stored rows.
+        """
+        problems: List[str] = []
+        expected_segments = sum(m.shape[0] for m in self._sketches.values())
+        if expected_segments != self._num_segments:
+            problems.append(
+                f"num_segments={self._num_segments} but stored sketches "
+                f"hold {expected_segments} rows"
+            )
+        expected: List[Dict[bytes, Set[int]]] = [
+            {} for _ in self._positions
+        ]
+        for object_id, sketches in self._sketches.items():
+            for table, keys in zip(expected, self._keys_many(sketches)):
+                for key in keys:
+                    table.setdefault(key, set()).add(object_id)
+        for ti, (want, have) in enumerate(zip(expected, self._tables)):
+            if want == have:
+                continue
+            for key in set(want) | set(have):
+                w, h = want.get(key, set()), have.get(key, set())
+                if w != h:
+                    problems.append(
+                        f"table {ti} bucket {key.hex()}: "
+                        f"expected {sorted(w)}, found {sorted(h)}"
+                    )
+        return problems
+
     def bucket_stats(self) -> Tuple[float, int]:
         """(mean bucket size, max bucket size) across all tables."""
         sizes = [len(b) for table in self._tables for b in table.values()]

@@ -116,6 +116,7 @@ _M_POOL_ROUND_TRIPS = _metrics.counter("parallel.worker_round_trips")
 _M_DISPATCH_ROUND_TRIPS = _metrics.counter("parallel.dispatch_round_trips")
 _M_BACKEND = _metrics.gauge("parallel.backend")
 _M_POOL_LOADS = _metrics.counter("parallel.arena_loads")
+_M_DELTA_LOADS = _metrics.counter("arena.delta_loads")
 _M_POOL_ROWS = _metrics.gauge("parallel.arena_rows")
 _M_ERR_SHM_RELEASE = _metrics.counter("errors_absorbed.parallel.shm_release")
 _M_ERR_POOL_CLOSE = _metrics.counter("errors_absorbed.parallel.pool_close")
@@ -273,6 +274,16 @@ def choose_backend(
     if n_rows * max(1, batch_rows) >= _MIN_PROCESS_WORK:
         return "process"
     return "serial"
+
+
+def _arena_capacity(n_rows: int) -> int:
+    """Physical rows to allocate for an arena of ``n_rows`` logical rows.
+
+    The headroom is what lets :meth:`load_delta` append in place; once a
+    delta would overflow it, the pool reports "cannot apply" and the
+    caller full-loads — which re-allocates with fresh headroom.
+    """
+    return n_rows + max(n_rows // 2, 1024)
 
 
 def _resolve_start_method(name: Optional[str]) -> str:
@@ -472,8 +483,14 @@ def _worker_main(conn, quiet: bool = False, metrics_enabled: bool = True) -> Non
     registry delta (:func:`delta_snapshots`) — one round trip per batch.
     Anything else is a pickled control tuple:
 
-    - ``("load", sketch_shm, owner_shm, n_rows, n_words, bounds)`` —
-      attach the arena and view the ``bounds`` row ranges; ack ``("ok",)``.
+    - ``("load", sketch_shm, owner_shm, n_rows, n_words, bounds,
+      cap_rows)`` — attach the arena (allocated at ``cap_rows`` capacity
+      so later deltas fit in place) and view the ``bounds`` row ranges;
+      ack ``("ok",)``.
+    - ``("delta", n_rows, bounds)`` — re-cut shard views over the
+      already-attached arena after the parent wrote appended rows /
+      tombstones directly into shared memory; ack ``("ok",)``.  No row
+      bytes cross the pipe — that is the point.
     - ``("metrics",)`` — on-demand delta export; reply ``("ok", delta)``.
     - ``("info",)`` — reply ``("ok", {pid, name, quiet,
       metrics_enabled})`` (used by tests and ``parallel_info``).
@@ -489,6 +506,7 @@ def _worker_main(conn, quiet: bool = False, metrics_enabled: bool = True) -> Non
     w_compute = registry.histogram("scan.compute_seconds")
     w_queue_wait = registry.histogram("scan.queue_wait_seconds")
     w_arena_loads = registry.counter("arena.loads")
+    w_arena_deltas = registry.counter("arena.delta_loads")
     w_ooc_scans = registry.counter("outofcore.scans")
     w_ooc_rows = registry.counter("outofcore.rows_scanned")
     # Fork-mode workers inherit the parent registry's live values, so
@@ -505,6 +523,8 @@ def _worker_main(conn, quiet: bool = False, metrics_enabled: bool = True) -> Non
 
     shms: list = []
     shards: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    arena_owners: Optional[np.ndarray] = None
+    arena_sketches: Optional[np.ndarray] = None
     n_shard_rows = 0
     while True:
         try:
@@ -552,28 +572,51 @@ def _worker_main(conn, quiet: bool = False, metrics_enabled: bool = True) -> Non
                 conn.send(("ok",))
                 break
             elif kind == "load":
-                _, sketch_name, owner_name, n_rows, n_words, bounds = msg
+                (_, sketch_name, owner_name, n_rows, n_words, bounds,
+                 cap_rows) = msg
                 for shm in shms:
                     shm.close()
                 shms = []
                 shards = []
+                arena_owners = None
+                arena_sketches = None
                 n_shard_rows = 0
                 if n_rows:
                     sk_shm = _attach_shm(sketch_name)
                     ow_shm = _attach_shm(owner_name)
                     shms = [sk_shm, ow_shm]
-                    sketches = np.ndarray(
-                        (n_rows, n_words), dtype=np.uint64, buffer=sk_shm.buf
+                    # Map the whole capacity, not just the loaded rows:
+                    # a later ("delta", ...) re-cuts shard views past
+                    # n_rows without reattaching.
+                    arena_sketches = np.ndarray(
+                        (cap_rows, n_words), dtype=np.uint64, buffer=sk_shm.buf
                     )
-                    owners = np.ndarray(
-                        (n_rows,), dtype=np.int64, buffer=ow_shm.buf
+                    arena_owners = np.ndarray(
+                        (cap_rows,), dtype=np.int64, buffer=ow_shm.buf
                     )
                     shards = [
-                        (start, owners[start:stop], sketches[start:stop])
+                        (start, arena_owners[start:stop],
+                         arena_sketches[start:stop])
                         for start, stop in bounds
                     ]
                     n_shard_rows = sum(stop - start for start, stop in bounds)
                 w_arena_loads.inc()
+                conn.send(("ok",))
+            elif kind == "delta":
+                _, n_rows, bounds = msg
+                if arena_owners is None or arena_sketches is None:
+                    conn.send(("err", "delta before load"))
+                    continue
+                if n_rows > arena_owners.shape[0]:
+                    conn.send(("err", "delta exceeds arena capacity"))
+                    continue
+                shards = [
+                    (start, arena_owners[start:stop],
+                     arena_sketches[start:stop])
+                    for start, stop in bounds
+                ]
+                n_shard_rows = sum(stop - start for start, stop in bounds)
+                w_arena_deltas.inc()
                 conn.send(("ok",))
             elif kind == "metrics":
                 conn.send(("ok", _export_delta()))
@@ -678,6 +721,11 @@ class ParallelFilterPool:
         self._epoch: Optional[object] = None
         self._loaded = False
         self._owners: Optional[np.ndarray] = None
+        # Parent-side views over the live shm blocks ([:_cap_rows]); the
+        # delta path writes appended rows and tombstones through them.
+        self._sk_view: Optional[np.ndarray] = None
+        self._ow_view: Optional[np.ndarray] = None
+        self._cap_rows = 0
         self._n_rows = 0
         self._n_alive = 0
         self._n_shards = 0
@@ -787,22 +835,31 @@ class ParallelFilterPool:
                 raise ParallelScanError("pool is closed", kind="closed")
             old_shm = self._shm
             new_shm: List[object] = []
+            sk_view: Optional[np.ndarray] = None
+            ow_view: Optional[np.ndarray] = None
+            cap_rows = 0
             n_shards = 0
             if n_rows:
                 self._ensure_workers()
+                # Over-allocate so later deltas append in place instead
+                # of rebuilding the blocks (see _arena_capacity).
+                cap_rows = _arena_capacity(n_rows)
                 sk_shm = shared_memory.SharedMemory(
-                    create=True, size=sketches.nbytes
+                    create=True, size=cap_rows * n_words * 8
                 )
                 ow_shm = shared_memory.SharedMemory(
-                    create=True, size=owners.nbytes
+                    create=True, size=cap_rows * 8
                 )
                 new_shm = [sk_shm, ow_shm]
-                np.ndarray(
-                    sketches.shape, dtype=np.uint64, buffer=sk_shm.buf
-                )[...] = sketches
-                np.ndarray(
-                    owners.shape, dtype=np.int64, buffer=ow_shm.buf
-                )[...] = owners
+                sk_view = np.ndarray(
+                    (cap_rows, n_words), dtype=np.uint64, buffer=sk_shm.buf
+                )
+                ow_view = np.ndarray(
+                    (cap_rows,), dtype=np.int64, buffer=ow_shm.buf
+                )
+                sk_view[:n_rows] = sketches
+                ow_view[:n_rows] = owners
+                ow_view[n_rows:] = -1
                 bounds = shard_bounds(n_rows, self.num_workers, self.shard_rows)
                 n_shards = sum(len(ranges) for ranges in bounds)
                 try:
@@ -810,7 +867,7 @@ class ParallelFilterPool:
                         self._send(
                             conn,
                             ("load", sk_shm.name, ow_shm.name, n_rows,
-                             n_words, ranges),
+                             n_words, ranges, cap_rows),
                             "load",
                         )
                     for proc, conn in self._workers:
@@ -819,7 +876,14 @@ class ParallelFilterPool:
                     self._release_shm(new_shm)
                     raise
             self._shm = new_shm
-            self._owners = owners.copy()
+            self._sk_view = sk_view
+            self._ow_view = ow_view
+            self._cap_rows = cap_rows
+            # Private owner copy (capacity-sized): owners_of must keep
+            # working even while/after the shm blocks are retired.
+            owners_priv = np.full(max(cap_rows, n_rows), -1, dtype=np.int64)
+            owners_priv[:n_rows] = owners
+            self._owners = owners_priv
             self._n_rows = n_rows
             self._n_alive = int((owners >= 0).sum())
             self._n_shards = n_shards
@@ -828,6 +892,81 @@ class ParallelFilterPool:
             self._release_shm(old_shm)
             _M_POOL_LOADS.inc()
             _M_POOL_ROWS.set(n_rows)
+
+    def load_delta(
+        self,
+        new_owners: np.ndarray,
+        new_sketches: np.ndarray,
+        from_epoch: object,
+        to_epoch: object,
+        dead_rows: Optional[np.ndarray] = None,
+        base_rows: Optional[int] = None,
+    ) -> bool:
+        """Apply an arena delta in place; returns ``True`` if applied.
+
+        Appended rows and tombstones are written directly into the
+        shared-memory blocks (no row bytes cross the pipe); each worker
+        only receives a tiny ``("delta", n_rows, bounds)`` control
+        message re-cutting its shard views.  Returns ``False`` — and
+        leaves the pool untouched — when the delta cannot be applied
+        (epoch mismatch, no arena, capacity overflow): the caller then
+        falls back to a full :meth:`load`.  Infrastructure failures
+        (dead worker, timeout) raise :class:`ParallelScanError` exactly
+        like a full load would.
+        """
+        new_owners = np.ascontiguousarray(new_owners, dtype=np.int64)
+        new_sketches = np.ascontiguousarray(new_sketches, dtype=np.uint64)
+        if new_sketches.ndim != 2 or new_owners.shape[0] != new_sketches.shape[0]:
+            raise ValueError("owners and sketches must be parallel arrays")
+        n_new = new_owners.shape[0]
+        with self._lock:
+            if self._closed:
+                raise ParallelScanError("pool is closed", kind="closed")
+            if (
+                not self._loaded
+                or self._ow_view is None
+                or self._sk_view is None
+                or not self._workers
+            ):
+                return False
+            if self._epoch != from_epoch:
+                return False
+            if base_rows is not None and base_rows != self._n_rows:
+                return False
+            if n_new and new_sketches.shape[1] != self._sk_view.shape[1]:
+                return False
+            n0 = self._n_rows
+            new_n = n0 + n_new
+            if new_n > self._cap_rows:
+                return False
+            dead = (
+                np.asarray(dead_rows, dtype=np.int64)
+                if dead_rows is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            if dead.size and (dead.min() < 0 or dead.max() >= n0):
+                return False
+            # The protocol lock guarantees no scan is in flight, so the
+            # workers observe these writes only after acking the delta.
+            if n_new:
+                self._sk_view[n0:new_n] = new_sketches
+                self._ow_view[n0:new_n] = new_owners
+                self._owners[n0:new_n] = new_owners
+            if dead.size:
+                self._ow_view[dead] = -1
+                self._owners[dead] = -1
+            bounds = shard_bounds(new_n, self.num_workers, self.shard_rows)
+            for (proc, conn), ranges in zip(self._workers, bounds):
+                self._send(conn, ("delta", new_n, ranges), "delta load")
+            for proc, conn in self._workers:
+                self._recv(conn, "delta load")
+            self._n_rows = new_n
+            self._n_alive += int((new_owners >= 0).sum()) - int(dead.size)
+            self._n_shards = sum(len(ranges) for ranges in bounds)
+            self._epoch = to_epoch
+            _M_DELTA_LOADS.inc()
+            _M_POOL_ROWS.set(new_n)
+            return True
 
     @staticmethod
     def _release_shm(blocks) -> None:
@@ -895,6 +1034,10 @@ class ParallelFilterPool:
                 except OSError:
                     _M_ERR_POOL_CLOSE.inc()
             self._workers = []
+            # Drop the exported views before unlinking, or the buffer
+            # protocol keeps the mapping alive and close() raises.
+            self._sk_view = None
+            self._ow_view = None
             self._release_shm(self._shm)
             self._shm = []
             self._loaded = False
@@ -1097,6 +1240,10 @@ class ThreadFilterPool:
         self._epoch: Optional[object] = None
         self._loaded = False
         self._owners: Optional[np.ndarray] = None
+        # Capacity-sized backing arrays; _owners is their [:n_rows] view.
+        self._sketch_arr: Optional[np.ndarray] = None
+        self._owner_arr: Optional[np.ndarray] = None
+        self._cap_rows = 0
         self._n_rows = 0
         self._n_alive = 0
         self._n_shards = 0
@@ -1119,15 +1266,25 @@ class ThreadFilterPool:
         sketches: np.ndarray,
         epoch: Optional[object] = None,
     ) -> None:
-        """Freeze a snapshot copy and cut it into per-worker shard views."""
-        owners = np.array(owners, dtype=np.int64, copy=True)
-        sketches = np.array(sketches, dtype=np.uint64, copy=True)
+        """Freeze a snapshot copy and cut it into per-worker shard views.
+
+        The copy lands in capacity-sized arrays (see
+        :func:`_arena_capacity`) so :meth:`load_delta` can append rows
+        in place without reallocating or re-freezing the loaded prefix.
+        """
+        owners = np.asarray(owners, dtype=np.int64)
+        sketches = np.asarray(sketches, dtype=np.uint64)
         if sketches.ndim != 2 or owners.shape[0] != sketches.shape[0]:
             raise ValueError("owners and sketches must be parallel arrays")
         n_rows = sketches.shape[0]
+        cap_rows = _arena_capacity(n_rows)
+        sketch_arr = np.empty((cap_rows, sketches.shape[1]), dtype=np.uint64)
+        sketch_arr[:n_rows] = sketches
+        owner_arr = np.full(cap_rows, -1, dtype=np.int64)
+        owner_arr[:n_rows] = owners
         bounds = shard_bounds(n_rows, self.num_workers, self.shard_rows)
         per_worker = [
-            [(start, owners[start:stop], sketches[start:stop])
+            [(start, owner_arr[start:stop], sketch_arr[start:stop])
              for start, stop in ranges]
             for ranges in bounds
         ]
@@ -1137,7 +1294,10 @@ class ThreadFilterPool:
             if n_rows:
                 self._ensure_executor()
             self._shards = per_worker
-            self._owners = owners
+            self._sketch_arr = sketch_arr
+            self._owner_arr = owner_arr
+            self._cap_rows = cap_rows
+            self._owners = owner_arr[:n_rows]
             self._n_rows = n_rows
             self._n_alive = int((owners >= 0).sum())
             self._n_shards = sum(len(ranges) for ranges in bounds)
@@ -1145,6 +1305,87 @@ class ThreadFilterPool:
             self._loaded = True
             _M_POOL_LOADS.inc()
             _M_POOL_ROWS.set(n_rows)
+
+    def load_delta(
+        self,
+        new_owners: np.ndarray,
+        new_sketches: np.ndarray,
+        from_epoch: object,
+        to_epoch: object,
+        dead_rows: Optional[np.ndarray] = None,
+        base_rows: Optional[int] = None,
+    ) -> bool:
+        """Apply an arena delta in place; returns ``True`` if applied.
+
+        Only the appended chunk is written (and re-frozen via fresh
+        shard views); the loaded prefix is untouched.  Tombstones below
+        the base are applied onto a copy-on-write owner array so scans
+        already in flight — which captured views of the *old* array —
+        never observe a torn tombstone.  Returns ``False`` and leaves
+        the pool untouched when the delta cannot be applied (epoch
+        mismatch, no arena, capacity overflow); the caller then falls
+        back to a full :meth:`load`.
+        """
+        new_owners = np.ascontiguousarray(new_owners, dtype=np.int64)
+        new_sketches = np.ascontiguousarray(new_sketches, dtype=np.uint64)
+        if new_sketches.ndim != 2 or new_owners.shape[0] != new_sketches.shape[0]:
+            raise ValueError("owners and sketches must be parallel arrays")
+        n_new = new_owners.shape[0]
+        with self._lock:
+            if self._closed:
+                raise ParallelScanError("pool is closed", kind="closed")
+            if (
+                not self._loaded
+                or self._owner_arr is None
+                or self._sketch_arr is None
+            ):
+                return False
+            if self._epoch != from_epoch:
+                return False
+            if base_rows is not None and base_rows != self._n_rows:
+                return False
+            if n_new and new_sketches.shape[1] != self._sketch_arr.shape[1]:
+                return False
+            n0 = self._n_rows
+            new_n = n0 + n_new
+            if new_n > self._cap_rows:
+                return False
+            dead = (
+                np.asarray(dead_rows, dtype=np.int64)
+                if dead_rows is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            if dead.size and (dead.min() < 0 or dead.max() >= n0):
+                return False
+            if n_new:
+                # Rows past n0 are invisible to in-flight scans (their
+                # shard views stop at the old bounds), so writing them
+                # into the shared sketch/owner arrays is safe.
+                self._sketch_arr[n0:new_n] = new_sketches
+                self._owner_arr[n0:new_n] = new_owners
+            owner_arr = self._owner_arr
+            if dead.size:
+                # Copy-on-write: tombstones land below n0, inside the
+                # row ranges in-flight scans are reading.
+                owner_arr = self._owner_arr.copy()
+                owner_arr[dead] = -1
+                self._owner_arr = owner_arr
+            if new_n:
+                self._ensure_executor()
+            bounds = shard_bounds(new_n, self.num_workers, self.shard_rows)
+            self._shards = [
+                [(start, owner_arr[start:stop], self._sketch_arr[start:stop])
+                 for start, stop in ranges]
+                for ranges in bounds
+            ]
+            self._owners = owner_arr[:new_n]
+            self._n_rows = new_n
+            self._n_alive += int((new_owners >= 0).sum()) - int(dead.size)
+            self._n_shards = sum(len(ranges) for ranges in bounds)
+            self._epoch = to_epoch
+            _M_DELTA_LOADS.inc()
+            _M_POOL_ROWS.set(new_n)
+            return True
 
     def matches(self, epoch: object) -> bool:
         """True when the arena was loaded from exactly this epoch."""

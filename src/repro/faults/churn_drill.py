@@ -1,0 +1,105 @@
+"""Runnable churn workload for the crash-mid-compaction torture drill.
+
+Run as a child process (``python -m repro.faults.churn_drill <dir>
+<seed>``): builds an engine with write-through metadata at ``dir``
+(WAL fsync on every commit, so an acknowledged op is a durable op),
+turns background arena compaction up to an aggressive cadence, and
+churns inserts/removes forever, announcing every operation on stdout:
+
+    START insert <oid>
+    ACK insert <oid>
+    START remove <oid>
+    ACK remove <oid>
+
+The supervising test SIGKILLs the process at a random moment — with the
+compactor thread overwhelmingly likely mid-pass — then replays the
+printed ledger through the recovery oracle
+(:func:`repro.faults.oracle.match_prefix`) against the reopened store.
+
+Object payloads are deterministic: insert ``oid`` always carries the
+features of :func:`drill_signature(seed, oid) <drill_signature>`, so
+the supervisor can regenerate every promised object bit-for-bit and
+verify both the recovered *set* and the recovered *contents*.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from ..core import (
+    DataTypePlugin,
+    FeatureMeta,
+    ObjectSignature,
+    SimilaritySearchEngine,
+    SketchParams,
+)
+from ..metadata.manager import MetadataManager
+
+__all__ = ["DIM", "build_engine", "drill_signature"]
+
+DIM = 6
+
+
+def drill_signature(seed: int, oid: int) -> ObjectSignature:
+    """The (deterministic) object inserted as ``oid`` by a drill child."""
+    rng = np.random.default_rng(seed * 1_000_003 + oid)
+    segs = 1 + oid % 3
+    return ObjectSignature(
+        rng.random((segs, DIM)), rng.random(segs) + 0.1, object_id=oid
+    )
+
+
+def build_engine(directory: str) -> SimilaritySearchEngine:
+    """Engine wired exactly like the drill child's (for recovery too)."""
+    meta = FeatureMeta(DIM, np.zeros(DIM), np.ones(DIM))
+    return SimilaritySearchEngine(
+        DataTypePlugin("drill", meta),
+        sketch_params=SketchParams(64, meta, seed=7),
+        metadata=MetadataManager(directory, sync_policy="commit"),
+    )
+
+
+def _announce(phase: str, op: str, oid: int) -> None:
+    sys.stdout.write(f"{phase} {op} {oid}\n")
+    sys.stdout.flush()
+
+
+def run(directory: str, seed: int, max_ops: int = 100_000) -> None:
+    engine = build_engine(directory)
+    # Aggressive background compaction: near-every removal crosses the
+    # dead threshold, so a SIGKILL at a random moment almost certainly
+    # lands while a maintenance pass is in flight.
+    engine.set_compaction(True, dead_fraction=0.01, interval=0.001)
+    live: list = []
+    next_id = 0
+    for i in range(max_ops):
+        if i % 4 == 3 and len(live) > 4:
+            victim = live.pop(0)
+            _announce("START", "remove", victim)
+            engine.remove(victim)
+            _announce("ACK", "remove", victim)
+        else:
+            oid = next_id
+            next_id += 1
+            _announce("START", "insert", oid)
+            engine.insert(drill_signature(seed, oid))
+            live.append(oid)
+            _announce("ACK", "insert", oid)
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print("usage: churn_drill <dir> <seed> [max_ops]", file=sys.stderr)
+        return 2
+    run(
+        argv[0],
+        int(argv[1]),
+        int(argv[2]) if len(argv) > 2 else 100_000,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main(sys.argv[1:]))

@@ -56,7 +56,13 @@ _M_SCAN_SECONDS = _metrics.histogram("outofcore.scan_seconds")
 _M_POOL_SCANS = _metrics.counter("outofcore.pool_scans")
 _M_BLOCKS = _metrics.counter("outofcore.blocks_read")
 _M_ROWS = _metrics.counter("outofcore.rows_scanned")
+_M_DELTA_SYNCS = _metrics.counter("outofcore.delta_syncs")
 _M_ERR_POOL_FALLBACK = _metrics.counter("errors_absorbed.outofcore.pool_scan")
+
+# Rows of recent inserts retained in memory for delta pool syncs.  Past
+# this the oldest entries are dropped and a pool that lags further back
+# than the log reaches falls back to a full re-stream.
+_MAX_APPEND_LOG_ROWS = 65536
 
 
 class OutOfCoreSketchStore:
@@ -73,6 +79,21 @@ class OutOfCoreSketchStore:
         # detected as stale and reloaded before the next scan.
         self._epoch = 0
         self._pool: Optional[FilterPool] = None
+        # Append log for delta pool syncs: (epoch-after-insert, owners,
+        # sketches) per insert, covering exactly (_log_floor, _epoch].
+        # Delta rows land at the arena tail, which matches a fresh
+        # re-stream only while keys arrive in ascending order; _last_key
+        # tracks the table's known maximum key so out-of-order (or
+        # overwriting) inserts invalidate the log instead of corrupting
+        # the pool's scan-position tie rule.  None means "unknown" — a
+        # store opened over pre-existing data stays conservative until a
+        # full stream has observed the table's final key.
+        self._append_log: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        self._log_rows = 0
+        self._log_floor = 0
+        self._last_key: Optional[bytes] = (
+            b"" if store.count(_TABLE) == 0 else None
+        )
 
     @property
     def epoch(self) -> int:
@@ -88,10 +109,31 @@ class OutOfCoreSketchStore:
             raise ValueError(
                 f"expected {self.n_words}-word sketches, got {sketches.shape[1]}"
             )
+        first_key = self._key(object_id, 0)
+        last_key = self._key(object_id, sketches.shape[0] - 1)
+        in_order = self._last_key is not None and first_key > self._last_key
+        overwrite = in_order and self.store.get(_TABLE, first_key) is not None
         with self.store.begin() as txn:
             for segment, row in enumerate(sketches):
                 txn.put(_TABLE, self._key(object_id, segment), row.tobytes())
         self._epoch += 1
+        if in_order and not overwrite:
+            self._append_log.append(
+                (
+                    self._epoch,
+                    np.full(sketches.shape[0], object_id, dtype=np.int64),
+                    sketches.copy(),
+                )
+            )
+            self._log_rows += sketches.shape[0]
+            self._trim_append_log()
+        else:
+            self._invalidate_append_log()
+        # Never seed _last_key from a blind insert: the table may hold
+        # larger pre-existing keys, and guessing low would mislabel later
+        # inserts as in-order.  A completed full stream seeds it instead.
+        if self._last_key is not None and last_key > self._last_key:
+            self._last_key = last_key
 
     def num_segments(self) -> int:
         return self.store.count(_TABLE)
@@ -106,6 +148,7 @@ class OutOfCoreSketchStore:
         # previous block's last key plus a zero byte (its successor in
         # bytewise order).
         after: Optional[bytes] = None
+        scanned_to: Optional[bytes] = None
         while True:
             batch = self.store.items(_TABLE, start=after, limit=self.block_size)
             if not batch:
@@ -122,9 +165,15 @@ class OutOfCoreSketchStore:
             _M_BLOCKS.inc()
             _M_ROWS.inc(len(rows))
             yield np.asarray(owners, dtype=np.int64), matrix.astype(np.uint64)
-            after = batch[-1][0] + b"\x00"
+            scanned_to = batch[-1][0]
+            after = scanned_to + b"\x00"
             if len(batch) < self.block_size:
                 break
+        # A fully-consumed pass has observed the table's maximum key, so
+        # a store opened over pre-existing data can start serving delta
+        # syncs for subsequent in-order inserts.
+        if self._last_key is None and scanned_to is not None:
+            self._last_key = scanned_to
 
     # -- parallel scan attachment ---------------------------------------
     def attach_pool(self, pool: FilterPool) -> None:
@@ -143,6 +192,40 @@ class OutOfCoreSketchStore:
         pool, self._pool = self._pool, None
         return pool
 
+    def _invalidate_append_log(self) -> None:
+        """Forget logged inserts; pools must full-stream to catch up."""
+        self._append_log.clear()
+        self._log_rows = 0
+        self._log_floor = self._epoch
+
+    def _trim_append_log(self) -> None:
+        """Bound log memory; dropped epochs force a full re-stream."""
+        while self._log_rows > _MAX_APPEND_LOG_ROWS and self._append_log:
+            epoch, owners, _sketches = self._append_log.pop(0)
+            self._log_rows -= owners.shape[0]
+            self._log_floor = epoch
+
+    def _delta_since(
+        self, loaded: object
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Rows appended after ``loaded``, or None when unservable.
+
+        The log covers exactly ``(_log_floor, _epoch]``; anything older
+        (or an epoch tag this store didn't issue) needs a full stream.
+        """
+        if not isinstance(loaded, int) or isinstance(loaded, bool):
+            return None
+        if loaded < self._log_floor or loaded >= self._epoch:
+            return None
+        owners = [o for e, o, _s in self._append_log if e > loaded]
+        sketches = [s for e, _o, s in self._append_log if e > loaded]
+        if not owners:
+            return None
+        return (
+            np.concatenate(owners),
+            np.ascontiguousarray(np.concatenate(sketches, axis=0)),
+        )
+
     def _sync_pool(self) -> bool:
         """Load/refresh the pool arena; True when it can serve scans."""
         pool = self._pool
@@ -151,6 +234,18 @@ class OutOfCoreSketchStore:
         epoch = self._epoch
         if pool.matches(epoch):
             return True
+        loaded = pool.loaded_epoch
+        if loaded is not None:
+            delta = self._delta_since(loaded)
+            if delta is not None and pool.load_delta(
+                delta[0], delta[1], loaded, epoch
+            ):
+                # The store is append-only, so the delta carries no
+                # tombstones; the pool refused (False) only when its
+                # arena lacks capacity or the epochs raced, both of
+                # which the full stream below resolves.
+                _M_DELTA_SYNCS.inc()
+                return True
         owner_parts: List[np.ndarray] = []
         sketch_parts: List[np.ndarray] = []
         for owners, matrix in self.iter_blocks():

@@ -215,6 +215,7 @@ class CommandProcessor:
         par = self.engine.parallel_info()
         cache = par["cache"]
         tracer = self.engine.tracer
+        arena = self.engine.compaction_info()
         return [
             f"objects {stats.num_objects}",
             f"segments {stats.num_segments}",
@@ -230,6 +231,13 @@ class CommandProcessor:
             f"parallel_workers {par['workers']}",
             f"parallel_dispatch_round_trips "
             f"{self._rank_counter('parallel.dispatch_round_trips')}",
+            f"arena_chunks {arena['chunks']}",
+            f"arena_rows {arena['rows']}",
+            f"arena_dead_rows {arena['dead_rows']}",
+            f"arena_appends {self._rank_counter('arena.appends')}",
+            f"arena_compactions {self._rank_counter('arena.compactions')}",
+            f"arena_delta_loads {self._rank_counter('arena.delta_loads')}",
+            f"compaction {'on' if arena['background'] else 'off'}",
             f"cache_entries {cache['entries']}/{cache['capacity']}",
             f"cache_hits {cache['hits']}",
             f"cache_misses {cache['misses']}",
@@ -684,6 +692,12 @@ class CommandProcessor:
                 raise ProtocolError("usage: setparam parallel on|off")
             self.engine.set_parallel_enabled(flag == "on")
             return [f"parallel={flag}"]
+        elif name == "compaction":
+            flag = raw.lower()
+            if flag not in ("on", "off"):
+                raise ProtocolError("usage: setparam compaction on|off")
+            self.engine.set_compaction(flag == "on")
+            return [f"compaction={flag}"]
         elif name == "trace":
             flag = raw.lower()
             if flag not in ("on", "off"):
