@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke metrics-smoke rank-smoke cluster-smoke perf torture bench bench-parallel bench-throughput bench-check bench-recovery bench-churn
+.PHONY: test smoke metrics-smoke rank-smoke cluster-smoke cluster-obs-smoke perf torture bench bench-parallel bench-throughput bench-check bench-recovery bench-churn bench-cluster-obs
 
 # Tier-1 verification: the full fast suite (torture scans stay opt-in).
 test:
@@ -34,6 +34,21 @@ rank-smoke:
 # invariants and the acked-insert visibility oracle.
 cluster-smoke:
 	$(PYTHON) -m pytest -q tests/cluster/test_cluster_smoke.py tests/cluster/test_node_faults.py
+
+# Telemetry-plane smoke: a traced query stitched across a real
+# subprocess fleet (engine spans from every contacted node), PARTIAL
+# traces naming missing shards, the SIGKILL -> breaker-open -> failover
+# -> re-admission sequence asserted in the event journal, federation
+# with a node down, plus the trace-context/event-journal unit tests.
+cluster-obs-smoke:
+	$(PYTHON) -m pytest -q tests/cluster/test_telemetry.py tests/observability/test_context.py tests/observability/test_events.py
+
+# Cluster tracing overhead gate: traced vs untraced scatter/gather
+# through a real in-process cluster must differ by <5% (and the
+# stitched trace must cover every shard, federation every node).
+bench-cluster-obs:
+	cd benchmarks && $(PYTHON) bench_cluster_obs.py
+	$(PYTHON) benchmarks/check_regression.py --cluster-obs BENCH_cluster_obs.json
 
 # Crash-recovery gate: measure WAL replay throughput and hold it to the
 # absolute floor in check_regression.py (RECOVERY_FLOOR_KEYS).

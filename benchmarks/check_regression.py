@@ -43,6 +43,14 @@ large arena is several times the small one).  Quick-mode runs disarm
 only the timing ratio, with an explicit skip reason; the counter
 assertions always apply.
 
+``--cluster-obs`` gates a single ``BENCH_cluster_obs.json`` (from
+``bench_cluster_obs.py``): the stitched cross-node trace must carry a
+subtree from every live shard, metric federation must see every
+backend, and — when the overhead gate is armed — traced queries must
+cost under ``overhead_limit_percent`` (5%) versus untraced ones.
+Quick-mode runs disarm only the overhead ratio, with an explicit skip
+reason; the trace/federation assertions always apply.
+
 Machine-size drift is the obvious failure mode of comparing absolute
 qps across runs, which is why the default tolerance is a generous 15%
 and why the gate refuses to compare runs of different dataset sizes.
@@ -231,6 +239,56 @@ def check_churn(current: dict) -> list:
     return failures
 
 
+def check_cluster_obs(current: dict) -> list:
+    """Gate a BENCH_cluster_obs.json payload (no baseline)."""
+    failures = []
+    nodes = _lookup(current, "trace_nodes")
+    covered = _lookup(current, "trace_shards_covered")
+    shards = _lookup(current, "shards")
+    if nodes is None or covered is None or shards is None:
+        failures.append(
+            "missing trace_nodes/trace_shards_covered/shards: cannot "
+            "verify the stitched cross-node trace"
+        )
+    elif covered < shards:
+        failures.append(
+            f"stitched trace covered {covered:.0f} of {shards:.0f} "
+            "shards: a live shard contributed no subtree"
+        )
+    backends = _lookup(current, "backends")
+    nodes_up = _lookup(current, "federated_nodes_up")
+    if backends is None or nodes_up is None:
+        failures.append(
+            "missing backends/federated_nodes_up: cannot verify metric "
+            "federation"
+        )
+    elif nodes_up < backends:
+        failures.append(
+            f"federation saw {nodes_up:.0f}/{backends:.0f} nodes on a "
+            "healthy cluster"
+        )
+    limit = _lookup(current, "overhead_limit_percent") or 5.0
+    if current.get("overhead_gate_armed"):
+        overhead = _lookup(current, "cluster_obs.overhead_percent")
+        if overhead is None:
+            failures.append("gate armed but cluster_obs.overhead_percent missing")
+        elif overhead > limit:
+            failures.append(
+                f"cluster_obs.overhead_percent {overhead:.2f}% exceeds "
+                f"the {limit:.1f}% limit: tracing is no longer "
+                "pay-only-when-sampled"
+            )
+    else:
+        reason = current.get("overhead_gate_skipped_reason")
+        if not isinstance(reason, str) or not reason.strip():
+            failures.append(
+                "overhead gate disarmed without an "
+                "overhead_gate_skipped_reason — silent disarming is "
+                "exactly what this gate forbids"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on query-throughput regression vs a baseline run"
@@ -265,7 +323,51 @@ def main(argv=None) -> int:
         "through delta loads only, and per-batch refresh cost must not "
         "scale with arena size",
     )
+    parser.add_argument(
+        "--cluster-obs", action="store_true",
+        help="gate a BENCH_cluster_obs.json: stitched traces cover every "
+        "shard, federation sees every node, and traced queries cost "
+        "under the overhead limit (or an explicit skip reason)",
+    )
     args = parser.parse_args(argv)
+
+    if args.cluster_obs:
+        if args.churn or args.parallel or args.recovery or args.current is not None:
+            print(
+                "error: --cluster-obs takes a single BENCH_cluster_obs.json",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                current = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_cluster_obs(current)
+        if failures:
+            print("CLUSTER TELEMETRY REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            f"ok  stitched trace: {_lookup(current, 'trace_nodes'):.0f} node "
+            f"subtrees over {_lookup(current, 'shards'):.0f} shards, "
+            f"federation {_lookup(current, 'federated_nodes_up'):.0f}/"
+            f"{_lookup(current, 'backends'):.0f} nodes"
+        )
+        if current.get("overhead_gate_armed"):
+            print(
+                f"ok  tracing overhead: "
+                f"{_lookup(current, 'cluster_obs.overhead_percent'):.2f}% "
+                f"(limit {_lookup(current, 'overhead_limit_percent'):.1f}%)"
+            )
+        else:
+            print(
+                "ok  overhead gate skipped: "
+                f"{current.get('overhead_gate_skipped_reason')}"
+            )
+        return 0
 
     if args.churn:
         if args.parallel or args.recovery or args.current is not None:

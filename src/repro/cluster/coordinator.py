@@ -28,6 +28,24 @@ Everything is observable: ``cluster.*`` counters/gauges, per-backend
 HealthState` ledger, and per-query ``span.scatter`` / ``span.gather``
 trace spans through the standard :class:`~repro.observability.tracing.
 TraceRecorder`.
+
+The cluster telemetry plane (docs/OBSERVABILITY.md, "Cluster
+telemetry") adds three cross-node facilities:
+
+- **trace propagation** — a traced query forwards a child
+  :class:`~repro.observability.context.TraceContext` on every scatter
+  line; each backend piggybacks its engine-level span tree on the reply,
+  and the coordinator stitches the subtrees under
+  ``node.<shard>.<backend>`` with the derived network/queue vs engine
+  time split, naming the laggard node and any missing shards;
+- **federated metrics** — :meth:`FerretCoordinator.collect_node_metrics`
+  pulls every backend's snapshot (``metrics -s``), folds the *delta*
+  since the last pull under ``node.<i>.*``, and derives rollups
+  (``cluster.nodes_up``, per-shard QPS, per-node p99);
+- **event journal** — breaker transitions, failovers, hedged-read wins,
+  re-admissions, and under-replicated writes are recorded in the
+  process :class:`~repro.observability.events.EventLog` so a failure
+  drill leaves a provable postmortem timeline.
 """
 
 from __future__ import annotations
@@ -43,9 +61,12 @@ import numpy as np
 from ..core.filtering import select_k_smallest
 from ..core.parallel import QueryResultCache
 from ..core.ranking import SearchResult
+from ..observability import context as _trace_context
 from ..observability import metrics as _metrics
+from ..observability.context import TraceContext, TraceStore
+from ..observability.events import get_event_log
 from ..observability.log import get_logger
-from ..observability.tracing import TraceRecorder
+from ..observability.tracing import QueryTrace, TraceRecorder
 from ..server.client import (
     ClientError,
     ClientTimeout,
@@ -83,6 +104,8 @@ _M_READMITTED = _metrics.counter("cluster.backends_readmitted")
 _M_WRITES = _metrics.counter("cluster.writes")
 _M_UNDER_REPLICATED = _metrics.counter("cluster.under_replicated_writes")
 _M_AVAILABLE = _metrics.gauge("cluster.backends_available")
+_M_NODES_UP = _metrics.gauge("cluster.nodes_up")
+_M_FEDERATIONS = _metrics.counter("cluster.metric_federations")
 
 
 class ClusterError(RuntimeError):
@@ -183,6 +206,16 @@ class BackendHandle:
         self._idle: List[FerretClient] = []
         self.requests = _metrics.counter(f"cluster.backend.{backend_id}.requests")
         self.errors = _metrics.counter(f"cluster.backend.{backend_id}.errors")
+        #: Round-trip latency of requests *this backend answered* — the
+        #: replica that actually served, not the one first asked (see
+        #: the hedged-read accounting note in docs/OBSERVABILITY.md).
+        self.latency = _metrics.histogram(f"cluster.backend.{backend_id}.seconds")
+        self.hedge_wins = _metrics.counter(
+            f"cluster.backend.{backend_id}.hedge_wins"
+        )
+        self.hedge_losses = _metrics.counter(
+            f"cluster.backend.{backend_id}.hedge_losses"
+        )
 
     @property
     def address(self) -> str:
@@ -200,9 +233,12 @@ class BackendHandle:
 
     def send(self, line: str, timeout: Optional[float] = None) -> List[str]:
         """One round trip on a pooled connection; never retries itself
-        (failover policy lives in the coordinator)."""
+        (failover policy lives in the coordinator).  Latency is observed
+        against *this* backend — the replica whose answer came back —
+        so hedged and failed-over reads attribute correctly."""
         self.requests.inc()
         client = self._checkout()
+        started = time.perf_counter()
         try:
             lines = client.send(line, timeout=timeout)
         except (ServerDegraded, ClientError) as exc:
@@ -213,6 +249,7 @@ class BackendHandle:
             else:
                 client.close()
             raise exc
+        self.latency.observe(time.perf_counter() - started)
         self._checkin(client)
         return lines
 
@@ -267,11 +304,21 @@ class FerretCoordinator:
                 )
             )
             _metrics.gauge(f"cluster.backend.{backend_id}.breaker_state").set(0)
+            _metrics.gauge(f"cluster.breaker.state.{backend_id}").set(0)
         _M_AVAILABLE.set(len(self.handles))
+        _M_NODES_UP.set(len(self.handles))
         self._id_lock = threading.Lock()
         self._next_id: Optional[int] = None
         self._stop = threading.Event()
         self._prober: Optional[threading.Thread] = None
+        # Stitched cross-node traces, fetchable via `trace get <id>`.
+        self.trace_store = TraceStore()
+        # Federation state: the last snapshot pulled from each backend
+        # (merge_snapshot accumulates counters, so only *deltas* fold
+        # in) plus per-shard counter readings for the QPS rollup.
+        self._federation_lock = threading.Lock()
+        self._node_snapshots: Dict[int, Dict[str, tuple]] = {}
+        self._shard_query_marks: Dict[int, Tuple[float, int]] = {}
         # Result cache: epoch = (write, topology).  Writes move the
         # write epoch; breaker transitions move the topology epoch, so a
         # failover or re-admission (which may change which replica — and
@@ -289,15 +336,24 @@ class FerretCoordinator:
     # ------------------------------------------------------------------
     def _transition_recorder(self, backend_id: int):
         gauge = _metrics.gauge(f"cluster.backend.{backend_id}.breaker_state")
+        state_gauge = _metrics.gauge(f"cluster.breaker.state.{backend_id}")
 
         def on_transition(old: BreakerState, new: BreakerState) -> None:
             gauge.set(new.gauge_value)
+            state_gauge.set(new.gauge_value)
             self._topology_epoch += 1
             _LOG.warning(
                 "breaker_transition",
                 backend=backend_id,
                 old=old.value,
                 new=new.value,
+            )
+            get_event_log().record(
+                "breaker_transition",
+                backend=backend_id,
+                old=old.value,
+                new=new.value,
+                topology_epoch=self._topology_epoch,
             )
             self._refresh_available()
 
@@ -359,6 +415,12 @@ class FerretCoordinator:
         successful answer wins.  Raises :class:`ShardUnavailable` when
         every replica failed, or the first non-failover
         :class:`ClientError` (a real answer) immediately.
+
+        Accounting is by the replica that *answered*: the winner of a
+        hedged race gets the ``hedge_wins`` credit (and its latency,
+        observed inside :meth:`BackendHandle.send`), every other replica
+        the race started gets a ``hedge_losses`` mark — the winner is
+        never folded into the first-asked replica's numbers.
         """
         replicas = self.shard_map.replicas(shard)
         hedge = self.config.hedge_delay
@@ -375,12 +437,14 @@ class FerretCoordinator:
         started = 0
         outstanding = 0
         hedged = False
+        launched: List[int] = []
         failures: List[Tuple[int, Exception]] = []
         while started < len(replicas) or outstanding:
             if started < len(replicas) and outstanding == 0:
                 threading.Thread(
                     target=attempt, args=(replicas[started],), daemon=True
                 ).start()
+                launched.append(replicas[started])
                 started += 1
                 outstanding += 1
             wait = hedge if (hedge is not None and started < len(replicas)) else None
@@ -394,13 +458,30 @@ class FerretCoordinator:
                 threading.Thread(
                     target=attempt, args=(replicas[started],), daemon=True
                 ).start()
+                launched.append(replicas[started])
                 started += 1
                 outstanding += 1
                 continue
             outstanding -= 1
             if exc is None:
-                if backend_id != replicas[0] and not hedged:
+                if hedged:
+                    self.handles[backend_id].hedge_wins.inc()
+                    for other in launched:
+                        if other != backend_id:
+                            self.handles[other].hedge_losses.inc()
+                    get_event_log().record(
+                        "hedged_win", shard=shard, winner=backend_id,
+                        raced=len(launched),
+                    )
+                elif backend_id != replicas[0]:
                     _M_FAILOVERS.inc()
+                    get_event_log().record(
+                        "failover",
+                        shard=shard,
+                        backend=backend_id,
+                        primary=replicas[0],
+                        failed=",".join(str(b) for b, _ in failures),
+                    )
                 return backend_id, lines
             if not isinstance(exc, FAILOVER_ERRORS):
                 raise exc  # a well-formed ERR answer: propagate, don't mask
@@ -454,35 +535,60 @@ class FerretCoordinator:
         line_for_shard,
         parse,
         trace,
-    ) -> Tuple[Dict[int, object], Tuple[int, ...], Dict[int, int]]:
+        trace_ctx: Optional[TraceContext] = None,
+    ) -> Tuple[
+        Dict[int, object],
+        Tuple[int, ...],
+        Dict[int, int],
+        Dict[str, Dict[str, object]],
+    ]:
         """Run one request per shard concurrently; collect live answers.
 
         ``line_for_shard(shard)`` builds the wire line; ``parse(lines)``
         decodes one backend's response.  Returns ``(per_shard_payload,
-        missing_shards, served_by)``.
+        missing_shards, served_by, node_subtrees)``.
+
+        With ``trace_ctx`` set, every scatter line carries the child
+        context (``trace=``) and the piggybacked ``TRACE`` reply line is
+        stripped before ``parse`` sees the data; the decoded subtree is
+        keyed ``<shard>.<backend>`` and annotated with the shard call's
+        round-trip time (``rpc_seconds``), from which the stitcher
+        derives the network/queue share.
         """
         results: Dict[int, object] = {}
         served_by: Dict[int, int] = {}
+        subtrees: Dict[str, Dict[str, object]] = {}
         missing: List[int] = []
         lock = threading.Lock()
+        child = trace_ctx.child() if trace_ctx is not None else None
 
         def run(shard: int) -> None:
             shard_started = time.perf_counter()
+            line = line_for_shard(shard)
+            if child is not None:
+                line = f"{line} trace={child.to_wire()}"
             try:
-                backend_id, lines = self._shard_call(shard, line_for_shard(shard))
+                backend_id, lines = self._shard_call(shard, line)
             except ShardUnavailable:
                 with lock:
                     missing.append(shard)
                 return
+            rpc_seconds = time.perf_counter() - shard_started
+            subtree: Optional[Dict[str, object]] = None
+            if child is not None:
+                try:
+                    lines, subtree = _trace_context.split_trace_line(lines)
+                except ValueError:
+                    subtree = None  # junk payload: keep the data lines
             payload = parse(lines)
             with lock:
                 results[shard] = payload
                 served_by[shard] = backend_id
+                if subtree is not None:
+                    subtree["rpc_seconds"] = rpc_seconds
+                    subtrees[f"{shard}.{backend_id}"] = subtree
             if trace is not None:
-                trace.add_span(
-                    f"scatter.shard.{shard}",
-                    seconds=time.perf_counter() - shard_started,
-                )
+                trace.add_span(f"scatter.shard.{shard}", seconds=rpc_seconds)
 
         threads = [
             threading.Thread(target=run, args=(shard,), daemon=True)
@@ -492,7 +598,60 @@ class FerretCoordinator:
             thread.start()
         for thread in threads:
             thread.join()
-        return results, tuple(sorted(missing)), served_by
+        return results, tuple(sorted(missing)), served_by, subtrees
+
+    def _effective_context(
+        self, trace_context: Optional[TraceContext], trace: Optional[QueryTrace]
+    ) -> Optional[TraceContext]:
+        """The context to propagate: the caller's, or a fresh one when
+        coordinator-local tracing is on (so backends get traced too)."""
+        if trace_context is not None:
+            return trace_context if trace_context.sampled else None
+        if trace is not None:
+            return TraceContext.generate()
+        return None
+
+    def _stitch_trace(
+        self,
+        trace: QueryTrace,
+        ctx: TraceContext,
+        subtrees: Dict[str, Dict[str, object]],
+        missing: Tuple[int, ...],
+    ) -> Dict[str, object]:
+        """Fold per-node subtrees into the coordinator trace.
+
+        Each contacted node contributes one ``node.<shard>.<backend>``
+        span splitting its round trip into engine time (the subtree's
+        own total) and the derived network/queue remainder; the node
+        with the largest round trip is named the *laggard* (the one a
+        slow-query postmortem should look at first), and a PARTIAL
+        answer names its missing shards.  The full stitched tree —
+        coordinator stages plus every node's engine-level subtree — is
+        stored under the trace id for ``trace get <id>``.
+        """
+        if missing:
+            trace.note("missing_shards", ",".join(str(s) for s in missing))
+        laggard: Optional[str] = None
+        laggard_rpc = -1.0
+        for key in sorted(subtrees):
+            sub = subtrees[key]
+            rpc = float(sub.get("rpc_seconds", 0.0))
+            engine = float(sub.get("total_seconds", 0.0))
+            trace.add_span(
+                f"node.{key}",
+                rpc=rpc,
+                engine=engine,
+                net_queue=max(0.0, rpc - engine),
+            )
+            if rpc > laggard_rpc:
+                laggard, laggard_rpc = key, rpc
+        if laggard is not None:
+            trace.note("laggard", laggard)
+        tree = trace.to_dict()
+        tree["trace_id"] = ctx.trace_id
+        tree["nodes"] = dict(subtrees)
+        self.trace_store.put(ctx.trace_id, tree)
+        return tree
 
     def _account_missing(self, missing: Tuple[int, ...]) -> None:
         if missing:
@@ -505,7 +664,11 @@ class FerretCoordinator:
             self.health.mark_healthy("cluster")
 
     def query(
-        self, object_id: int, top_k: int = 10, method: str = "filtering"
+        self,
+        object_id: int,
+        top_k: int = 10,
+        method: str = "filtering",
+        trace_context: Optional[TraceContext] = None,
     ) -> ClusterResult:
         """Cluster-wide similarity search seeded by an indexed object.
 
@@ -515,12 +678,20 @@ class FerretCoordinator:
         entirely unreachable are reported in ``missing_shards`` rather
         than failing the query; losing the *seed's* shard (no replica
         can even produce the signature) raises :class:`ClusterError`.
+
+        A sampled ``trace_context`` makes this an explicitly traced
+        query: the context is forwarded on every scatter line, the
+        per-node subtrees are stitched under the context's trace id
+        (:meth:`_stitch_trace`), and the result cache is bypassed so
+        the trace reflects real cluster work, not a coordinator-local
+        cache hit.
         """
         started = time.perf_counter()
         _M_QUERIES.inc()
+        traced = trace_context is not None and trace_context.sampled
         cache_key = ("query", int(object_id), int(top_k), method)
         epoch = self._cache_epoch()
-        hit = self._cache.lookup(epoch, cache_key)
+        hit = None if traced else self._cache.lookup(epoch, cache_key)
         if hit is not None:
             merged, served_by = hit
             self.tracer.observe_total(
@@ -528,6 +699,9 @@ class FerretCoordinator:
             )
             return ClusterResult(list(merged), (), dict(served_by))
         trace = self.tracer.begin("cluster", 1)
+        if trace is None and traced:
+            trace = QueryTrace("cluster", 1)
+        ctx = self._effective_context(trace_context, trace)
         seed_b64 = self._fetch_signature(object_id)
         line = (
             f"querysig {seed_b64} top={int(top_k)} method={quote(method)} "
@@ -537,13 +711,16 @@ class FerretCoordinator:
         # mod/residue restricts each backend's answer to the target
         # shard's objects: a backend hosts R shards, and without the
         # restriction every replica would answer with overlapping sets.
-        per_shard, missing, served_by = self._scatter(
+        per_shard, missing, served_by, subtrees = self._scatter(
             lambda shard: f"{line} mod={self.shard_map.num_shards} residue={shard}",
             self._parse_results,
             trace,
+            trace_ctx=ctx,
         )
         scatter_seconds = time.perf_counter() - scatter_started
         _M_SCATTER_SECONDS.observe(scatter_seconds)
+        for shard in per_shard:
+            _metrics.counter(f"cluster.shard.{shard}.queries").inc()
         gather_started = time.perf_counter()
         merged = self.merge_ranked(list(per_shard.values()), top_k)
         gather_seconds = time.perf_counter() - gather_started
@@ -552,7 +729,7 @@ class FerretCoordinator:
         # Cache only full answers, and only if neither a write nor a
         # breaker transition moved the epoch mid-flight (a moved epoch
         # means this answer may already be stale).
-        if not missing and self._cache_epoch() == epoch:
+        if not traced and not missing and self._cache_epoch() == epoch:
             self._cache.store(
                 epoch, cache_key, (tuple(merged), dict(served_by))
             )
@@ -564,6 +741,8 @@ class FerretCoordinator:
             trace.add_count("shards_answered", len(per_shard))
             trace.add_count("shards_missing", len(missing))
             self.tracer.finish(trace, elapsed)
+            if ctx is not None:
+                self._stitch_trace(trace, ctx, subtrees, missing)
         else:
             self.tracer.observe_total("cluster", 1, elapsed)
         return ClusterResult(merged, missing, served_by)
@@ -573,27 +752,32 @@ class FerretCoordinator:
         object_ids: Sequence[int],
         top_k: int = 10,
         method: str = "filtering",
+        trace_context: Optional[TraceContext] = None,
     ) -> List[ClusterResult]:
         """Batch cluster search through the backends' fused pipeline.
 
         All seed signatures are fetched first (each from its owning
         shard), then every shard receives *one* ``querysigmany`` call
         carrying the whole batch, so the per-command overhead is paid
-        per shard, not per query.
+        per shard, not per query.  A sampled ``trace_context`` traces
+        the whole batch under one stitched tree (and bypasses the
+        result cache, as in :meth:`query`).
         """
         object_ids = list(object_ids)
         if not object_ids:
             return []
         started = time.perf_counter()
         _M_QUERIES.inc()
+        traced = trace_context is not None and trace_context.sampled
         epoch = self._cache_epoch()
         keys = [("query", int(oid), int(top_k), method) for oid in object_ids]
         out: List[Optional[ClusterResult]] = [None] * len(object_ids)
-        for i, key in enumerate(keys):
-            hit = self._cache.lookup(epoch, key)
-            if hit is not None:
-                merged, served_by = hit
-                out[i] = ClusterResult(list(merged), (), dict(served_by))
+        if not traced:
+            for i, key in enumerate(keys):
+                hit = self._cache.lookup(epoch, key)
+                if hit is not None:
+                    merged, served_by = hit
+                    out[i] = ClusterResult(list(merged), (), dict(served_by))
         miss = [i for i in range(len(object_ids)) if out[i] is None]
         if not miss:
             self.tracer.observe_total(
@@ -602,6 +786,9 @@ class FerretCoordinator:
             return out  # type: ignore[return-value]
         miss_ids = [object_ids[i] for i in miss]
         trace = self.tracer.begin("cluster", len(miss_ids))
+        if trace is None and traced:
+            trace = QueryTrace("cluster", len(miss_ids))
+        ctx = self._effective_context(trace_context, trace)
         seeds = [self._fetch_signature(oid) for oid in miss_ids]
         line = (
             f"querysigmany {','.join(seeds)} top={int(top_k)} "
@@ -617,15 +804,18 @@ class FerretCoordinator:
             return batches
 
         scatter_started = time.perf_counter()
-        per_shard, missing, served_by = self._scatter(
+        per_shard, missing, served_by, subtrees = self._scatter(
             lambda shard: f"{line} mod={self.shard_map.num_shards} residue={shard}",
             parse,
             trace,
+            trace_ctx=ctx,
         )
         scatter_seconds = time.perf_counter() - scatter_started
         _M_SCATTER_SECONDS.observe(scatter_seconds)
+        for shard in per_shard:
+            _metrics.counter(f"cluster.shard.{shard}.queries").inc(len(miss_ids))
         gather_started = time.perf_counter()
-        cacheable = not missing and self._cache_epoch() == epoch
+        cacheable = not traced and not missing and self._cache_epoch() == epoch
         for pos, i in enumerate(miss):
             merged = self.merge_ranked(
                 [batches[pos] for batches in per_shard.values()], top_k
@@ -646,6 +836,8 @@ class FerretCoordinator:
             trace.add_count("shards_answered", len(per_shard))
             trace.add_count("shards_missing", len(missing))
             self.tracer.finish(trace, elapsed)
+            if ctx is not None:
+                self._stitch_trace(trace, ctx, subtrees, missing)
         else:
             self.tracer.observe_total("cluster", len(object_ids), elapsed)
         return out  # type: ignore[return-value]
@@ -705,6 +897,13 @@ class FerretCoordinator:
                 "replication",
                 f"object {object_id} on {acks}/{self.shard_map.replication} replicas",
             )
+            get_event_log().record(
+                "under_replicated_write",
+                object_id=object_id,
+                shard=shard,
+                acks=acks,
+                replication=self.shard_map.replication,
+            )
         return object_id
 
     # ------------------------------------------------------------------
@@ -713,12 +912,75 @@ class FerretCoordinator:
     def count(self) -> Tuple[int, Tuple[int, ...]]:
         """Total objects across shards (replicas counted once) plus the
         shards that could not be counted."""
-        per_shard, missing, _ = self._scatter(
+        per_shard, missing, _, _ = self._scatter(
             lambda shard: f"countmod {self.shard_map.num_shards} {shard}",
             lambda lines: int(lines[0]),
             None,
         )
         return sum(per_shard.values()), missing
+
+    # ------------------------------------------------------------------
+    # Federated metrics
+    # ------------------------------------------------------------------
+    def collect_node_metrics(self) -> int:
+        """Pull every backend's metrics snapshot and fold it in.
+
+        Each reachable backend answers ``metrics -s`` with its full
+        registry snapshot; the coordinator keeps the previous snapshot
+        per backend and merges only the :func:`~repro.observability.
+        metrics.delta_snapshots` *delta* under ``node.<i>.*`` —
+        ``merge_snapshot`` accumulates counters, so re-merging full
+        snapshots would double-count.  Derived rollups:
+
+        - ``cluster.nodes_up`` — backends that answered this pull;
+        - ``cluster.shard.<s>.qps`` — per-shard query rate since the
+          previous pull (from the coordinator's own per-shard counters);
+        - ``cluster.node.<i>.query_p99_ms`` — each node's engine-level
+          p99 from its federated ``engine.query_seconds`` histogram.
+
+        A node that is down is simply skipped (its ``node.<i>.*`` series
+        go stale and ``cluster.nodes_up`` drops); no exception escapes.
+        Returns the number of nodes that answered.
+        """
+        registry = _metrics.get_registry()
+        up = 0
+        with self._federation_lock:
+            for handle in self.handles:
+                try:
+                    lines = self._call_backend(
+                        handle.backend_id, "metrics -s",
+                        timeout=self.config.probe_timeout,
+                    )
+                    snapshot = _metrics.decode_snapshot(lines[0])
+                except FAILOVER_ERRORS + (ClientError, ValueError, IndexError):
+                    continue
+                up += 1
+                previous = self._node_snapshots.get(handle.backend_id, {})
+                delta = _metrics.delta_snapshots(previous, snapshot)
+                self._node_snapshots[handle.backend_id] = snapshot
+                registry.merge_snapshot(delta, prefix=f"node.{handle.backend_id}.")
+                hist = registry.get(f"node.{handle.backend_id}.engine.query_seconds")
+                if hist is not None and getattr(hist, "count", 0):
+                    _metrics.gauge(
+                        f"cluster.node.{handle.backend_id}.query_p99_ms"
+                    ).set(hist.quantile(0.99) * 1000.0)
+            now = time.monotonic()
+            for shard in range(self.shard_map.num_shards):
+                counter = registry.get(f"cluster.shard.{shard}.queries")
+                total = int(counter.value) if counter is not None else 0
+                mark = self._shard_query_marks.get(shard)
+                self._shard_query_marks[shard] = (now, total)
+                if mark is None:
+                    continue
+                then, before = mark
+                window = now - then
+                if window > 0:
+                    _metrics.gauge(f"cluster.shard.{shard}.qps").set(
+                        (total - before) / window
+                    )
+        _M_NODES_UP.set(up)
+        _M_FEDERATIONS.inc()
+        return up
 
     def status_lines(self) -> List[str]:
         """``key value`` lines for the ``cluster`` protocol command."""
@@ -776,6 +1038,11 @@ class FerretCoordinator:
             _M_READMITTED.inc()
             readmitted += 1
             _LOG.info(
+                "backend_readmitted",
+                backend=handle.backend_id,
+                address=handle.address,
+            )
+            get_event_log().record(
                 "backend_readmitted",
                 backend=handle.backend_id,
                 address=handle.address,

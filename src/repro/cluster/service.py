@@ -24,7 +24,9 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence, Tuple
 
+from ..observability import context as _trace_context
 from ..observability import metrics as _metrics
+from ..observability.events import get_event_log
 from ..server.protocol import Command, ProtocolError
 from .coordinator import ClusterConfig, ClusterResult, FerretCoordinator
 
@@ -84,35 +86,69 @@ class ClusterCommandProcessor:
         total, missing = self.coordinator.count()
         return _partial_prefix(missing) + [str(total)]
 
+    @staticmethod
+    def _trace_context_from(command: Command):
+        """The ``trace=`` context, if the request carried one."""
+        token = command.get("trace")
+        if token is None:
+            return None
+        try:
+            return _trace_context.TraceContext.parse(token)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+    def _trace_reply(self, ctx) -> List[str]:
+        """The piggybacked ``TRACE`` line for a traced cluster answer
+        (the stitched tree the coordinator just stored)."""
+        if ctx is None or not ctx.sampled:
+            return []
+        tree = self.coordinator.trace_store.get(ctx.trace_id)
+        if tree is None:
+            return []
+        payload = _trace_context.encode_trace(tree)
+        return [f"{_trace_context.TRACE_LINE_PREFIX}{ctx.trace_id} {payload}"]
+
     def _cmd_query(self, command: Command) -> List[str]:
         if len(command.args) != 1:
-            raise ProtocolError("usage: query <object_id> [top=] [method=]")
+            raise ProtocolError(
+                "usage: query <object_id> [top=] [method=] [trace=]"
+            )
         try:
             object_id = int(command.args[0])
         except ValueError:
             raise ProtocolError(f"bad object id {command.args[0]!r}") from None
         top_k = int(command.get("top", "10"))
         method = command.get("method", "filtering")
+        ctx = self._trace_context_from(command)
         try:
-            result = self.coordinator.query(object_id, top_k=top_k, method=method)
+            result = self.coordinator.query(
+                object_id, top_k=top_k, method=method, trace_context=ctx
+            )
         except Exception as exc:
             # A ClientError relayed from a backend's well-formed ERR
             # answer (e.g. "unknown object N") is a bad request here too.
             raise ProtocolError(str(exc)) from exc
-        return _partial_prefix(result.missing_shards) + self._render(result)
+        return (
+            _partial_prefix(result.missing_shards)
+            + self._render(result)
+            + self._trace_reply(ctx)
+        )
 
     def _cmd_querymany(self, command: Command) -> List[str]:
         if not command.args:
-            raise ProtocolError("usage: querymany <id> [<id> ...] [top=] [method=]")
+            raise ProtocolError(
+                "usage: querymany <id> [<id> ...] [top=] [method=] [trace=]"
+            )
         try:
             object_ids = [int(a) for a in command.args]
         except ValueError:
             raise ProtocolError("querymany takes integer object ids") from None
         top_k = int(command.get("top", "10"))
         method = command.get("method", "filtering")
+        ctx = self._trace_context_from(command)
         try:
             results = self.coordinator.query_many(
-                object_ids, top_k=top_k, method=method
+                object_ids, top_k=top_k, method=method, trace_context=ctx
             )
         except Exception as exc:
             raise ProtocolError(str(exc)) from exc
@@ -120,7 +156,7 @@ class ClusterCommandProcessor:
         lines = _partial_prefix(missing)
         for index, result in enumerate(results):
             lines.extend(self._render(result, with_index=index))
-        return lines
+        return lines + self._trace_reply(ctx)
 
     def _cmd_insertfile(self, command: Command) -> List[str]:
         if len(command.args) != 1:
@@ -139,29 +175,105 @@ class ClusterCommandProcessor:
         return [str(object_id)]
 
     def _cmd_metrics(self, command: Command) -> List[str]:
+        """``metrics [-p|-s] [prefix]``: the coordinator registry with
+        every backend's snapshot federated in first (``node.<i>.*`` plus
+        rollups; see :meth:`FerretCoordinator.collect_node_metrics`)."""
         prometheus = False
+        snapshot = False
         prefix: Optional[str] = None
         for arg in command.args:
             if arg == "-p":
                 prometheus = True
+            elif arg == "-s":
+                snapshot = True
             elif prefix is None:
                 prefix = arg
             else:
-                raise ProtocolError("usage: metrics [-p] [prefix]")
+                raise ProtocolError("usage: metrics [-p|-s] [prefix]")
+        if prometheus and snapshot:
+            raise ProtocolError("usage: metrics [-p|-s] [prefix]")
+        self.coordinator.collect_node_metrics()
         registry = _metrics.get_registry()
+        if snapshot:
+            state = registry.snapshot()
+            if prefix:
+                state = {
+                    name: value
+                    for name, value in state.items()
+                    if name.startswith(prefix)
+                }
+            return [_metrics.encode_snapshot(state)]
         if prometheus:
             return registry.render_prometheus(prefix=prefix)
         return registry.render(prefix=prefix)
 
     def _cmd_trace(self, command: Command) -> List[str]:
         tracer = self.coordinator.tracer
+        args = list(command.args)
+        tree = "--tree" in args
+        if tree:
+            args.remove("--tree")
+        if args and args[0] == "slow":
+            try:
+                limit = int(args[1]) if len(args) > 1 else 10
+            except ValueError:
+                raise ProtocolError("usage: trace slow [n] [--tree]") from None
+            if limit <= 0 or len(args) > 2:
+                raise ProtocolError("usage: trace slow [n] [--tree]")
+            lines = [f"slow_queries_total {tracer.slow_log.total_recorded}"]
+            for i, entry in enumerate(tracer.slow_log.entries()[-limit:]):
+                if tree:
+                    lines.extend(
+                        _trace_context.render_trace_tree(entry.to_dict())
+                    )
+                else:
+                    note = entry.notes.get("missing_shards")
+                    partial = f" PARTIAL={note}" if note else ""
+                    laggard = entry.notes.get("laggard")
+                    slowest = f" laggard={laggard}" if laggard else ""
+                    lines.append(
+                        f"{i} method={entry.method} queries={entry.num_queries} "
+                        f"total_seconds={entry.total_seconds:.6f}"
+                        f"{partial}{slowest}"
+                    )
+            return lines
+        if args and args[0] == "get":
+            if len(args) != 2:
+                raise ProtocolError("usage: trace get <id> [--tree]")
+            stored = self.coordinator.trace_store.get(args[1])
+            if stored is None:
+                raise ProtocolError(f"unknown trace id {args[1]!r}")
+            if tree:
+                return _trace_context.render_trace_tree(stored)
+            return _trace_context.trace_lines(stored)
+        if args:
+            raise ProtocolError("usage: trace [get <id>|slow [n]] [--tree]")
         last = tracer.last
         if last is None:
             return [
                 f"tracing {'on' if tracer.enabled else 'off'}",
                 "no_trace_recorded",
             ]
+        if tree:
+            return _trace_context.render_trace_tree(last.to_dict())
         return last.lines()
+
+    def _cmd_events(self, command: Command) -> List[str]:
+        """``events [n]``: the coordinator's event journal — breaker
+        transitions, failovers, hedged wins, re-admissions — oldest
+        first (the postmortem timeline; see docs/OBSERVABILITY.md)."""
+        limit: Optional[int] = None
+        if command.args:
+            try:
+                limit = int(command.args[0])
+            except ValueError:
+                raise ProtocolError("usage: events [n]") from None
+            if limit < 0 or len(command.args) > 1:
+                raise ProtocolError("usage: events [n]")
+        journal = get_event_log()
+        lines = [f"events_total {journal.total_recorded}"]
+        lines.extend(event.line() for event in journal.tail(limit))
+        return lines
 
     def _cmd_setparam(self, command: Command) -> List[str]:
         if len(command.args) != 2:

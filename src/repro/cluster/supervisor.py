@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
+from ..observability.events import get_event_log
 from ..observability.log import get_logger
 from .topology import ShardMap
 
@@ -109,6 +110,9 @@ class BackendProcess:
             pid=self._proc.pid,
             port=self.port,
         )
+        get_event_log().record(
+            "node_start", node=self.index, pid=self._proc.pid, port=self.port
+        )
 
     def _wait_ready(self, timeout: float) -> int:
         """Parse ``READY <port>`` off the child's stdout with a deadline."""
@@ -170,6 +174,7 @@ class BackendProcess:
             pass
         self._proc.wait()
         _LOG.info("backend_killed", index=self.index)
+        get_event_log().record("node_kill", node=self.index)
 
     def hang(self) -> None:
         """SIGSTOP: gray failure — accepts connections, never answers."""
@@ -178,6 +183,7 @@ class BackendProcess:
         self._proc.send_signal(signal.SIGSTOP)
         self._stopped = True
         _LOG.info("backend_hung", index=self.index)
+        get_event_log().record("node_hang", node=self.index)
 
     def resume(self) -> None:
         """SIGCONT: un-hang a SIGSTOPped backend."""
@@ -186,11 +192,13 @@ class BackendProcess:
         self._proc.send_signal(signal.SIGCONT)
         self._stopped = False
         _LOG.info("backend_resumed", index=self.index)
+        get_event_log().record("node_resume", node=self.index)
 
     def restart(self, timeout: float = _READY_TIMEOUT) -> None:
         """Kill (if needed) and relaunch on the *same* port."""
         self.kill()
         self.start(timeout=timeout)
+        get_event_log().record("node_restart", node=self.index, port=self.port)
 
     def close(self) -> None:
         self.kill()

@@ -12,11 +12,28 @@ north star needs more than offline benchmarks):
 - :mod:`~repro.observability.log` — a structured stderr logger for
   server/web startup and degraded-mode events (keeping stdout clean for
   the scripted command protocol).
+- :mod:`~repro.observability.context` — cross-node trace propagation:
+  :class:`TraceContext` carried as the ``trace=`` wire argument,
+  piggybacked span trees, the :class:`TraceStore` behind ``trace get``,
+  and the ``trace --tree`` renderer.
+- :mod:`~repro.observability.events` — the bounded, monotonically
+  sequenced :class:`EventLog` journal of cluster lifecycle (breaker
+  transitions, failovers, drills) behind the ``events`` command.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalog, trace fields, and
 overhead numbers.
 """
 
+from .context import (
+    TraceContext,
+    TraceStore,
+    decode_trace,
+    encode_trace,
+    render_trace_tree,
+    split_trace_line,
+    trace_lines,
+)
+from .events import Event, EventLog, get_event_log, set_event_log
 from .log import StructuredLogger, get_logger, is_quiet, set_quiet, set_stream
 from .metrics import (
     DEFAULT_COUNT_BUCKETS,
@@ -26,7 +43,9 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     counter,
+    decode_snapshot,
     delta_snapshots,
+    encode_snapshot,
     gauge,
     get_registry,
     histogram,
@@ -39,6 +58,8 @@ __all__ = [
     "Counter",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -46,15 +67,26 @@ __all__ = [
     "SamplingProfiler",
     "SlowQueryLog",
     "StructuredLogger",
+    "TraceContext",
     "TraceRecorder",
+    "TraceStore",
     "counter",
+    "decode_snapshot",
+    "decode_trace",
     "delta_snapshots",
+    "encode_snapshot",
+    "encode_trace",
     "gauge",
+    "get_event_log",
     "get_logger",
     "get_registry",
     "histogram",
     "is_quiet",
+    "render_trace_tree",
     "set_enabled",
+    "set_event_log",
     "set_quiet",
     "set_stream",
+    "split_trace_line",
+    "trace_lines",
 ]

@@ -37,6 +37,7 @@ series stay consistent no matter the arrival order.
 from __future__ import annotations
 
 import bisect
+import json
 import math
 import re
 import threading
@@ -55,6 +56,8 @@ __all__ = [
     "histogram",
     "set_enabled",
     "delta_snapshots",
+    "encode_snapshot",
+    "decode_snapshot",
 ]
 
 #: Latency buckets in seconds: 100us .. 10s, roughly 1-2.5-5 per decade.
@@ -358,6 +361,46 @@ def delta_snapshots(
                     total - prev_sum,
                 )
     return delta
+
+
+def encode_snapshot(snapshot: Dict[str, tuple]) -> str:
+    """A snapshot as one line of compact JSON (the ``metrics -s`` wire
+    payload).  Inverse of :func:`decode_snapshot`."""
+    return json.dumps(snapshot, separators=(",", ":"), sort_keys=True)
+
+
+def decode_snapshot(text: str) -> Dict[str, tuple]:
+    """Parse a :func:`encode_snapshot` payload back into snapshot form.
+
+    JSON has no tuples, so every list is re-tupled — histogram *bounds*
+    must compare equal to locally-held tuples for
+    :func:`delta_snapshots` and :meth:`Histogram._merge` to match them.
+    Raises ``ValueError`` on malformed payloads.
+    """
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad metrics snapshot: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ValueError("metrics snapshot is not an object")
+    out: Dict[str, tuple] = {}
+    for name, state in raw.items():
+        if not isinstance(state, list) or not state:
+            raise ValueError(f"bad metric state for {name!r}")
+        kind = state[0]
+        if kind in ("c", "g") and len(state) == 2:
+            out[name] = (kind, state[1])
+        elif kind == "h" and len(state) == 5:
+            out[name] = (
+                "h",
+                tuple(float(b) for b in state[1]),
+                tuple(int(n) for n in state[2]),
+                int(state[3]),
+                float(state[4]),
+            )
+        else:
+            raise ValueError(f"unknown metric state kind {kind!r} for {name!r}")
+    return out
 
 
 class MetricsRegistry:

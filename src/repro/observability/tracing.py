@@ -24,6 +24,8 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from . import context as _context
+
 __all__ = ["QueryTrace", "SlowQueryLog", "TraceRecorder"]
 
 
@@ -227,13 +229,22 @@ class TraceRecorder:
     # -- trace lifecycle -------------------------------------------------
     def begin(self, method: str, num_queries: int = 1) -> Optional[QueryTrace]:
         if not self.enabled:
-            return None
+            # A propagated trace context (the ``trace=`` wire argument,
+            # see repro.observability.context) forces tracing for this
+            # query even with the local switch off: sampling is the
+            # caller's decision, made once at the edge.
+            ctx = _context.current()
+            if ctx is None or not ctx.sampled:
+                return None
         return QueryTrace(method, num_queries)
 
     def finish(self, trace: QueryTrace, total_seconds: float) -> QueryTrace:
         trace.total_seconds = total_seconds
         with self._lock:
             self._last = trace
+        # Deliver to the thread's active trace context (if any) so the
+        # command layer can piggyback the span tree on its reply.
+        _context.collect(trace)
         if self.slow_log.offer(trace):
             self._capture_slow()
         return trace

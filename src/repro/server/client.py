@@ -125,6 +125,7 @@ IDEMPOTENT_COMMANDS = frozenset(
         "countmod",
         "maxid",
         "cluster",
+        "events",
     }
 )
 
@@ -403,6 +404,49 @@ class FerretClient:
             key, _, value = line.partition(" ")
             out[key] = value
         return out
+
+    def trace_tree(self, trace_id: Optional[str] = None) -> List[str]:
+        """The last (or ``trace_id``'s) trace as a pretty-printed span
+        tree (raw ``trace --tree`` / ``trace get <id> --tree`` lines)."""
+        if trace_id is None:
+            return self.send("trace --tree")
+        return self.send(f"trace get {quote(trace_id)} --tree")
+
+    def events(self, limit: Optional[int] = None) -> List[str]:
+        """The server's event journal, oldest first (raw ``events``
+        lines: ``<seq> <unix_ts> <kind> k=v ...`` after the
+        ``events_total`` header)."""
+        line = "events" if limit is None else f"events {int(limit)}"
+        return self.send(line)
+
+    def traced_query(
+        self,
+        object_id: int,
+        top: int = 10,
+        method: str = "filtering",
+    ) -> Tuple[List[Tuple[int, float]], Optional[Dict[str, object]]]:
+        """A similarity query with a fresh trace context attached.
+
+        Returns ``(results, trace_tree)`` — against a coordinator the
+        tree is the stitched cross-node span tree (``node.<shard>.
+        <backend>`` subtrees included); against a single server it is
+        that engine's trace.  ``trace_tree`` is ``None`` only if the
+        server did not piggyback one.
+        """
+        from ..observability.context import TraceContext, split_trace_line
+
+        ctx = TraceContext.generate()
+        lines = self.send(
+            f"query {int(object_id)} top={int(top)} method={quote(method)} "
+            f"trace={ctx.to_wire()}"
+        )
+        lines, tree = split_trace_line(lines)
+        lines = self._strip_partial(lines)
+        results = []
+        for line in lines:
+            oid, _, dist = line.partition(" ")
+            results.append((int(oid), float(dist)))
+        return results, tree
 
     def _strip_partial(self, lines: List[str]) -> List[str]:
         """Record and strip a leading ``PARTIAL <shards>`` tag.

@@ -59,15 +59,26 @@ number of results to return, filter parameters, and attributes"):
   lower-bound pruning — see docs/PERFORMANCE.md, "Ranking cascade").
 - ``health`` — server health report: overall status, uptime, and
   per-component degradation details (see docs/ROBUSTNESS.md).
-- ``metrics [-p] [prefix]`` — dump the process metrics registry
+- ``metrics [-p|-s] [prefix]`` — dump the process metrics registry
   (worker deltas folded in first) in its stable ``name value`` line
-  format, or with ``-p`` in the Prometheus text exposition format;
-  ``prefix`` filters on metric name (see docs/OBSERVABILITY.md).
-- ``trace`` — the last query's stage breakdown (needs
-  ``setparam trace on``); ``trace slow [n]`` lists the most recent
+  format, with ``-p`` in the Prometheus text exposition format, or with
+  ``-s`` as one line of JSON snapshot (the federation wire format the
+  cluster coordinator pulls; see docs/OBSERVABILITY.md).
+- ``trace [--tree]`` — the last query's stage breakdown (needs
+  ``setparam trace on`` or a propagated ``trace=`` context), flat or as
+  an indented span tree; ``trace get <id> [--tree]`` fetches a stored
+  trace by id; ``trace slow [n] [--tree]`` lists the most recent
   slow-query log entries.
+- ``events [n]`` — the most recent entries of the process event
+  journal (``<seq> <unix_ts> <kind> k=v ...``).
 - ``profile [n]`` — sampling-profiler stats plus the top ``n``
   collapsed stacks.
+
+Any command may carry a ``trace=<id>:<sampled>:<hop>`` keyword (see
+:mod:`repro.observability.context`): the processor activates the trace
+context for the duration of the command and appends one extra reply
+line ``TRACE <id> <payload>`` carrying the command's span tree, so a
+cluster coordinator collects per-node subtrees in the same round trip.
 
 Graceful degradation: storage failures answer ``ERR DEGRADED <reason>``
 (a structured error clients can tell apart from bad requests), and an
@@ -88,7 +99,9 @@ from ..attrsearch.query import AttributeSearcher, QueryError
 from ..core.engine import LSHIndexError, SearchMethod, SimilaritySearchEngine
 from ..core.filtering import FilterParams, get_threshold_fn
 from ..metadata.serialization import decode_object, encode_object
+from ..observability import context as _trace_context
 from ..observability import metrics as _metrics
+from ..observability.events import get_event_log
 from ..storage.errors import StorageError
 from ..system import HealthState
 from .protocol import Command, DegradedError, ProtocolError, quote
@@ -122,6 +135,9 @@ class CommandProcessor:
         self.engine.on_parallel_fallback = lambda reason: (
             self.health.record_fallback("parallel_scan", reason)
         )
+        # Traces collected under propagated contexts, fetchable by id
+        # (`trace get <id>`) after the piggybacked reply line is gone.
+        self.trace_store = _trace_context.TraceStore()
 
     # -- attribute bookkeeping ------------------------------------------
     def register_attributes(self, object_id: int, attrs: Dict[str, str]) -> None:
@@ -142,7 +158,11 @@ class CommandProcessor:
         if handler is None:
             _M_COMMAND_ERRORS.inc()
             raise ProtocolError(f"unknown command {command.name!r}")
+        context = self._trace_context_from(command)
         started = time.perf_counter()
+        if context is not None:
+            _trace_context.activate(context)
+        collected: List[object] = []
         try:
             result = handler(command)
         except StorageError as exc:
@@ -153,10 +173,63 @@ class CommandProcessor:
         except Exception:
             _M_COMMAND_ERRORS.inc()
             raise
+        finally:
+            if context is not None:
+                collected = _trace_context.deactivate()
+        elapsed = time.perf_counter() - started
         _M_COMMANDS.inc()
-        _M_COMMAND_SECONDS.observe(time.perf_counter() - started)
+        _M_COMMAND_SECONDS.observe(elapsed)
         _metrics.counter(f"server.command.{command.name}").inc()
+        if context is not None and context.sampled:
+            result = result + [
+                self._piggyback_trace(command, context, collected, elapsed)
+            ]
         return result
+
+    # -- trace propagation ------------------------------------------------
+    @staticmethod
+    def _trace_context_from(command: Command):
+        token = command.get("trace")
+        if token is None:
+            return None
+        try:
+            return _trace_context.TraceContext.parse(token)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+    def _piggyback_trace(
+        self,
+        command: Command,
+        context: "_trace_context.TraceContext",
+        collected: List[object],
+        elapsed: float,
+    ) -> str:
+        """Build this command's span tree, store it, and render the
+        extra ``TRACE <id> <payload>`` reply line.
+
+        Query commands contribute the engine's full
+        :class:`~repro.observability.tracing.QueryTrace`; commands that
+        never reach the tracer (``insertfile``, ``ping``, ...) still get
+        a minimal tree with the command's total time, so every traced
+        hop is accounted for.
+        """
+        if collected:
+            tree = collected[-1].to_dict()  # type: ignore[attr-defined]
+        else:
+            tree = {
+                "method": command.name,
+                "queries": 1,
+                "total_seconds": elapsed,
+                "stages": {},
+                "counts": {},
+                "notes": {},
+                "spans": [],
+            }
+        tree["trace_id"] = context.trace_id
+        tree.setdefault("notes", {})["hop"] = str(context.hop)
+        self.trace_store.put(context.trace_id, tree)
+        payload = _trace_context.encode_trace(tree)
+        return f"{_trace_context.TRACE_LINE_PREFIX}{context.trace_id} {payload}"
 
     # -- degraded-mode query fallback -------------------------------------
     def _run_query(self, method: SearchMethod, run):
@@ -255,23 +328,39 @@ class CommandProcessor:
         ] + self._query_latency_lines()
 
     def _cmd_metrics(self, command: Command) -> List[str]:
-        """``metrics [-p] [prefix]``: registry dump, optionally filtered
-        to one name prefix and/or rendered in Prometheus text format.
+        """``metrics [-p|-s] [prefix]``: registry dump, optionally
+        filtered to one name prefix, rendered in Prometheus text format
+        (``-p``), or as one line of JSON snapshot (``-s`` — the
+        federation wire format; see docs/OBSERVABILITY.md).
 
         Pulls pending worker deltas first so the dump includes the
         ``worker.<i>.*`` / ``workers.*`` series of the scan pool.
         """
         prometheus = False
+        snapshot = False
         prefix: Optional[str] = None
         for arg in command.args:
             if arg == "-p":
                 prometheus = True
+            elif arg == "-s":
+                snapshot = True
             elif prefix is None:
                 prefix = arg
             else:
-                raise ProtocolError("usage: metrics [-p] [prefix]")
+                raise ProtocolError("usage: metrics [-p|-s] [prefix]")
+        if prometheus and snapshot:
+            raise ProtocolError("usage: metrics [-p|-s] [prefix]")
         self.engine.collect_worker_metrics()
         registry = _metrics.get_registry()
+        if snapshot:
+            state = registry.snapshot()
+            if prefix:
+                state = {
+                    name: value
+                    for name, value in state.items()
+                    if name.startswith(prefix)
+                }
+            return [_metrics.encode_snapshot(state)]
         if prometheus:
             return registry.render_prometheus(prefix=prefix)
         return registry.render(prefix=prefix)
@@ -305,29 +394,64 @@ class CommandProcessor:
 
     def _cmd_trace(self, command: Command) -> List[str]:
         tracer = self.engine.tracer
-        if command.args and command.args[0] == "slow":
+        args = list(command.args)
+        tree = "--tree" in args
+        if tree:
+            args.remove("--tree")
+        if args and args[0] == "slow":
             try:
-                limit = int(command.args[1]) if len(command.args) > 1 else 10
+                limit = int(args[1]) if len(args) > 1 else 10
             except ValueError:
-                raise ProtocolError("usage: trace slow [n]") from None
-            if limit <= 0:
-                raise ProtocolError("usage: trace slow [n]")
+                raise ProtocolError("usage: trace slow [n] [--tree]") from None
+            if limit <= 0 or len(args) > 2:
+                raise ProtocolError("usage: trace slow [n] [--tree]")
             lines = [f"slow_queries_total {tracer.slow_log.total_recorded}"]
             for i, entry in enumerate(tracer.slow_log.entries()[-limit:]):
-                lines.append(
-                    f"{i} method={entry.method} queries={entry.num_queries} "
-                    f"total_seconds={entry.total_seconds:.6f}"
-                )
+                if tree:
+                    lines.extend(_trace_context.render_trace_tree(entry.to_dict()))
+                else:
+                    lines.append(
+                        f"{i} method={entry.method} queries={entry.num_queries} "
+                        f"total_seconds={entry.total_seconds:.6f}"
+                    )
             return lines
-        if command.args:
-            raise ProtocolError("usage: trace [slow [n]]")
+        if args and args[0] == "get":
+            if len(args) != 2:
+                raise ProtocolError("usage: trace get <id> [--tree]")
+            stored = self.trace_store.get(args[1])
+            if stored is None:
+                raise ProtocolError(f"unknown trace id {args[1]!r}")
+            if tree:
+                return _trace_context.render_trace_tree(stored)
+            return _trace_context.trace_lines(stored)
+        if args:
+            raise ProtocolError("usage: trace [get <id>|slow [n]] [--tree]")
         last = tracer.last
         if last is None:
             return [
                 f"tracing {'on' if tracer.enabled else 'off'}",
                 "no_trace_recorded",
             ]
+        if tree:
+            return _trace_context.render_trace_tree(last.to_dict())
         return last.lines()
+
+    def _cmd_events(self, command: Command) -> List[str]:
+        """``events [n]``: the most recent entries of the process event
+        journal, oldest first (see docs/OBSERVABILITY.md, "Event
+        journal")."""
+        limit: Optional[int] = None
+        if command.args:
+            try:
+                limit = int(command.args[0])
+            except ValueError:
+                raise ProtocolError("usage: events [n]") from None
+            if limit < 0 or len(command.args) > 1:
+                raise ProtocolError("usage: events [n]")
+        journal = get_event_log()
+        lines = [f"events_total {journal.total_recorded}"]
+        lines.extend(event.line() for event in journal.tail(limit))
+        return lines
 
     def _cmd_query(self, command: Command) -> List[str]:
         if len(command.args) != 1:

@@ -33,6 +33,11 @@ commands are forwarded to the server verbatim; e.g.:
   attrs <id>                       dump an object's attributes
   setparam <name> <value>          tune filter parameters live
   insertfile <path> [attr.k=v]     ingest a file
+  metrics [-p|-s] [prefix]         metrics registry dump
+  trace [--tree]                   last query's stage breakdown
+  trace get <id> [--tree]          a stored (stitched) trace by id
+  trace slow [n] [--tree]          slow-query log entries
+  events [n]                       event journal (postmortem timeline)
 shell-local: help, quit/exit"""
 
 

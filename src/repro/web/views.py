@@ -13,7 +13,13 @@ from __future__ import annotations
 import html
 from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["ResultRenderer", "render_page", "render_results", "render_home"]
+__all__ = [
+    "ResultRenderer",
+    "render_events",
+    "render_home",
+    "render_page",
+    "render_results",
+]
 
 ResultRenderer = Callable[[int, float, Dict[str, str]], str]
 
@@ -67,9 +73,35 @@ def render_home(
 </form>
 <h2>Engine statistics</h2>
 <p><a href="/metrics">raw metrics</a> &middot;
-<a href="/metrics.txt">Prometheus scrape endpoint</a></p>
+<a href="/metrics.txt">Prometheus scrape endpoint</a> &middot;
+<a href="/events">event journal</a></p>
 <table><tr><th>stat</th><th>value</th></tr>{stat_rows}</table>
 """
+    return render_page(title, body)
+
+
+def render_events(title: str, total: int, event_lines: List[str]) -> str:
+    """The event journal as a table (postmortem timeline, oldest first).
+
+    ``event_lines`` are the wire-format rows from the ``events`` command:
+    ``<seq> <unix_ts> <kind> k=v ...``.
+    """
+    rows = []
+    for line in event_lines:
+        parts = line.split(" ", 3)
+        seq, ts, kind = parts[0], parts[1], parts[2] if len(parts) > 2 else ""
+        fields = parts[3] if len(parts) > 3 else ""
+        rows.append(
+            f"<tr><td>{html.escape(seq)}</td><td>{html.escape(ts)}</td>"
+            f"<td>{html.escape(kind)}</td><td>{html.escape(fields)}</td></tr>"
+        )
+    body = (
+        f"<p>{total} events recorded since start "
+        f"({len(rows)} retained).</p>"
+        f'<p><a href="/">back</a></p>'
+        "<table><tr><th>seq</th><th>timestamp</th><th>kind</th>"
+        f"<th>fields</th></tr>{''.join(rows)}</table>"
+    )
     return render_page(title, body)
 
 

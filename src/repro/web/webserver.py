@@ -11,9 +11,10 @@ HTML.
 Routes: ``/`` (home + forms), ``/query?id=&top=&method=&attr=``,
 ``/queryfile?path=&top=&method=``, ``/attrquery?q=``, ``/metrics``
 (the metrics registry as plain text, same line format as the server's
-``metrics`` command), and ``/metrics.txt`` (the Prometheus text
-exposition format, served through ``metrics -p`` so worker-side series
-are folded in — point a scraper here).
+``metrics`` command), ``/metrics.txt`` (the Prometheus text exposition
+format, served through ``metrics -p`` so worker-side series are folded
+in — point a scraper here), and ``/events`` (the event journal as an
+HTML timeline, served through the ``events`` command).
 """
 
 from __future__ import annotations
@@ -29,7 +30,13 @@ from ..observability.log import get_logger, set_quiet
 from ..server.client import ClientError
 from ..server.commands import CommandProcessor
 from ..server.protocol import ProtocolError, parse_command, quote
-from .views import ResultRenderer, render_home, render_page, render_results
+from .views import (
+    ResultRenderer,
+    render_events,
+    render_home,
+    render_page,
+    render_results,
+)
 
 __all__ = ["WebApp", "FerretWebServer", "serve_web_background", "main"]
 
@@ -104,6 +111,8 @@ class WebApp:
                 # worker deltas are folded in and remote mode scrapes the
                 # engine-owning process, not this frontend.
                 return 200, "\n".join(self.backend.send("metrics -p")) + "\n"
+            if parsed.path == "/events":
+                return 200, self._events(params)
             return 404, render_page(self.title, "<p class='err'>not found</p>")
         except (ClientError, ValueError, KeyError, OSError) as exc:
             # Expected request-level failures only: malformed parameters
@@ -129,6 +138,15 @@ class WebApp:
             key, _, value = line.partition(" ")
             stats[key] = value
         return render_home(self.title, count, stats, message)
+
+    def _events(self, params: Dict[str, str]) -> str:
+        line = "events"
+        if params.get("n"):
+            line += f" {int(params['n'])}"
+        lines = self.backend.send(line)
+        # First line is "events_total <n>"; the rest are journal rows.
+        total = int(lines[0].partition(" ")[2]) if lines else 0
+        return render_events(self.title, total, lines[1:])
 
     def _query(self, params: Dict[str, str]) -> str:
         if "id" not in params:

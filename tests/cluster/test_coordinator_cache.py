@@ -43,7 +43,7 @@ class FakeCluster:
         self.sig_fetches += 1
         return f"sig{object_id}"
 
-    def _scatter(self, line_for_shard, parse, trace):
+    def _scatter(self, line_for_shard, parse, trace, trace_ctx=None):
         self.scatters += 1
         line = line_for_shard(0)
         if line.startswith("querysigmany"):
@@ -59,7 +59,7 @@ class FakeCluster:
             if shard not in self.missing
         }
         served_by = {shard: shard % 2 for shard in per_shard}
-        return per_shard, self.missing, served_by
+        return per_shard, self.missing, served_by, {}
 
 
 def make_coordinator(**overrides):
@@ -147,11 +147,11 @@ def test_midflight_epoch_move_suppresses_store():
     fake = FakeCluster(coordinator)
     inner = fake._scatter
 
-    def scatter_during_write(line_for_shard, parse, trace):
+    def scatter_during_write(line_for_shard, parse, trace, trace_ctx=None):
         # A write lands while the scatter is in flight: the answer being
         # assembled may already be stale and must not be cached.
         coordinator._write_epoch += 1
-        return inner(line_for_shard, parse, trace)
+        return inner(line_for_shard, parse, trace, trace_ctx=trace_ctx)
 
     coordinator._scatter = scatter_during_write
     coordinator.query(1, top_k=4)

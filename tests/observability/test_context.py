@@ -1,0 +1,232 @@
+"""Trace-context unit tests: wire format, piggyback line, store, renderer.
+
+The cross-node contracts these pin down:
+
+1. ``TraceContext`` round-trips through its colon wire form, and
+   ``parse`` rejects junk (an attacker-controlled kwarg must never
+   produce a half-valid context);
+2. ``child()`` keeps identity (same trace id, same sampling decision)
+   while counting hops;
+3. ``encode_trace``/``decode_trace`` round-trip a span tree and raise
+   ``ValueError`` on malformed payloads;
+4. ``split_trace_line`` strips exactly a trailing ``TRACE`` line and
+   surfaces a corrupt payload instead of swallowing it;
+5. ``TraceStore`` is bounded (oldest evicted) and refresh-on-put;
+6. the activation layer hands collected traces back on deactivate;
+7. ``render_trace_tree`` is deterministic and names PARTIAL shards and
+   the laggard node.
+"""
+
+import threading
+
+import pytest
+
+from repro.observability.context import (
+    TRACE_LINE_PREFIX,
+    TraceContext,
+    TraceStore,
+    activate,
+    collect,
+    current,
+    deactivate,
+    decode_trace,
+    encode_trace,
+    render_trace_tree,
+    split_trace_line,
+    trace_lines,
+)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext.generate()
+        assert TraceContext.parse(ctx.to_wire()) == ctx
+        unsampled = TraceContext("abc123", sampled=False, hop=7)
+        assert unsampled.to_wire() == "abc123:0:7"
+        assert TraceContext.parse("abc123:0:7") == unsampled
+
+    def test_wire_form_needs_no_quoting(self):
+        # The kwarg value must survive the line protocol unquoted.
+        wire = TraceContext.generate().to_wire()
+        assert " " not in wire and "=" not in wire and '"' not in wire
+
+    def test_generate_is_unique_and_sampled(self):
+        a, b = TraceContext.generate(), TraceContext.generate()
+        assert a.trace_id != b.trace_id
+        assert a.sampled and a.hop == 0
+        assert not TraceContext.generate(sampled=False).sampled
+
+    def test_child_counts_hops_and_keeps_identity(self):
+        ctx = TraceContext("feed01", sampled=True, hop=0)
+        grandchild = ctx.child().child()
+        assert grandchild.trace_id == "feed01"
+        assert grandchild.sampled and grandchild.hop == 2
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            "",
+            "noseparators",
+            "id:1",  # missing hop
+            "id:1:2:3",  # too many fields
+            ":1:0",  # empty id
+            "bad id:1:0",  # id with a space
+            "id;rm:1:0",  # non-alnum id
+            "id:2:0",  # bad sampled flag
+            "id:1:-1",  # negative hop
+            "id:1:x",  # non-numeric hop
+        ],
+    )
+    def test_parse_rejects_junk(self, junk):
+        with pytest.raises(ValueError):
+            TraceContext.parse(junk)
+
+
+class TestWireEncoding:
+    TREE = {
+        "method": "cluster",
+        "queries": 1,
+        "total_seconds": 0.25,
+        "stages": {"filter": 0.1, "rank": 0.05},
+        "counts": {"candidates": 12},
+        "notes": {"hop": "1"},
+        "spans": [{"name": "scatter", "seconds": 0.2}],
+    }
+
+    def test_encode_decode_round_trip(self):
+        assert decode_trace(encode_trace(self.TREE)) == self.TREE
+
+    @pytest.mark.parametrize("junk", ["not base64!!", "aGVsbG8", "", "====="])
+    def test_decode_rejects_bad_base64(self, junk):
+        with pytest.raises(ValueError):
+            decode_trace(junk)
+
+    def test_decode_rejects_non_object_payload(self):
+        import base64
+
+        payload = base64.b64encode(b"[1,2,3]").decode()
+        with pytest.raises(ValueError):
+            decode_trace(payload)
+
+    def test_split_trace_line(self):
+        data = ["10 0.125000", "11 0.250000"]
+        reply = data + [f"{TRACE_LINE_PREFIX}cafe01 {encode_trace(self.TREE)}"]
+        lines, tree = split_trace_line(reply)
+        assert lines == data
+        assert tree["trace_id"] == "cafe01"
+        assert tree["stages"] == self.TREE["stages"]
+
+    def test_split_trace_line_without_trace(self):
+        data = ["10 0.125000"]
+        assert split_trace_line(data) == (data, None)
+        assert split_trace_line([]) == ([], None)
+
+    def test_split_trace_line_surfaces_corrupt_payload(self):
+        with pytest.raises(ValueError):
+            split_trace_line([f"{TRACE_LINE_PREFIX}cafe01 garbage!!"])
+
+
+class TestTraceStore:
+    def test_bounded_eviction_oldest_first(self):
+        store = TraceStore(capacity=3)
+        for i in range(5):
+            store.put(f"t{i}", {"n": i})
+        assert len(store) == 3
+        assert store.ids() == ["t2", "t3", "t4"]
+        assert store.get("t0") is None
+        assert store.get("t4") == {"n": 4}
+
+    def test_put_refreshes_recency(self):
+        store = TraceStore(capacity=2)
+        store.put("a", {})
+        store.put("b", {})
+        store.put("a", {"fresh": True})  # re-put: now newest
+        store.put("c", {})
+        assert store.get("b") is None
+        assert store.get("a") == {"fresh": True}
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestActivation:
+    def test_collect_requires_active_context(self):
+        deactivate()
+        assert current() is None
+        assert collect(object()) is False
+        ctx = TraceContext.generate()
+        activate(ctx)
+        try:
+            assert current() == ctx
+            marker = object()
+            assert collect(marker) is True
+        finally:
+            collected = deactivate()
+        assert collected == [marker]
+        assert current() is None and deactivate() == []
+
+    def test_context_is_thread_local(self):
+        activate(TraceContext.generate())
+        seen = {}
+
+        def probe():
+            seen["other_thread"] = current()
+
+        try:
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        finally:
+            deactivate()
+        assert seen["other_thread"] is None
+
+
+class TestRendering:
+    STITCHED = {
+        "trace_id": "cafe02",
+        "method": "cluster",
+        "queries": 1,
+        "total_seconds": 0.030,
+        "stages": {},
+        "counts": {"shards_answered": 1},
+        "notes": {"missing_shards": "1", "laggard": "0.0"},
+        "spans": [
+            {"name": "scatter", "seconds": 0.020},
+            {"name": "gather", "seconds": 0.001},
+            {"name": "node.0.0", "rpc": 0.018, "engine": 0.012},
+        ],
+        "nodes": {
+            "0.0": {
+                "method": "querysig",
+                "total_seconds": 0.012,
+                "rpc_seconds": 0.018,
+                "stages": {"filter": 0.008, "rank": 0.003},
+                "notes": {"hop": "1"},
+            }
+        },
+    }
+
+    def test_render_is_deterministic(self):
+        assert render_trace_tree(self.STITCHED) == render_trace_tree(
+            dict(self.STITCHED)
+        )
+
+    def test_render_names_partial_and_laggard(self):
+        out = render_trace_tree(self.STITCHED)
+        assert out[0] == (
+            "trace cafe02 method=cluster total=30.00ms PARTIAL shards=1"
+        )
+        joined = "\n".join(out)
+        assert "node 0.0 engine=12.00ms rpc=18.00ms net+queue=6.00ms" in joined
+        assert "hop=1" in joined
+        assert "filter 8.00ms" in joined and "rank 3.00ms" in joined
+        assert "laggard 0.0" in joined
+        # The raw node.* span is summarized by the branch, not repeated.
+        assert "node.0.0" not in joined
+
+    def test_trace_lines_flatten_node_subtrees(self):
+        out = trace_lines(self.STITCHED)
+        assert "trace_id cafe02" in out
+        assert "node.0.0.stage.filter_seconds 0.008000" in out
+        assert "note.laggard 0.0" in out
